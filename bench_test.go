@@ -1,0 +1,356 @@
+// Package repro's benchmark harness: one testing.B benchmark per experiment
+// of DESIGN.md §3 (E1–E12). cmd/provbench prints the full human-readable
+// tables; these benches regenerate the underlying measurements under `go
+// test -bench`. Sizes are the mid-points of each experiment's sweep so the
+// full suite completes quickly.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/analogy"
+	"repro/internal/collab"
+	"repro/internal/engine"
+	"repro/internal/evolution"
+	"repro/internal/experiments"
+	"repro/internal/interop"
+	"repro/internal/params"
+	"repro/internal/provenance"
+	"repro/internal/query/datalog"
+	"repro/internal/query/pql"
+	"repro/internal/relalg"
+	"repro/internal/store"
+	"repro/internal/views"
+	"repro/internal/workloads"
+)
+
+func newBenchEngine(rec provenance.Recorder, cache *engine.Cache) *engine.Engine {
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	return engine.New(engine.Options{Registry: reg, Recorder: rec, Cache: cache, Workers: 4})
+}
+
+// chainLog runs an n-module chain once and returns the log plus the final
+// artifact ID.
+func chainLog(b *testing.B, n int) (*provenance.RunLog, string) {
+	b.Helper()
+	col := provenance.NewCollector()
+	e := newBenchEngine(col, nil)
+	res, err := e.Run(context.Background(), workloads.Chain(n), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	log, err := col.Log(res.RunID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return log, res.Artifacts[fmt.Sprintf("s%02d.out", n-1)]
+}
+
+// BenchmarkE1CaptureFigure1 executes the Figure 1 workflow with capture on.
+func BenchmarkE1CaptureFigure1(b *testing.B) {
+	wf := workloads.MedicalImaging()
+	col := provenance.NewCollector()
+	e := newBenchEngine(col, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(context.Background(), wf, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Analogy applies the Figure 2 diff to a fresh target.
+func BenchmarkE2Analogy(b *testing.B) {
+	wa := workloads.DownloadAndRender()
+	wb := workloads.DownloadAndRenderSmoothed()
+	d := analogy.ComputeDiff(wa, wb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analogy.Apply(d, workloads.MedicalImaging()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3CaptureOverhead benchmarks a 50-module chain with capture
+// on/off as sub-benchmarks.
+func BenchmarkE3CaptureOverhead(b *testing.B) {
+	wf := workloads.Chain(50)
+	b.Run("capture=off", func(b *testing.B) {
+		e := newBenchEngine(nil, nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(context.Background(), wf, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("capture=on", func(b *testing.B) {
+		e := newBenchEngine(provenance.NewCollector(), nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(context.Background(), wf, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4QueryLatency benchmarks lineage on a 100-module chain per
+// backend.
+func BenchmarkE4QueryLatency(b *testing.B) {
+	log, target := chainLog(b, 100)
+	fsDir := b.TempDir()
+	fs, err := store.OpenFileStore(fsDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	backends := []store.Store{store.NewMemStore(), store.NewRelStore(), store.NewTripleStore(), fs}
+	for _, s := range backends {
+		if err := s.PutRunLog(log); err != nil {
+			b.Fatal(err)
+		}
+		b.Run("backend="+s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Lineage(s, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5UserViews benchmarks abstraction of a 24-module chain run.
+func BenchmarkE5UserViews(b *testing.B) {
+	log, _ := chainLog(b, 24)
+	v := views.NewView("bench")
+	for i := 0; i < 24; i += 4 {
+		var members []string
+		for j := i; j < i+4; j++ {
+			members = append(members, fmt.Sprintf("s%02d", j))
+		}
+		if err := v.Group(fmt.Sprintf("c%d", i/4), members...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Abstract(log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6QueryLanguages benchmarks the same lineage in each language.
+func BenchmarkE6QueryLanguages(b *testing.B) {
+	log, target := chainLog(b, 60)
+	mem := store.NewMemStore()
+	if err := mem.PutRunLog(log); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("lang=bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Lineage(mem, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lang=pql", func(b *testing.B) {
+		q := fmt.Sprintf("LINEAGE OF '%s'", target)
+		for i := 0; i < b.N; i++ {
+			if _, err := pql.Run(mem, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lang=datalog", func(b *testing.B) {
+		atom, err := datalog.ParseAtom(fmt.Sprintf("ancestor('%s', X)", target))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			p, err := datalog.NewProvenanceProgram(mem)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Query(atom); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7Interop benchmarks the full pipeline→export→integrate cycle.
+func BenchmarkE7Interop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := interop.RunPipeline(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs, err := interop.SystemGraphs(runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged, err := interop.Integrate(graphs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := interop.RunSuite("integrated", merged); r.Answered != r.Total {
+			b.Fatalf("integration regressed: %d/%d", r.Answered, r.Total)
+		}
+	}
+}
+
+// BenchmarkE8Evolution benchmarks materialization at depth 1000.
+func BenchmarkE8Evolution(b *testing.B) {
+	tree := evolution.NewTree("bench")
+	at, err := tree.Commit(tree.Root(), "u", "import",
+		evolution.ImportWorkflow(workloads.MedicalImaging()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		at, err = tree.Commit(at, "u", "",
+			[]evolution.Action{evolution.SetParamAction("contour", "isovalue", fmt.Sprint(i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Materialize(at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9DBProvenance benchmarks a provenance-tracking join of 500×500.
+func BenchmarkE9DBProvenance(b *testing.B) {
+	n := 500
+	left := make([][]relalg.Val, n)
+	right := make([][]relalg.Val, n)
+	for i := 0; i < n; i++ {
+		left[i] = []relalg.Val{int64(i % 50), int64(i)}
+		right[i] = []relalg.Val{int64(i % 50), int64(1000 + i)}
+	}
+	l, err := relalg.NewRelation("l", []string{"k", "x"}, left)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := relalg.NewRelation("r", []string{"k", "y"}, right)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relalg.Join(l, r, "k", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10ParamSweep benchmarks a 6-point sweep with caching.
+func BenchmarkE10ParamSweep(b *testing.B) {
+	base := workloads.Chain(6)
+	for i := 0; i < 6; i++ {
+		if err := base.SetParam(fmt.Sprintf("s%02d", i), "work", "500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sweep := &params.Sweep{
+		Base: base,
+		Axes: []params.Axis{{ModuleID: "s05", Param: "work",
+			Values: []string{"501", "502", "503", "504", "505", "506"}}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := newBenchEngine(nil, engine.NewCache())
+		if _, err := params.Run(context.Background(), e, sweep, params.Options{Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11StorageFootprint benchmarks ingesting a run into each backend.
+func BenchmarkE11StorageFootprint(b *testing.B) {
+	log, _ := chainLog(b, 50)
+	b.Run("backend=mem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := store.NewMemStore()
+			if err := s.PutRunLog(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("backend=rel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := store.NewRelStore()
+			if err := s.PutRunLog(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("backend=triple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := store.NewTripleStore()
+			if err := s.PutRunLog(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("backend=file", func(b *testing.B) {
+		dir := b.TempDir()
+		s, err := store.OpenFileStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		for i := 0; i < b.N; i++ {
+			cp := *log
+			cp.Run.ID = fmt.Sprintf("%s-b%d", log.Run.ID, i)
+			if err := s.PutRunLog(&cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12Collaboratory benchmarks search and recommendation on a
+// synthesized community.
+func BenchmarkE12Collaboratory(b *testing.B) {
+	repo := collab.NewRepository(store.NewMemStore())
+	users, err := collab.SynthesizeCommunity(repo, collab.CommunityOptions{Seed: 3, Users: 20, RunsEach: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("op=search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repo.Search("visualization imaging", 10)
+		}
+	})
+	b.Run("op=recommend", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repo.Recommend(users[i%len(users)], 3)
+		}
+	})
+}
+
+// TestExperimentSuiteSmoke runs the fast experiments end-to-end so `go
+// test` exercises the harness itself (timing-heavy ones are covered by the
+// benchmarks above and cmd/provbench).
+func TestExperimentSuiteSmoke(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E5", "E7"} {
+		r, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Title == "FAILED" {
+			t.Fatalf("%s failed: %s", id, r.Table)
+		}
+		if len(r.Table) == 0 {
+			t.Fatalf("%s produced no table", id)
+		}
+	}
+}

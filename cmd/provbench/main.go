@@ -1,0 +1,64 @@
+// Command provbench runs the reproduction experiment suite (E1–E12 of
+// DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
+// reference run.
+//
+// Usage:
+//
+//	provbench             # run everything
+//	provbench -e E4,E7    # run selected experiments
+//	provbench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range []string{
+			"E1  Figure 1: prospective vs retrospective provenance",
+			"E2  Figure 2: workflow refinement by analogy",
+			"E3  capture overhead",
+			"E4  lineage query latency per backend",
+			"E5  user views: overload reduction",
+			"E6  query languages on the same lineage",
+			"E7  Provenance Challenge integration",
+			"E8  version-tree scaling",
+			"E9  why-provenance overhead",
+			"E10 parameter sweep throughput",
+			"E11 storage footprint per backend",
+			"E12 collaboratory search + recommendation",
+		} {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	var results []experiments.Result
+	if *which == "" {
+		results = experiments.All()
+	} else {
+		for _, id := range strings.Split(*which, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			results = append(results, r)
+		}
+	}
+	for _, r := range results {
+		fmt.Printf("=== %s: %s ===\n%s\n", r.ID, r.Title, r.Table)
+	}
+}

@@ -1,0 +1,301 @@
+// Command provctl is the workflow/provenance CLI:
+//
+//	provctl validate wf.json              check a workflow specification
+//	provctl show wf.json [-format ascii|dot]
+//	provctl hash wf.json                  content hash (prospective identity)
+//	provctl run wf.json [-store DIR]      execute with provenance capture
+//	provctl query -store DIR 'PQL'        query stored provenance
+//	provctl lineage -store DIR ENTITY     upstream closure of an entity
+//	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
+//	provctl demo NAME                     print a built-in workflow as JSON
+//	                                      (medimg, medimg-smooth, genomics,
+//	                                       forecast, dl-render)
+//
+// Module implementations come from the built-in workload library; run
+// works for any workflow whose module types it registers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dbprov"
+	"repro/internal/opm"
+	"repro/internal/query/pql"
+	"repro/internal/store"
+	"repro/internal/vis"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "validate":
+		err = cmdValidate(args)
+	case "show":
+		err = cmdShow(args)
+	case "hash":
+		err = cmdHash(args)
+	case "run":
+		err = cmdRun(args)
+	case "query":
+		err = cmdQuery(args)
+	case "lineage":
+		err = cmdLineage(args)
+	case "export":
+		err = cmdExport(args)
+	case "demo":
+		err = cmdDemo(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|export|demo> ...`)
+}
+
+func loadWorkflow(path string) (*workflow.Workflow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return workflow.DecodeJSON(data)
+}
+
+func cmdValidate(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("validate: want one workflow file")
+	}
+	wf, err := loadWorkflow(args[0])
+	if err != nil {
+		return err
+	}
+	s := wf.Stat()
+	fmt.Printf("ok: %s (%d modules, %d connections, depth %d)\n", wf.ID, s.Modules, s.Connections, s.Depth)
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	format := fs.String("format", "ascii", "ascii or dot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show: want one workflow file")
+	}
+	wf, err := loadWorkflow(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "ascii":
+		text, err := vis.WorkflowASCII(wf)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	case "dot":
+		fmt.Print(vis.WorkflowDOT(wf))
+	default:
+		return fmt.Errorf("show: unknown format %q", *format)
+	}
+	return nil
+}
+
+func cmdHash(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("hash: want one workflow file")
+	}
+	wf, err := loadWorkflow(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(wf.ContentHash())
+	return nil
+}
+
+func newSystem(storeDir string) (*core.System, func(), error) {
+	var st store.Store
+	cleanup := func() {}
+	if storeDir != "" {
+		fsStore, err := store.OpenFileStore(storeDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		st = fsStore
+		cleanup = func() { fsStore.Close() }
+	}
+	sys := core.NewSystem(core.Options{Store: st, Agent: os.Getenv("USER")})
+	workloads.RegisterAll(sys.Registry)
+	dbprov.RegisterRelationalModules(sys.Registry)
+	return sys, cleanup, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "persist provenance to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: want one workflow file")
+	}
+	wf, err := loadWorkflow(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sys, cleanup, err := newSystem(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	res, log, err := sys.Run(context.Background(), wf, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run %s: status=%s elapsed=%s\n", res.RunID, res.Status, res.Elapsed.Round(1000))
+	fmt.Print(vis.RunASCII(log))
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "provenance store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *storeDir == "" {
+		return fmt.Errorf("query: want -store DIR and one PQL query")
+	}
+	fsStore, err := store.OpenFileStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer fsStore.Close()
+	res, err := pql.Run(fsStore, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	return nil
+}
+
+func cmdLineage(args []string) error {
+	fs := flag.NewFlagSet("lineage", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "provenance store directory")
+	down := fs.Bool("dependents", false, "downstream instead of upstream")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *storeDir == "" {
+		return fmt.Errorf("lineage: want -store DIR and one entity ID")
+	}
+	fsStore, err := store.OpenFileStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer fsStore.Close()
+	fn := store.Lineage
+	if *down {
+		fn = store.Dependents
+	}
+	ids, err := fn(fsStore, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		fmt.Println(id)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "provenance store directory")
+	runID := fs.String("run", "", "run ID to export")
+	format := fs.String("format", "opm-xml", "opm-xml, opm-json or dot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" || *runID == "" {
+		return fmt.Errorf("export: want -store DIR and -run ID")
+	}
+	fsStore, err := store.OpenFileStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer fsStore.Close()
+	l, err := fsStore.RunLog(*runID)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "dot":
+		text, err := vis.ProvenanceDOT(l)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	case "opm-xml", "opm-json":
+		g, err := opm.FromRunLog(l, "provctl")
+		if err != nil {
+			return err
+		}
+		var data []byte
+		if *format == "opm-xml" {
+			data, err = opm.EncodeXML(g)
+		} else {
+			data, err = opm.EncodeJSON(g)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	return fmt.Errorf("export: unknown format %q", *format)
+}
+
+func cmdDemo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("demo: want a workflow name (medimg, medimg-smooth, genomics, forecast, dl-render)")
+	}
+	var wf *workflow.Workflow
+	switch args[0] {
+	case "medimg":
+		wf = workloads.MedicalImaging()
+	case "medimg-smooth":
+		wf = workloads.SmoothedImaging()
+	case "genomics":
+		wf = workloads.Genomics("sample-1")
+	case "forecast":
+		wf = workloads.Forecasting("station-A")
+	case "dl-render":
+		wf = workloads.DownloadAndRender()
+	default:
+		return fmt.Errorf("demo: unknown workflow %q", args[0])
+	}
+	data, err := workflow.EncodeJSON(wf)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}

@@ -1,0 +1,54 @@
+// Command provd serves the collaboratory's HTTP API: workflow sharing,
+// full-text search, run-log retrieval, lineage/dependents closure queries,
+// PQL, and recommendations (see internal/collab for routes).
+//
+// Usage:
+//
+//	provd -addr :8080                      # empty repository
+//	provd -addr :8080 -seed 7 -users 20    # with a synthetic community
+//	provd -store /var/lib/provd            # durable file-backed store
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/collab"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		storeDir = flag.String("store", "", "directory for a durable file store (default: in-memory)")
+		seed     = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
+		users    = flag.Int("users", 10, "synthetic community size")
+		runsEach = flag.Int("runs", 3, "synthetic runs published per user")
+	)
+	flag.Parse()
+
+	var st store.Store = store.NewMemStore()
+	if *storeDir != "" {
+		fs, err := store.OpenFileStore(*storeDir)
+		if err != nil {
+			log.Fatalf("provd: open store: %v", err)
+		}
+		defer fs.Close()
+		st = fs
+	}
+	repo := collab.NewRepository(st)
+	if *seed != 0 {
+		if _, err := collab.SynthesizeCommunity(repo, collab.CommunityOptions{
+			Seed: *seed, Users: *users, RunsEach: *runsEach,
+		}); err != nil {
+			log.Fatalf("provd: synthesize community: %v", err)
+		}
+		s := repo.Stat()
+		log.Printf("provd: synthesized %d workflows, %d runs, %d users", s.Workflows, s.Runs, s.Users)
+	}
+	log.Printf("provd: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, collab.NewHandler(repo)); err != nil {
+		log.Fatalf("provd: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+// Command classroom demonstrates "provenance in education" (§2.3): an
+// instructor's live exploration is recorded — every variant, run and
+// remark — then exported as a handout, and a student's assignment is
+// graded by provenance replay.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/education"
+	"repro/internal/evolution"
+	"repro/internal/workloads"
+)
+
+func main() {
+	ctx := context.Background()
+	sys := core.NewSystem(core.Options{Agent: "prof", Workers: 1})
+	workloads.RegisterAll(sys.Registry)
+
+	class, err := education.NewSession(sys, "CS6960 Scientific Visualization",
+		"prof", "exploring isosurfaces", workloads.MedicalImaging())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The lecture, as it happens.
+	run1, err := class.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	class.Note("isovalue 57 lands on the skull: dense bone")
+
+	if _, err := class.Edit("what does a lower isovalue show?",
+		evolution.SetParamAction("contour", "isovalue", "45")); err != nil {
+		log.Fatal(err)
+	}
+	run2, err := class.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	class.Note("45 pulls in soft tissue — compare the two renders")
+
+	// A student asks why the outputs differ; provenance answers.
+	explanation, err := class.ExplainRuns(run1, run2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== student question: why do these runs differ? ===")
+	fmt.Print(explanation)
+
+	// After class: export everything the students need.
+	handout, err := class.ExportHandout()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== handout ===\ncourse: %s\nsteps recorded: %d\nruns with provenance: %d\n",
+		handout.Course, len(handout.Steps), len(handout.Runs))
+	for _, st := range handout.Steps {
+		fmt.Printf("  %2d %-7s v%-3d %s %s\n", st.Seq, st.Kind, st.Version, st.RunID, st.Note)
+	}
+
+	// Assignment: a student explores on their own and submits with full
+	// provenance; grading replays it.
+	student, err := education.NewSession(sys, "CS6960", "student-17",
+		"assignment 2", workloads.MedicalImaging())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := student.Edit("my pick", evolution.SetParamAction("contour", "isovalue", "80")); err != nil {
+		log.Fatal(err)
+	}
+	finalRun, err := student.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, why, err := education.GradeSubmission(ctx, sys, student, finalRun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== grading student-17 ===\naccepted=%v (%s)\n", ok, why)
+}

@@ -1,0 +1,105 @@
+// Command dbprovenance demonstrates §2.4's open problem made concrete:
+// connecting database and workflow provenance. A pipeline selects from a
+// gene database, joins with a study database, and aggregates; asking where
+// one output number came from yields an answer that spans both levels —
+// the exact witnessing tuples AND the module executions that carried them.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dbprov"
+	"repro/internal/relalg"
+	"repro/internal/workflow"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{Agent: "dbprov-demo", Workers: 1})
+	dbprov.RegisterRelationalModules(sys.Registry)
+
+	genes, err := dbprov.SourceModule("genesDB", dbprov.Source{
+		Name:   "genes",
+		Schema: []string{"gene", "organism"},
+		Rows: [][]relalg.Val{
+			{"brca1", "human"}, {"tp53", "human"}, {"sonic", "mouse"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	studies, err := dbprov.SourceModule("studiesDB", dbprov.Source{
+		Name:   "studies",
+		Schema: []string{"g", "study"},
+		Rows: [][]relalg.Val{
+			{"brca1", "S1"}, {"tp53", "S1"}, {"tp53", "S2"}, {"sonic", "S3"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wf := workflow.New("analysis", "db+workflow analysis")
+	mods := []*workflow.Module{
+		genes, studies,
+		{
+			ID: "selectHuman", Name: "selectHuman", Type: "RelSelect",
+			Params:  map[string]string{"column": "organism", "equals": "human"},
+			Inputs:  []workflow.Port{{Name: "in", Type: dbprov.TypeRelation}},
+			Outputs: []workflow.Port{{Name: "out", Type: dbprov.TypeRelation}},
+		},
+		{
+			ID: "joinStudies", Name: "joinStudies", Type: "RelJoin",
+			Params: map[string]string{"leftCol": "gene", "rightCol": "g"},
+			Inputs: []workflow.Port{{Name: "left", Type: dbprov.TypeRelation},
+				{Name: "right", Type: dbprov.TypeRelation}},
+			Outputs: []workflow.Port{{Name: "out", Type: dbprov.TypeRelation}},
+		},
+		{
+			ID: "countPerStudy", Name: "countPerStudy", Type: "RelGroupBy",
+			Params:  map[string]string{"key": "study", "agg": "count"},
+			Inputs:  []workflow.Port{{Name: "in", Type: dbprov.TypeRelation}},
+			Outputs: []workflow.Port{{Name: "out", Type: dbprov.TypeRelation}},
+		},
+	}
+	for _, m := range mods {
+		if err := wf.AddModule(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	connect := func(sm, sp, dm, dp string) {
+		if err := wf.Connect(sm, sp, dm, dp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	connect("genesDB", "out", "selectHuman", "in")
+	connect("selectHuman", "out", "joinStudies", "left")
+	connect("studiesDB", "out", "joinStudies", "right")
+	connect("joinStudies", "out", "countPerStudy", "in")
+
+	res, runLog, err := sys.Run(context.Background(), wf, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := res.Output("countPerStudy", "out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := v.Data.(*relalg.Relation)
+	fmt.Println("=== result relation (with tuple-level why-provenance) ===")
+	fmt.Print(rel.String())
+
+	// The unified question: where did the S1 count come from?
+	u, err := dbprov.TupleLineage(res, runLog, wf, "countPerStudy", "study", "S1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== unified lineage of the tuple (study=S1) ===")
+	fmt.Printf("tuple level  — witnessing base tuples: %v\n", u.BaseTuples)
+	fmt.Printf("workflow level — module path: %v\n", u.ModulePath)
+	fmt.Printf("sources actually contributing: %v\n", u.RelevantSources())
+	fmt.Println("\n(note: the workflow level alone would blame every upstream module;")
+	fmt.Println(" the tuple level narrows blame to the exact rows — the paper's point.)")
+}

@@ -1,0 +1,104 @@
+// Command quickstart is the smallest end-to-end tour of the library:
+// build a workflow, execute it with provenance capture, and ask the
+// questions the paper opens with — who created this data product, with
+// what process, and what must be recalled if an input goes bad.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workflow"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{Agent: "quickstart-user"})
+
+	// 1. Register a module implementation: type "WordCount" counts words.
+	sys.Registry.Register("WordCount", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		text, err := ec.Input("text")
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		inWord := false
+		for _, r := range text.Data.(string) {
+			if r == ' ' || r == '\n' {
+				inWord = false
+			} else if !inWord {
+				inWord = true
+				n++
+			}
+		}
+		return map[string]engine.Value{"count": {Type: "int", Data: n}}, nil
+	})
+	sys.Registry.Register("Format", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		count, err := ec.Input("count")
+		if err != nil {
+			return nil, err
+		}
+		msg := fmt.Sprintf("the document has %d words", count.Data.(int))
+		return map[string]engine.Value{"report": {Type: "string", Data: msg}}, nil
+	})
+
+	// 2. Describe the dataflow: count -> format.
+	wf := workflow.NewBuilder("wordcount", "word-count demo").
+		Module("count", "WordCount", workflow.In("text", "string"), workflow.Out("count", "int")).
+		Module("format", "Format", workflow.In("count", "int"), workflow.Out("report", "string")).
+		Connect("count", "count", "format", "count").
+		MustBuild()
+
+	// 3. Execute with an external raw input; provenance is captured and
+	// stored automatically.
+	res, runLog, err := sys.Run(context.Background(), wf, map[string]engine.Value{
+		"count.text": {Type: "string", Data: "provenance is the audit trail of a data product"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := res.Output("format", "report")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: %s\n\n", report.Data)
+
+	// 4. Ask provenance questions.
+	fmt.Printf("run %s recorded %d executions, %d artifacts, %d events\n",
+		runLog.Run.ID, len(runLog.Executions), len(runLog.Artifacts), len(runLog.Events))
+
+	reportArt := res.Artifacts["format.report"]
+	lineage, err := sys.Lineage(reportArt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlineage of %s (who/what created it):\n", reportArt)
+	for _, id := range lineage {
+		fmt.Printf("  %s\n", id)
+	}
+
+	// The raw text artifact is the one with no generator.
+	var rawInput string
+	for _, a := range runLog.Artifacts {
+		if runLog.GeneratorOf(a.ID) == nil {
+			rawInput = a.ID
+		}
+	}
+	invalidated, err := sys.InvalidatedArtifacts(rawInput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nif raw input %s were recalled, these products are invalidated:\n", rawInput)
+	for _, id := range invalidated {
+		fmt.Printf("  %s\n", id)
+	}
+
+	// 5. Declarative queries over the same provenance.
+	table, err := sys.Query("SELECT module, status FROM executions ORDER BY module")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPQL> SELECT module, status FROM executions ORDER BY module\n%s", table)
+}

@@ -1,0 +1,329 @@
+// Package analogy implements workflow refinement by analogy (Figure 2 of
+// the paper; Scheidegger et al. [34]): given a pair of workflows (wa, wb)
+// that captures a change — e.g. "insert a smoothing step before rendering"
+// — apply the *same* change to a third workflow wc, even when wc's modules
+// do not match wa's exactly. The system identifies the most likely
+// correspondence between the changed region's surroundings in wa and
+// modules of wc, then replays the difference through that mapping.
+package analogy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/workflow"
+)
+
+// Diff is the structural difference from wa to wb, keyed by module ID (the
+// action-oriented view: modules/connections present in only one side).
+type Diff struct {
+	RemovedModules []*workflow.Module    // in wa only
+	AddedModules   []*workflow.Module    // in wb only
+	RemovedConns   []workflow.Connection // in wa only
+	AddedConns     []workflow.Connection // in wb only
+	ParamChanges   map[string][2]string  // "module.key" -> [a, b]
+	// Anchors are modules present on both sides that touch the change:
+	// the context that must be located in the target workflow.
+	Anchors []string
+}
+
+// ComputeDiff derives the change template from an example pair.
+func ComputeDiff(wa, wb *workflow.Workflow) *Diff {
+	d := &Diff{ParamChanges: map[string][2]string{}}
+	modsA := map[string]*workflow.Module{}
+	for _, m := range wa.Modules {
+		modsA[m.ID] = m
+	}
+	modsB := map[string]*workflow.Module{}
+	for _, m := range wb.Modules {
+		modsB[m.ID] = m
+	}
+	for _, m := range wa.Modules {
+		if _, ok := modsB[m.ID]; !ok {
+			d.RemovedModules = append(d.RemovedModules, m.Clone())
+		}
+	}
+	for _, m := range wb.Modules {
+		if _, ok := modsA[m.ID]; !ok {
+			d.AddedModules = append(d.AddedModules, m.Clone())
+		}
+	}
+	connsA := map[string]workflow.Connection{}
+	for _, c := range wa.Connections {
+		connsA[c.Key()] = c
+	}
+	connsB := map[string]workflow.Connection{}
+	for _, c := range wb.Connections {
+		connsB[c.Key()] = c
+	}
+	for k, c := range connsA {
+		if _, ok := connsB[k]; !ok {
+			d.RemovedConns = append(d.RemovedConns, c)
+		}
+	}
+	for k, c := range connsB {
+		if _, ok := connsA[k]; !ok {
+			d.AddedConns = append(d.AddedConns, c)
+		}
+	}
+	for id, ma := range modsA {
+		mb, ok := modsB[id]
+		if !ok {
+			continue
+		}
+		for k, va := range ma.Params {
+			if vb, ok := mb.Params[k]; ok && vb != va {
+				d.ParamChanges[id+"."+k] = [2]string{va, vb}
+			}
+		}
+	}
+	// Anchors: shared modules adjacent to any removed/added element.
+	changedMods := map[string]bool{}
+	for _, m := range d.RemovedModules {
+		changedMods[m.ID] = true
+	}
+	for _, m := range d.AddedModules {
+		changedMods[m.ID] = true
+	}
+	anchorSet := map[string]bool{}
+	touch := func(c workflow.Connection) {
+		for _, end := range []string{c.SrcModule, c.DstModule} {
+			if !changedMods[end] {
+				if _, shared := modsA[end]; shared {
+					if _, sharedB := modsB[end]; sharedB {
+						anchorSet[end] = true
+					}
+				}
+			}
+		}
+	}
+	for _, c := range d.RemovedConns {
+		touch(c)
+	}
+	for _, c := range d.AddedConns {
+		touch(c)
+	}
+	for key := range d.ParamChanges {
+		mod := key[:strings.LastIndex(key, ".")]
+		anchorSet[mod] = true
+	}
+	for id := range anchorSet {
+		d.Anchors = append(d.Anchors, id)
+	}
+	sort.Strings(d.Anchors)
+	sortDiff(d)
+	return d
+}
+
+func sortDiff(d *Diff) {
+	sort.Slice(d.RemovedModules, func(i, j int) bool { return d.RemovedModules[i].ID < d.RemovedModules[j].ID })
+	sort.Slice(d.AddedModules, func(i, j int) bool { return d.AddedModules[i].ID < d.AddedModules[j].ID })
+	sort.Slice(d.RemovedConns, func(i, j int) bool { return d.RemovedConns[i].Key() < d.RemovedConns[j].Key() })
+	sort.Slice(d.AddedConns, func(i, j int) bool { return d.AddedConns[i].Key() < d.AddedConns[j].Key() })
+}
+
+// Empty reports whether the diff carries no change.
+func (d *Diff) Empty() bool {
+	return len(d.RemovedModules) == 0 && len(d.AddedModules) == 0 &&
+		len(d.RemovedConns) == 0 && len(d.AddedConns) == 0 && len(d.ParamChanges) == 0
+}
+
+// Result reports how an analogy application went.
+type Result struct {
+	Workflow *workflow.Workflow
+	// Mapping records anchor (and removed-module) correspondences:
+	// example-module ID -> target-module ID.
+	Mapping map[string]string
+	// Renamed records added modules whose IDs collided in the target and
+	// were suffixed.
+	Renamed map[string]string
+}
+
+// Apply replays the diff onto target by analogy: anchors (and removed
+// modules) from the example are mapped onto the most similar modules of the
+// target — same type required, matching names and neighborhoods preferred —
+// then removals, additions, rewiring and parameter changes are applied
+// through that mapping. The target is not mutated; the refined copy is
+// returned.
+func Apply(d *Diff, target *workflow.Workflow) (*Result, error) {
+	if d.Empty() {
+		return &Result{Workflow: target.Clone(), Mapping: map[string]string{}, Renamed: map[string]string{}}, nil
+	}
+	out := target.Clone()
+	// Modules of the example that must be located in the target.
+	var needed []*workflow.Module
+	for _, m := range d.RemovedModules {
+		needed = append(needed, m)
+	}
+	neededIDs := map[string]bool{}
+	for _, m := range needed {
+		neededIDs[m.ID] = true
+	}
+	for _, id := range d.Anchors {
+		if !neededIDs[id] {
+			// Anchor modules carry only type info via the connections; we
+			// reconstruct a minimal descriptor from the diff's edges.
+			needed = append(needed, &workflow.Module{ID: id})
+		}
+	}
+
+	mapping := map[string]string{}
+	used := map[string]bool{}
+	// Order: removed modules first (they must exist), then anchors.
+	for _, m := range needed {
+		best, err := bestCandidate(m, d, out, used)
+		if err != nil {
+			return nil, err
+		}
+		mapping[m.ID] = best
+		used[best] = true
+	}
+
+	mapID := func(exampleID string) string {
+		if t, ok := mapping[exampleID]; ok {
+			return t
+		}
+		return exampleID // added module: keeps its (possibly renamed) ID
+	}
+
+	// 1. Remove connections (endpoints mapped).
+	for _, c := range d.RemovedConns {
+		mc := workflow.Connection{
+			SrcModule: mapID(c.SrcModule), SrcPort: c.SrcPort,
+			DstModule: mapID(c.DstModule), DstPort: c.DstPort,
+		}
+		if !out.Disconnect(mc) {
+			return nil, fmt.Errorf("analogy: target has no connection %s to remove", mc.Key())
+		}
+	}
+	// 2. Remove modules.
+	for _, m := range d.RemovedModules {
+		if !out.RemoveModule(mapping[m.ID]) {
+			return nil, fmt.Errorf("analogy: target module %q vanished", mapping[m.ID])
+		}
+	}
+	// 3. Add modules (renaming on collision).
+	renamed := map[string]string{}
+	for _, m := range d.AddedModules {
+		cp := m.Clone()
+		if out.Module(cp.ID) != nil {
+			fresh := cp.ID
+			for i := 2; out.Module(fresh) != nil; i++ {
+				fresh = fmt.Sprintf("%s_%d", cp.ID, i)
+			}
+			renamed[cp.ID] = fresh
+			cp.ID = fresh
+		}
+		if err := out.AddModule(cp); err != nil {
+			return nil, fmt.Errorf("analogy: adding module: %w", err)
+		}
+	}
+	mapAdded := func(exampleID string) string {
+		if fresh, ok := renamed[exampleID]; ok {
+			return fresh
+		}
+		return mapID(exampleID)
+	}
+	// 4. Add connections through the mapping.
+	for _, c := range d.AddedConns {
+		if err := out.Connect(mapAdded(c.SrcModule), c.SrcPort, mapAdded(c.DstModule), c.DstPort); err != nil {
+			return nil, fmt.Errorf("analogy: rewiring: %w", err)
+		}
+	}
+	// 5. Parameter changes on mapped modules.
+	for key, vals := range d.ParamChanges {
+		i := strings.LastIndex(key, ".")
+		mod, param := key[:i], key[i+1:]
+		if err := out.SetParam(mapAdded(mod), param, vals[1]); err != nil {
+			return nil, fmt.Errorf("analogy: param change: %w", err)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("analogy: refined workflow invalid: %w", err)
+	}
+	return &Result{Workflow: out, Mapping: mapping, Renamed: renamed}, nil
+}
+
+// bestCandidate scores target modules for correspondence with an example
+// module. The figure's caption notes "the surrounding modules do not match
+// exactly: the system identifies the most likely match" — scoring is
+// type compatibility (required when the example declares a type), then name
+// equality, then port-signature overlap.
+func bestCandidate(m *workflow.Module, d *Diff, target *workflow.Workflow, used map[string]bool) (string, error) {
+	bestScore := -1.0
+	best := ""
+	for _, cand := range target.Modules {
+		if used[cand.ID] {
+			continue
+		}
+		if m.Type != "" && cand.Type != m.Type {
+			continue
+		}
+		score := 0.0
+		if cand.ID == m.ID {
+			score += 2
+		}
+		if m.Type != "" && cand.Type == m.Type {
+			score += 1
+		}
+		score += portOverlap(m, cand)
+		// Prefer candidates whose connections echo the diff's edge roles.
+		score += roleOverlap(m.ID, d, cand, target)
+		if score > bestScore || (score == bestScore && cand.ID < best) {
+			bestScore = score
+			best = cand.ID
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("analogy: no target candidate for example module %q (type %q)", m.ID, m.Type)
+	}
+	return best, nil
+}
+
+func portOverlap(a, b *workflow.Module) float64 {
+	if len(a.Inputs)+len(a.Outputs) == 0 {
+		return 0
+	}
+	match := 0
+	for _, p := range a.Inputs {
+		if b.InputPort(p.Name) != nil {
+			match++
+		}
+	}
+	for _, p := range a.Outputs {
+		if b.OutputPort(p.Name) != nil {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a.Inputs)+len(a.Outputs))
+}
+
+// roleOverlap rewards candidates that participate in connections with the
+// same port names as the example module does in the diff's removed edges.
+func roleOverlap(exampleID string, d *Diff, cand *workflow.Module, target *workflow.Workflow) float64 {
+	score := 0.0
+	for _, c := range d.RemovedConns {
+		if c.SrcModule == exampleID {
+			for _, tc := range target.Connections {
+				if tc.SrcModule == cand.ID && tc.SrcPort == c.SrcPort {
+					score += 0.5
+				}
+			}
+		}
+		if c.DstModule == exampleID {
+			for _, tc := range target.Connections {
+				if tc.DstModule == cand.ID && tc.DstPort == c.DstPort {
+					score += 0.5
+				}
+			}
+		}
+	}
+	return score
+}
+
+// Refine is the one-call Figure 2 operation: compute the (wa → wb) template
+// and apply it to target.
+func Refine(wa, wb, target *workflow.Workflow) (*Result, error) {
+	return Apply(ComputeDiff(wa, wb), target)
+}

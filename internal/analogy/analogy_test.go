@@ -1,0 +1,243 @@
+package analogy
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func TestComputeDiffSmoothing(t *testing.T) {
+	d := ComputeDiff(workloads.DownloadAndRender(), workloads.DownloadAndRenderSmoothed())
+	if len(d.AddedModules) != 1 || d.AddedModules[0].Type != "Smooth" {
+		t.Fatalf("added = %+v", d.AddedModules)
+	}
+	if len(d.RemovedModules) != 0 {
+		t.Fatalf("removed = %+v", d.RemovedModules)
+	}
+	if len(d.RemovedConns) != 1 || len(d.AddedConns) != 2 {
+		t.Fatalf("conns -%v +%v", d.RemovedConns, d.AddedConns)
+	}
+	// Anchors: contour (source of removed conn) and render (dst).
+	if len(d.Anchors) != 2 || d.Anchors[0] != "contour" || d.Anchors[1] != "render" {
+		t.Fatalf("anchors = %v", d.Anchors)
+	}
+}
+
+func TestComputeDiffEmpty(t *testing.T) {
+	d := ComputeDiff(workloads.MedicalImaging(), workloads.MedicalImaging())
+	if !d.Empty() {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+// TestFigure2 reproduces the paper's Figure 2 end to end: the user shows
+// the system a pair (download→render, download→smooth→render) and the
+// system applies the same smoothing insertion to the medical-imaging
+// workflow, whose surrounding modules differ (FileReader vs Download,
+// plus a histogram branch).
+func TestFigure2AnalogyTransfer(t *testing.T) {
+	res, err := Refine(
+		workloads.DownloadAndRender(),
+		workloads.DownloadAndRenderSmoothed(),
+		workloads.MedicalImaging(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := res.Workflow
+	if refined.Module("smooth") == nil {
+		t.Fatal("smooth module not inserted")
+	}
+	// The rewiring: contour -> smooth -> render; contour -/-> render.
+	hasConn := func(src, dst string) bool {
+		for _, c := range refined.Connections {
+			if c.SrcModule == src && c.DstModule == dst {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasConn("contour", "smooth") || !hasConn("smooth", "render") {
+		t.Fatalf("rewiring wrong: %+v", refined.Connections)
+	}
+	if hasConn("contour", "render") {
+		t.Fatal("old direct connection survives")
+	}
+	// The histogram branch is untouched.
+	if refined.Module("histogram") == nil || !hasConn("reader", "histogram") {
+		t.Fatal("unrelated branch damaged")
+	}
+	// Mapping found the analogous anchors.
+	if res.Mapping["contour"] != "contour" || res.Mapping["render"] != "render" {
+		t.Fatalf("mapping = %v", res.Mapping)
+	}
+	if err := refined.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The refined workflow must actually run and produce a smoothed image.
+func TestRefinedWorkflowExecutes(t *testing.T) {
+	res, err := Refine(
+		workloads.DownloadAndRender(),
+		workloads.DownloadAndRenderSmoothed(),
+		workloads.MedicalImaging(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	e := engine.New(engine.Options{Registry: reg})
+	run, err := e.Run(context.Background(), res.Workflow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Status != provenance.StatusOK {
+		t.Fatalf("refined run failed: %v", run.Failed)
+	}
+	if _, err := run.Output("smooth", "surface"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamChangeByAnalogy(t *testing.T) {
+	wa := workloads.DownloadAndRender()
+	wb := wa.Clone()
+	if err := wb.SetParam("contour", "isovalue", "110"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Refine(wa, wb, workloads.MedicalImaging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workflow.Module("contour").Params["isovalue"] != "110" {
+		t.Fatalf("param not transferred: %v", res.Workflow.Module("contour").Params)
+	}
+}
+
+func TestModuleRemovalByAnalogy(t *testing.T) {
+	// Template: remove the histogram branch.
+	wa := workloads.MedicalImaging()
+	wb := wa.Clone()
+	wb.RemoveModule("histogram")
+	// Target: the smoothed variant, which also has a histogram.
+	res, err := Refine(wa, wb, workloads.SmoothedImaging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workflow.Module("histogram") != nil {
+		t.Fatal("histogram not removed")
+	}
+	if err := res.Workflow.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Smooth chain intact.
+	if res.Workflow.Module("smooth") == nil {
+		t.Fatal("unrelated module removed")
+	}
+}
+
+func TestIDCollisionRenaming(t *testing.T) {
+	// Target already contains an unrelated module whose ID collides with
+	// the added module's ID.
+	target := workloads.MedicalImaging()
+	if err := target.AddModule(&workflow.Module{
+		ID: "smooth", Name: "smooth", Type: "SensorGen",
+		Outputs: []workflow.Port{{Name: "series", Type: "timeseries"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Refine(
+		workloads.DownloadAndRender(),
+		workloads.DownloadAndRenderSmoothed(),
+		target,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, ok := res.Renamed["smooth"]
+	if !ok {
+		t.Fatalf("no rename recorded: %+v", res.Renamed)
+	}
+	if res.Workflow.Module(fresh) == nil {
+		t.Fatalf("renamed module %q missing", fresh)
+	}
+	if err := res.Workflow.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyFailsWithoutCandidate(t *testing.T) {
+	// The template manipulates Contour/Render; genomics has neither.
+	_, err := Refine(
+		workloads.DownloadAndRender(),
+		workloads.DownloadAndRenderSmoothed(),
+		workloads.Genomics("s"),
+	)
+	if err == nil {
+		t.Fatal("analogy onto unrelated workflow succeeded")
+	}
+}
+
+func TestEmptyDiffApplication(t *testing.T) {
+	d := ComputeDiff(workloads.MedicalImaging(), workloads.MedicalImaging())
+	res, err := Apply(d, workloads.Genomics("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workflow.ContentHash() != workloads.Genomics("s").ContentHash() {
+		t.Fatal("empty diff changed target")
+	}
+}
+
+func TestAnchorsOnParamOnlyDiff(t *testing.T) {
+	wa := workloads.DownloadAndRender()
+	wb := wa.Clone()
+	if err := wb.SetParam("contour", "isovalue", "42"); err != nil {
+		t.Fatal(err)
+	}
+	d := ComputeDiff(wa, wb)
+	if len(d.Anchors) != 1 || d.Anchors[0] != "contour" {
+		t.Fatalf("anchors = %v", d.Anchors)
+	}
+}
+
+// Transfer success over a population of perturbed targets: the E2 metric.
+func TestTransferAcrossPerturbedTargets(t *testing.T) {
+	wa := workloads.DownloadAndRender()
+	wb := workloads.DownloadAndRenderSmoothed()
+	ok := 0
+	total := 0
+	for i := 0; i < 10; i++ {
+		target := workloads.MedicalImaging()
+		// Perturb: vary isovalue and add an extra independent module chain.
+		if err := target.SetParam("contour", "isovalue", "57"); err != nil {
+			t.Fatal(err)
+		}
+		extra := &workflow.Module{
+			ID: "extra", Name: "extra", Type: "SensorGen",
+			Outputs: []workflow.Port{{Name: "series", Type: "timeseries"}},
+		}
+		if i%2 == 0 {
+			if err := target.AddModule(extra); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total++
+		res, err := Refine(wa, wb, target)
+		if err != nil {
+			continue
+		}
+		if res.Workflow.Validate() == nil {
+			ok++
+		}
+	}
+	if ok != total {
+		t.Fatalf("transfer succeeded on %d/%d targets", ok, total)
+	}
+}

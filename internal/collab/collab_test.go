@@ -1,0 +1,375 @@
+package collab
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/store"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func newRepo() *Repository {
+	return NewRepository(store.NewMemStore())
+}
+
+func runOf(t *testing.T, wf *workflow.Workflow) *provenance.RunLog {
+	t.Helper()
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	col := provenance.NewCollector()
+	e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 1})
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _ := col.Log(res.RunID)
+	return log
+}
+
+func TestPublishAndGet(t *testing.T) {
+	r := newRepo()
+	if err := r.Publish(workloads.MedicalImaging(), "juliana", "figure 1", "imaging"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(workloads.MedicalImaging(), "x", "dup"); err == nil {
+		t.Fatal("duplicate publish accepted")
+	}
+	e, err := r.Get("medimg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Owner != "juliana" || e.Downloads != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, err := r.Get("medimg"); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := r.Peek("medimg")
+	if e2.Downloads != 2 {
+		t.Fatalf("downloads = %d", e2.Downloads)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Fatal("missing workflow returned")
+	}
+}
+
+func TestPublishRejectsInvalid(t *testing.T) {
+	r := newRepo()
+	wf := workflow.New("bad", "bad")
+	m := &workflow.Module{ID: "a", Type: "T"}
+	if err := wf.AddModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.AddModule(&workflow.Module{ID: "a", Type: "T"}); err == nil {
+		t.Fatal("dup module")
+	}
+	// Force an invalid state directly.
+	wf.Modules = append(wf.Modules, &workflow.Module{ID: "a", Type: "T"})
+	if err := r.Publish(wf, "x", ""); err == nil {
+		t.Fatal("invalid workflow published")
+	}
+}
+
+func TestRatings(t *testing.T) {
+	r := newRepo()
+	if err := r.Publish(workloads.MedicalImaging(), "j", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rate("medimg", "u1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rate("medimg", "u2", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rate("medimg", "u1", 6); err == nil {
+		t.Fatal("out-of-range rating accepted")
+	}
+	e, _ := r.Peek("medimg")
+	avg, ok := e.AverageRating()
+	if !ok || avg != 4 {
+		t.Fatalf("avg = %v, %v", avg, ok)
+	}
+}
+
+func TestPublishRunAndQuery(t *testing.T) {
+	r := newRepo()
+	wf := workloads.MedicalImaging()
+	if err := r.Publish(wf, "j", ""); err != nil {
+		t.Fatal(err)
+	}
+	log := runOf(t, wf)
+	if err := r.PublishRun("medimg", "u1", log); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PublishRun("ghost", "u1", log); err == nil {
+		t.Fatal("run for unknown workflow accepted")
+	}
+	runs := r.RunsOf("medimg")
+	if len(runs) != 1 || runs[0] != log.Run.ID {
+		t.Fatalf("runs = %v", runs)
+	}
+	if r.UserOfRun(log.Run.ID) != "u1" {
+		t.Fatal("run attribution lost")
+	}
+	st := r.Stat()
+	if st.Workflows != 1 || st.Runs != 1 || st.Users < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	r := newRepo()
+	if err := r.Publish(workloads.MedicalImaging(), "juliana", "CT isosurface study", "imaging"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(workloads.Genomics("s1"), "susan", "variant calling pipeline", "genomics"); err != nil {
+		t.Fatal(err)
+	}
+	hits := r.Search("isosurface imaging", 10)
+	if len(hits) == 0 || hits[0].WorkflowID != "medimg" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	hits = r.Search("variant", 10)
+	if len(hits) != 1 || hits[0].WorkflowID != "genomics-s1" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	// Module types are searchable.
+	hits = r.Search("Contour", 10)
+	if len(hits) != 1 || hits[0].WorkflowID != "medimg" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	if r.Search("", 10) != nil {
+		t.Fatal("empty query returned hits")
+	}
+	if got := r.Search("nonexistentterm", 10); len(got) != 0 {
+		t.Fatalf("hits = %v", got)
+	}
+}
+
+func TestSynthesizeCommunityAndRecommend(t *testing.T) {
+	r := newRepo()
+	users, err := SynthesizeCommunity(r, CommunityOptions{Seed: 42, Users: 12, RunsEach: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 12 {
+		t.Fatalf("users = %d", len(users))
+	}
+	st := r.Stat()
+	if st.Workflows != 5 || st.Runs != 36 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// At least one user gets a non-empty recommendation excluding what
+	// they already ran.
+	got := 0
+	for _, u := range users {
+		recs := r.Recommend(u, 3)
+		mine := map[string]bool{}
+		for _, wfID := range r.List() {
+			for _, runID := range r.RunsOf(wfID) {
+				if r.UserOfRun(runID) == u {
+					mine[wfID] = true
+				}
+			}
+		}
+		for _, rec := range recs {
+			if mine[rec.WorkflowID] {
+				t.Fatalf("recommended already-run workflow %s to %s", rec.WorkflowID, u)
+			}
+		}
+		if len(recs) > 0 {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatal("no user received recommendations")
+	}
+	// Unknown user: nil.
+	if r.Recommend("stranger", 3) != nil {
+		t.Fatal("recommendations for unknown user")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := newRepo()
+	wf := workloads.MedicalImaging()
+	if err := r.Publish(wf, "juliana", "figure 1", "imaging"); err != nil {
+		t.Fatal(err)
+	}
+	log := runOf(t, wf)
+	if err := r.PublishRun("medimg", "u1", log); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+
+	getJSON := func(path string, into any) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var ids []string
+	if code := getJSON("/workflows", &ids); code != 200 || len(ids) != 1 {
+		t.Fatalf("list: %d %v", code, ids)
+	}
+	var entry Entry
+	if code := getJSON("/workflows/medimg", &entry); code != 200 || entry.Owner != "juliana" {
+		t.Fatalf("get: %d %+v", code, entry.Owner)
+	}
+	if code := getJSON("/workflows/ghost", nil); code != 404 {
+		t.Fatalf("missing workflow: %d", code)
+	}
+	var runs []string
+	if code := getJSON("/workflows/medimg/runs", &runs); code != 200 || len(runs) != 1 {
+		t.Fatalf("runs: %d %v", code, runs)
+	}
+	var gotLog provenance.RunLog
+	if code := getJSON("/runs/"+log.Run.ID, &gotLog); code != 200 || len(gotLog.Executions) != 4 {
+		t.Fatalf("run log: %d", code)
+	}
+	// Lineage over HTTP.
+	imageArt := ""
+	for _, a := range log.Artifacts {
+		if a.Type == workloads.TypeImage {
+			imageArt = a.ID
+		}
+	}
+	var lineage []string
+	if code := getJSON("/lineage?id="+imageArt, &lineage); code != 200 || len(lineage) == 0 {
+		t.Fatalf("lineage: %d %v", code, lineage)
+	}
+	if code := getJSON("/lineage", nil); code != 400 {
+		t.Fatalf("lineage without id: %d", code)
+	}
+	if code := getJSON("/lineage?id=ghost", nil); code != 404 {
+		t.Fatalf("lineage ghost: %d", code)
+	}
+	var deps []string
+	gridArt := ""
+	for _, a := range log.Artifacts {
+		if a.Type == workloads.TypeGrid {
+			gridArt = a.ID
+		}
+	}
+	if code := getJSON("/dependents?id="+gridArt, &deps); code != 200 || len(deps) != 7 {
+		t.Fatalf("dependents: %d %v", code, deps)
+	}
+	// PQL over HTTP.
+	var qres struct {
+		Columns []string   `json:"Columns"`
+		Rows    [][]string `json:"Rows"`
+	}
+	q := "/query?q=" + urlQuery("SELECT module FROM executions WHERE status = 'ok' ORDER BY module")
+	if code := getJSON(q, &qres); code != 200 || len(qres.Rows) != 4 {
+		t.Fatalf("query: %d %+v", code, qres)
+	}
+	if code := getJSON("/query?q="+urlQuery("BOGUS"), nil); code != 400 {
+		t.Fatal("bad query accepted")
+	}
+	// Stats.
+	var st Stats
+	if code := getJSON("/stats", &st); code != 200 || st.Workflows != 1 {
+		t.Fatalf("stats: %d %+v", code, st)
+	}
+	// Publish over HTTP.
+	body, err := json.Marshal(map[string]any{
+		"workflow":    workloads.Genomics("s9"),
+		"owner":       "bob",
+		"description": "uploaded via API",
+		"tags":        []string{"genomics"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/workflows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("publish: %d", resp.StatusCode)
+	}
+	// Rate over HTTP.
+	resp, err = http.Post(srv.URL+"/workflows/medimg/rating", "application/json",
+		bytes.NewReader([]byte(`{"user":"u1","stars":5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("rate: %d", resp.StatusCode)
+	}
+	e2, _ := r.Peek("medimg")
+	if _, ok := e2.AverageRating(); !ok {
+		t.Fatal("rating not recorded")
+	}
+}
+
+func urlQuery(q string) string {
+	out := ""
+	for _, r := range q {
+		switch r {
+		case ' ':
+			out += "%20"
+		case '\'':
+			out += "%27"
+		case '=':
+			out += "%3D"
+		default:
+			out += string(r)
+		}
+	}
+	return out
+}
+
+func TestHTTPSearch(t *testing.T) {
+	r := newRepo()
+	if err := r.Publish(workloads.MedicalImaging(), "j", "isosurface", "imaging"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/workflows?q=isosurface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hits []SearchResult
+	if err := json.NewDecoder(resp.Body).Decode(&hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].WorkflowID != "medimg" {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestStatValues(t *testing.T) {
+	r := newRepo()
+	users, err := SynthesizeCommunity(r, CommunityOptions{Seed: 7, Users: 4, RunsEach: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stat()
+	if st.Users < len(users) {
+		t.Fatalf("stats users = %d < %d", st.Users, len(users))
+	}
+	_ = fmt.Sprint(st)
+}

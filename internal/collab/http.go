@@ -1,0 +1,169 @@
+package collab
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/query/pql"
+	"repro/internal/store"
+	"repro/internal/workflow"
+)
+
+// NewHandler exposes the repository and lineage service over HTTP (the
+// collaboratory's Web face). Endpoints (all JSON):
+//
+//	GET  /workflows              list IDs (optionally ?q= full-text search)
+//	GET  /workflows/{id}         entry (counts a download)
+//	POST /workflows              publish {workflow, owner, description, tags}
+//	POST /workflows/{id}/rating  rate {user, stars}
+//	GET  /workflows/{id}/runs    run IDs for a workflow
+//	GET  /runs/{id}              full run log
+//	GET  /lineage?id=ENTITY      upstream closure of an entity
+//	GET  /dependents?id=ENTITY   downstream closure of an entity
+//	GET  /recommend?user=U       recommendations
+//	GET  /query?q=PQL            PQL query against the provenance store
+//	GET  /stats                  repository statistics
+func NewHandler(repo *Repository) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/workflows", func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			if q := req.URL.Query().Get("q"); q != "" {
+				writeJSON(w, http.StatusOK, repo.Search(q, 20))
+				return
+			}
+			writeJSON(w, http.StatusOK, repo.List())
+		case http.MethodPost:
+			var body struct {
+				Workflow    *workflow.Workflow `json:"workflow"`
+				Owner       string             `json:"owner"`
+				Description string             `json:"description"`
+				Tags        []string           `json:"tags"`
+			}
+			if err := json.NewDecoder(req.Body).Decode(&body); err != nil || body.Workflow == nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("collab: bad publish body: %v", err))
+				return
+			}
+			if err := repo.Publish(body.Workflow, body.Owner, body.Description, body.Tags...); err != nil {
+				httpError(w, http.StatusConflict, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, map[string]string{"id": body.Workflow.ID})
+		default:
+			httpError(w, http.StatusMethodNotAllowed, errors.New("collab: GET or POST"))
+		}
+	})
+
+	mux.HandleFunc("/workflows/", func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, "/workflows/")
+		parts := strings.Split(rest, "/")
+		id := parts[0]
+		switch {
+		case len(parts) == 1 && req.Method == http.MethodGet:
+			e, err := repo.Get(id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, e)
+		case len(parts) == 2 && parts[1] == "runs" && req.Method == http.MethodGet:
+			if _, err := repo.Peek(id); err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, repo.RunsOf(id))
+		case len(parts) == 2 && parts[1] == "rating" && req.Method == http.MethodPost:
+			var body struct {
+				User  string `json:"user"`
+				Stars int    `json:"stars"`
+			}
+			if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			if err := repo.Rate(id, body.User, body.Stars); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		default:
+			httpError(w, http.StatusNotFound, fmt.Errorf("collab: no route %s %s", req.Method, req.URL.Path))
+		}
+	})
+
+	mux.HandleFunc("/runs/", func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/runs/")
+		l, err := repo.Store().RunLog(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, l)
+	})
+
+	closure := func(fn func(store.Store, string) ([]string, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			id := req.URL.Query().Get("id")
+			if id == "" {
+				httpError(w, http.StatusBadRequest, errors.New("collab: id parameter required"))
+				return
+			}
+			ids, err := fn(repo.Store(), id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, ids)
+		}
+	}
+	mux.HandleFunc("/lineage", closure(store.Lineage))
+	mux.HandleFunc("/dependents", closure(store.Dependents))
+
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, req *http.Request) {
+		user := req.URL.Query().Get("user")
+		if user == "" {
+			httpError(w, http.StatusBadRequest, errors.New("collab: user parameter required"))
+			return
+		}
+		k, _ := strconv.Atoi(req.URL.Query().Get("k"))
+		if k <= 0 {
+			k = 5
+		}
+		writeJSON(w, http.StatusOK, repo.Recommend(user, k))
+	})
+
+	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query().Get("q")
+		if q == "" {
+			httpError(w, http.StatusBadRequest, errors.New("collab: q parameter required"))
+			return
+		}
+		res, err := pql.Run(repo.Store(), q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, repo.Stat())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,178 @@
+package collab
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// Recommendation is a scored workflow suggestion for a user.
+type Recommendation struct {
+	WorkflowID string
+	Score      float64
+}
+
+// Recommend suggests workflows to a user by collaborative filtering over
+// run history: workflows run by users who ran the same workflows as this
+// user, weighted by overlap, excluding what the user already ran. Ties are
+// broken by average rating, then ID.
+func (r *Repository) Recommend(user string, topK int) []Recommendation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// user -> set of workflows they ran.
+	ranBy := map[string]map[string]bool{}
+	for wfID, runs := range r.runsBy {
+		for _, runID := range runs {
+			u := r.userOf[runID]
+			if ranBy[u] == nil {
+				ranBy[u] = map[string]bool{}
+			}
+			ranBy[u][wfID] = true
+		}
+	}
+	mine := ranBy[user]
+	if len(mine) == 0 {
+		return nil
+	}
+	scores := map[string]float64{}
+	for other, theirs := range ranBy {
+		if other == user {
+			continue
+		}
+		overlap := 0
+		for wf := range mine {
+			if theirs[wf] {
+				overlap++
+			}
+		}
+		if overlap == 0 {
+			continue
+		}
+		w := float64(overlap) / float64(len(theirs))
+		for wf := range theirs {
+			if !mine[wf] {
+				scores[wf] += w
+			}
+		}
+	}
+	out := make([]Recommendation, 0, len(scores))
+	for wf, sc := range scores {
+		out = append(out, Recommendation{WorkflowID: wf, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		ri, _ := r.entries[out[i].WorkflowID].AverageRating()
+		rj, _ := r.entries[out[j].WorkflowID].AverageRating()
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].WorkflowID < out[j].WorkflowID
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// CommunityOptions configures synthetic community generation.
+type CommunityOptions struct {
+	Seed     int64
+	Users    int
+	RunsEach int // runs published per user
+}
+
+// SynthesizeCommunity populates a repository with the workload pipelines
+// and a user population whose run behaviour follows preferential
+// attachment: popular workflows accumulate more runs, the skew observed on
+// social-data-analysis sites (Many Eyes [44]). It returns the user names.
+func SynthesizeCommunity(r *Repository, opt CommunityOptions) ([]string, error) {
+	if opt.Users < 2 {
+		opt.Users = 2
+	}
+	if opt.RunsEach < 1 {
+		opt.RunsEach = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+
+	catalog := []struct {
+		wf   *workflow.Workflow
+		desc string
+		tags []string
+	}{
+		{workloads.MedicalImaging(), "CT histogram + isosurface (Figure 1)", []string{"imaging", "visualization"}},
+		{workloads.SmoothedImaging(), "smoothed isosurface variant", []string{"imaging", "visualization"}},
+		{workloads.Genomics("s1"), "read trimming, alignment and variant calling", []string{"genomics"}},
+		{workloads.Forecasting("st1"), "sensor cleaning and forecasting", []string{"environment", "forecast"}},
+		{workloads.DownloadAndRender(), "download and visualize remote data", []string{"visualization", "web"}},
+	}
+	owners := []string{"alice", "bob", "carol", "dave", "erin"}
+	workflows := map[string]*workflow.Workflow{}
+	for i, c := range catalog {
+		if err := r.Publish(c.wf, owners[i%len(owners)], c.desc, c.tags...); err != nil {
+			return nil, err
+		}
+		workflows[c.wf.ID] = c.wf
+	}
+
+	runOnce := func(wf *workflow.Workflow) (*provenance.RunLog, error) {
+		col := provenance.NewCollector()
+		e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 1})
+		res, err := e.Run(context.Background(), wf, nil)
+		if err != nil {
+			return nil, err
+		}
+		return col.Log(res.RunID)
+	}
+
+	users := make([]string, opt.Users)
+	ids := r.List()
+	runCount := map[string]int{}
+	for _, id := range ids {
+		runCount[id] = 1 // smoothing so every workflow is reachable
+	}
+	for i := range users {
+		users[i] = fmt.Sprintf("user%03d", i)
+		for k := 0; k < opt.RunsEach; k++ {
+			id := pickPreferential(rng, ids, runCount)
+			log, err := runOnce(workflows[id])
+			if err != nil {
+				return nil, err
+			}
+			if err := r.PublishRun(id, users[i], log); err != nil {
+				return nil, err
+			}
+			runCount[id]++
+			if rng.Intn(3) == 0 {
+				if err := r.Rate(id, users[i], 3+rng.Intn(3)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return users, nil
+}
+
+func pickPreferential(rng *rand.Rand, ids []string, count map[string]int) string {
+	total := 0
+	for _, id := range ids {
+		total += count[id]
+	}
+	x := rng.Intn(total)
+	for _, id := range ids {
+		x -= count[id]
+		if x < 0 {
+			return id
+		}
+	}
+	return ids[len(ids)-1]
+}

@@ -1,0 +1,224 @@
+// Package core is the library facade: a provenance-enabled workflow system
+// assembled from the substrates — execution engine, capture, storage, and
+// the query engines — with the high-level operations the paper motivates:
+// run with provenance, trace lineage, invalidate results, verify
+// reproducibility, and export to the Open Provenance Model.
+//
+// Typical use:
+//
+//	sys := core.NewSystem(core.Options{Agent: "juliana"})
+//	workloads.RegisterAll(sys.Registry)
+//	res, log, err := sys.Run(ctx, wf, nil)
+//	lineage, err := sys.Lineage(res.Artifacts["render.image"])
+//	table, err := sys.Query("SELECT module FROM executions WHERE status = 'ok'")
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/opm"
+	"repro/internal/provenance"
+	"repro/internal/query/datalog"
+	"repro/internal/query/pql"
+	"repro/internal/store"
+	"repro/internal/workflow"
+)
+
+// Options configures a System.
+type Options struct {
+	// Store persists run logs; nil means a fresh in-memory store.
+	Store store.Store
+	// Workers bounds parallel module executions (0: GOMAXPROCS).
+	Workers int
+	// EnableCache memoizes module executions across runs.
+	EnableCache bool
+	// Agent names the user; Environment is recorded on every run.
+	Agent       string
+	Environment map[string]string
+	// Faults injects per-module failures (testing/debugging).
+	Faults map[string]string
+}
+
+// System is a provenance-enabled workflow system.
+type System struct {
+	Registry  *engine.Registry
+	Collector *provenance.Collector
+	Store     store.Store
+	Cache     *engine.Cache
+
+	engine    *engine.Engine
+	workflows map[string]*workflow.Workflow // run ID -> executed workflow
+}
+
+// NewSystem assembles a system.
+func NewSystem(opt Options) *System {
+	s := &System{
+		Registry:  engine.NewRegistry(),
+		Collector: provenance.NewCollector(),
+		Store:     opt.Store,
+		workflows: map[string]*workflow.Workflow{},
+	}
+	if s.Store == nil {
+		s.Store = store.NewMemStore()
+	}
+	if opt.EnableCache {
+		s.Cache = engine.NewCache()
+	}
+	s.engine = engine.New(engine.Options{
+		Registry:    s.Registry,
+		Recorder:    s.Collector,
+		Workers:     opt.Workers,
+		Cache:       s.Cache,
+		Agent:       opt.Agent,
+		Environment: opt.Environment,
+		Faults:      opt.Faults,
+	})
+	return s
+}
+
+// Run executes a workflow, capturing retrospective provenance and
+// persisting the run log to the store. It returns the engine result and
+// the stored log.
+func (s *System) Run(ctx context.Context, wf *workflow.Workflow, inputs map[string]engine.Value) (*engine.Result, *provenance.RunLog, error) {
+	res, err := s.engine.Run(ctx, wf, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := s.Collector.Log(res.RunID)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.Store.PutRunLog(log); err != nil {
+		return nil, nil, err
+	}
+	s.workflows[res.RunID] = wf.Clone()
+	return res, log, nil
+}
+
+// WorkflowOf returns the workflow executed by a run.
+func (s *System) WorkflowOf(runID string) (*workflow.Workflow, error) {
+	wf, ok := s.workflows[runID]
+	if !ok {
+		return nil, fmt.Errorf("core: no workflow recorded for run %q", runID)
+	}
+	return wf, nil
+}
+
+// Lineage returns the upstream closure of an entity across all stored runs.
+func (s *System) Lineage(entityID string) ([]string, error) {
+	return store.Lineage(s.Store, entityID)
+}
+
+// Dependents returns the downstream closure of an entity.
+func (s *System) Dependents(entityID string) ([]string, error) {
+	return store.Dependents(s.Store, entityID)
+}
+
+// InvalidatedArtifacts lists the artifacts that must be recalled when an
+// entity (e.g. a raw input from a defective instrument) is invalidated.
+func (s *System) InvalidatedArtifacts(entityID string) ([]string, error) {
+	deps, err := s.Dependents(entityID)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, id := range deps {
+		if _, err := s.Store.Artifact(id); err == nil {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Query runs a PQL query (SELECT / LINEAGE OF / DEPENDENTS OF) against the
+// store.
+func (s *System) Query(q string) (*pql.Result, error) {
+	return pql.Run(s.Store, q)
+}
+
+// DatalogQuery evaluates a query atom against the standard provenance
+// Datalog program (see query/datalog.ProvenanceRules) loaded with the
+// store's facts.
+func (s *System) DatalogQuery(queryAtom string) (*datalog.QueryResult, error) {
+	p, err := datalog.NewProvenanceProgram(s.Store)
+	if err != nil {
+		return nil, err
+	}
+	atom, err := datalog.ParseAtom(queryAtom)
+	if err != nil {
+		return nil, err
+	}
+	return p.Query(atom)
+}
+
+// CausalGraph builds the causal graph of a stored run.
+func (s *System) CausalGraph(runID string) (*provenance.CausalGraph, error) {
+	l, err := s.Store.RunLog(runID)
+	if err != nil {
+		return nil, err
+	}
+	return provenance.BuildCausalGraph(l)
+}
+
+// ExportOPM converts a stored run to an OPM graph under the given account.
+func (s *System) ExportOPM(runID, account string) (*opm.Graph, error) {
+	l, err := s.Store.RunLog(runID)
+	if err != nil {
+		return nil, err
+	}
+	return opm.FromRunLog(l, account)
+}
+
+// ReplayReport compares a re-execution against the original run.
+type ReplayReport struct {
+	OriginalRun string
+	ReplayRun   string
+	Reproduced  bool
+	Diff        *provenance.RunDiff
+}
+
+// VerifyReproducibility re-executes the workflow of a stored run and
+// checks that every module produced outputs with identical content hashes:
+// the paper's core reproducibility claim (§2.3), made checkable.
+func (s *System) VerifyReproducibility(ctx context.Context, runID string) (*ReplayReport, error) {
+	wf, err := s.WorkflowOf(runID)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := s.Store.RunLog(runID)
+	if err != nil {
+		return nil, err
+	}
+	res, replay, err := s.Run(ctx, wf, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := provenance.DiffRuns(orig, replay)
+	return &ReplayReport{
+		OriginalRun: runID,
+		ReplayRun:   res.RunID,
+		Reproduced:  d.SameWorkflow && len(d.OutputChanges) == 0 && len(d.OnlyInA) == 0 && len(d.OnlyInB) == 0,
+		Diff:        d,
+	}, nil
+}
+
+// ReproductionRecipe returns the minimal plan (modules in causal order plus
+// required raw inputs) for regenerating an artifact of a stored run.
+func (s *System) ReproductionRecipe(runID, artifactID string) (*provenance.Recipe, error) {
+	cg, err := s.CausalGraph(runID)
+	if err != nil {
+		return nil, err
+	}
+	return cg.ReproductionRecipe(artifactID)
+}
+
+// Annotate attaches user-defined provenance to an entity of the current
+// session (it reaches the collector; logs already persisted to the store
+// are immutable).
+func (s *System) Annotate(subject string, kind provenance.EntityKind, key, value string) {
+	s.Collector.Annotate(subject, kind, key, value, "")
+}

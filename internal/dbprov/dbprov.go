@@ -1,0 +1,309 @@
+// Package dbprov addresses the paper's final open problem (§2.4):
+// connecting database and workflow provenance. "Data is selected from a
+// database, potentially joined with data from other databases, reformatted,
+// and used in an analysis" — to understand a result one must connect
+// tuple-level provenance (why-provenance inside relational operators) with
+// workflow-level provenance (which module executions produced which
+// artifacts).
+//
+// The package treats relational operators as workflow modules (the
+// "framework in which database operators and workflow modules can be
+// treated uniformly"): relations flow along connections as ordinary data
+// products, every operator preserves why-provenance witnesses
+// (internal/relalg), and TupleLineage stitches both levels into one answer.
+package dbprov
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/relalg"
+	"repro/internal/workflow"
+)
+
+// TypeRelation is the dataflow type tag for relational values.
+const TypeRelation = "relation"
+
+// RegisterRelationalModules registers the relational-algebra module types:
+//
+//	RelSource:  params name, schema ("a,b,c"), rows ("1,x;2,y") — emits a
+//	            base relation with why-provenance initialized
+//	RelSelect:  input "in"; params column, equals
+//	RelProject: input "in"; params columns ("a,b")
+//	RelJoin:    inputs "left", "right"; params leftCol, rightCol
+//	RelGroupBy: input "in"; params key, agg (count|sum|min|max|avg), aggCol
+//	RelUnion:   inputs "left", "right"
+//
+// All emit output port "out" carrying *relalg.Relation.
+func RegisterRelationalModules(r *engine.Registry) {
+	r.Register("RelSource", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		name := ec.Param("name", "")
+		if name == "" {
+			return nil, fmt.Errorf("RelSource: name parameter required")
+		}
+		schema := splitList(ec.Param("schema", ""))
+		if len(schema) == 0 {
+			return nil, fmt.Errorf("RelSource: schema parameter required")
+		}
+		var rows [][]relalg.Val
+		rowsSpec := ec.Param("rows", "")
+		if rowsSpec != "" {
+			for _, line := range strings.Split(rowsSpec, ";") {
+				fields := strings.Split(line, ",")
+				row := make([]relalg.Val, len(fields))
+				for i, f := range fields {
+					row[i] = parseVal(strings.TrimSpace(f))
+				}
+				rows = append(rows, row)
+			}
+		}
+		rel, err := relalg.NewRelation(name, schema, rows)
+		if err != nil {
+			return nil, err
+		}
+		return relOut(rel), nil
+	})
+
+	r.Register("RelSelect", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		rel, err := relIn(ec, "in")
+		if err != nil {
+			return nil, err
+		}
+		pred, err := relalg.Eq(rel, ec.Param("column", ""), parseVal(ec.Param("equals", "")))
+		if err != nil {
+			return nil, err
+		}
+		return relOut(relalg.Select(rel, pred)), nil
+	})
+
+	r.Register("RelProject", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		rel, err := relIn(ec, "in")
+		if err != nil {
+			return nil, err
+		}
+		out, err := relalg.Project(rel, splitList(ec.Param("columns", ""))...)
+		if err != nil {
+			return nil, err
+		}
+		return relOut(out), nil
+	})
+
+	r.Register("RelJoin", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		l, err := relIn(ec, "left")
+		if err != nil {
+			return nil, err
+		}
+		rr, err := relIn(ec, "right")
+		if err != nil {
+			return nil, err
+		}
+		out, err := relalg.Join(l, rr, ec.Param("leftCol", ""), ec.Param("rightCol", ""))
+		if err != nil {
+			return nil, err
+		}
+		return relOut(out), nil
+	})
+
+	r.Register("RelGroupBy", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		rel, err := relIn(ec, "in")
+		if err != nil {
+			return nil, err
+		}
+		out, err := relalg.GroupBy(rel, ec.Param("key", ""),
+			relalg.AggFunc(ec.Param("agg", "count")), ec.Param("aggCol", ""))
+		if err != nil {
+			return nil, err
+		}
+		return relOut(out), nil
+	})
+
+	r.Register("RelUnion", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		l, err := relIn(ec, "left")
+		if err != nil {
+			return nil, err
+		}
+		rr, err := relIn(ec, "right")
+		if err != nil {
+			return nil, err
+		}
+		out, err := relalg.Union(l, rr)
+		if err != nil {
+			return nil, err
+		}
+		return relOut(out), nil
+	})
+}
+
+func relIn(ec *engine.ExecContext, port string) (*relalg.Relation, error) {
+	v, err := ec.Input(port)
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := v.Data.(*relalg.Relation)
+	if !ok {
+		return nil, fmt.Errorf("module %s: input %q is %T, want *relalg.Relation", ec.ModuleID, port, v.Data)
+	}
+	return rel, nil
+}
+
+func relOut(rel *relalg.Relation) map[string]engine.Value {
+	return map[string]engine.Value{"out": {Type: TypeRelation, Data: rel}}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// parseVal interprets a literal as int64, float64, bool or string.
+func parseVal(s string) relalg.Val {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return b
+	}
+	return s
+}
+
+// Source declares a base relation for SourceModule.
+type Source struct {
+	Name   string
+	Schema []string
+	Rows   [][]relalg.Val
+}
+
+// SourceModule builds a RelSource workflow module (and its params) for a
+// base relation.
+func SourceModule(id string, src Source) (*workflow.Module, error) {
+	var rows []string
+	for _, row := range src.Rows {
+		if len(row) != len(src.Schema) {
+			return nil, fmt.Errorf("dbprov: source %s row arity mismatch", src.Name)
+		}
+		fields := make([]string, len(row))
+		for i, v := range row {
+			s := fmt.Sprintf("%v", v)
+			if strings.ContainsAny(s, ",;") {
+				return nil, fmt.Errorf("dbprov: value %q contains a list separator", s)
+			}
+			fields[i] = s
+		}
+		rows = append(rows, strings.Join(fields, ","))
+	}
+	return &workflow.Module{
+		ID: id, Name: id, Type: "RelSource",
+		Params: map[string]string{
+			"name":   src.Name,
+			"schema": strings.Join(src.Schema, ","),
+			"rows":   strings.Join(rows, ";"),
+		},
+		Outputs: []workflow.Port{{Name: "out", Type: TypeRelation}},
+	}, nil
+}
+
+// UnifiedLineage is the answer to "where did this output tuple come from?",
+// spanning both provenance levels (§2.4's goal).
+type UnifiedLineage struct {
+	// Tuple-level: the why-provenance witnesses of the tuple, and the flat
+	// set of base tuple IDs they mention.
+	Witnesses  []relalg.Witness
+	BaseTuples []relalg.TupleID
+	// SourceModules maps base relation names to the workflow module that
+	// introduced them.
+	SourceModules map[string]string
+	// Workflow-level: module IDs on the causal path from the sources to
+	// the queried artifact, in causal order.
+	ModulePath []string
+	// ArtifactID of the relation value holding the tuple.
+	ArtifactID string
+}
+
+// TupleLineage computes the unified lineage of the first tuple in the
+// output relation of `moduleID` (port "out") whose column `col` equals
+// `val`. It needs the run's result (for values and artifact IDs) and log
+// (for the causal graph).
+func TupleLineage(res *engine.Result, log *provenance.RunLog, wf *workflow.Workflow,
+	moduleID, col string, val relalg.Val) (*UnifiedLineage, error) {
+
+	v, err := res.Output(moduleID, "out")
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := v.Data.(*relalg.Relation)
+	if !ok {
+		return nil, fmt.Errorf("dbprov: output of %s is %T, want relation", moduleID, v.Data)
+	}
+	ws, err := relalg.WhyProvenance(rel, col, val)
+	if err != nil {
+		return nil, err
+	}
+	if ws == nil {
+		return nil, fmt.Errorf("dbprov: no tuple with %s = %v in %s.out", col, val, moduleID)
+	}
+	u := &UnifiedLineage{
+		Witnesses:     ws,
+		BaseTuples:    relalg.AllBaseTuples(ws),
+		SourceModules: map[string]string{},
+		ArtifactID:    res.Artifacts[moduleID+".out"],
+	}
+	// Map base relation names to source modules.
+	for _, m := range wf.Modules {
+		if m.Type == "RelSource" {
+			u.SourceModules[m.Params["name"]] = m.ID
+		}
+	}
+	// Workflow-level path: causal lineage of the artifact, filtered to
+	// executions, in causal order.
+	cg, err := provenance.BuildCausalGraph(log)
+	if err != nil {
+		return nil, err
+	}
+	if u.ArtifactID != "" {
+		recipe, err := cg.ReproductionRecipe(u.ArtifactID)
+		if err != nil {
+			return nil, err
+		}
+		u.ModulePath = recipe.ModuleIDs
+	}
+	return u, nil
+}
+
+// RelevantSources returns, for a unified lineage, only the source modules
+// whose base tuples actually witness the output tuple — the tuple-level
+// refinement of the workflow-level lineage (which necessarily includes
+// every upstream module).
+func (u *UnifiedLineage) RelevantSources() []string {
+	names := map[string]bool{}
+	for _, id := range u.BaseTuples {
+		name := string(id)
+		if i := strings.IndexByte(name, ':'); i > 0 {
+			name = name[:i]
+		}
+		names[name] = true
+	}
+	var out []string
+	for name := range names {
+		if mod, ok := u.SourceModules[name]; ok {
+			out = append(out, mod)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,286 @@
+package dbprov
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/relalg"
+	"repro/internal/workflow"
+)
+
+// buildAnalysisWorkflow models §2.4's scenario: data selected from a
+// database, joined with data from another database, aggregated, and used
+// in an analysis. genes(gene, organism) ⋈ studies(g, study), filtered to
+// human, grouped by study.
+func buildAnalysisWorkflow(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	genes, err := SourceModule("genesDB", Source{
+		Name:   "genes",
+		Schema: []string{"gene", "organism"},
+		Rows: [][]relalg.Val{
+			{"brca1", "human"},
+			{"tp53", "human"},
+			{"sonic", "mouse"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies, err := SourceModule("studiesDB", Source{
+		Name:   "studies",
+		Schema: []string{"g", "study"},
+		Rows: [][]relalg.Val{
+			{"brca1", "S1"},
+			{"tp53", "S1"},
+			{"tp53", "S2"},
+			{"sonic", "S3"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := workflow.New("analysis", "db-analysis")
+	for _, m := range []*workflow.Module{genes, studies} {
+		if err := wf.AddModule(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []*workflow.Module{
+		{
+			ID: "selectHuman", Name: "selectHuman", Type: "RelSelect",
+			Params:  map[string]string{"column": "organism", "equals": "human"},
+			Inputs:  []workflow.Port{{Name: "in", Type: TypeRelation}},
+			Outputs: []workflow.Port{{Name: "out", Type: TypeRelation}},
+		},
+		{
+			ID: "joinStudies", Name: "joinStudies", Type: "RelJoin",
+			Params:  map[string]string{"leftCol": "gene", "rightCol": "g"},
+			Inputs:  []workflow.Port{{Name: "left", Type: TypeRelation}, {Name: "right", Type: TypeRelation}},
+			Outputs: []workflow.Port{{Name: "out", Type: TypeRelation}},
+		},
+		{
+			ID: "countPerStudy", Name: "countPerStudy", Type: "RelGroupBy",
+			Params:  map[string]string{"key": "study", "agg": "count"},
+			Inputs:  []workflow.Port{{Name: "in", Type: TypeRelation}},
+			Outputs: []workflow.Port{{Name: "out", Type: TypeRelation}},
+		},
+	} {
+		if err := wf.AddModule(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConnect := func(sm, sp, dm, dp string) {
+		t.Helper()
+		if err := wf.Connect(sm, sp, dm, dp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConnect("genesDB", "out", "selectHuman", "in")
+	mustConnect("selectHuman", "out", "joinStudies", "left")
+	mustConnect("studiesDB", "out", "joinStudies", "right")
+	mustConnect("joinStudies", "out", "countPerStudy", "in")
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func runAnalysis(t *testing.T) (*engine.Result, *provenance.RunLog, *workflow.Workflow) {
+	t.Helper()
+	reg := engine.NewRegistry()
+	RegisterRelationalModules(reg)
+	col := provenance.NewCollector()
+	e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 1})
+	wf := buildAnalysisWorkflow(t)
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("run failed: %v", res.Failed)
+	}
+	log, _ := col.Log(res.RunID)
+	return res, log, wf
+}
+
+func TestRelationalWorkflowComputes(t *testing.T) {
+	res, _, _ := runAnalysis(t)
+	v, err := res.Output("countPerStudy", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := v.Data.(*relalg.Relation)
+	// Human genes: brca1, tp53. Joined: brca1×S1, tp53×S1, tp53×S2.
+	// Counts: S1 -> 2, S2 -> 1.
+	if rel.Len() != 2 {
+		t.Fatalf("result:\n%s", rel)
+	}
+	counts := map[string]int64{}
+	for _, tup := range rel.Tuples {
+		counts[tup.Values[0].(string)] = tup.Values[1].(int64)
+	}
+	if counts["S1"] != 2 || counts["S2"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestTupleLineageUnifiesLevels(t *testing.T) {
+	res, log, wf := runAnalysis(t)
+	u, err := TupleLineage(res, log, wf, "countPerStudy", "study", "S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple level: S1's count of 2 is witnessed by brca1, tp53 gene rows
+	// and the two S1 study rows.
+	if len(u.BaseTuples) != 4 {
+		t.Fatalf("base tuples = %v", u.BaseTuples)
+	}
+	baseStr := make([]string, len(u.BaseTuples))
+	for i, id := range u.BaseTuples {
+		baseStr[i] = string(id)
+	}
+	joined := strings.Join(baseStr, " ")
+	if !strings.Contains(joined, "genes:0") || !strings.Contains(joined, "genes:1") {
+		t.Fatalf("gene witnesses missing: %v", baseStr)
+	}
+	if strings.Contains(joined, "genes:2") {
+		t.Fatal("mouse gene wrongly in lineage")
+	}
+	if !strings.Contains(joined, "studies:0") || !strings.Contains(joined, "studies:1") {
+		t.Fatalf("study witnesses missing: %v", baseStr)
+	}
+	if strings.Contains(joined, "studies:3") {
+		t.Fatal("S3 row wrongly in lineage")
+	}
+	// Workflow level: the module path covers sources through groupby.
+	path := strings.Join(u.ModulePath, ",")
+	if !strings.Contains(path, "genesDB") || !strings.Contains(path, "joinStudies") ||
+		!strings.HasSuffix(path, "countPerStudy") {
+		t.Fatalf("module path = %v", u.ModulePath)
+	}
+	// Both source DBs are relevant for S1.
+	rel := u.RelevantSources()
+	if len(rel) != 2 || rel[0] != "genesDB" || rel[1] != "studiesDB" {
+		t.Fatalf("relevant sources = %v", rel)
+	}
+}
+
+func TestTupleLineageS2NarrowerThanWorkflowLineage(t *testing.T) {
+	res, log, wf := runAnalysis(t)
+	u, err := TupleLineage(res, log, wf, "countPerStudy", "study", "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S2 is witnessed only by tp53 and the S2 study row: 2 base tuples —
+	// strictly narrower than the workflow-level lineage, which includes
+	// both whole source relations.
+	if len(u.BaseTuples) != 2 {
+		t.Fatalf("S2 base tuples = %v", u.BaseTuples)
+	}
+	if len(u.ModulePath) != 5 { // 2 sources + select + join + groupby
+		t.Fatalf("module path = %v", u.ModulePath)
+	}
+}
+
+func TestTupleLineageMissingTuple(t *testing.T) {
+	res, log, wf := runAnalysis(t)
+	if _, err := TupleLineage(res, log, wf, "countPerStudy", "study", "S99"); err == nil {
+		t.Fatal("missing tuple accepted")
+	}
+	if _, err := TupleLineage(res, log, wf, "ghostModule", "study", "S1"); err == nil {
+		t.Fatal("missing module accepted")
+	}
+}
+
+func TestSourceModuleValidation(t *testing.T) {
+	if _, err := SourceModule("s", Source{Name: "r", Schema: []string{"a"},
+		Rows: [][]relalg.Val{{int64(1), int64(2)}}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := SourceModule("s", Source{Name: "r", Schema: []string{"a"},
+		Rows: [][]relalg.Val{{"x,y"}}}); err == nil {
+		t.Fatal("separator in value accepted")
+	}
+}
+
+func TestRelSourceParamErrors(t *testing.T) {
+	reg := engine.NewRegistry()
+	RegisterRelationalModules(reg)
+	e := engine.New(engine.Options{Registry: reg})
+	wf := workflow.New("bad", "bad")
+	if err := wf.AddModule(&workflow.Module{
+		ID: "src", Name: "src", Type: "RelSource",
+		Outputs: []workflow.Port{{Name: "out", Type: TypeRelation}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatal("RelSource without params succeeded")
+	}
+}
+
+func TestUnionModule(t *testing.T) {
+	reg := engine.NewRegistry()
+	RegisterRelationalModules(reg)
+	e := engine.New(engine.Options{Registry: reg})
+	a, err := SourceModule("a", Source{Name: "a", Schema: []string{"x"}, Rows: [][]relalg.Val{{"k"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SourceModule("b", Source{Name: "b", Schema: []string{"x"}, Rows: [][]relalg.Val{{"k"}, {"m"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := workflow.New("u", "u")
+	for _, m := range []*workflow.Module{a, b, {
+		ID: "union", Name: "union", Type: "RelUnion",
+		Inputs:  []workflow.Port{{Name: "left", Type: TypeRelation}, {Name: "right", Type: TypeRelation}},
+		Outputs: []workflow.Port{{Name: "out", Type: TypeRelation}},
+	}} {
+		if err := wf.AddModule(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wf.Connect("a", "out", "union", "left"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Connect("b", "out", "union", "right"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Output("union", "out")
+	rel := v.Data.(*relalg.Relation)
+	if rel.Len() != 2 {
+		t.Fatalf("union:\n%s", rel)
+	}
+	// "k" has two alternative witnesses (a:0 or b:0).
+	ws, _ := relalg.WhyProvenance(rel, "x", "k")
+	if len(ws) != 2 {
+		t.Fatalf("k witnesses = %v", ws)
+	}
+}
+
+func TestParseVal(t *testing.T) {
+	if v := parseVal("42"); v != int64(42) {
+		t.Fatalf("int: %v (%T)", v, v)
+	}
+	if v := parseVal("3.5"); v != 3.5 {
+		t.Fatalf("float: %v", v)
+	}
+	if v := parseVal("true"); v != true {
+		t.Fatalf("bool: %v", v)
+	}
+	if v := parseVal("hello"); v != "hello" {
+		t.Fatalf("string: %v", v)
+	}
+}

@@ -1,0 +1,248 @@
+// Package education implements the paper's "killer application" of
+// provenance-enabled workflow systems (§2.3): teaching. An instructor's
+// in-class exploration is recorded as a Session — every workflow variant
+// tried becomes a version in an evolution tree, every execution's
+// provenance is kept, and every explanation is an annotated note — so that
+// "after the class, all these results and their provenance can be made
+// available to students." Students submit assignments the same way: the
+// full derivation of their result, checkable by replay.
+package education
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+)
+
+// Step is one recorded classroom step: a version committed, a run
+// executed, or a note taken, in chronological order.
+type Step struct {
+	Seq     int    `json:"seq"`
+	Kind    string `json:"kind"` // "commit", "run", "note"
+	Version int    `json:"version,omitempty"`
+	RunID   string `json:"runId,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// Session records one class (or one assignment work session).
+type Session struct {
+	Course     string
+	Instructor string
+	Title      string
+
+	sys     *core.System
+	tree    *evolution.Tree
+	head    int
+	steps   []Step
+	runVers map[string]int // run ID -> version executed
+}
+
+// NewSession starts a session around a base workflow, which becomes
+// version 1 of the session's evolution tree.
+func NewSession(sys *core.System, course, instructor, title string, base *workflow.Workflow) (*Session, error) {
+	tree := evolution.NewTree(title)
+	v1, err := tree.Commit(tree.Root(), instructor, "starting point", evolution.ImportWorkflow(base))
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		Course: course, Instructor: instructor, Title: title,
+		sys: sys, tree: tree, head: v1,
+		runVers: map[string]int{},
+	}
+	s.record(Step{Kind: "commit", Version: v1})
+	return s, nil
+}
+
+func (s *Session) record(st Step) {
+	st.Seq = len(s.steps) + 1
+	s.steps = append(s.steps, st)
+}
+
+// Head returns the current version ID.
+func (s *Session) Head() int { return s.head }
+
+// Tree exposes the session's evolution tree (read-only use).
+func (s *Session) Tree() *evolution.Tree { return s.tree }
+
+// Steps returns the chronological step log.
+func (s *Session) Steps() []Step { return append([]Step(nil), s.steps...) }
+
+// Edit commits actions on top of the current head ("let me change the
+// isovalue and see what happens") and moves the head.
+func (s *Session) Edit(note string, actions ...evolution.Action) (int, error) {
+	v, err := s.tree.Commit(s.head, s.Instructor, note, actions)
+	if err != nil {
+		return 0, err
+	}
+	s.head = v
+	s.record(Step{Kind: "commit", Version: v, Note: note})
+	return v, nil
+}
+
+// Branch moves the head to an earlier version ("going back to what we had
+// before the smoothing"). Subsequent edits branch the tree.
+func (s *Session) Branch(version int) error {
+	if _, err := s.tree.Version(version); err != nil {
+		return err
+	}
+	s.head = version
+	s.record(Step{Kind: "note", Note: fmt.Sprintf("rewound to version %d", version)})
+	return nil
+}
+
+// Run executes the workflow at the current head with full provenance.
+func (s *Session) Run(ctx context.Context) (string, error) {
+	wf, err := s.tree.Materialize(s.head)
+	if err != nil {
+		return "", err
+	}
+	res, _, err := s.sys.Run(ctx, wf, nil)
+	if err != nil {
+		return "", err
+	}
+	s.runVers[res.RunID] = s.head
+	s.record(Step{Kind: "run", Version: s.head, RunID: res.RunID})
+	return res.RunID, nil
+}
+
+// Note records an explanation ("notice how the histogram shifts").
+func (s *Session) Note(text string) {
+	s.record(Step{Kind: "note", Note: text})
+}
+
+// VersionOfRun returns the version a recorded run executed.
+func (s *Session) VersionOfRun(runID string) (int, error) {
+	v, ok := s.runVers[runID]
+	if !ok {
+		return 0, fmt.Errorf("education: run %q not part of this session", runID)
+	}
+	return v, nil
+}
+
+// ExplainRuns answers the classic student question "why do these two runs
+// differ?" with both levels: the version-tree diff of the workflows and
+// the provenance diff of the executions.
+func (s *Session) ExplainRuns(runA, runB string) (string, error) {
+	va, err := s.VersionOfRun(runA)
+	if err != nil {
+		return "", err
+	}
+	vb, err := s.VersionOfRun(runB)
+	if err != nil {
+		return "", err
+	}
+	vd, err := s.tree.DiffVersions(va, vb)
+	if err != nil {
+		return "", err
+	}
+	la, err := s.sys.Store.RunLog(runA)
+	if err != nil {
+		return "", err
+	}
+	lb, err := s.sys.Store.RunLog(runB)
+	if err != nil {
+		return "", err
+	}
+	rd := provenance.DiffRuns(la, lb)
+	var b strings.Builder
+	fmt.Fprintf(&b, "runs %s (v%d) vs %s (v%d)\n", runA, va, runB, vb)
+	if len(vd.ParamChanges) > 0 {
+		keys := make([]string, 0, len(vd.ParamChanges))
+		for k := range vd.ParamChanges {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ch := vd.ParamChanges[k]
+			fmt.Fprintf(&b, "  parameter %s: %q -> %q\n", k, ch[0], ch[1])
+		}
+	}
+	for _, m := range vd.AddedModules {
+		fmt.Fprintf(&b, "  module added: %s\n", m)
+	}
+	for _, m := range vd.RemovedModules {
+		fmt.Fprintf(&b, "  module removed: %s\n", m)
+	}
+	if len(rd.OutputChanges) > 0 {
+		fmt.Fprintf(&b, "  outputs that changed: %s\n", strings.Join(rd.OutputChanges, ", "))
+	} else {
+		fmt.Fprintf(&b, "  outputs identical\n")
+	}
+	return b.String(), nil
+}
+
+// Handout is the distributable record of a session: what the paper says
+// should be "made available to students" after class.
+type Handout struct {
+	Course     string          `json:"course"`
+	Instructor string          `json:"instructor"`
+	Title      string          `json:"title"`
+	Steps      []Step          `json:"steps"`
+	Tree       json.RawMessage `json:"versionTree"`
+	Runs       map[string]int  `json:"runs"` // run ID -> version
+}
+
+// ExportHandout bundles the session for distribution.
+func (s *Session) ExportHandout() (*Handout, error) {
+	treeJSON, err := s.tree.EncodeJSON()
+	if err != nil {
+		return nil, err
+	}
+	return &Handout{
+		Course:     s.Course,
+		Instructor: s.Instructor,
+		Title:      s.Title,
+		Steps:      s.Steps(),
+		Tree:       treeJSON,
+		Runs:       copyRunVers(s.runVers),
+	}, nil
+}
+
+func copyRunVers(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// GradeSubmission checks a student's assignment: given the handout-style
+// session of the student, verify that (a) the claimed final run really
+// executed the claimed version and (b) re-running that version reproduces
+// the student's outputs. This is the paper's "students can turn in the
+// detailed provenance of their work" made checkable.
+func GradeSubmission(ctx context.Context, sys *core.System, student *Session, finalRun string) (bool, string, error) {
+	version, err := student.VersionOfRun(finalRun)
+	if err != nil {
+		return false, "claimed run is not in the session", nil
+	}
+	orig, err := sys.Store.RunLog(finalRun)
+	if err != nil {
+		return false, "", err
+	}
+	wf, err := student.tree.Materialize(version)
+	if err != nil {
+		return false, "", err
+	}
+	if orig.Run.WorkflowHash != wf.ContentHash() {
+		return false, "run log does not match the claimed workflow version", nil
+	}
+	res, replay, err := sys.Run(ctx, wf, nil)
+	if err != nil {
+		return false, "", err
+	}
+	_ = res
+	d := provenance.DiffRuns(orig, replay)
+	if len(d.OutputChanges) > 0 {
+		return false, fmt.Sprintf("replay diverges on modules: %s", strings.Join(d.OutputChanges, ", ")), nil
+	}
+	return true, "reproduced", nil
+}

@@ -1,0 +1,201 @@
+package education
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/workloads"
+)
+
+func newClass(t *testing.T) (*core.System, *Session) {
+	t.Helper()
+	sys := core.NewSystem(core.Options{Agent: "prof", Workers: 1})
+	workloads.RegisterAll(sys.Registry)
+	s, err := NewSession(sys, "CS6960 Visualization", "prof", "isosurfaces", workloads.MedicalImaging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, s
+}
+
+func TestSessionRecordsSteps(t *testing.T) {
+	_, s := newClass(t)
+	ctx := context.Background()
+	run1, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Note("baseline: isovalue 57 shows bone")
+	v2, err := s.Edit("try soft tissue", evolution.SetParamAction("contour", "isovalue", "45"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := s.Steps()
+	// commit(v1), run, note, commit(v2), run.
+	if len(steps) != 5 {
+		t.Fatalf("steps = %d: %+v", len(steps), steps)
+	}
+	kinds := []string{}
+	for _, st := range steps {
+		kinds = append(kinds, st.Kind)
+	}
+	if strings.Join(kinds, ",") != "commit,run,note,commit,run" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if v, _ := s.VersionOfRun(run1); v == v2 {
+		t.Fatal("run1 attributed to wrong version")
+	}
+	if v, _ := s.VersionOfRun(run2); v != v2 {
+		t.Fatalf("run2 version = %d, want %d", v, v2)
+	}
+	if _, err := s.VersionOfRun("ghost"); err == nil {
+		t.Fatal("unknown run resolved")
+	}
+}
+
+func TestBranchingExploration(t *testing.T) {
+	_, s := newClass(t)
+	v1 := s.Head()
+	if _, err := s.Edit("isovalue 45", evolution.SetParamAction("contour", "isovalue", "45")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Branch(v1); err != nil {
+		t.Fatal(err)
+	}
+	vb, err := s.Edit("isovalue 110 instead", evolution.SetParamAction("contour", "isovalue", "110"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two children of v1: the exploratory branches are both retained.
+	if kids := s.Tree().Children(v1); len(kids) != 2 {
+		t.Fatalf("children = %v", kids)
+	}
+	wf, err := s.Tree().Materialize(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Module("contour").Params["isovalue"] != "110" {
+		t.Fatal("branch content wrong")
+	}
+	if err := s.Branch(999); err == nil {
+		t.Fatal("branch to unknown version accepted")
+	}
+}
+
+func TestExplainRuns(t *testing.T) {
+	_, s := newClass(t)
+	ctx := context.Background()
+	run1, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Edit("different isovalue", evolution.SetParamAction("contour", "isovalue", "110")); err != nil {
+		t.Fatal(err)
+	}
+	run2, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expl, err := s.ExplainRuns(run1, run2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expl, `contour.isovalue: "57" -> "110"`) {
+		t.Fatalf("explanation:\n%s", expl)
+	}
+	if !strings.Contains(expl, "contour") || !strings.Contains(expl, "render") {
+		t.Fatalf("changed outputs missing:\n%s", expl)
+	}
+	// Identical version runs: outputs identical.
+	run3, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expl, err = s.ExplainRuns(run2, run3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expl, "outputs identical") {
+		t.Fatalf("identical runs not detected:\n%s", expl)
+	}
+}
+
+func TestExportHandout(t *testing.T) {
+	_, s := newClass(t)
+	ctx := context.Background()
+	if _, err := s.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.Note("for the assignment, explore isovalues 40-120")
+	h, err := s.ExportHandout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Course != "CS6960 Visualization" || len(h.Steps) != 3 || len(h.Runs) != 1 {
+		t.Fatalf("handout = %+v", h)
+	}
+	// The embedded tree round-trips.
+	tree, err := evolution.DecodeJSON(h.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != s.Tree().Len() {
+		t.Fatal("tree lost versions")
+	}
+}
+
+func TestGradeSubmissionAccepts(t *testing.T) {
+	sys, s := newClass(t)
+	ctx := context.Background()
+	if _, err := s.Edit("my solution", evolution.SetParamAction("contour", "isovalue", "80")); err != nil {
+		t.Fatal(err)
+	}
+	finalRun, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, why, err := GradeSubmission(ctx, sys, s, finalRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("honest submission rejected: %s", why)
+	}
+}
+
+func TestGradeSubmissionRejectsForgery(t *testing.T) {
+	sys, s := newClass(t)
+	ctx := context.Background()
+	honestRun, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge: claim the run belongs to a different (edited) version.
+	v2, err := s.Edit("late edit", evolution.SetParamAction("contour", "isovalue", "99"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runVers[honestRun] = v2 // tamper with the session record
+	ok, why, err := GradeSubmission(ctx, sys, s, honestRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("forged attribution accepted")
+	}
+	if !strings.Contains(why, "does not match") {
+		t.Fatalf("reason = %q", why)
+	}
+	// Unknown run.
+	ok, why, err = GradeSubmission(ctx, sys, s, "run-bogus")
+	if err != nil || ok {
+		t.Fatalf("bogus run: ok=%v why=%q err=%v", ok, why, err)
+	}
+}

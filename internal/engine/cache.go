@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/provenance"
+)
+
+// Cache memoizes module executions by (module type, params, input hashes):
+// the mechanism behind provenance-enabled re-use of intermediate results in
+// exploratory tasks (§2.3 — "flexible re-use of workflows" and parameter
+// sweeps re-run only what changed).
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]map[string]Value
+	hits    int64
+	misses  int64
+}
+
+// NewCache returns an empty execution cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]map[string]Value)}
+}
+
+// Key computes the cache key for an execution signature.
+func (c *Cache) Key(moduleType string, params map[string]string, inputs map[string]Value) string {
+	var b strings.Builder
+	b.WriteString(moduleType)
+	b.WriteByte('|')
+	pkeys := make([]string, 0, len(params))
+	for k := range params {
+		pkeys = append(pkeys, k)
+	}
+	sort.Strings(pkeys)
+	for _, k := range pkeys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(params[k])
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	ikeys := make([]string, 0, len(inputs))
+	for k := range inputs {
+		ikeys = append(ikeys, k)
+	}
+	sort.Strings(ikeys)
+	for _, k := range ikeys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(inputs[k].Hash())
+		b.WriteByte(';')
+	}
+	return provenance.HashBytes([]byte(b.String()))
+}
+
+// Get returns the memoized outputs for a key, if present.
+func (c *Cache) Get(key string) (map[string]Value, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return out, ok
+}
+
+// Put memoizes outputs under a key.
+func (c *Cache) Put(key string, outputs map[string]Value) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := make(map[string]Value, len(outputs))
+	for k, v := range outputs {
+		cp[k] = v
+	}
+	c.entries[key] = cp
+}
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached executions.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+)
+
+// TestContextCancellationFailsRun verifies that cancelling the run context
+// surfaces as module failure (recorded in provenance) rather than a hang.
+func TestContextCancellationFailsRun(t *testing.T) {
+	r := NewRegistry()
+	started := make(chan struct{})
+	r.Register("Slow", func(ec *ExecContext) (map[string]Value, error) {
+		close(started)
+		select {
+		case <-ec.Ctx.Done():
+			return nil, ec.Ctx.Err()
+		case <-time.After(10 * time.Second):
+			return map[string]Value{"out": {Type: "int", Data: 1}}, nil
+		}
+	})
+	r.Register("After", func(ec *ExecContext) (map[string]Value, error) {
+		return map[string]Value{"out": {Type: "int", Data: 2}}, nil
+	})
+	wf := workflow.NewBuilder("slow", "slow").
+		Module("slow", "Slow", workflow.Out("out", "int")).
+		Module("after", "After", workflow.In("in", "int"), workflow.Out("out", "int")).
+		Connect("slow", "out", "after", "in").
+		MustBuild()
+	col := provenance.NewCollector()
+	e := New(Options{Registry: r, Recorder: col})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := e.Run(ctx, wf, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if res.Status != provenance.StatusFailed {
+			t.Fatalf("status = %s, want failed", res.Status)
+		}
+		if len(res.Failed) != 1 || res.Failed[0] != "slow" {
+			t.Fatalf("failed = %v", res.Failed)
+		}
+		if len(res.Skipped) != 1 || res.Skipped[0] != "after" {
+			t.Fatalf("skipped = %v", res.Skipped)
+		}
+		log, _ := col.Log(res.RunID)
+		if log.ExecutionForModule("slow").Status != provenance.StatusFailed {
+			t.Fatal("cancellation not recorded in provenance")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run hung after cancellation")
+	}
+}
+
+// TestLatencySimulation verifies the simulated-environment latency hook
+// delays execution and honors cancellation.
+func TestLatencySimulation(t *testing.T) {
+	r := NewRegistry()
+	r.Register("Quick", func(ec *ExecContext) (map[string]Value, error) {
+		return map[string]Value{"out": {Type: "int", Data: 1}}, nil
+	})
+	wf := workflow.NewBuilder("lat", "lat").
+		Module("m", "Quick", workflow.Out("out", "int")).
+		MustBuild()
+	e := New(Options{Registry: r, Latency: func(m *workflow.Module) time.Duration {
+		return 30 * time.Millisecond
+	}})
+	start := time.Now()
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s", res.Status)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("latency not applied: %s", elapsed)
+	}
+}

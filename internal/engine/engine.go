@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Registry supplies module implementations. Required.
+	Registry *Registry
+	// Recorder captures retrospective provenance. nil disables capture
+	// (the baseline of experiment E3).
+	Recorder provenance.Recorder
+	// Workers bounds parallel module executions. 0 means GOMAXPROCS.
+	Workers int
+	// Cache memoizes executions across runs. nil disables caching.
+	Cache *Cache
+	// Faults injects failures: moduleID -> error message. A module listed
+	// here fails instead of executing; its downstream is skipped.
+	Faults map[string]string
+	// Latency simulates per-module execution time (grid/Web-service
+	// environments — see DESIGN.md substitution 3). nil means no delay.
+	Latency func(m *workflow.Module) time.Duration
+	// Agent names the user on whose behalf runs execute.
+	Agent string
+	// Environment is recorded on every run (execution-environment
+	// information required by retrospective provenance).
+	Environment map[string]string
+}
+
+// Engine executes workflows.
+type Engine struct {
+	opt Options
+	rec provenance.Recorder
+}
+
+// New returns an Engine. It panics if no registry is supplied (a programming
+// error, not a runtime condition).
+func New(opt Options) *Engine {
+	if opt.Registry == nil {
+		panic("engine: Options.Registry is required")
+	}
+	rec := opt.Recorder
+	if rec == nil {
+		rec = provenance.NopRecorder{}
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Agent == "" {
+		opt.Agent = "anonymous"
+	}
+	return &Engine{opt: opt, rec: rec}
+}
+
+// Result summarizes a run: terminal status, every produced value keyed by
+// "module.port", and per-module dispositions.
+type Result struct {
+	RunID     string
+	Status    provenance.ExecStatus
+	Outputs   map[string]Value  // "module.port" -> value
+	Artifacts map[string]string // "module.port" -> artifact ID ("" if capture off)
+	Failed    []string          // module IDs that failed
+	Skipped   []string          // module IDs skipped due to upstream failure
+	Cached    []string          // module IDs satisfied from cache
+	Elapsed   time.Duration
+}
+
+// Output returns the value produced on module's port.
+func (r *Result) Output(moduleID, port string) (Value, error) {
+	v, ok := r.Outputs[moduleID+"."+port]
+	if !ok {
+		return Value{}, fmt.Errorf("engine: run %s produced no output %s.%s", r.RunID, moduleID, port)
+	}
+	return v, nil
+}
+
+type moduleOutcome struct {
+	status  provenance.ExecStatus
+	outputs map[string]Value
+}
+
+// Run executes the workflow. inputs provides values for input ports not fed
+// by any connection, keyed "module.port"; they are recorded as raw input
+// artifacts (data entering the system from outside, like the CT scan of
+// Figure 1).
+func (e *Engine) Run(ctx context.Context, wf *workflow.Workflow, inputs map[string]Value) (*Result, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	// Every input port must be fed by a connection or an external input.
+	fed := map[string]bool{}
+	for _, c := range wf.Connections {
+		fed[c.DstModule+"."+c.DstPort] = true
+	}
+	for _, m := range wf.Modules {
+		for _, p := range m.Inputs {
+			key := m.ID + "." + p.Name
+			if !fed[key] {
+				if _, ok := inputs[key]; !ok {
+					return nil, fmt.Errorf("engine: input port %s is neither connected nor supplied", key)
+				}
+			}
+		}
+	}
+	// Resolve implementations up front so missing registrations fail fast.
+	impls := make(map[string]Func, len(wf.Modules))
+	for _, m := range wf.Modules {
+		fn, err := e.opt.Registry.Lookup(m.Type)
+		if err != nil {
+			return nil, err
+		}
+		impls[m.ID] = fn
+	}
+
+	start := time.Now()
+	runID := e.rec.BeginRun(wf.ID, wf.ContentHash(), e.opt.Agent, e.opt.Environment)
+
+	// Record external inputs as raw artifacts.
+	extArtifacts := map[string]string{} // "module.port" -> artifact ID
+	extKeys := make([]string, 0, len(inputs))
+	for k := range inputs {
+		extKeys = append(extKeys, k)
+	}
+	sort.Strings(extKeys)
+	for _, k := range extKeys {
+		v := inputs[k]
+		extArtifacts[k] = e.rec.RecordInput(runID, provenance.Artifact{
+			Type:        v.Type,
+			ContentHash: v.Hash(),
+			Size:        v.Size(),
+			Preview:     v.Preview(),
+		})
+	}
+
+	st := &runState{
+		wf:        wf,
+		inputs:    inputs,
+		extArts:   extArtifacts,
+		outcomes:  make(map[string]*moduleOutcome, len(wf.Modules)),
+		artifacts: make(map[string]string),
+		waiting:   make(map[string]int, len(wf.Modules)),
+		succs:     make(map[string][]string, len(wf.Modules)),
+	}
+	for _, m := range wf.Modules {
+		st.waiting[m.ID] = 0
+	}
+	for _, c := range wf.Connections {
+		st.waiting[c.DstModule]++
+		st.succs[c.SrcModule] = append(st.succs[c.SrcModule], c.DstModule)
+	}
+
+	ready := make(chan string, len(wf.Modules))
+	for _, m := range wf.Modules {
+		if st.waiting[m.ID] == 0 {
+			ready <- m.ID
+		}
+	}
+
+	sem := make(chan struct{}, e.opt.Workers)
+	done := make(chan string, len(wf.Modules))
+
+	// Scheduler: dispatch ready modules; on completion, release dependents.
+	// Every module completes exactly once (failed upstream yields a skipped
+	// execution), so draining `done` len(modules) times is a full barrier.
+	remaining := len(wf.Modules)
+	for remaining > 0 {
+		select {
+		case id := <-ready:
+			go func(moduleID string) {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				e.execModule(ctx, runID, st, moduleID, impls[moduleID])
+				done <- moduleID
+			}(id)
+		case id := <-done:
+			remaining--
+			for _, succ := range st.succs[id] {
+				st.mu.Lock()
+				st.waiting[succ]--
+				isReady := st.waiting[succ] == 0
+				st.mu.Unlock()
+				if isReady {
+					ready <- succ
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		RunID:     runID,
+		Status:    provenance.StatusOK,
+		Outputs:   map[string]Value{},
+		Artifacts: map[string]string{},
+		Elapsed:   time.Since(start),
+	}
+	st.mu.Lock()
+	for key, v := range st.values() {
+		res.Outputs[key] = v
+	}
+	for key, id := range st.artifacts {
+		res.Artifacts[key] = id
+	}
+	for _, m := range wf.Modules {
+		switch st.outcomes[m.ID].status {
+		case provenance.StatusFailed:
+			res.Failed = append(res.Failed, m.ID)
+		case provenance.StatusSkipped:
+			res.Skipped = append(res.Skipped, m.ID)
+		case provenance.StatusCached:
+			res.Cached = append(res.Cached, m.ID)
+		}
+	}
+	st.mu.Unlock()
+	sort.Strings(res.Failed)
+	sort.Strings(res.Skipped)
+	sort.Strings(res.Cached)
+	if len(res.Failed) > 0 || len(res.Skipped) > 0 {
+		res.Status = provenance.StatusFailed
+	}
+	e.rec.EndRun(runID, res.Status)
+	return res, nil
+}
+
+type runState struct {
+	mu        sync.Mutex
+	wf        *workflow.Workflow
+	inputs    map[string]Value
+	extArts   map[string]string
+	outcomes  map[string]*moduleOutcome
+	artifacts map[string]string // "module.port" -> artifact ID
+	waiting   map[string]int
+	succs     map[string][]string
+}
+
+// values flattens completed outputs into "module.port" keys. Caller holds mu.
+func (st *runState) values() map[string]Value {
+	out := map[string]Value{}
+	for id, oc := range st.outcomes {
+		for port, v := range oc.outputs {
+			out[id+"."+port] = v
+		}
+	}
+	return out
+}
+
+// gatherInputs resolves the values and artifact IDs feeding a module.
+func (st *runState) gatherInputs(moduleID string) (map[string]Value, map[string]string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	vals := map[string]Value{}
+	arts := map[string]string{}
+	m := st.wf.Module(moduleID)
+	for _, c := range st.wf.Connections {
+		if c.DstModule != moduleID {
+			continue
+		}
+		oc := st.outcomes[c.SrcModule]
+		if oc == nil || oc.status == provenance.StatusFailed || oc.status == provenance.StatusSkipped {
+			return nil, nil, false
+		}
+		v, ok := oc.outputs[c.SrcPort]
+		if !ok {
+			return nil, nil, false
+		}
+		vals[c.DstPort] = v
+		arts[c.DstPort] = st.artifacts[c.SrcModule+"."+c.SrcPort]
+	}
+	for _, p := range m.Inputs {
+		if _, ok := vals[p.Name]; ok {
+			continue
+		}
+		key := moduleID + "." + p.Name
+		if v, ok := st.inputs[key]; ok {
+			vals[p.Name] = v
+			arts[p.Name] = st.extArts[key]
+		}
+	}
+	return vals, arts, true
+}
+
+func (e *Engine) execModule(ctx context.Context, runID string, st *runState, moduleID string, fn Func) {
+	m := st.wf.Module(moduleID)
+	vals, arts, ok := st.gatherInputs(moduleID)
+	if !ok {
+		// Upstream failed: record a skipped execution.
+		execID := e.rec.BeginExecution(runID, moduleID, m.Type, m.Params)
+		e.rec.EndExecution(execID, provenance.StatusSkipped, "upstream failure", 0)
+		st.mu.Lock()
+		st.outcomes[moduleID] = &moduleOutcome{status: provenance.StatusSkipped, outputs: map[string]Value{}}
+		st.mu.Unlock()
+		return
+	}
+
+	execID := e.rec.BeginExecution(runID, moduleID, m.Type, m.Params)
+	inPorts := make([]string, 0, len(vals))
+	for p := range vals {
+		inPorts = append(inPorts, p)
+	}
+	sort.Strings(inPorts)
+	for _, p := range inPorts {
+		e.rec.RecordUse(execID, arts[p], p)
+	}
+
+	// Fault injection.
+	if msg, fail := e.opt.Faults[moduleID]; fail {
+		e.rec.EndExecution(execID, provenance.StatusFailed, msg, 0)
+		st.mu.Lock()
+		st.outcomes[moduleID] = &moduleOutcome{status: provenance.StatusFailed, outputs: map[string]Value{}}
+		st.mu.Unlock()
+		return
+	}
+
+	var cacheKey string
+	if e.opt.Cache != nil {
+		cacheKey = e.opt.Cache.Key(m.Type, m.Params, vals)
+		if outputs, hit := e.opt.Cache.Get(cacheKey); hit {
+			e.finishModule(st, execID, moduleID, outputs, provenance.StatusCached, 0)
+			return
+		}
+	}
+
+	if e.opt.Latency != nil {
+		if d := e.opt.Latency(m); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	begin := time.Now()
+	ec := &ExecContext{Ctx: ctx, ModuleID: moduleID, Inputs: vals, Params: m.Params}
+	outputs, err := fn(ec)
+	wall := time.Since(begin).Nanoseconds()
+	if ctx.Err() != nil && err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		e.rec.EndExecution(execID, provenance.StatusFailed, err.Error(), wall)
+		st.mu.Lock()
+		st.outcomes[moduleID] = &moduleOutcome{status: provenance.StatusFailed, outputs: map[string]Value{}}
+		st.mu.Unlock()
+		return
+	}
+	// Declared output ports must all be produced.
+	for _, p := range m.Outputs {
+		if _, ok := outputs[p.Name]; !ok {
+			e.rec.EndExecution(execID, provenance.StatusFailed,
+				fmt.Sprintf("module produced no value on declared output %q", p.Name), wall)
+			st.mu.Lock()
+			st.outcomes[moduleID] = &moduleOutcome{status: provenance.StatusFailed, outputs: map[string]Value{}}
+			st.mu.Unlock()
+			return
+		}
+	}
+	if e.opt.Cache != nil {
+		e.opt.Cache.Put(cacheKey, outputs)
+	}
+	e.finishModule(st, execID, moduleID, outputs, provenance.StatusOK, wall)
+}
+
+func (e *Engine) finishModule(st *runState, execID, moduleID string, outputs map[string]Value, status provenance.ExecStatus, wall int64) {
+	ports := make([]string, 0, len(outputs))
+	for p := range outputs {
+		ports = append(ports, p)
+	}
+	sort.Strings(ports)
+	genIDs := map[string]string{}
+	for _, p := range ports {
+		v := outputs[p]
+		genIDs[p] = e.rec.RecordGeneration(execID, p, provenance.Artifact{
+			Type:        v.Type,
+			ContentHash: v.Hash(),
+			Size:        v.Size(),
+			Preview:     v.Preview(),
+		})
+	}
+	e.rec.EndExecution(execID, status, "", wall)
+	st.mu.Lock()
+	st.outcomes[moduleID] = &moduleOutcome{status: status, outputs: outputs}
+	for p, id := range genIDs {
+		st.artifacts[moduleID+"."+p] = id
+	}
+	st.mu.Unlock()
+}

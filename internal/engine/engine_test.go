@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+)
+
+// testRegistry registers simple arithmetic modules:
+//
+//	Const:  param "value" -> output "out" (int)
+//	Add:    inputs "a","b" -> output "out" = a+b
+//	Double: input "in" -> output "out" = 2*in
+//	Fail:   always errors
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Register("Const", func(ec *ExecContext) (map[string]Value, error) {
+		n, err := strconv.Atoi(ec.Param("value", "0"))
+		if err != nil {
+			return nil, err
+		}
+		return map[string]Value{"out": {Type: "int", Data: n}}, nil
+	})
+	r.Register("Add", func(ec *ExecContext) (map[string]Value, error) {
+		a, err := ec.Input("a")
+		if err != nil {
+			return nil, err
+		}
+		b, err := ec.Input("b")
+		if err != nil {
+			return nil, err
+		}
+		return map[string]Value{"out": {Type: "int", Data: a.Data.(int) + b.Data.(int)}}, nil
+	})
+	r.Register("Double", func(ec *ExecContext) (map[string]Value, error) {
+		in, err := ec.Input("in")
+		if err != nil {
+			return nil, err
+		}
+		return map[string]Value{"out": {Type: "int", Data: 2 * in.Data.(int)}}, nil
+	})
+	r.Register("Fail", func(ec *ExecContext) (map[string]Value, error) {
+		return nil, errors.New("intentional failure")
+	})
+	return r
+}
+
+// sumWorkflow: c1=3, c2=4 -> add -> double. Result 14.
+func sumWorkflow(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	return workflow.NewBuilder("sum", "sum").
+		Module("c1", "Const", workflow.Out("out", "int")).
+		Module("c2", "Const", workflow.Out("out", "int")).
+		Module("add", "Add", workflow.In("a", "int"), workflow.In("b", "int"), workflow.Out("out", "int")).
+		Module("double", "Double", workflow.In("in", "int"), workflow.Out("out", "int")).
+		Param("c1", "value", "3").
+		Param("c2", "value", "4").
+		Connect("c1", "out", "add", "a").
+		Connect("c2", "out", "add", "b").
+		Connect("add", "out", "double", "in").
+		MustBuild()
+}
+
+func TestRunComputesValues(t *testing.T) {
+	e := New(Options{Registry: testRegistry()})
+	res, err := e.Run(context.Background(), sumWorkflow(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s", res.Status)
+	}
+	v, err := res.Output("double", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data.(int) != 14 {
+		t.Fatalf("result = %v, want 14", v.Data)
+	}
+}
+
+func TestRunCapturesProvenance(t *testing.T) {
+	col := provenance.NewCollector()
+	e := New(Options{Registry: testRegistry(), Recorder: col, Agent: "tester",
+		Environment: map[string]string{"host": "sim-node-1"}})
+	wf := sumWorkflow(t)
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := col.Log(res.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if log.Run.WorkflowHash != wf.ContentHash() {
+		t.Fatal("run not tied to workflow content hash")
+	}
+	if log.Run.Agent != "tester" || log.Run.Environment["host"] != "sim-node-1" {
+		t.Fatalf("run header = %+v", log.Run)
+	}
+	if len(log.Executions) != 4 || len(log.Artifacts) != 4 {
+		t.Fatalf("%d executions %d artifacts, want 4/4", len(log.Executions), len(log.Artifacts))
+	}
+	// Causal chain: double's output depends on both consts.
+	cg, err := provenance.BuildCausalGraph(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalArt := res.Artifacts["double.out"]
+	lin := cg.Lineage(finalArt)
+	if len(lin) != 7 { // 3 upstream artifacts + 4 executions
+		t.Fatalf("lineage size = %d, want 7 (%v)", len(lin), lin)
+	}
+}
+
+func TestRunExternalInputs(t *testing.T) {
+	col := provenance.NewCollector()
+	e := New(Options{Registry: testRegistry(), Recorder: col})
+	wf := workflow.NewBuilder("ext", "ext").
+		Module("double", "Double", workflow.In("in", "int"), workflow.Out("out", "int")).
+		MustBuild()
+	res, err := e.Run(context.Background(), wf, map[string]Value{
+		"double.in": {Type: "int", Data: 21},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Output("double", "out")
+	if v.Data.(int) != 42 {
+		t.Fatalf("result = %v", v.Data)
+	}
+	log, _ := col.Log(res.RunID)
+	// Raw input artifact exists and has no generator.
+	if len(log.Artifacts) != 2 {
+		t.Fatalf("artifacts = %d, want 2", len(log.Artifacts))
+	}
+	var raw *provenance.Artifact
+	for _, a := range log.Artifacts {
+		if log.GeneratorOf(a.ID) == nil {
+			raw = a
+		}
+	}
+	if raw == nil {
+		t.Fatal("no raw input artifact recorded")
+	}
+}
+
+func TestRunMissingInputRejected(t *testing.T) {
+	e := New(Options{Registry: testRegistry()})
+	wf := workflow.NewBuilder("ext", "ext").
+		Module("double", "Double", workflow.In("in", "int"), workflow.Out("out", "int")).
+		MustBuild()
+	if _, err := e.Run(context.Background(), wf, nil); err == nil {
+		t.Fatal("unfed input port accepted")
+	}
+}
+
+func TestRunMissingImplementationRejected(t *testing.T) {
+	e := New(Options{Registry: NewRegistry()})
+	if _, err := e.Run(context.Background(), sumWorkflow(t), nil); err == nil {
+		t.Fatal("missing module implementation accepted")
+	}
+}
+
+func TestModuleFailureSkipsDownstream(t *testing.T) {
+	col := provenance.NewCollector()
+	e := New(Options{Registry: testRegistry(), Recorder: col})
+	wf := workflow.NewBuilder("fail", "fail").
+		Module("c1", "Const", workflow.Out("out", "int")).
+		Module("bad", "Fail", workflow.In("in", "int"), workflow.Out("out", "int")).
+		Module("double", "Double", workflow.In("in", "int"), workflow.Out("out", "int")).
+		Connect("c1", "out", "bad", "in").
+		Connect("bad", "out", "double", "in").
+		MustBuild()
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusFailed {
+		t.Fatalf("status = %s, want failed", res.Status)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "bad" {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+	if len(res.Skipped) != 1 || res.Skipped[0] != "double" {
+		t.Fatalf("skipped = %v", res.Skipped)
+	}
+	log, _ := col.Log(res.RunID)
+	exec := log.ExecutionForModule("bad")
+	if exec.Status != provenance.StatusFailed || exec.Error != "intentional failure" {
+		t.Fatalf("bad exec = %+v", exec)
+	}
+	if log.ExecutionForModule("double").Status != provenance.StatusSkipped {
+		t.Fatal("downstream not recorded as skipped")
+	}
+	// c1 still succeeded.
+	if log.ExecutionForModule("c1").Status != provenance.StatusOK {
+		t.Fatal("independent module affected by failure")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	e := New(Options{Registry: testRegistry(), Faults: map[string]string{"add": "injected"}})
+	res, err := e.Run(context.Background(), sumWorkflow(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "add" {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+	if len(res.Skipped) != 1 || res.Skipped[0] != "double" {
+		t.Fatalf("skipped = %v", res.Skipped)
+	}
+}
+
+func TestCacheHitsAcrossRuns(t *testing.T) {
+	var calls int64
+	r := NewRegistry()
+	r.Register("Count", func(ec *ExecContext) (map[string]Value, error) {
+		atomic.AddInt64(&calls, 1)
+		return map[string]Value{"out": {Type: "int", Data: 1}}, nil
+	})
+	cache := NewCache()
+	e := New(Options{Registry: r, Cache: cache})
+	wf := workflow.NewBuilder("c", "c").
+		Module("m", "Count", workflow.Out("out", "int")).
+		MustBuild()
+	for i := 0; i < 3; i++ {
+		res, err := e.Run(context.Background(), wf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (len(res.Cached) != 1 || res.Cached[0] != "m") {
+			t.Fatalf("run %d cached = %v", i, res.Cached)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("module called %d times, want 1", calls)
+	}
+	hits, misses := cache.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("cache stats = %d/%d", hits, misses)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	c := NewCache()
+	in1 := map[string]Value{"x": {Type: "int", Data: 1}}
+	in2 := map[string]Value{"x": {Type: "int", Data: 2}}
+	k1 := c.Key("T", map[string]string{"p": "1"}, in1)
+	if c.Key("T", map[string]string{"p": "1"}, in1) != k1 {
+		t.Fatal("key not deterministic")
+	}
+	if c.Key("T", map[string]string{"p": "2"}, in1) == k1 {
+		t.Fatal("param change not reflected")
+	}
+	if c.Key("T", map[string]string{"p": "1"}, in2) == k1 {
+		t.Fatal("input change not reflected")
+	}
+	if c.Key("U", map[string]string{"p": "1"}, in1) == k1 {
+		t.Fatal("module type not reflected")
+	}
+}
+
+func TestParallelWideWorkflow(t *testing.T) {
+	r := testRegistry()
+	b := workflow.NewBuilder("wide", "wide")
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("c%02d", i)
+		b.Module(id, "Const", workflow.Out("out", "int")).Param(id, "value", strconv.Itoa(i))
+	}
+	wf := b.MustBuild()
+	col := provenance.NewCollector()
+	e := New(Options{Registry: r, Recorder: col, Workers: 8})
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK || len(res.Outputs) != 64 {
+		t.Fatalf("status=%s outputs=%d", res.Status, len(res.Outputs))
+	}
+	log, _ := col.Log(res.RunID)
+	if err := log.Validate(); err != nil {
+		t.Fatalf("parallel capture produced invalid log: %v", err)
+	}
+}
+
+func TestDeclaredOutputMissingFails(t *testing.T) {
+	r := NewRegistry()
+	r.Register("Empty", func(ec *ExecContext) (map[string]Value, error) {
+		return map[string]Value{}, nil
+	})
+	wf := workflow.NewBuilder("e", "e").
+		Module("m", "Empty", workflow.Out("out", "int")).
+		MustBuild()
+	e := New(Options{Registry: r})
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("failed = %v, want [m]", res.Failed)
+	}
+}
+
+func TestValueHashing(t *testing.T) {
+	a := Value{Type: "int", Data: 42}
+	b := Value{Type: "int", Data: 42}
+	c := Value{Type: "int", Data: 43}
+	d := Value{Type: "str", Data: 42}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal values hash differently")
+	}
+	if a.Hash() == c.Hash() || a.Hash() == d.Hash() {
+		t.Fatal("different values collide")
+	}
+	m1 := Value{Type: "map", Data: map[string]float64{"a": 1, "b": 2}}
+	m2 := Value{Type: "map", Data: map[string]float64{"b": 2, "a": 1}}
+	if m1.Hash() != m2.Hash() {
+		t.Fatal("map hash not order-independent")
+	}
+}
+
+func TestValuePreviewTruncates(t *testing.T) {
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'x'
+	}
+	v := Value{Type: "blob", Data: long}
+	if len(v.Preview()) != 64 {
+		t.Fatalf("preview length = %d", len(v.Preview()))
+	}
+	if v.Size() != 200 {
+		t.Fatalf("size = %d", v.Size())
+	}
+}
+
+func TestDeterministicRunsIdenticalHashes(t *testing.T) {
+	col := provenance.NewCollector()
+	e := New(Options{Registry: testRegistry(), Recorder: col, Workers: 1})
+	wf := sumWorkflow(t)
+	r1, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := col.Log(r1.RunID)
+	l2, _ := col.Log(r2.RunID)
+	d := provenance.DiffRuns(l1, l2)
+	if !d.SameWorkflow || len(d.OutputChanges) != 0 {
+		t.Fatalf("identical runs diff: %+v", d)
+	}
+}

@@ -1,0 +1,188 @@
+package engine_test
+
+// Failure-cascade and capture-consistency properties over random layered
+// workflows, exercised through the public engine API.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workloads"
+)
+
+// Property: injecting a fault into one module fails exactly that module
+// and skips exactly its transitive dependents; everything else succeeds.
+func TestQuickFailureCascade(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		wf := workloads.RandomLayered(seed, 4, 3, 2)
+		victim := wf.Modules[int(pick)%len(wf.Modules)].ID
+		reg := engine.NewRegistry()
+		workloads.RegisterAll(reg)
+		e := engine.New(engine.Options{
+			Registry: reg,
+			Faults:   map[string]string{victim: "chaos"},
+		})
+		res, err := e.Run(context.Background(), wf, nil)
+		if err != nil {
+			return false
+		}
+		if len(res.Failed) != 1 || res.Failed[0] != victim {
+			return false
+		}
+		wantSkipped := map[string]bool{}
+		for _, id := range wf.Downstream(victim) {
+			wantSkipped[id] = true
+		}
+		if len(res.Skipped) != len(wantSkipped) {
+			return false
+		}
+		for _, id := range res.Skipped {
+			if !wantSkipped[id] {
+				return false
+			}
+		}
+		// Every module neither failed nor skipped produced its output.
+		bad := map[string]bool{victim: true}
+		for _, id := range res.Skipped {
+			bad[id] = true
+		}
+		for _, m := range wf.Modules {
+			_, ok := res.Outputs[m.ID+".out"]
+			if bad[m.ID] == ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: captured provenance of a random parallel run is always
+// internally valid, acyclic, and structurally mirrors the workflow: one
+// execution per module, generation events equal declared outputs.
+func TestQuickCaptureStructure(t *testing.T) {
+	f := func(seed int64, workers uint8) bool {
+		wf := workloads.RandomLayered(seed, 4, 4, 2)
+		col := provenance.NewCollector()
+		reg := engine.NewRegistry()
+		workloads.RegisterAll(reg)
+		e := engine.New(engine.Options{Registry: reg, Recorder: col,
+			Workers: int(workers%8) + 1})
+		res, err := e.Run(context.Background(), wf, nil)
+		if err != nil {
+			return false
+		}
+		log, err := col.Log(res.RunID)
+		if err != nil || log.Validate() != nil {
+			return false
+		}
+		if len(log.Executions) != len(wf.Modules) {
+			return false
+		}
+		cg, err := provenance.BuildCausalGraph(log)
+		if err != nil {
+			return false
+		}
+		// Process dependencies mirror workflow connections (dedup'd).
+		wantDeps := map[string]bool{}
+		for _, c := range wf.Connections {
+			a := log.ExecutionForModule(c.SrcModule)
+			b := log.ExecutionForModule(c.DstModule)
+			wantDeps[a.ID+">"+b.ID] = true
+		}
+		got := cg.ProcessDependencies()
+		if len(got) != len(wantDeps) {
+			return false
+		}
+		for _, pair := range got {
+			if !wantDeps[pair[0]+">"+pair[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical workflows produce identical output hashes regardless
+// of worker count (scheduling does not leak into results).
+func TestQuickDeterminismAcrossWorkerCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		wf := workloads.RandomLayered(seed, 4, 3, 2)
+		hashes := map[string]string{}
+		for _, workers := range []int{1, 4} {
+			reg := engine.NewRegistry()
+			workloads.RegisterAll(reg)
+			e := engine.New(engine.Options{Registry: reg, Workers: workers})
+			res, err := e.Run(context.Background(), wf, nil)
+			if err != nil {
+				return false
+			}
+			for key, v := range res.Outputs {
+				h := v.Hash()
+				if prev, ok := hashes[key]; ok && prev != h {
+					return false
+				}
+				hashes[key] = h
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a shared cache, re-running any prefix-identical workflow
+// marks every unchanged module as cached.
+func TestQuickCachePrefixReuse(t *testing.T) {
+	f := func(seed int64) bool {
+		wf := workloads.Chain(6)
+		for i := 0; i < 6; i++ {
+			if err := wf.SetParam(fmt.Sprintf("s%02d", i), "work", "3"); err != nil {
+				return false
+			}
+		}
+		reg := engine.NewRegistry()
+		workloads.RegisterAll(reg)
+		cache := engine.NewCache()
+		e := engine.New(engine.Options{Registry: reg, Cache: cache})
+		if _, err := e.Run(context.Background(), wf, nil); err != nil {
+			return false
+		}
+		// Change only the last module's parameter (guaranteed != "3").
+		delta := seed % 7
+		if delta < 0 {
+			delta = -delta
+		}
+		wf2 := wf.Clone()
+		if err := wf2.SetParam("s05", "work", fmt.Sprint(10+delta)); err != nil {
+			return false
+		}
+		res, err := e.Run(context.Background(), wf2, nil)
+		if err != nil {
+			return false
+		}
+		// s00..s04 cached; s05 re-executed.
+		if len(res.Cached) != 5 {
+			return false
+		}
+		for _, id := range res.Cached {
+			if id == "s05" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package engine executes scientific workflows under the dataflow model
+// (§2.1): the execution order of modules is determined by the flow of data
+// through the workflow. The engine is instrumented for provenance capture —
+// it emits retrospective provenance through a provenance.Recorder as it
+// schedules module executions in parallel.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/provenance"
+)
+
+// Value is a data product flowing along a workflow connection. Type is the
+// dataflow type tag (matching port types); Data holds the payload. Values
+// are content-hashed canonically so that identical products are recognized
+// across runs (artifact identity, caching, run diffing).
+type Value struct {
+	Type string
+	Data any
+}
+
+// Hash returns the canonical content hash of the value.
+func (v Value) Hash() string {
+	return provenance.HashBytes([]byte(v.Type + "\x00" + canonical(v.Data)))
+}
+
+// Size returns the length in bytes of the canonical encoding.
+func (v Value) Size() int64 { return int64(len(canonical(v.Data))) }
+
+// Preview returns a short human-readable rendering for provenance records.
+func (v Value) Preview() string {
+	s := canonical(v.Data)
+	if len(s) > 64 {
+		s = s[:61] + "..."
+	}
+	return s
+}
+
+// canonical produces a deterministic string encoding of common payload
+// shapes; maps are key-sorted, floats use shortest round-trip form, and
+// anything unusual falls back to JSON then %#v.
+func canonical(data any) string {
+	switch d := data.(type) {
+	case nil:
+		return "nil"
+	case string:
+		return d
+	case []byte:
+		return string(d)
+	case bool:
+		return strconv.FormatBool(d)
+	case int:
+		return strconv.Itoa(d)
+	case int64:
+		return strconv.FormatInt(d, 10)
+	case uint64:
+		return strconv.FormatUint(d, 10)
+	case float64:
+		if math.IsNaN(d) {
+			return "NaN"
+		}
+		return strconv.FormatFloat(d, 'g', -1, 64)
+	case []float64:
+		parts := make([]string, len(d))
+		for i, f := range d {
+			parts[i] = canonical(f)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case []int:
+		parts := make([]string, len(d))
+		for i, n := range d {
+			parts[i] = strconv.Itoa(n)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case []string:
+		parts := make([]string, len(d))
+		for i, s := range d {
+			parts[i] = strconv.Quote(s)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case map[string]string:
+		keys := make([]string, 0, len(d))
+		for k := range d {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q:%q", k, d[k])
+		}
+		b.WriteByte('}')
+		return b.String()
+	case map[string]float64:
+		keys := make([]string, 0, len(d))
+		for k := range d {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q:%s", k, canonical(d[k]))
+		}
+		b.WriteByte('}')
+		return b.String()
+	default:
+		if enc, err := json.Marshal(d); err == nil {
+			return string(enc)
+		}
+		return fmt.Sprintf("%#v", d)
+	}
+}

@@ -1,0 +1,440 @@
+// Package evolution implements workflow evolution provenance: the
+// VisTrails-style action-based version tree of Freire et al. [20] that the
+// paper highlights for "managing rapidly-evolving scientific workflows"
+// (§2.3). Instead of storing workflow snapshots, every edit is recorded as
+// an action; a version is a node in a tree of actions, and any version's
+// workflow is materialized by replaying the path from the root.
+//
+// This representation is itself provenance — of the workflow specification
+// rather than of data — and powers comparing versions, explaining why two
+// runs differ, and never losing an exploratory branch.
+package evolution
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/workflow"
+)
+
+// ActionKind enumerates edit operations.
+type ActionKind string
+
+// Action kinds.
+const (
+	ActAddModule     ActionKind = "addModule"
+	ActDeleteModule  ActionKind = "deleteModule"
+	ActAddConnection ActionKind = "addConnection"
+	ActDelConnection ActionKind = "deleteConnection"
+	ActSetParam      ActionKind = "setParam"
+	ActAnnotate      ActionKind = "annotate"
+)
+
+// Action is one edit. Fields are used according to Kind:
+//
+//	addModule:        Module
+//	deleteModule:     ModuleID
+//	addConnection:    Connection
+//	deleteConnection: Connection
+//	setParam:         ModuleID, Key, Value
+//	annotate:         ModuleID (optional; empty = workflow), Key, Value
+type Action struct {
+	Kind       ActionKind           `json:"kind"`
+	Module     *workflow.Module     `json:"module,omitempty"`
+	ModuleID   string               `json:"moduleId,omitempty"`
+	Connection *workflow.Connection `json:"connection,omitempty"`
+	Key        string               `json:"key,omitempty"`
+	Value      string               `json:"value,omitempty"`
+}
+
+// apply mutates wf according to the action.
+func (a Action) apply(wf *workflow.Workflow) error {
+	switch a.Kind {
+	case ActAddModule:
+		if a.Module == nil {
+			return fmt.Errorf("evolution: addModule without module")
+		}
+		return wf.AddModule(a.Module.Clone())
+	case ActDeleteModule:
+		if !wf.RemoveModule(a.ModuleID) {
+			return fmt.Errorf("evolution: deleteModule: %q not found", a.ModuleID)
+		}
+		return nil
+	case ActAddConnection:
+		if a.Connection == nil {
+			return fmt.Errorf("evolution: addConnection without connection")
+		}
+		c := *a.Connection
+		return wf.Connect(c.SrcModule, c.SrcPort, c.DstModule, c.DstPort)
+	case ActDelConnection:
+		if a.Connection == nil {
+			return fmt.Errorf("evolution: deleteConnection without connection")
+		}
+		if !wf.Disconnect(*a.Connection) {
+			return fmt.Errorf("evolution: deleteConnection: %s not found", a.Connection.Key())
+		}
+		return nil
+	case ActSetParam:
+		return wf.SetParam(a.ModuleID, a.Key, a.Value)
+	case ActAnnotate:
+		if a.ModuleID == "" {
+			wf.Annotate(a.Key, a.Value)
+			return nil
+		}
+		return wf.AnnotateModule(a.ModuleID, a.Key, a.Value)
+	}
+	return fmt.Errorf("evolution: unknown action kind %q", a.Kind)
+}
+
+// Version is a node in the version tree.
+type Version struct {
+	ID      int      `json:"id"`
+	Parent  int      `json:"parent"` // -1 for the root
+	Actions []Action `json:"actions"`
+	Tag     string   `json:"tag,omitempty"`
+	User    string   `json:"user,omitempty"`
+	Note    string   `json:"note,omitempty"`
+}
+
+// Tree is a version tree for one evolving workflow. Version 0 is the empty
+// root.
+type Tree struct {
+	Name     string
+	versions map[int]*Version
+	children map[int][]int
+	nextID   int
+	tags     map[string]int
+}
+
+// NewTree returns a tree containing only the empty root (version 0).
+func NewTree(name string) *Tree {
+	t := &Tree{
+		Name:     name,
+		versions: map[int]*Version{},
+		children: map[int][]int{},
+		tags:     map[string]int{},
+		nextID:   1,
+	}
+	t.versions[0] = &Version{ID: 0, Parent: -1, Tag: "root"}
+	t.tags["root"] = 0
+	return t
+}
+
+// Root returns the root version ID (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// Len returns the number of versions including the root.
+func (t *Tree) Len() int { return len(t.versions) }
+
+// Version returns a version by ID.
+func (t *Tree) Version(id int) (*Version, error) {
+	v, ok := t.versions[id]
+	if !ok {
+		return nil, fmt.Errorf("evolution: unknown version %d", id)
+	}
+	return v, nil
+}
+
+// Commit creates a child of parent with the given actions, after verifying
+// that replaying them yields a structurally valid workflow. It returns the
+// new version ID.
+func (t *Tree) Commit(parent int, user, note string, actions []Action) (int, error) {
+	if _, ok := t.versions[parent]; !ok {
+		return 0, fmt.Errorf("evolution: unknown parent version %d", parent)
+	}
+	if len(actions) == 0 {
+		return 0, fmt.Errorf("evolution: empty commit")
+	}
+	// Verify by materializing parent then applying.
+	wf, err := t.Materialize(parent)
+	if err != nil {
+		return 0, err
+	}
+	for i, a := range actions {
+		if err := a.apply(wf); err != nil {
+			return 0, fmt.Errorf("evolution: action %d invalid: %w", i, err)
+		}
+	}
+	if err := wf.Validate(); err != nil {
+		return 0, fmt.Errorf("evolution: commit yields invalid workflow: %w", err)
+	}
+	id := t.nextID
+	t.nextID++
+	t.versions[id] = &Version{ID: id, Parent: parent, Actions: actions, User: user, Note: note}
+	t.children[parent] = append(t.children[parent], id)
+	return id, nil
+}
+
+// Tag names a version; tags are unique.
+func (t *Tree) Tag(id int, tag string) error {
+	if _, ok := t.versions[id]; !ok {
+		return fmt.Errorf("evolution: unknown version %d", id)
+	}
+	if have, ok := t.tags[tag]; ok && have != id {
+		return fmt.Errorf("evolution: tag %q already names version %d", tag, have)
+	}
+	t.tags[tag] = id
+	t.versions[id].Tag = tag
+	return nil
+}
+
+// ByTag resolves a tag to a version ID.
+func (t *Tree) ByTag(tag string) (int, error) {
+	id, ok := t.tags[tag]
+	if !ok {
+		return 0, fmt.Errorf("evolution: unknown tag %q", tag)
+	}
+	return id, nil
+}
+
+// Children returns the direct children of a version, sorted.
+func (t *Tree) Children(id int) []int {
+	out := append([]int(nil), t.children[id]...)
+	sort.Ints(out)
+	return out
+}
+
+// PathFromRoot returns the version IDs from the root to id, inclusive.
+func (t *Tree) PathFromRoot(id int) ([]int, error) {
+	var rev []int
+	for at := id; ; {
+		v, ok := t.versions[at]
+		if !ok {
+			return nil, fmt.Errorf("evolution: unknown version %d", at)
+		}
+		rev = append(rev, at)
+		if v.Parent < 0 {
+			break
+		}
+		at = v.Parent
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out, nil
+}
+
+// Materialize replays actions from the root to produce the workflow at a
+// version. Cost is linear in the number of actions on the path, not in the
+// number of versions in the tree (experiment E8).
+func (t *Tree) Materialize(id int) (*workflow.Workflow, error) {
+	path, err := t.PathFromRoot(id)
+	if err != nil {
+		return nil, err
+	}
+	wf := workflow.New(fmt.Sprintf("%s@v%d", t.Name, id), t.Name)
+	for _, vid := range path {
+		for i, a := range t.versions[vid].Actions {
+			if err := a.apply(wf); err != nil {
+				return nil, fmt.Errorf("evolution: replay version %d action %d: %w", vid, i, err)
+			}
+		}
+	}
+	return wf, nil
+}
+
+// LCA returns the lowest common ancestor of two versions.
+func (t *Tree) LCA(a, b int) (int, error) {
+	pa, err := t.PathFromRoot(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := t.PathFromRoot(b)
+	if err != nil {
+		return 0, err
+	}
+	lca := 0
+	for i := 0; i < len(pa) && i < len(pb) && pa[i] == pb[i]; i++ {
+		lca = pa[i]
+	}
+	return lca, nil
+}
+
+// Diff describes how version B's workflow differs from version A's.
+type Diff struct {
+	LCA            int
+	AddedModules   []string
+	RemovedModules []string
+	AddedConns     []string
+	RemovedConns   []string
+	ParamChanges   map[string][2]string // "module.key" -> [a, b]
+}
+
+// DiffVersions compares the materialized workflows of two versions (the
+// "visual diff" of [20]).
+func (t *Tree) DiffVersions(a, b int) (*Diff, error) {
+	wa, err := t.Materialize(a)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := t.Materialize(b)
+	if err != nil {
+		return nil, err
+	}
+	lca, err := t.LCA(a, b)
+	if err != nil {
+		return nil, err
+	}
+	d := &Diff{LCA: lca, ParamChanges: map[string][2]string{}}
+	modsA := map[string]*workflow.Module{}
+	for _, m := range wa.Modules {
+		modsA[m.ID] = m
+	}
+	modsB := map[string]*workflow.Module{}
+	for _, m := range wb.Modules {
+		modsB[m.ID] = m
+	}
+	for id := range modsA {
+		if _, ok := modsB[id]; !ok {
+			d.RemovedModules = append(d.RemovedModules, id)
+		}
+	}
+	for id := range modsB {
+		if _, ok := modsA[id]; !ok {
+			d.AddedModules = append(d.AddedModules, id)
+		}
+	}
+	connsA := map[string]bool{}
+	for _, c := range wa.Connections {
+		connsA[c.Key()] = true
+	}
+	connsB := map[string]bool{}
+	for _, c := range wb.Connections {
+		connsB[c.Key()] = true
+	}
+	for k := range connsA {
+		if !connsB[k] {
+			d.RemovedConns = append(d.RemovedConns, k)
+		}
+	}
+	for k := range connsB {
+		if !connsA[k] {
+			d.AddedConns = append(d.AddedConns, k)
+		}
+	}
+	for id, ma := range modsA {
+		mb, ok := modsB[id]
+		if !ok {
+			continue
+		}
+		for k, va := range ma.Params {
+			if vb, ok := mb.Params[k]; ok && vb != va {
+				d.ParamChanges[id+"."+k] = [2]string{va, vb}
+			} else if !ok {
+				d.ParamChanges[id+"."+k] = [2]string{va, ""}
+			}
+		}
+		for k, vb := range mb.Params {
+			if _, ok := ma.Params[k]; !ok {
+				d.ParamChanges[id+"."+k] = [2]string{"", vb}
+			}
+		}
+	}
+	sort.Strings(d.AddedModules)
+	sort.Strings(d.RemovedModules)
+	sort.Strings(d.AddedConns)
+	sort.Strings(d.RemovedConns)
+	return d, nil
+}
+
+// treeDoc is the JSON persistence form.
+type treeDoc struct {
+	Name     string     `json:"name"`
+	Versions []*Version `json:"versions"`
+}
+
+// EncodeJSON serializes the tree.
+func (t *Tree) EncodeJSON() ([]byte, error) {
+	doc := treeDoc{Name: t.Name}
+	ids := make([]int, 0, len(t.versions))
+	for id := range t.versions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		doc.Versions = append(doc.Versions, t.versions[id])
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DecodeJSON reconstructs a tree, replaying nothing (actions are stored
+// verbatim); materialization re-validates on demand.
+func DecodeJSON(data []byte) (*Tree, error) {
+	var doc treeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("evolution: decode: %w", err)
+	}
+	t := NewTree(doc.Name)
+	for _, v := range doc.Versions {
+		if v.ID == 0 {
+			continue
+		}
+		cp := *v
+		t.versions[v.ID] = &cp
+		t.children[v.Parent] = append(t.children[v.Parent], v.ID)
+		if v.ID >= t.nextID {
+			t.nextID = v.ID + 1
+		}
+		if v.Tag != "" {
+			t.tags[v.Tag] = v.ID
+		}
+	}
+	// Integrity: every parent must exist.
+	for id, v := range t.versions {
+		if id == 0 {
+			continue
+		}
+		if _, ok := t.versions[v.Parent]; !ok {
+			return nil, fmt.Errorf("evolution: version %d has unknown parent %d", id, v.Parent)
+		}
+	}
+	return t, nil
+}
+
+// AddModuleAction builds an addModule action.
+func AddModuleAction(m *workflow.Module) Action {
+	return Action{Kind: ActAddModule, Module: m.Clone()}
+}
+
+// DeleteModuleAction builds a deleteModule action.
+func DeleteModuleAction(moduleID string) Action {
+	return Action{Kind: ActDeleteModule, ModuleID: moduleID}
+}
+
+// ConnectAction builds an addConnection action.
+func ConnectAction(srcModule, srcPort, dstModule, dstPort string) Action {
+	return Action{Kind: ActAddConnection, Connection: &workflow.Connection{
+		SrcModule: srcModule, SrcPort: srcPort, DstModule: dstModule, DstPort: dstPort}}
+}
+
+// DisconnectAction builds a deleteConnection action.
+func DisconnectAction(srcModule, srcPort, dstModule, dstPort string) Action {
+	return Action{Kind: ActDelConnection, Connection: &workflow.Connection{
+		SrcModule: srcModule, SrcPort: srcPort, DstModule: dstModule, DstPort: dstPort}}
+}
+
+// SetParamAction builds a setParam action.
+func SetParamAction(moduleID, key, value string) Action {
+	return Action{Kind: ActSetParam, ModuleID: moduleID, Key: key, Value: value}
+}
+
+// ImportWorkflow converts an existing workflow into the action list that
+// recreates it: the bridge from snapshot-based to action-based storage.
+func ImportWorkflow(wf *workflow.Workflow) []Action {
+	var actions []Action
+	mods := make([]*workflow.Module, len(wf.Modules))
+	copy(mods, wf.Modules)
+	sort.Slice(mods, func(i, j int) bool { return mods[i].ID < mods[j].ID })
+	for _, m := range mods {
+		actions = append(actions, AddModuleAction(m))
+	}
+	conns := append([]workflow.Connection(nil), wf.Connections...)
+	sort.Slice(conns, func(i, j int) bool { return conns[i].Key() < conns[j].Key() })
+	for _, c := range conns {
+		cc := c
+		actions = append(actions, Action{Kind: ActAddConnection, Connection: &cc})
+	}
+	return actions
+}

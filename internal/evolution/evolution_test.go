@@ -1,0 +1,267 @@
+package evolution
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// seedTree imports MedicalImaging as version 1 of a fresh tree.
+func seedTree(t *testing.T) (*Tree, int) {
+	t.Helper()
+	tree := NewTree("medimg")
+	v1, err := tree.Commit(tree.Root(), "juliana", "import figure-1 workflow",
+		ImportWorkflow(workloads.MedicalImaging()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, v1
+}
+
+func TestImportMaterializeRoundTrip(t *testing.T) {
+	tree, v1 := seedTree(t)
+	wf, err := tree.Materialize(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := workloads.MedicalImaging()
+	if wf.ContentHash() != orig.ContentHash() {
+		t.Fatal("materialized workflow differs from imported one")
+	}
+}
+
+func TestRootIsEmpty(t *testing.T) {
+	tree, _ := seedTree(t)
+	wf, err := tree.Materialize(tree.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wf.Modules) != 0 {
+		t.Fatalf("root has %d modules", len(wf.Modules))
+	}
+}
+
+func TestCommitValidatesActions(t *testing.T) {
+	tree, v1 := seedTree(t)
+	// Deleting a nonexistent module must fail.
+	if _, err := tree.Commit(v1, "x", "", []Action{DeleteModuleAction("ghost")}); err == nil {
+		t.Fatal("invalid action accepted")
+	}
+	// Creating a cycle must fail validation.
+	bad := []Action{
+		ConnectAction("render", "image", "histogram", "data"),
+	}
+	if _, err := tree.Commit(v1, "x", "", bad); err == nil {
+		t.Fatal("type-mismatched connection accepted")
+	}
+	// Empty commit rejected.
+	if _, err := tree.Commit(v1, "x", "", nil); err == nil {
+		t.Fatal("empty commit accepted")
+	}
+	// Unknown parent rejected.
+	if _, err := tree.Commit(999, "x", "", []Action{DeleteModuleAction("reader")}); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+}
+
+func TestBranchingHistory(t *testing.T) {
+	tree, v1 := seedTree(t)
+	// Branch A: change isovalue.
+	va, err := tree.Commit(v1, "juliana", "try isovalue 110",
+		[]Action{SetParamAction("contour", "isovalue", "110")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch B: insert a Smooth module between contour and render.
+	smooth := &workflow.Module{
+		ID: "smooth", Name: "smooth", Type: "Smooth",
+		Inputs:  []workflow.Port{{Name: "surface", Type: "mesh"}},
+		Outputs: []workflow.Port{{Name: "surface", Type: "mesh"}},
+	}
+	vb, err := tree.Commit(v1, "susan", "insert smoothing", []Action{
+		DisconnectAction("contour", "surface", "render", "surface"),
+		AddModuleAction(smooth),
+		ConnectAction("contour", "surface", "smooth", "surface"),
+		ConnectAction("smooth", "surface", "render", "surface"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both branches materialize correctly and independently.
+	wa, err := tree.Materialize(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.Module("contour").Params["isovalue"] != "110" {
+		t.Fatal("branch A lost its param change")
+	}
+	if wa.Module("smooth") != nil {
+		t.Fatal("branch A sees branch B's module")
+	}
+	wb, err := tree.Materialize(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.Module("smooth") == nil {
+		t.Fatal("branch B lost its module")
+	}
+	if wb.Module("contour").Params["isovalue"] != "57" {
+		t.Fatal("branch B sees branch A's param change")
+	}
+	// The tree structure.
+	kids := tree.Children(v1)
+	if len(kids) != 2 || kids[0] != va || kids[1] != vb {
+		t.Fatalf("children = %v", kids)
+	}
+	lca, err := tree.LCA(va, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lca != v1 {
+		t.Fatalf("LCA = %d, want %d", lca, v1)
+	}
+}
+
+func TestDiffVersions(t *testing.T) {
+	tree, v1 := seedTree(t)
+	va, _ := tree.Commit(v1, "j", "", []Action{SetParamAction("contour", "isovalue", "110")})
+	smooth := &workflow.Module{
+		ID: "smooth", Name: "smooth", Type: "Smooth",
+		Inputs:  []workflow.Port{{Name: "surface", Type: "mesh"}},
+		Outputs: []workflow.Port{{Name: "surface", Type: "mesh"}},
+	}
+	vb, _ := tree.Commit(v1, "s", "", []Action{
+		DisconnectAction("contour", "surface", "render", "surface"),
+		AddModuleAction(smooth),
+		ConnectAction("contour", "surface", "smooth", "surface"),
+		ConnectAction("smooth", "surface", "render", "surface"),
+	})
+	d, err := tree.DiffVersions(va, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LCA != v1 {
+		t.Fatalf("diff LCA = %d", d.LCA)
+	}
+	if len(d.AddedModules) != 1 || d.AddedModules[0] != "smooth" {
+		t.Fatalf("added = %v", d.AddedModules)
+	}
+	if len(d.RemovedModules) != 0 {
+		t.Fatalf("removed = %v", d.RemovedModules)
+	}
+	if got := d.ParamChanges["contour.isovalue"]; got != [2]string{"110", "57"} {
+		t.Fatalf("param changes = %v", d.ParamChanges)
+	}
+	if len(d.AddedConns) != 2 || len(d.RemovedConns) != 1 {
+		t.Fatalf("conns +%v -%v", d.AddedConns, d.RemovedConns)
+	}
+}
+
+func TestTags(t *testing.T) {
+	tree, v1 := seedTree(t)
+	if err := tree.Tag(v1, "baseline"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := tree.ByTag("baseline")
+	if err != nil || id != v1 {
+		t.Fatalf("ByTag = %d, %v", id, err)
+	}
+	va, _ := tree.Commit(v1, "j", "", []Action{SetParamAction("contour", "isovalue", "99")})
+	if err := tree.Tag(va, "baseline"); err == nil {
+		t.Fatal("duplicate tag accepted")
+	}
+	if err := tree.Tag(999, "x"); err == nil {
+		t.Fatal("tag on unknown version accepted")
+	}
+	if _, err := tree.ByTag("nope"); err == nil {
+		t.Fatal("unknown tag resolved")
+	}
+}
+
+func TestJSONPersistence(t *testing.T) {
+	tree, v1 := seedTree(t)
+	va, _ := tree.Commit(v1, "j", "isovalue study", []Action{SetParamAction("contour", "isovalue", "110")})
+	if err := tree.Tag(va, "iso110"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tree.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tree.Len() {
+		t.Fatalf("len = %d vs %d", back.Len(), tree.Len())
+	}
+	id, err := back.ByTag("iso110")
+	if err != nil || id != va {
+		t.Fatalf("tag lost: %d %v", id, err)
+	}
+	wf, err := back.Materialize(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Module("contour").Params["isovalue"] != "110" {
+		t.Fatal("materialization after decode wrong")
+	}
+}
+
+func TestDecodeRejectsDanglingParent(t *testing.T) {
+	bad := `{"name":"x","versions":[{"id":0,"parent":-1},{"id":5,"parent":3,"actions":[]}]}`
+	if _, err := DecodeJSON([]byte(bad)); err == nil {
+		t.Fatal("dangling parent accepted")
+	}
+	if _, err := DecodeJSON([]byte("{")); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+}
+
+func TestLinearHistoryDepth(t *testing.T) {
+	tree, v1 := seedTree(t)
+	at := v1
+	for i := 0; i < 50; i++ {
+		var err error
+		at, err = tree.Commit(at, "j", "", []Action{
+			SetParamAction("contour", "isovalue", strings.Repeat("1", i%5+1)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := tree.PathFromRoot(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 52 { // root + import + 50 edits
+		t.Fatalf("path length = %d", len(path))
+	}
+	wf, err := tree.Materialize(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Module("contour").Params["isovalue"] != strings.Repeat("1", 49%5+1) {
+		t.Fatalf("final isovalue = %q", wf.Module("contour").Params["isovalue"])
+	}
+}
+
+func TestAnnotateActions(t *testing.T) {
+	tree, v1 := seedTree(t)
+	va, err := tree.Commit(v1, "j", "", []Action{
+		{Kind: ActAnnotate, Key: "purpose", Value: "teaching demo"},
+		{Kind: ActAnnotate, ModuleID: "contour", Key: "note", Value: "bone"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _ := tree.Materialize(va)
+	if wf.Annotations["purpose"] != "teaching demo" {
+		t.Fatal("workflow annotation lost")
+	}
+	if wf.Module("contour").Annotations["note"] != "bone" {
+		t.Fatal("module annotation lost")
+	}
+}

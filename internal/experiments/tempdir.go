@@ -1,0 +1,11 @@
+package experiments
+
+import "os"
+
+// tempDirImpl creates a temporary directory for file-store experiments.
+// Callers are short-lived benchmark processes; directories are cleaned up
+// by the OS temp policy, and explicitly removable via os.RemoveAll by
+// callers that care.
+func tempDirImpl() (string, error) {
+	return os.MkdirTemp("", "provbench-*")
+}

@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrCycle is returned by TopoSort when the graph contains a directed cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoSort returns the nodes in a topological order. Ties are broken by node
+// ID so the order is deterministic. It returns ErrCycle (wrapped with a
+// witness node) if the graph is cyclic.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for id := range g.nodes {
+		indeg[id] = len(g.in[id])
+	}
+	// Min-heap behaviour via sorted frontier: fine at the scales we run.
+	frontier := g.Sources()
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		changed := false
+		for _, e := range g.out[id] {
+			indeg[e.Dst]--
+			if indeg[e.Dst] == 0 {
+				frontier = append(frontier, e.Dst)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		}
+	}
+	if len(order) != len(g.nodes) {
+		for id, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("%w (involving node %q)", ErrCycle, id)
+			}
+		}
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Graph) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Reachable returns the set of nodes reachable from start (excluding start
+// itself unless it lies on a cycle through itself), following edges forward.
+func (g *Graph) Reachable(start NodeID) map[NodeID]bool {
+	return g.reach(start, g.out, func(e *Edge) NodeID { return e.Dst })
+}
+
+// Ancestors returns the set of nodes from which start is reachable.
+func (g *Graph) Ancestors(start NodeID) map[NodeID]bool {
+	return g.reach(start, g.in, func(e *Edge) NodeID { return e.Src })
+}
+
+func (g *Graph) reach(start NodeID, adj map[NodeID][]*Edge, pick func(*Edge) NodeID) map[NodeID]bool {
+	seen := make(map[NodeID]bool)
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range adj[id] {
+			n := pick(e)
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	delete(seen, start)
+	return seen
+}
+
+// ReachableWithin returns nodes reachable from start in at most depth hops.
+// depth < 0 means unbounded.
+func (g *Graph) ReachableWithin(start NodeID, depth int) map[NodeID]bool {
+	if depth < 0 {
+		return g.Reachable(start)
+	}
+	seen := map[NodeID]bool{}
+	frontier := []NodeID{start}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []NodeID
+		for _, id := range frontier {
+			for _, e := range g.out[id] {
+				if e.Dst != start && !seen[e.Dst] {
+					seen[e.Dst] = true
+					next = append(next, e.Dst)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// Path returns one shortest directed path from src to dst (inclusive), or
+// nil if none exists.
+func (g *Graph) Path(src, dst NodeID) []NodeID {
+	if src == dst {
+		if g.HasNode(src) {
+			return []NodeID{src}
+		}
+		return nil
+	}
+	prev := map[NodeID]NodeID{}
+	seen := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, next := range g.Successors(id) {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			prev[next] = id
+			if next == dst {
+				return rebuild(prev, src, dst)
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+func rebuild(prev map[NodeID]NodeID, src, dst NodeID) []NodeID {
+	var rev []NodeID
+	for at := dst; ; {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+		at = prev[at]
+	}
+	out := make([]NodeID, len(rev))
+	for i, id := range rev {
+		out[len(rev)-1-i] = id
+	}
+	return out
+}
+
+// AllPaths returns every simple directed path from src to dst, each as a node
+// sequence. limit bounds the number of paths returned (limit <= 0 means
+// unbounded); use a limit on dense graphs.
+func (g *Graph) AllPaths(src, dst NodeID, limit int) [][]NodeID {
+	var out [][]NodeID
+	onPath := map[NodeID]bool{}
+	var path []NodeID
+	var dfs func(NodeID) bool
+	dfs = func(at NodeID) bool {
+		path = append(path, at)
+		onPath[at] = true
+		defer func() {
+			path = path[:len(path)-1]
+			onPath[at] = false
+		}()
+		if at == dst {
+			cp := make([]NodeID, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return limit > 0 && len(out) >= limit
+		}
+		for _, next := range g.Successors(at) {
+			if onPath[next] {
+				continue
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(src)
+	return out
+}
+
+// TransitiveClosure returns, for every node, the set of nodes reachable from
+// it. Computed in reverse topological order for DAGs; falls back to per-node
+// DFS for cyclic graphs.
+func (g *Graph) TransitiveClosure() map[NodeID]map[NodeID]bool {
+	closure := make(map[NodeID]map[NodeID]bool, len(g.nodes))
+	order, err := g.TopoSort()
+	if err != nil {
+		for id := range g.nodes {
+			closure[id] = g.Reachable(id)
+		}
+		return closure
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		set := make(map[NodeID]bool)
+		for _, succ := range g.Successors(id) {
+			set[succ] = true
+			for k := range closure[succ] {
+				set[k] = true
+			}
+		}
+		closure[id] = set
+	}
+	return closure
+}
+
+// TransitiveReduction returns a copy of a DAG with every edge (u,v) removed
+// when an alternative u→…→v path exists. Useful for rendering dense
+// derivation graphs. Returns an error on cyclic input.
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	if !g.IsDAG() {
+		return nil, ErrCycle
+	}
+	closure := g.TransitiveClosure()
+	r := New()
+	for _, n := range g.nodes {
+		_ = r.AddNode(*n)
+	}
+	for _, e := range g.Edges() {
+		redundant := false
+		for _, mid := range g.Successors(e.Src) {
+			if mid != e.Dst && closure[mid][e.Dst] {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			_ = r.AddEdge(*e)
+		}
+	}
+	return r, nil
+}
+
+// Layers partitions a DAG into levels: layer 0 holds sources and each node
+// is placed one past its deepest predecessor. Returns an error on cycles.
+func (g *Graph) Layers() ([][]NodeID, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	depth := make(map[NodeID]int, len(order))
+	maxDepth := 0
+	for _, id := range order {
+		d := 0
+		for _, p := range g.Predecessors(id) {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[id] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	layers := make([][]NodeID, maxDepth+1)
+	for _, id := range order {
+		layers[depth[id]] = append(layers[depth[id]], id)
+	}
+	return layers, nil
+}
+
+// WeaklyConnectedComponents returns the node sets of each weakly connected
+// component, each sorted, with components ordered by their smallest node ID.
+func (g *Graph) WeaklyConnectedComponents() [][]NodeID {
+	seen := map[NodeID]bool{}
+	var comps [][]NodeID
+	for _, id := range g.NodeIDs() {
+		if seen[id] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{id}
+		seen[id] = true
+		for len(stack) > 0 {
+			at := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, at)
+			for _, n := range g.Successors(at) {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+			for _, n := range g.Predecessors(at) {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}

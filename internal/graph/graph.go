@@ -1,0 +1,344 @@
+// Package graph provides the directed-graph substrate used throughout the
+// provenance library: workflow specifications, causal provenance graphs,
+// OPM graphs and version trees are all labeled directed graphs.
+//
+// The package favors deterministic iteration (sorted node and edge order) so
+// that higher layers can produce stable serializations and tests can assert
+// exact results.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Graph. IDs are arbitrary non-empty
+// strings chosen by the caller; the graph does not interpret them.
+type NodeID string
+
+// Node is a labeled graph vertex. Attrs carries arbitrary string metadata
+// (e.g. module type, artifact hash); Label is a human-readable name.
+type Node struct {
+	ID    NodeID
+	Label string
+	Kind  string
+	Attrs map[string]string
+}
+
+// Edge is a labeled directed edge from Src to Dst.
+type Edge struct {
+	Src   NodeID
+	Dst   NodeID
+	Label string
+	Attrs map[string]string
+}
+
+// Graph is a mutable directed multigraph with labeled nodes and edges.
+// The zero value is not usable; call New.
+type Graph struct {
+	nodes map[NodeID]*Node
+	out   map[NodeID][]*Edge
+	in    map[NodeID][]*Edge
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		out:   make(map[NodeID][]*Edge),
+		in:    make(map[NodeID][]*Edge),
+	}
+}
+
+// AddNode inserts a node. It returns an error if the ID is empty or already
+// present.
+func (g *Graph) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("graph: node ID must be non-empty")
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("graph: duplicate node %q", n.ID)
+	}
+	cp := n
+	if n.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	g.nodes[n.ID] = &cp
+	return nil
+}
+
+// EnsureNode inserts the node if absent and returns whether it was added.
+func (g *Graph) EnsureNode(n Node) bool {
+	if _, ok := g.nodes[n.ID]; ok {
+		return false
+	}
+	if err := g.AddNode(n); err != nil {
+		return false
+	}
+	return true
+}
+
+// AddEdge inserts a directed edge. Both endpoints must exist.
+func (g *Graph) AddEdge(e Edge) error {
+	if _, ok := g.nodes[e.Src]; !ok {
+		return fmt.Errorf("graph: edge source %q not found", e.Src)
+	}
+	if _, ok := g.nodes[e.Dst]; !ok {
+		return fmt.Errorf("graph: edge destination %q not found", e.Dst)
+	}
+	cp := e
+	if e.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(e.Attrs))
+		for k, v := range e.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	g.out[e.Src] = append(g.out[e.Src], &cp)
+	g.in[e.Dst] = append(g.in[e.Dst], &cp)
+	g.edges++
+	return nil
+}
+
+// RemoveNode deletes a node and all incident edges. It reports whether the
+// node existed.
+func (g *Graph) RemoveNode(id NodeID) bool {
+	if _, ok := g.nodes[id]; !ok {
+		return false
+	}
+	for _, e := range g.out[id] {
+		g.in[e.Dst] = removeEdge(g.in[e.Dst], e)
+		g.edges--
+	}
+	for _, e := range g.in[id] {
+		g.out[e.Src] = removeEdge(g.out[e.Src], e)
+		g.edges--
+	}
+	delete(g.out, id)
+	delete(g.in, id)
+	delete(g.nodes, id)
+	return true
+}
+
+// RemoveEdge deletes the first edge matching src, dst and label. It reports
+// whether an edge was removed.
+func (g *Graph) RemoveEdge(src, dst NodeID, label string) bool {
+	for _, e := range g.out[src] {
+		if e.Dst == dst && e.Label == label {
+			g.out[src] = removeEdge(g.out[src], e)
+			g.in[dst] = removeEdge(g.in[dst], e)
+			g.edges--
+			return true
+		}
+	}
+	return false
+}
+
+func removeEdge(list []*Edge, target *Edge) []*Edge {
+	for i, e := range list {
+		if e == target {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(id NodeID) bool { _, ok := g.nodes[id]; return ok }
+
+// HasEdge reports whether at least one src→dst edge exists (any label).
+func (g *Graph) HasEdge(src, dst NodeID) bool {
+	for _, e := range g.out[src] {
+		if e.Dst == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Nodes returns all nodes sorted by ID.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodeIDs returns all node IDs sorted.
+func (g *Graph) NodeIDs() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges sorted by (src, dst, label).
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, g.edges)
+	for _, list := range g.out {
+		out = append(out, list...)
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []*Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Label < b.Label
+	})
+}
+
+// Out returns outgoing edges of id sorted by (dst, label).
+func (g *Graph) Out(id NodeID) []*Edge {
+	out := make([]*Edge, len(g.out[id]))
+	copy(out, g.out[id])
+	sortEdges(out)
+	return out
+}
+
+// In returns incoming edges of id sorted by (src, label).
+func (g *Graph) In(id NodeID) []*Edge {
+	in := make([]*Edge, len(g.in[id]))
+	copy(in, g.in[id])
+	sort.Slice(in, func(i, j int) bool {
+		a, b := in[i], in[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Label < b.Label
+	})
+	return in
+}
+
+// Successors returns the distinct direct successors of id, sorted.
+func (g *Graph) Successors(id NodeID) []NodeID {
+	return distinctNeighbors(g.out[id], func(e *Edge) NodeID { return e.Dst })
+}
+
+// Predecessors returns the distinct direct predecessors of id, sorted.
+func (g *Graph) Predecessors(id NodeID) []NodeID {
+	return distinctNeighbors(g.in[id], func(e *Edge) NodeID { return e.Src })
+}
+
+func distinctNeighbors(es []*Edge, pick func(*Edge) NodeID) []NodeID {
+	seen := make(map[NodeID]bool, len(es))
+	out := make([]NodeID, 0, len(es))
+	for _, e := range es {
+		id := pick(e)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InDegree returns the number of incoming edges.
+func (g *Graph) InDegree(id NodeID) int { return len(g.in[id]) }
+
+// OutDegree returns the number of outgoing edges.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.out[id]) }
+
+// Sources returns nodes with no incoming edges, sorted.
+func (g *Graph) Sources() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if len(g.in[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sinks returns nodes with no outgoing edges, sorted.
+func (g *Graph) Sinks() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if len(g.out[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, n := range g.nodes {
+		_ = c.AddNode(*n)
+	}
+	for _, list := range g.out {
+		for _, e := range list {
+			_ = c.AddEdge(*e)
+		}
+	}
+	return c
+}
+
+// Reverse returns a copy of the graph with all edges reversed.
+func (g *Graph) Reverse() *Graph {
+	r := New()
+	for _, n := range g.nodes {
+		_ = r.AddNode(*n)
+	}
+	for _, list := range g.out {
+		for _, e := range list {
+			rev := *e
+			rev.Src, rev.Dst = e.Dst, e.Src
+			_ = r.AddEdge(rev)
+		}
+	}
+	return r
+}
+
+// Subgraph returns the induced subgraph on keep (nodes absent from g are
+// ignored).
+func (g *Graph) Subgraph(keep []NodeID) *Graph {
+	set := make(map[NodeID]bool, len(keep))
+	for _, id := range keep {
+		set[id] = true
+	}
+	s := New()
+	for id, n := range g.nodes {
+		if set[id] {
+			_ = s.AddNode(*n)
+		}
+	}
+	for src, list := range g.out {
+		if !set[src] {
+			continue
+		}
+		for _, e := range list {
+			if set[e.Dst] {
+				_ = s.AddEdge(*e)
+			}
+		}
+	}
+	return s
+}

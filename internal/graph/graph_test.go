@@ -1,0 +1,489 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNode(t *testing.T, g *Graph, id string) {
+	t.Helper()
+	if err := g.AddNode(Node{ID: NodeID(id), Kind: "k"}); err != nil {
+		t.Fatalf("AddNode(%q): %v", id, err)
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, src, dst string) {
+	t.Helper()
+	if err := g.AddEdge(Edge{Src: NodeID(src), Dst: NodeID(dst)}); err != nil {
+		t.Fatalf("AddEdge(%q→%q): %v", src, dst, err)
+	}
+}
+
+// diamond builds a→b, a→c, b→d, c→d.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		mustNode(t, g, id)
+	}
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "a", "c")
+	mustEdge(t, g, "b", "d")
+	mustEdge(t, g, "c", "d")
+	return g
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g := New()
+	if err := g.AddNode(Node{ID: ""}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	mustNode(t, g, "a")
+	if err := g.AddNode(Node{ID: "a"}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestAddEdgeRequiresEndpoints(t *testing.T) {
+	g := New()
+	mustNode(t, g, "a")
+	if err := g.AddEdge(Edge{Src: "a", Dst: "missing"}); err == nil {
+		t.Fatal("edge to missing node accepted")
+	}
+	if err := g.AddEdge(Edge{Src: "missing", Dst: "a"}); err == nil {
+		t.Fatal("edge from missing node accepted")
+	}
+}
+
+func TestCountsAndNeighbors(t *testing.T) {
+	g := diamond(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes %d edges, want 4/4", g.NumNodes(), g.NumEdges())
+	}
+	succ := g.Successors("a")
+	if len(succ) != 2 || succ[0] != "b" || succ[1] != "c" {
+		t.Fatalf("Successors(a) = %v", succ)
+	}
+	pred := g.Predecessors("d")
+	if len(pred) != 2 || pred[0] != "b" || pred[1] != "c" {
+		t.Fatalf("Predecessors(d) = %v", pred)
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("Sinks = %v", got)
+	}
+}
+
+func TestRemoveNodeCleansEdges(t *testing.T) {
+	g := diamond(t)
+	if !g.RemoveNode("b") {
+		t.Fatal("RemoveNode(b) = false")
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("after removal: %d nodes %d edges, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+	if g.HasEdge("a", "b") || g.HasEdge("b", "d") {
+		t.Fatal("edges incident to removed node survive")
+	}
+	if g.RemoveNode("b") {
+		t.Fatal("second RemoveNode(b) = true")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := diamond(t)
+	if !g.RemoveEdge("a", "b", "") {
+		t.Fatal("RemoveEdge(a,b) = false")
+	}
+	if g.HasEdge("a", "b") {
+		t.Fatal("edge still present")
+	}
+	if g.RemoveEdge("a", "b", "") {
+		t.Fatal("RemoveEdge twice = true")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NodeID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.Src] >= pos[e.Dst] {
+			t.Fatalf("order violates edge %s→%s: %v", e.Src, e.Dst, order)
+		}
+	}
+	// Deterministic tie-break: b before c.
+	if pos["b"] > pos["c"] {
+		t.Fatalf("tie-break not by ID: %v", order)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	mustNode(t, g, "a")
+	mustNode(t, g, "b")
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "a")
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if g.IsDAG() {
+		t.Fatal("IsDAG on cycle = true")
+	}
+}
+
+func TestReachableAndAncestors(t *testing.T) {
+	g := diamond(t)
+	r := g.Reachable("a")
+	if len(r) != 3 || !r["b"] || !r["c"] || !r["d"] {
+		t.Fatalf("Reachable(a) = %v", r)
+	}
+	an := g.Ancestors("d")
+	if len(an) != 3 || !an["a"] || !an["b"] || !an["c"] {
+		t.Fatalf("Ancestors(d) = %v", an)
+	}
+	if len(g.Reachable("d")) != 0 {
+		t.Fatal("sink has successors")
+	}
+}
+
+func TestReachableWithin(t *testing.T) {
+	g := diamond(t)
+	r := g.ReachableWithin("a", 1)
+	if len(r) != 2 || !r["b"] || !r["c"] {
+		t.Fatalf("depth-1 = %v", r)
+	}
+	r = g.ReachableWithin("a", 2)
+	if len(r) != 3 {
+		t.Fatalf("depth-2 = %v", r)
+	}
+	if got := g.ReachableWithin("a", -1); len(got) != 3 {
+		t.Fatalf("unbounded = %v", got)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := diamond(t)
+	p := g.Path("a", "d")
+	if len(p) != 3 || p[0] != "a" || p[2] != "d" {
+		t.Fatalf("Path(a,d) = %v", p)
+	}
+	if p := g.Path("d", "a"); p != nil {
+		t.Fatalf("Path(d,a) = %v, want nil", p)
+	}
+	if p := g.Path("a", "a"); len(p) != 1 {
+		t.Fatalf("Path(a,a) = %v", p)
+	}
+}
+
+func TestAllPaths(t *testing.T) {
+	g := diamond(t)
+	paths := g.AllPaths("a", "d", 0)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2: %v", len(paths), paths)
+	}
+	limited := g.AllPaths("a", "d", 1)
+	if len(limited) != 1 {
+		t.Fatalf("limit ignored: %v", limited)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := diamond(t)
+	tc := g.TransitiveClosure()
+	if !tc["a"]["d"] || !tc["b"]["d"] || len(tc["d"]) != 0 {
+		t.Fatalf("closure wrong: %v", tc)
+	}
+	if tc["a"]["a"] {
+		t.Fatal("node reaches itself in a DAG closure")
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := diamond(t)
+	mustEdge(t, g, "a", "d") // redundant shortcut
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasEdge("a", "d") {
+		t.Fatal("redundant edge a→d survives reduction")
+	}
+	if r.NumEdges() != 4 {
+		t.Fatalf("reduced edges = %d, want 4", r.NumEdges())
+	}
+}
+
+func TestLayers(t *testing.T) {
+	g := diamond(t)
+	layers, err := g.Layers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 3 {
+		t.Fatalf("got %d layers, want 3", len(layers))
+	}
+	if layers[0][0] != "a" || layers[2][0] != "d" {
+		t.Fatalf("layers = %v", layers)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := diamond(t)
+	mustNode(t, g, "x")
+	mustNode(t, g, "y")
+	mustEdge(t, g, "x", "y")
+	comps := g.WeaklyConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	if len(comps[0]) != 4 || len(comps[1]) != 2 {
+		t.Fatalf("component sizes %d/%d", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.RemoveNode("a")
+	if !g.HasNode("a") || g.NumEdges() != 4 {
+		t.Fatal("clone mutation affected original")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := diamond(t)
+	r := g.Reverse()
+	if !r.HasEdge("b", "a") || r.HasEdge("a", "b") {
+		t.Fatal("reverse edges wrong")
+	}
+	if got := r.Sources(); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("reverse sources = %v", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := diamond(t)
+	s := g.Subgraph([]NodeID{"a", "b", "d", "zz"})
+	if s.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", s.NumNodes())
+	}
+	if !s.HasEdge("a", "b") || !s.HasEdge("b", "d") || s.HasEdge("a", "c") {
+		t.Fatal("induced edges wrong")
+	}
+}
+
+func TestAttrsAreCopied(t *testing.T) {
+	g := New()
+	attrs := map[string]string{"k": "v"}
+	if err := g.AddNode(Node{ID: "a", Attrs: attrs}); err != nil {
+		t.Fatal(err)
+	}
+	attrs["k"] = "mutated"
+	if g.Node("a").Attrs["k"] != "v" {
+		t.Fatal("node attrs alias caller map")
+	}
+}
+
+func TestMatchDiamondInLarger(t *testing.T) {
+	pat := New()
+	for _, id := range []string{"p", "q"} {
+		if err := pat.AddNode(Node{ID: NodeID(id), Kind: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pat.AddEdge(Edge{Src: "p", Dst: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	g := diamond(t)
+	ms := Match(pat, g, MatchOptions{})
+	if len(ms) != 4 {
+		t.Fatalf("got %d embeddings, want 4 (one per edge): %v", len(ms), ms)
+	}
+	for _, m := range ms {
+		if !g.HasEdge(m["p"], m["q"]) {
+			t.Fatalf("embedding %v has no target edge", m)
+		}
+	}
+}
+
+func TestMatchRespectsKind(t *testing.T) {
+	pat := New()
+	if err := pat.AddNode(Node{ID: "p", Kind: "special"}); err != nil {
+		t.Fatal(err)
+	}
+	g := diamond(t) // all kind "k"
+	if ms := Match(pat, g, MatchOptions{}); ms != nil {
+		t.Fatalf("kind mismatch matched: %v", ms)
+	}
+}
+
+func TestMatchInjective(t *testing.T) {
+	pat := New()
+	for _, id := range []string{"p", "q"} {
+		if err := pat.AddNode(Node{ID: NodeID(id), Kind: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := New()
+	if err := g.AddNode(Node{ID: "only", Kind: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if ms := Match(pat, g, MatchOptions{}); ms != nil {
+		t.Fatalf("non-injective embedding returned: %v", ms)
+	}
+}
+
+func TestMatchEdgeLabels(t *testing.T) {
+	pat := New()
+	_ = pat.AddNode(Node{ID: "p", Kind: "k"})
+	_ = pat.AddNode(Node{ID: "q", Kind: "k"})
+	_ = pat.AddEdge(Edge{Src: "p", Dst: "q", Label: "used"})
+	g := New()
+	_ = g.AddNode(Node{ID: "x", Kind: "k"})
+	_ = g.AddNode(Node{ID: "y", Kind: "k"})
+	_ = g.AddEdge(Edge{Src: "x", Dst: "y", Label: "generated"})
+	if ms := Match(pat, g, MatchOptions{EdgeLabelsMustMatch: true}); ms != nil {
+		t.Fatalf("label mismatch matched: %v", ms)
+	}
+	if ms := Match(pat, g, MatchOptions{}); len(ms) != 1 {
+		t.Fatalf("label-insensitive match failed: %v", ms)
+	}
+}
+
+func TestMatchLimit(t *testing.T) {
+	pat := New()
+	_ = pat.AddNode(Node{ID: "p", Kind: "k"})
+	g := diamond(t)
+	if ms := Match(pat, g, MatchOptions{Limit: 2}); len(ms) != 2 {
+		t.Fatalf("limit 2 returned %d", len(ms))
+	}
+}
+
+func TestSimilaritySelfIsOne(t *testing.T) {
+	g := diamond(t)
+	if s := Similarity(g, g); s != 1 {
+		t.Fatalf("self-similarity = %v", s)
+	}
+}
+
+func TestSimilarityDisjointKindsIsZero(t *testing.T) {
+	a := New()
+	_ = a.AddNode(Node{ID: "1", Kind: "x"})
+	b := New()
+	_ = b.AddNode(Node{ID: "1", Kind: "y"})
+	if s := Similarity(a, b); s != 0 {
+		t.Fatalf("similarity = %v, want 0", s)
+	}
+}
+
+func randomDAG(r *rand.Rand, n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		_ = g.AddNode(Node{ID: NodeID(fmt.Sprintf("n%03d", i)), Kind: "k"})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(4) == 0 {
+				_ = g.AddEdge(Edge{
+					Src: NodeID(fmt.Sprintf("n%03d", i)),
+					Dst: NodeID(fmt.Sprintf("n%03d", j)),
+				})
+			}
+		}
+	}
+	return g
+}
+
+// Property: any graph whose edges only go from lower to higher index is a
+// DAG and TopoSort respects every edge.
+func TestQuickTopoSortProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[NodeID]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.Src] >= pos[e.Dst] {
+				return false
+			}
+		}
+		return len(order) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transitive reduction preserves reachability.
+func TestQuickReductionPreservesReachability(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%15) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		want := g.TransitiveClosure()
+		got := r.TransitiveClosure()
+		for id, set := range want {
+			if len(set) != len(got[id]) {
+				return false
+			}
+			for k := range set {
+				if !got[id][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ancestors in g equals Reachable in the reversed graph.
+func TestQuickAncestorsMatchesReverseReachable(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		rev := g.Reverse()
+		for _, id := range g.NodeIDs() {
+			a := g.Ancestors(id)
+			b := rev.Reachable(id)
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

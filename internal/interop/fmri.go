@@ -1,0 +1,259 @@
+// Package interop reproduces the paper's interoperability story (§2.4, the
+// First and Second Provenance Challenges [32, 33]): several workflow
+// systems execute parts of the same experiment, each records provenance in
+// its own native format, and the formats are mapped into the Open
+// Provenance Model and integrated so that cross-system lineage queries
+// become answerable.
+//
+// The challenge workload is the First Provenance Challenge's fMRI brain-
+// atlas pipeline: four anatomy images are aligned (align_warp), resliced,
+// averaged into an atlas (softmean), sliced along three axes (slicer) and
+// converted to graphics (convert). We simulate the multi-system setting by
+// splitting the pipeline into three stages executed by miniature stand-ins
+// for Kepler (event logs), Taverna (RDF triples) and VisTrails (XML logs).
+package interop
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+)
+
+// Data type tags for the fMRI pipeline.
+const (
+	TypeAnatomyImage = "anatomyImage"
+	TypeWarp         = "warpParams"
+	TypeResliced     = "reslicedImage"
+	TypeAtlas        = "atlasImage"
+	TypeSlice        = "atlasSlice"
+	TypeGraphic      = "atlasGraphic"
+)
+
+// NewFMRIRegistry registers the challenge pipeline's module types.
+func NewFMRIRegistry() *engine.Registry {
+	r := engine.NewRegistry()
+	// AlignWarp computes warp parameters for one anatomy image against the
+	// reference. The "-m" model parameter is the subject of challenge
+	// query Q4.
+	r.Register("AlignWarp", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		img, err := ec.Input("image")
+		if err != nil {
+			return nil, err
+		}
+		ref, err := ec.Input("reference")
+		if err != nil {
+			return nil, err
+		}
+		m := ec.Param("m", "12")
+		warp := fmt.Sprintf("warp(m=%s, img=%s, ref=%s)", m, img.Hash()[:8], ref.Hash()[:8])
+		return map[string]engine.Value{"warp": {Type: TypeWarp, Data: warp}}, nil
+	})
+	// Reslice applies warp parameters to produce a resliced image.
+	r.Register("Reslice", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		warp, err := ec.Input("warp")
+		if err != nil {
+			return nil, err
+		}
+		img, err := ec.Input("image")
+		if err != nil {
+			return nil, err
+		}
+		out := fmt.Sprintf("resliced(%s, %s)", warp.Hash()[:8], img.Hash()[:8])
+		return map[string]engine.Value{"resliced": {Type: TypeResliced, Data: out}}, nil
+	})
+	// Softmean averages all resliced images into the atlas.
+	r.Register("Softmean", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		var parts []string
+		for i := 0; ; i++ {
+			v, ok := ec.Inputs[fmt.Sprintf("in%d", i)]
+			if !ok {
+				break
+			}
+			parts = append(parts, v.Hash()[:8])
+		}
+		if len(parts) == 0 {
+			return nil, fmt.Errorf("Softmean: no inputs")
+		}
+		return map[string]engine.Value{"atlas": {Type: TypeAtlas, Data: "atlas(" + strings.Join(parts, "+") + ")"}}, nil
+	})
+	// Slicer extracts a 2-D slice along an axis.
+	r.Register("Slicer", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		atlas, err := ec.Input("atlas")
+		if err != nil {
+			return nil, err
+		}
+		axis := ec.Param("axis", "x")
+		return map[string]engine.Value{"slice": {Type: TypeSlice,
+			Data: fmt.Sprintf("slice-%s(%s)", axis, atlas.Hash()[:8])}}, nil
+	})
+	// Convert renders a slice as a graphic.
+	r.Register("Convert", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		slice, err := ec.Input("slice")
+		if err != nil {
+			return nil, err
+		}
+		return map[string]engine.Value{"graphic": {Type: TypeGraphic,
+			Data: "graphic(" + slice.Hash()[:8] + ")"}}, nil
+	})
+	return r
+}
+
+// Stage identifies which portion of the pipeline a system executed.
+type Stage int
+
+// Pipeline stages, split as in the Second Provenance Challenge setting.
+const (
+	StageAlignReslice Stage = iota // align_warp + reslice (x4)
+	StageSoftmean                  // softmean
+	StageSliceConvert              // slicer + convert (x3)
+)
+
+// BuildStage builds the workflow for one stage. nSubjects anatomy images
+// flow through; axes are the three slicer axes.
+func BuildStage(stage Stage, nSubjects int) (*workflow.Workflow, error) {
+	switch stage {
+	case StageAlignReslice:
+		b := workflow.NewBuilder("fmri-stage1", "align+reslice")
+		for i := 0; i < nSubjects; i++ {
+			alignID := fmt.Sprintf("align%d", i)
+			resliceID := fmt.Sprintf("reslice%d", i)
+			b.Module(alignID, "AlignWarp",
+				workflow.In("image", TypeAnatomyImage),
+				workflow.In("reference", TypeAnatomyImage),
+				workflow.Out("warp", TypeWarp))
+			b.Param(alignID, "m", "12")
+			b.Module(resliceID, "Reslice",
+				workflow.In("warp", TypeWarp),
+				workflow.In("image", TypeAnatomyImage),
+				workflow.Out("resliced", TypeResliced))
+			b.Connect(alignID, "warp", resliceID, "warp")
+		}
+		return b.Build()
+	case StageSoftmean:
+		b := workflow.NewBuilder("fmri-stage2", "softmean")
+		var ports []workflow.PortSpec
+		for i := 0; i < nSubjects; i++ {
+			ports = append(ports, workflow.In(fmt.Sprintf("in%d", i), TypeResliced))
+		}
+		ports = append(ports, workflow.Out("atlas", TypeAtlas))
+		b.Module("softmean", "Softmean", ports...)
+		return b.Build()
+	case StageSliceConvert:
+		b := workflow.NewBuilder("fmri-stage3", "slice+convert")
+		for i, axis := range []string{"x", "y", "z"} {
+			slicerID := fmt.Sprintf("slicer_%s", axis)
+			convertID := fmt.Sprintf("convert_%s", axis)
+			b.Module(slicerID, "Slicer",
+				workflow.In("atlas", TypeAtlas),
+				workflow.Out("slice", TypeSlice))
+			b.Param(slicerID, "axis", axis)
+			b.Module(convertID, "Convert",
+				workflow.In("slice", TypeSlice),
+				workflow.Out("graphic", TypeGraphic))
+			b.Connect(slicerID, "slice", convertID, "slice")
+			_ = i
+		}
+		return b.Build()
+	}
+	return nil, fmt.Errorf("interop: unknown stage %d", stage)
+}
+
+// anatomyImage synthesizes a deterministic anatomy image value.
+func anatomyImage(subject int) engine.Value {
+	return engine.Value{Type: TypeAnatomyImage,
+		Data: "anatomy-" + strconv.Itoa(subject) + "-header(max=4096)"}
+}
+
+// referenceImage is the shared alignment reference.
+func referenceImage() engine.Value {
+	return engine.Value{Type: TypeAnatomyImage, Data: "reference-brain-header(max=4095)"}
+}
+
+// StageRun holds a stage's run log together with the values it produced,
+// so the next stage can consume them (hand-off between systems).
+type StageRun struct {
+	System  string
+	Log     *provenance.RunLog
+	Outputs map[string]engine.Value
+}
+
+// RunPipeline executes the three stages with separate collectors, handing
+// artifacts across stage boundaries by value (so content hashes agree
+// across systems, which is what integration keys on). Each stage is
+// attributed to a different "system" account.
+func RunPipeline(nSubjects int) ([]*StageRun, error) {
+	reg := NewFMRIRegistry()
+	systems := []string{"kepler-sim", "taverna-sim", "vistrails-sim"}
+	var runs []*StageRun
+
+	// Stage 1: align + reslice.
+	wf1, err := BuildStage(StageAlignReslice, nSubjects)
+	if err != nil {
+		return nil, err
+	}
+	col1 := provenance.NewCollector()
+	e1 := engine.New(engine.Options{Registry: reg, Recorder: col1, Agent: "challenge-team-1", Workers: 1})
+	in1 := map[string]engine.Value{}
+	for i := 0; i < nSubjects; i++ {
+		in1[fmt.Sprintf("align%d.image", i)] = anatomyImage(i)
+		in1[fmt.Sprintf("align%d.reference", i)] = referenceImage()
+		in1[fmt.Sprintf("reslice%d.image", i)] = anatomyImage(i)
+	}
+	res1, err := e1.Run(context.Background(), wf1, in1)
+	if err != nil {
+		return nil, err
+	}
+	log1, err := col1.Log(res1.RunID)
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, &StageRun{System: systems[0], Log: log1, Outputs: res1.Outputs})
+
+	// Stage 2: softmean over the resliced images.
+	wf2, err := BuildStage(StageSoftmean, nSubjects)
+	if err != nil {
+		return nil, err
+	}
+	col2 := provenance.NewCollector()
+	e2 := engine.New(engine.Options{Registry: reg, Recorder: col2, Agent: "challenge-team-2", Workers: 1})
+	in2 := map[string]engine.Value{}
+	for i := 0; i < nSubjects; i++ {
+		in2[fmt.Sprintf("softmean.in%d", i)] = res1.Outputs[fmt.Sprintf("reslice%d.resliced", i)]
+	}
+	res2, err := e2.Run(context.Background(), wf2, in2)
+	if err != nil {
+		return nil, err
+	}
+	log2, err := col2.Log(res2.RunID)
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, &StageRun{System: systems[1], Log: log2, Outputs: res2.Outputs})
+
+	// Stage 3: slicer + convert over the atlas.
+	wf3, err := BuildStage(StageSliceConvert, nSubjects)
+	if err != nil {
+		return nil, err
+	}
+	col3 := provenance.NewCollector()
+	e3 := engine.New(engine.Options{Registry: reg, Recorder: col3, Agent: "challenge-team-3", Workers: 1})
+	in3 := map[string]engine.Value{}
+	for _, axis := range []string{"x", "y", "z"} {
+		in3["slicer_"+axis+".atlas"] = res2.Outputs["softmean.atlas"]
+	}
+	res3, err := e3.Run(context.Background(), wf3, in3)
+	if err != nil {
+		return nil, err
+	}
+	log3, err := col3.Log(res3.RunID)
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, &StageRun{System: systems[2], Log: log3, Outputs: res3.Outputs})
+	return runs, nil
+}

@@ -1,0 +1,413 @@
+package interop
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/opm"
+	"repro/internal/provenance"
+)
+
+// Each simulated system exports its native provenance format from a run
+// log, and each format has an importer into OPM. The formats deliberately
+// differ in structure and vocabulary — that gap is what the Provenance
+// Challenge measured, and what FromX → OPM adapters bridge.
+
+// --- Kepler-style event log -----------------------------------------------
+
+// KeplerEvent mimics Kepler's actor-oriented provenance events [2]: actors
+// fire and read/write tokens on ports.
+type KeplerEvent struct {
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"` // fireStart, fireEnd, tokenRead, tokenWrite
+	Actor  string `json:"actor,omitempty"`
+	FireID string `json:"fireId,omitempty"`
+	Token  string `json:"token,omitempty"`
+	Port   string `json:"port,omitempty"`
+	Hash   string `json:"hash,omitempty"`
+}
+
+// KeplerLog is a complete actor event log.
+type KeplerLog struct {
+	WorkflowName string
+	User         string
+	Events       []KeplerEvent
+}
+
+// ExportKepler converts a run log into the Kepler-style event log.
+func ExportKepler(l *provenance.RunLog) *KeplerLog {
+	out := &KeplerLog{WorkflowName: l.Run.WorkflowID, User: l.Run.Agent}
+	hashOf := map[string]string{}
+	for _, a := range l.Artifacts {
+		hashOf[a.ID] = a.ContentHash
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventExecutionStarted:
+			exec := l.Execution(ev.ExecutionID)
+			out.Events = append(out.Events, KeplerEvent{Seq: ev.Seq, Kind: "fireStart",
+				Actor: exec.ModuleID, FireID: "fire:" + ev.ExecutionID})
+		case provenance.EventExecutionEnded:
+			exec := l.Execution(ev.ExecutionID)
+			out.Events = append(out.Events, KeplerEvent{Seq: ev.Seq, Kind: "fireEnd",
+				Actor: exec.ModuleID, FireID: "fire:" + ev.ExecutionID})
+		case provenance.EventArtifactUsed:
+			out.Events = append(out.Events, KeplerEvent{Seq: ev.Seq, Kind: "tokenRead",
+				FireID: "fire:" + ev.ExecutionID, Token: "tok:" + ev.ArtifactID,
+				Port: ev.Port, Hash: hashOf[ev.ArtifactID]})
+		case provenance.EventArtifactGen:
+			out.Events = append(out.Events, KeplerEvent{Seq: ev.Seq, Kind: "tokenWrite",
+				FireID: "fire:" + ev.ExecutionID, Token: "tok:" + ev.ArtifactID,
+				Port: ev.Port, Hash: hashOf[ev.ArtifactID]})
+		}
+	}
+	return out
+}
+
+// KeplerToOPM maps an actor event log into OPM under the given account.
+func KeplerToOPM(k *KeplerLog, account string) (*opm.Graph, error) {
+	g := opm.NewGraph()
+	agent := "agent:" + k.User
+	if err := g.AddNode(opm.Node{ID: agent, Kind: opm.Agent, Value: k.User}); err != nil {
+		return nil, err
+	}
+	for _, ev := range k.Events {
+		switch ev.Kind {
+		case "fireStart":
+			if err := g.AddNode(opm.Node{ID: account + "/" + ev.FireID, Kind: opm.Process, Value: ev.Actor}); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(opm.Edge{Kind: opm.WasControlledBy,
+				Effect: account + "/" + ev.FireID, Cause: agent, Account: account}); err != nil {
+				return nil, err
+			}
+		case "tokenRead", "tokenWrite":
+			art := account + "/" + ev.Token
+			if err := g.AddNode(opm.Node{ID: art, Kind: opm.Artifact,
+				Attrs: map[string]string{"hash": ev.Hash}}); err != nil {
+				return nil, err
+			}
+			proc := account + "/" + ev.FireID
+			if !gHasNode(g, proc) {
+				return nil, fmt.Errorf("interop: kepler token event before fireStart of %s", ev.FireID)
+			}
+			var e opm.Edge
+			if ev.Kind == "tokenRead" {
+				e = opm.Edge{Kind: opm.Used, Effect: proc, Cause: art, Role: ev.Port, Account: account}
+			} else {
+				e = opm.Edge{Kind: opm.WasGeneratedBy, Effect: art, Cause: proc, Role: ev.Port, Account: account}
+			}
+			if err := g.AddEdge(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+func gHasNode(g *opm.Graph, id string) bool {
+	_, ok := g.Nodes[id]
+	return ok
+}
+
+// --- Taverna-style RDF ------------------------------------------------------
+
+// TavernaTriple mimics Taverna's Semantic-Web provenance [46]: triples over
+// process runs and data items.
+type TavernaTriple struct {
+	S, P, O string
+}
+
+// TavernaRDF is a triple dump plus the content-hash map needed to identify
+// data items across systems.
+type TavernaRDF struct {
+	Triples []TavernaTriple
+}
+
+// Taverna vocabulary.
+const (
+	tavProcessRun = "tav:processRun"
+	tavRunsTask   = "tav:runsTask"
+	tavHasInput   = "tav:hasInput"
+	tavHasOutput  = "tav:hasOutput"
+	tavDataItem   = "tav:dataItem"
+	tavHash       = "tav:contentHash"
+	tavRunBy      = "tav:runBy"
+)
+
+// ExportTaverna converts a run log into Taverna-style triples.
+func ExportTaverna(l *provenance.RunLog) *TavernaRDF {
+	out := &TavernaRDF{}
+	add := func(s, p, o string) { out.Triples = append(out.Triples, TavernaTriple{s, p, o}) }
+	for _, e := range l.Executions {
+		pr := "pr:" + e.ID
+		add(pr, "rdf:type", tavProcessRun)
+		add(pr, tavRunsTask, e.ModuleID)
+		add(pr, tavRunBy, l.Run.Agent)
+	}
+	for _, a := range l.Artifacts {
+		di := "data:" + a.ID
+		add(di, "rdf:type", tavDataItem)
+		add(di, tavHash, a.ContentHash)
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactUsed:
+			add("pr:"+ev.ExecutionID, tavHasInput, "data:"+ev.ArtifactID)
+		case provenance.EventArtifactGen:
+			add("pr:"+ev.ExecutionID, tavHasOutput, "data:"+ev.ArtifactID)
+		}
+	}
+	return out
+}
+
+// TavernaToOPM maps Taverna triples into OPM under the given account.
+func TavernaToOPM(t *TavernaRDF, account string) (*opm.Graph, error) {
+	g := opm.NewGraph()
+	hashes := map[string]string{}
+	agents := map[string]string{} // process -> agent
+	tasks := map[string]string{}
+	var processes, dataItems []string
+	for _, tr := range t.Triples {
+		switch tr.P {
+		case "rdf:type":
+			if tr.O == tavProcessRun {
+				processes = append(processes, tr.S)
+			} else if tr.O == tavDataItem {
+				dataItems = append(dataItems, tr.S)
+			}
+		case tavHash:
+			hashes[tr.S] = tr.O
+		case tavRunBy:
+			agents[tr.S] = tr.O
+		case tavRunsTask:
+			tasks[tr.S] = tr.O
+		}
+	}
+	sort.Strings(processes)
+	sort.Strings(dataItems)
+	for _, p := range processes {
+		if err := g.AddNode(opm.Node{ID: account + "/" + p, Kind: opm.Process, Value: tasks[p]}); err != nil {
+			return nil, err
+		}
+		if ag := agents[p]; ag != "" {
+			agentID := "agent:" + ag
+			if err := g.AddNode(opm.Node{ID: agentID, Kind: opm.Agent, Value: ag}); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(opm.Edge{Kind: opm.WasControlledBy,
+				Effect: account + "/" + p, Cause: agentID, Account: account}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, d := range dataItems {
+		if err := g.AddNode(opm.Node{ID: account + "/" + d, Kind: opm.Artifact,
+			Attrs: map[string]string{"hash": hashes[d]}}); err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range t.Triples {
+		switch tr.P {
+		case tavHasInput:
+			if err := g.AddEdge(opm.Edge{Kind: opm.Used,
+				Effect: account + "/" + tr.S, Cause: account + "/" + tr.O, Account: account}); err != nil {
+				return nil, err
+			}
+		case tavHasOutput:
+			if err := g.AddEdge(opm.Edge{Kind: opm.WasGeneratedBy,
+				Effect: account + "/" + tr.O, Cause: account + "/" + tr.S, Account: account}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// --- VisTrails-style XML log -------------------------------------------------
+
+// VisTrailsLog mimics VisTrails' XML execution log [45]: module executions
+// nested under a workflow execution, each with inputs and outputs.
+type VisTrailsLog struct {
+	XMLName   xml.Name        `xml:"workflowExec"`
+	Workflow  string          `xml:"workflow,attr"`
+	User      string          `xml:"user,attr"`
+	ModExecs  []VisTrailsExec `xml:"moduleExec"`
+	DataItems []VisTrailsData `xml:"dataItem"`
+}
+
+// VisTrailsExec is one module execution record.
+type VisTrailsExec struct {
+	ID      string   `xml:"id,attr"`
+	Module  string   `xml:"module,attr"`
+	Inputs  []string `xml:"input"`
+	Outputs []string `xml:"output"`
+}
+
+// VisTrailsData declares a data item and its content hash.
+type VisTrailsData struct {
+	ID   string `xml:"id,attr"`
+	Hash string `xml:"hash,attr"`
+}
+
+// ExportVisTrails converts a run log into the VisTrails-style XML model.
+func ExportVisTrails(l *provenance.RunLog) *VisTrailsLog {
+	out := &VisTrailsLog{Workflow: l.Run.WorkflowID, User: l.Run.Agent}
+	for _, a := range l.Artifacts {
+		out.DataItems = append(out.DataItems, VisTrailsData{ID: "d" + a.ID, Hash: a.ContentHash})
+	}
+	for _, e := range l.Executions {
+		me := VisTrailsExec{ID: "x" + e.ID, Module: e.ModuleID}
+		for _, a := range l.ArtifactsUsedBy(e.ID) {
+			me.Inputs = append(me.Inputs, "d"+a.ID)
+		}
+		for _, a := range l.ArtifactsGeneratedBy(e.ID) {
+			me.Outputs = append(me.Outputs, "d"+a.ID)
+		}
+		out.ModExecs = append(out.ModExecs, me)
+	}
+	return out
+}
+
+// MarshalVisTrailsXML renders the log as XML (the on-disk dialect).
+func MarshalVisTrailsXML(v *VisTrailsLog) ([]byte, error) {
+	return xml.MarshalIndent(v, "", "  ")
+}
+
+// UnmarshalVisTrailsXML parses the XML dialect.
+func UnmarshalVisTrailsXML(data []byte) (*VisTrailsLog, error) {
+	var v VisTrailsLog
+	if err := xml.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("interop: vistrails xml: %w", err)
+	}
+	return &v, nil
+}
+
+// VisTrailsToOPM maps the XML log into OPM under the given account.
+func VisTrailsToOPM(v *VisTrailsLog, account string) (*opm.Graph, error) {
+	g := opm.NewGraph()
+	agent := "agent:" + v.User
+	if err := g.AddNode(opm.Node{ID: agent, Kind: opm.Agent, Value: v.User}); err != nil {
+		return nil, err
+	}
+	for _, d := range v.DataItems {
+		if err := g.AddNode(opm.Node{ID: account + "/" + d.ID, Kind: opm.Artifact,
+			Attrs: map[string]string{"hash": d.Hash}}); err != nil {
+			return nil, err
+		}
+	}
+	for _, me := range v.ModExecs {
+		pid := account + "/" + me.ID
+		if err := g.AddNode(opm.Node{ID: pid, Kind: opm.Process, Value: me.Module}); err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(opm.Edge{Kind: opm.WasControlledBy, Effect: pid, Cause: agent, Account: account}); err != nil {
+			return nil, err
+		}
+		for _, in := range me.Inputs {
+			if err := g.AddEdge(opm.Edge{Kind: opm.Used, Effect: pid,
+				Cause: account + "/" + in, Account: account}); err != nil {
+				return nil, err
+			}
+		}
+		for _, out := range me.Outputs {
+			if err := g.AddEdge(opm.Edge{Kind: opm.WasGeneratedBy,
+				Effect: account + "/" + out, Cause: pid, Account: account}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// --- Integration --------------------------------------------------------------
+
+// Integrate merges per-system OPM graphs into one, unifying artifacts by
+// content hash: artifacts asserted by different systems with equal hashes
+// become one node ("hash:<prefix>"), which is exactly how challenge teams
+// joined their traces (file checksums). Processes and agents stay
+// per-system.
+func Integrate(graphs ...*opm.Graph) (*opm.Graph, error) {
+	out := opm.NewGraph()
+	rename := func(g *opm.Graph, id string) string {
+		n := g.Nodes[id]
+		if n != nil && n.Kind == opm.Artifact && n.Attrs["hash"] != "" {
+			return "hash:" + n.Attrs["hash"]
+		}
+		return id
+	}
+	for _, g := range graphs {
+		ids := make([]string, 0, len(g.Nodes))
+		for id := range g.Nodes {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			n := *g.Nodes[id]
+			n.ID = rename(g, id)
+			if err := out.AddNode(n); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range g.Edges {
+			me := e
+			me.Effect = rename(g, e.Effect)
+			me.Cause = rename(g, e.Cause)
+			if out.HasEdge(me.Kind, me.Effect, me.Cause) {
+				continue
+			}
+			if err := out.AddEdge(me); err != nil {
+				return nil, err
+			}
+		}
+		for acc := range g.Accounts {
+			out.Accounts[acc] = true
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("interop: integrated graph invalid: %w", err)
+	}
+	return out, nil
+}
+
+// SystemGraphs exports each stage run through its system's native format
+// and converts to OPM: the full pipeline native → OPM per system.
+func SystemGraphs(runs []*StageRun) ([]*opm.Graph, error) {
+	if len(runs) != 3 {
+		return nil, fmt.Errorf("interop: want 3 stage runs, got %d", len(runs))
+	}
+	k := ExportKepler(runs[0].Log)
+	gk, err := KeplerToOPM(k, runs[0].System)
+	if err != nil {
+		return nil, err
+	}
+	tv := ExportTaverna(runs[1].Log)
+	gt, err := TavernaToOPM(tv, runs[1].System)
+	if err != nil {
+		return nil, err
+	}
+	vtXML, err := MarshalVisTrailsXML(ExportVisTrails(runs[2].Log))
+	if err != nil {
+		return nil, err
+	}
+	vt, err := UnmarshalVisTrailsXML(vtXML)
+	if err != nil {
+		return nil, err
+	}
+	gv, err := VisTrailsToOPM(vt, runs[2].System)
+	if err != nil {
+		return nil, err
+	}
+	return []*opm.Graph{gk, gt, gv}, nil
+}
+
+// moduleOfProcess extracts the module name recorded on an OPM process node.
+func moduleOfProcess(g *opm.Graph, id string) string {
+	n := g.Nodes[id]
+	if n == nil {
+		return ""
+	}
+	return strings.TrimSpace(n.Value)
+}

@@ -1,0 +1,257 @@
+package interop
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/opm"
+)
+
+func pipelineRuns(t *testing.T) []*StageRun {
+	t.Helper()
+	runs, err := RunPipeline(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("stage runs = %d", len(runs))
+	}
+	return runs
+}
+
+func TestPipelineStagesRun(t *testing.T) {
+	runs := pipelineRuns(t)
+	// Stage 1: 4 aligns + 4 reslices.
+	if len(runs[0].Log.Executions) != 8 {
+		t.Fatalf("stage1 executions = %d", len(runs[0].Log.Executions))
+	}
+	// Stage 2: softmean only.
+	if len(runs[1].Log.Executions) != 1 {
+		t.Fatalf("stage2 executions = %d", len(runs[1].Log.Executions))
+	}
+	// Stage 3: 3 slicers + 3 converts.
+	if len(runs[2].Log.Executions) != 6 {
+		t.Fatalf("stage3 executions = %d", len(runs[2].Log.Executions))
+	}
+	// Hand-off: stage2's input hashes equal stage1's resliced outputs.
+	resliced := map[string]bool{}
+	for _, a := range runs[0].Log.Artifacts {
+		if a.Type == TypeResliced {
+			resliced[a.ContentHash] = true
+		}
+	}
+	crossed := 0
+	for _, a := range runs[1].Log.Artifacts {
+		if resliced[a.ContentHash] {
+			crossed++
+		}
+	}
+	if crossed != 4 {
+		t.Fatalf("hand-off artifacts = %d, want 4", crossed)
+	}
+}
+
+func TestKeplerExportImport(t *testing.T) {
+	runs := pipelineRuns(t)
+	k := ExportKepler(runs[0].Log)
+	if len(k.Events) == 0 || k.User != "challenge-team-1" {
+		t.Fatalf("kepler log = %d events, user %q", len(k.Events), k.User)
+	}
+	g, err := KeplerToOPM(k, "kepler-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stat()
+	if st.Processes != 8 {
+		t.Fatalf("processes = %d", st.Processes)
+	}
+	// 12 raw inputs (4 image + 4 reference + 4 reslice-image) + 4 warps +
+	// 4 resliced = but raw inputs shared? anatomy image used twice has one
+	// artifact per RecordInput call; just require >= 12.
+	if st.Artifacts < 12 {
+		t.Fatalf("artifacts = %d", st.Artifacts)
+	}
+}
+
+func TestTavernaExportImport(t *testing.T) {
+	runs := pipelineRuns(t)
+	tv := ExportTaverna(runs[1].Log)
+	if len(tv.Triples) == 0 {
+		t.Fatal("no triples")
+	}
+	g, err := TavernaToOPM(tv, "taverna-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stat()
+	if st.Processes != 1 || st.EdgesByKind[opm.Used] != 4 || st.EdgesByKind[opm.WasGeneratedBy] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVisTrailsXMLRoundTrip(t *testing.T) {
+	runs := pipelineRuns(t)
+	v := ExportVisTrails(runs[2].Log)
+	data, err := MarshalVisTrailsXML(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalVisTrailsXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ModExecs) != 6 || len(back.DataItems) != len(v.DataItems) {
+		t.Fatalf("round trip: %d execs %d data", len(back.ModExecs), len(back.DataItems))
+	}
+	g, err := VisTrailsToOPM(back, "vistrails-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stat().Processes != 6 {
+		t.Fatalf("processes = %d", g.Stat().Processes)
+	}
+}
+
+func TestIntegrationUnifiesByHash(t *testing.T) {
+	runs := pipelineRuns(t)
+	graphs, err := SystemGraphs(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Integrate(graphs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every artifact node in the merged graph is hash-keyed.
+	for id, n := range merged.Nodes {
+		if n.Kind == opm.Artifact && !strings.HasPrefix(id, "hash:") {
+			t.Fatalf("artifact %q not unified", id)
+		}
+	}
+	// The resliced images appear once each, although two systems assert
+	// them: total artifacts < sum of per-system artifacts.
+	sum := 0
+	for _, g := range graphs {
+		sum += g.Stat().Artifacts
+	}
+	if merged.Stat().Artifacts >= sum {
+		t.Fatalf("no unification: %d vs %d", merged.Stat().Artifacts, sum)
+	}
+	// All three accounts survive.
+	if len(merged.Accounts) != 3 {
+		t.Fatalf("accounts = %v", merged.Accounts)
+	}
+}
+
+func TestCrossSystemLineage(t *testing.T) {
+	runs := pipelineRuns(t)
+	graphs, err := SystemGraphs(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Integrate(graphs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A graphic's derivation ancestry must cross all three systems back to
+	// the anatomy inputs.
+	gfx := finalGraphics(merged)
+	if len(gfx) != 3 {
+		t.Fatalf("graphics = %v", gfx)
+	}
+	anc := derivationAncestors(merged, gfx[0])
+	// slice + atlas + 4 resliced + 4 warps + raw inputs.
+	if len(anc) < 10 {
+		t.Fatalf("integrated ancestry = %d nodes (%v)", len(anc), anc)
+	}
+	// Single-system ancestry stops at the stage boundary.
+	ancSingle := derivationAncestors(graphs[2], "")
+	_ = ancSingle
+	gfxSingle := finalGraphics(graphs[2])
+	ancS := derivationAncestors(graphs[2], gfxSingle[0])
+	if len(ancS) >= len(anc) {
+		t.Fatalf("single-system ancestry (%d) not smaller than integrated (%d)", len(ancS), len(anc))
+	}
+}
+
+func TestChallengeSuiteShape(t *testing.T) {
+	runs := pipelineRuns(t)
+	graphs, err := SystemGraphs(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Integrate(graphs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"kepler-sim", "taverna-sim", "vistrails-sim"}
+	singleBest := 0
+	for i, g := range graphs {
+		r := RunSuite(names[i], g)
+		if r.Answered > singleBest {
+			singleBest = r.Answered
+		}
+		if r.Answered == r.Total {
+			t.Fatalf("%s alone answers everything (%d/%d)", names[i], r.Answered, r.Total)
+		}
+	}
+	rm := RunSuite("integrated", merged)
+	// The integration claim: strictly more queries answerable.
+	if rm.Answered <= singleBest {
+		t.Fatalf("integrated answers %d, best single %d", rm.Answered, singleBest)
+	}
+	if rm.Answered != rm.Total {
+		t.Logf("integrated answerable: %+v", rm.Answerable)
+		t.Fatalf("integrated answers %d/%d", rm.Answered, rm.Total)
+	}
+}
+
+func TestBuildStageErrors(t *testing.T) {
+	if _, err := BuildStage(Stage(99), 4); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+}
+
+func TestStagesDeterministic(t *testing.T) {
+	a := pipelineRuns(t)
+	b := pipelineRuns(t)
+	// Final graphics hashes agree across pipeline executions.
+	ha := a[2].Outputs["convert_x.graphic"].Hash()
+	hb := b[2].Outputs["convert_x.graphic"].Hash()
+	if ha != hb {
+		t.Fatal("pipeline not deterministic")
+	}
+}
+
+func TestIntegratedGraphAuditableByAccount(t *testing.T) {
+	runs := pipelineRuns(t)
+	graphs, err := SystemGraphs(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Integrate(graphs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each system's account view of the merged graph asserts exactly the
+	// same number of use/generate edges as its standalone graph.
+	names := []string{"kepler-sim", "taverna-sim", "vistrails-sim"}
+	for i, name := range names {
+		view := merged.FilterAccount(name)
+		want := graphs[i].Stat()
+		got := view.Stat()
+		if got.EdgesByKind[opm.Used] != want.EdgesByKind[opm.Used] ||
+			got.EdgesByKind[opm.WasGeneratedBy] != want.EdgesByKind[opm.WasGeneratedBy] {
+			t.Fatalf("%s audit view: %+v vs %+v", name, got.EdgesByKind, want.EdgesByKind)
+		}
+	}
+}

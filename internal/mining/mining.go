@@ -1,0 +1,269 @@
+// Package mining implements provenance analytics (§2.4 "Provenance
+// analytics and visualization"): extracting knowledge from collections of
+// workflows and run logs. It provides the primitives the paper says are
+// "largely unexplored": frequent dataflow-path mining, module co-occurrence
+// statistics, next-module suggestion for workflow design assistance [34],
+// and failure correlation for debugging.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+)
+
+// PathCount is a module-type path with its support (number of workflows
+// containing it).
+type PathCount struct {
+	Path    []string // module types, in dataflow order
+	Support int
+}
+
+// FrequentPaths mines dataflow paths of length up to maxLen (edges) whose
+// support reaches minSupport workflows. Paths are type-level: the concrete
+// module IDs are abstracted away so patterns transfer across workflows.
+func FrequentPaths(workflows []*workflow.Workflow, maxLen, minSupport int) []PathCount {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	support := map[string]map[string]bool{} // path key -> workflow IDs
+	for _, wf := range workflows {
+		for _, path := range typePaths(wf, maxLen) {
+			key := strings.Join(path, "→")
+			if support[key] == nil {
+				support[key] = map[string]bool{}
+			}
+			support[key][wf.ID] = true
+		}
+	}
+	var out []PathCount
+	for key, wfs := range support {
+		if len(wfs) >= minSupport {
+			out = append(out, PathCount{Path: strings.Split(key, "→"), Support: len(wfs)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return strings.Join(out[i].Path, "→") < strings.Join(out[j].Path, "→")
+	})
+	return out
+}
+
+// typePaths enumerates all simple type-level paths with 1..maxLen edges.
+func typePaths(wf *workflow.Workflow, maxLen int) [][]string {
+	adj := map[string][]string{}
+	for _, c := range wf.Connections {
+		adj[c.SrcModule] = append(adj[c.SrcModule], c.DstModule)
+	}
+	typeOf := map[string]string{}
+	for _, m := range wf.Modules {
+		typeOf[m.ID] = m.Type
+	}
+	var out [][]string
+	var walk func(at string, path []string)
+	walk = func(at string, path []string) {
+		if len(path) > 1 {
+			cp := make([]string, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+		}
+		if len(path) > maxLen {
+			return
+		}
+		next := append([]string(nil), adj[at]...)
+		sort.Strings(next)
+		for _, n := range next {
+			walk(n, append(path, typeOf[n]))
+		}
+	}
+	ids := make([]string, 0, len(typeOf))
+	for id := range typeOf {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		walk(id, []string{typeOf[id]})
+	}
+	return out
+}
+
+// CoOccurrence counts, for each pair of module types, in how many
+// workflows they appear together. Keys are "A|B" with A < B.
+func CoOccurrence(workflows []*workflow.Workflow) map[string]int {
+	out := map[string]int{}
+	for _, wf := range workflows {
+		types := map[string]bool{}
+		for _, m := range wf.Modules {
+			types[m.Type] = true
+		}
+		list := make([]string, 0, len(types))
+		for t := range types {
+			list = append(list, t)
+		}
+		sort.Strings(list)
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				out[list[i]+"|"+list[j]]++
+			}
+		}
+	}
+	return out
+}
+
+// Suggestion is a recommended next module type with a confidence score.
+type Suggestion struct {
+	ModuleType string
+	Confidence float64 // support(downstream|current) / support(current)
+}
+
+// SuggestNext recommends module types that historically follow the given
+// type in the corpus: the design-assistance use of provenance mining
+// ("useful knowledge is embedded in provenance which can be re-used to
+// simplify the construction of workflows", §2.3).
+func SuggestNext(workflows []*workflow.Workflow, moduleType string, topK int) []Suggestion {
+	followCount := map[string]int{}
+	baseCount := 0
+	for _, wf := range workflows {
+		typeOf := map[string]string{}
+		for _, m := range wf.Modules {
+			typeOf[m.ID] = m.Type
+		}
+		seenBase := false
+		followed := map[string]bool{}
+		for _, c := range wf.Connections {
+			if typeOf[c.SrcModule] == moduleType {
+				seenBase = true
+				followed[typeOf[c.DstModule]] = true
+			}
+		}
+		if seenBase {
+			baseCount++
+			for t := range followed {
+				followCount[t]++
+			}
+		}
+	}
+	if baseCount == 0 {
+		return nil
+	}
+	out := make([]Suggestion, 0, len(followCount))
+	for t, n := range followCount {
+		out = append(out, Suggestion{ModuleType: t, Confidence: float64(n) / float64(baseCount)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].ModuleType < out[j].ModuleType
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// FailureStats correlates module types with failure rates across run logs:
+// the debugging application of provenance analytics.
+type FailureStats struct {
+	ModuleType string
+	Runs       int
+	Failures   int
+	Rate       float64
+}
+
+// FailureCorrelation computes per-module-type failure rates, sorted by
+// descending rate then type.
+func FailureCorrelation(logs []*provenance.RunLog) []FailureStats {
+	runs := map[string]int{}
+	fails := map[string]int{}
+	for _, l := range logs {
+		for _, e := range l.Executions {
+			runs[e.ModuleType]++
+			if e.Status == provenance.StatusFailed {
+				fails[e.ModuleType]++
+			}
+		}
+	}
+	out := make([]FailureStats, 0, len(runs))
+	for t, n := range runs {
+		fs := FailureStats{ModuleType: t, Runs: n, Failures: fails[t]}
+		fs.Rate = float64(fs.Failures) / float64(n)
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].ModuleType < out[j].ModuleType
+	})
+	return out
+}
+
+// HotArtifacts returns the artifacts most frequently consumed across runs
+// (re-use analysis): content hashes with use counts, descending.
+type HotArtifact struct {
+	ContentHash string
+	Uses        int
+	Type        string
+}
+
+// HotArtifacts ranks artifacts by cross-run consumption.
+func HotArtifacts(logs []*provenance.RunLog, topK int) []HotArtifact {
+	uses := map[string]int{}
+	types := map[string]string{}
+	for _, l := range logs {
+		hashOf := map[string]string{}
+		for _, a := range l.Artifacts {
+			hashOf[a.ID] = a.ContentHash
+			types[a.ContentHash] = a.Type
+		}
+		for _, ev := range l.Events {
+			if ev.Kind == provenance.EventArtifactUsed {
+				uses[hashOf[ev.ArtifactID]]++
+			}
+		}
+	}
+	out := make([]HotArtifact, 0, len(uses))
+	for h, n := range uses {
+		out = append(out, HotArtifact{ContentHash: h, Uses: n, Type: types[h]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Uses != out[j].Uses {
+			return out[i].Uses > out[j].Uses
+		}
+		return out[i].ContentHash < out[j].ContentHash
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// Report renders a summary of a corpus: the "insightful visualization"
+// text form.
+func Report(workflows []*workflow.Workflow, logs []*provenance.RunLog) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "corpus: %d workflows, %d runs\n", len(workflows), len(logs))
+	paths := FrequentPaths(workflows, 2, 2)
+	fmt.Fprintf(&b, "frequent paths (support >= 2):\n")
+	for i, p := range paths {
+		if i == 10 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-40s %d\n", strings.Join(p.Path, " → "), p.Support)
+	}
+	fails := FailureCorrelation(logs)
+	fmt.Fprintf(&b, "failure rates:\n")
+	for _, f := range fails {
+		if f.Failures == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-20s %d/%d (%.0f%%)\n", f.ModuleType, f.Failures, f.Runs, f.Rate*100)
+	}
+	return b.String()
+}

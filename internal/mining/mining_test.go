@@ -1,0 +1,172 @@
+package mining
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func corpus() []*workflow.Workflow {
+	return []*workflow.Workflow{
+		workloads.MedicalImaging(),
+		workloads.SmoothedImaging(),
+		workloads.DownloadAndRender(),
+		workloads.DownloadAndRenderSmoothed(),
+		workloads.Genomics("s1"),
+		workloads.Genomics("s2"),
+		workloads.Forecasting("st1"),
+	}
+}
+
+func TestFrequentPaths(t *testing.T) {
+	paths := FrequentPaths(corpus(), 2, 2)
+	if len(paths) == 0 {
+		t.Fatal("no frequent paths")
+	}
+	// Contour→Render appears in medimg and dl-render (support 2);
+	// Contour→Smooth→Render in the two smoothed variants (support 2).
+	found := map[string]int{}
+	for _, p := range paths {
+		found[strings.Join(p.Path, "→")] = p.Support
+	}
+	if found["Contour→Render"] < 2 {
+		t.Fatalf("Contour→Render support = %d (%v)", found["Contour→Render"], found)
+	}
+	if found["Contour→Smooth→Render"] < 2 {
+		t.Fatalf("smooth path support = %d", found["Contour→Smooth→Render"])
+	}
+	// Genomics chain supported by both genomics workflows.
+	if found["Trim→Align"] < 2 {
+		t.Fatalf("Trim→Align support = %d", found["Trim→Align"])
+	}
+	// Ordering: descending support.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Support > paths[i-1].Support {
+			t.Fatal("paths not sorted by support")
+		}
+	}
+}
+
+func TestFrequentPathsMinSupportFilters(t *testing.T) {
+	all := FrequentPaths(corpus(), 2, 1)
+	some := FrequentPaths(corpus(), 2, 3)
+	if len(some) >= len(all) {
+		t.Fatalf("minSupport did not filter: %d vs %d", len(some), len(all))
+	}
+}
+
+func TestCoOccurrence(t *testing.T) {
+	co := CoOccurrence(corpus())
+	// Contour and Render co-occur in 4 workflows.
+	if co["Contour|Render"] != 4 {
+		t.Fatalf("Contour|Render = %d", co["Contour|Render"])
+	}
+	// Histogram only appears with FileReader (medimg variants).
+	if co["FileReader|Histogram"] != 2 {
+		t.Fatalf("FileReader|Histogram = %d", co["FileReader|Histogram"])
+	}
+	if co["Align|Render"] != 0 {
+		t.Fatalf("unrelated pair = %d", co["Align|Render"])
+	}
+}
+
+func TestSuggestNext(t *testing.T) {
+	sug := SuggestNext(corpus(), "Contour", 5)
+	if len(sug) == 0 {
+		t.Fatal("no suggestions")
+	}
+	// After Contour: Render (2 of 4 workflows) and Smooth (2 of 4).
+	conf := map[string]float64{}
+	for _, s := range sug {
+		conf[s.ModuleType] = s.Confidence
+	}
+	if conf["Render"] != 0.5 || conf["Smooth"] != 0.5 {
+		t.Fatalf("confidences = %v", conf)
+	}
+	// After Trim: always Align.
+	sug = SuggestNext(corpus(), "Trim", 5)
+	if len(sug) != 1 || sug[0].ModuleType != "Align" || sug[0].Confidence != 1 {
+		t.Fatalf("Trim suggestions = %+v", sug)
+	}
+	// Unknown type: nil.
+	if SuggestNext(corpus(), "NoSuch", 5) != nil {
+		t.Fatal("suggestions for unknown type")
+	}
+}
+
+func TestSuggestNextTopK(t *testing.T) {
+	sug := SuggestNext(corpus(), "Contour", 1)
+	if len(sug) != 1 {
+		t.Fatalf("topK ignored: %d", len(sug))
+	}
+}
+
+// runLogs executes medimg twice (one run with an injected failure).
+func runLogs(t *testing.T) []*provenance.RunLog {
+	t.Helper()
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	col := provenance.NewCollector()
+	ok := engine.New(engine.Options{Registry: reg, Recorder: col})
+	if _, err := ok.Run(context.Background(), workloads.MedicalImaging(), nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := engine.New(engine.Options{Registry: reg, Recorder: col,
+		Faults: map[string]string{"contour": "simulated crash"}})
+	if _, err := bad.Run(context.Background(), workloads.MedicalImaging(), nil); err != nil {
+		t.Fatal(err)
+	}
+	return col.Logs()
+}
+
+func TestFailureCorrelation(t *testing.T) {
+	stats := FailureCorrelation(runLogs(t))
+	byType := map[string]FailureStats{}
+	for _, s := range stats {
+		byType[s.ModuleType] = s
+	}
+	if byType["Contour"].Failures != 1 || byType["Contour"].Runs != 2 {
+		t.Fatalf("contour stats = %+v", byType["Contour"])
+	}
+	if byType["Contour"].Rate != 0.5 {
+		t.Fatalf("contour rate = %v", byType["Contour"].Rate)
+	}
+	if byType["FileReader"].Failures != 0 {
+		t.Fatalf("reader failures = %+v", byType["FileReader"])
+	}
+	// Sorted by rate descending: Contour (0.5) before FileReader (0).
+	if stats[0].ModuleType != "Contour" && stats[0].ModuleType != "Render" {
+		// Render is skipped, not failed.
+		t.Fatalf("top = %+v", stats[0])
+	}
+}
+
+func TestHotArtifacts(t *testing.T) {
+	logs := runLogs(t)
+	hot := HotArtifacts(logs, 3)
+	if len(hot) == 0 {
+		t.Fatal("no hot artifacts")
+	}
+	// The grid is consumed by histogram+contour in each of 2 runs.
+	if hot[0].Uses < 3 || hot[0].Type != workloads.TypeGrid {
+		t.Fatalf("hottest = %+v", hot[0])
+	}
+	if len(hot) > 3 {
+		t.Fatal("topK ignored")
+	}
+}
+
+func TestReport(t *testing.T) {
+	text := Report(corpus(), runLogs(t))
+	if !strings.Contains(text, "corpus: 7 workflows, 2 runs") {
+		t.Fatalf("report:\n%s", text)
+	}
+	if !strings.Contains(text, "Contour") {
+		t.Fatalf("report misses failure stats:\n%s", text)
+	}
+}

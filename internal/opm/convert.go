@@ -1,0 +1,199 @@
+package opm
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// FromRunLog maps native retrospective provenance into OPM under the given
+// account name: executions become processes, artifacts stay artifacts, the
+// run's agent becomes an OPM agent controlling every process, and
+// wasTriggeredBy edges are inferred from process dependencies.
+func FromRunLog(l *provenance.RunLog, account string) (*Graph, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph()
+	agentID := "agent:" + l.Run.Agent
+	if err := g.AddNode(Node{ID: agentID, Kind: Agent, Value: l.Run.Agent}); err != nil {
+		return nil, err
+	}
+	for _, a := range l.Artifacts {
+		if err := g.AddNode(Node{ID: a.ID, Kind: Artifact, Value: a.Preview,
+			Attrs: map[string]string{"type": a.Type, "hash": a.ContentHash}}); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range l.Executions {
+		if err := g.AddNode(Node{ID: e.ID, Kind: Process, Value: e.ModuleID,
+			Attrs: map[string]string{"moduleType": e.ModuleType, "status": string(e.Status)}}); err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(Edge{Kind: WasControlledBy, Effect: e.ID, Cause: agentID, Account: account}); err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactUsed:
+			if err := g.AddEdge(Edge{Kind: Used, Effect: ev.ExecutionID, Cause: ev.ArtifactID,
+				Role: ev.Port, Account: account}); err != nil {
+				return nil, err
+			}
+		case provenance.EventArtifactGen:
+			if err := g.AddEdge(Edge{Kind: WasGeneratedBy, Effect: ev.ArtifactID, Cause: ev.ExecutionID,
+				Role: ev.Port, Account: account}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Infer wasTriggeredBy from data handoffs.
+	cg, err := provenance.BuildCausalGraph(l)
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range cg.ProcessDependencies() {
+		if err := g.AddEdge(Edge{Kind: WasTriggeredBy, Effect: pair[1], Cause: pair[0], Account: account}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// xmlDoc is the document model for OPM XML serialization.
+type xmlDoc struct {
+	XMLName  xml.Name  `xml:"opmGraph"`
+	Nodes    []xmlNode `xml:"nodes>node"`
+	Edges    []Edge    `xml:"edges>edge"`
+	Accounts []string  `xml:"accounts>account"`
+}
+
+type xmlNode struct {
+	ID    string   `xml:"id,attr"`
+	Kind  NodeKind `xml:"kind,attr"`
+	Value string   `xml:"value,attr,omitempty"`
+	Attrs []xmlKV  `xml:"attr"`
+}
+
+type xmlKV struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// EncodeXML serializes the graph as a deterministic XML document.
+func EncodeXML(g *Graph) ([]byte, error) {
+	doc := xmlDoc{}
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := g.Nodes[id]
+		xn := xmlNode{ID: n.ID, Kind: n.Kind, Value: n.Value}
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			xn.Attrs = append(xn.Attrs, xmlKV{Key: k, Value: n.Attrs[k]})
+		}
+		doc.Nodes = append(doc.Nodes, xn)
+	}
+	doc.Edges = append(doc.Edges, g.Edges...)
+	for acc := range g.Accounts {
+		doc.Accounts = append(doc.Accounts, acc)
+	}
+	sort.Strings(doc.Accounts)
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+// DecodeXML parses an OPM graph from its XML form and validates it.
+func DecodeXML(data []byte) (*Graph, error) {
+	var doc xmlDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("opm: decode xml: %w", err)
+	}
+	g := NewGraph()
+	for _, xn := range doc.Nodes {
+		n := Node{ID: xn.ID, Kind: xn.Kind, Value: xn.Value}
+		if len(xn.Attrs) > 0 {
+			n.Attrs = map[string]string{}
+			for _, kv := range xn.Attrs {
+				n.Attrs[kv.Key] = kv.Value
+			}
+		}
+		if err := g.AddNode(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range doc.Edges {
+		if err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, acc := range doc.Accounts {
+		g.Accounts[acc] = true
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// jsonDoc mirrors xmlDoc for JSON interchange.
+type jsonDoc struct {
+	Nodes    []Node   `json:"nodes"`
+	Edges    []Edge   `json:"edges"`
+	Accounts []string `json:"accounts,omitempty"`
+}
+
+// EncodeJSON serializes the graph as deterministic JSON.
+func EncodeJSON(g *Graph) ([]byte, error) {
+	doc := jsonDoc{}
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		doc.Nodes = append(doc.Nodes, *g.Nodes[id])
+	}
+	doc.Edges = append(doc.Edges, g.Edges...)
+	for acc := range g.Accounts {
+		doc.Accounts = append(doc.Accounts, acc)
+	}
+	sort.Strings(doc.Accounts)
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DecodeJSON parses an OPM graph from JSON and validates it.
+func DecodeJSON(data []byte) (*Graph, error) {
+	var doc jsonDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("opm: decode json: %w", err)
+	}
+	g := NewGraph()
+	for _, n := range doc.Nodes {
+		if err := g.AddNode(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range doc.Edges {
+		if err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, acc := range doc.Accounts {
+		g.Accounts[acc] = true
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,435 @@
+// Package opm implements the Open Provenance Model (Moreau et al. [30]),
+// the standard the paper's interoperability section points to: a system-
+// independent representation into which each workflow system's native
+// provenance can be mapped, so that provenance from multiple tools can be
+// integrated (the goal of the Provenance Challenges [32, 33]).
+//
+// OPM graphs have three node kinds — Artifact, Process, Agent — and five
+// causal edge kinds:
+//
+//	used(P, A, role)             process P consumed artifact A
+//	wasGeneratedBy(A, P, role)   artifact A was produced by process P
+//	wasControlledBy(P, Ag)       process P ran on behalf of agent Ag
+//	wasTriggeredBy(P2, P1)       P2 could not start before P1
+//	wasDerivedFrom(A2, A1)       artifact A2 depends on artifact A1
+//
+// Accounts name alternative descriptions of the same execution (here: the
+// source system an assertion came from), which is what makes merged graphs
+// auditable back to their origins.
+package opm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind enumerates OPM node types.
+type NodeKind string
+
+// OPM node kinds.
+const (
+	Artifact NodeKind = "artifact"
+	Process  NodeKind = "process"
+	Agent    NodeKind = "agent"
+)
+
+// EdgeKind enumerates OPM causal dependency types.
+type EdgeKind string
+
+// OPM edge kinds.
+const (
+	Used            EdgeKind = "used"
+	WasGeneratedBy  EdgeKind = "wasGeneratedBy"
+	WasControlledBy EdgeKind = "wasControlledBy"
+	WasTriggeredBy  EdgeKind = "wasTriggeredBy"
+	WasDerivedFrom  EdgeKind = "wasDerivedFrom"
+)
+
+// Node is an OPM artifact, process or agent. Value carries a short
+// human-readable description (artifact preview, module name, user name).
+type Node struct {
+	ID    string            `json:"id" xml:"id,attr"`
+	Kind  NodeKind          `json:"kind" xml:"kind,attr"`
+	Value string            `json:"value,omitempty" xml:"value,attr,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty" xml:"-"`
+}
+
+// Edge is a causal dependency: Effect depends on Cause. For used edges the
+// effect is the process; for wasGeneratedBy the effect is the artifact.
+type Edge struct {
+	Kind    EdgeKind `json:"kind" xml:"kind,attr"`
+	Effect  string   `json:"effect" xml:"effect,attr"`
+	Cause   string   `json:"cause" xml:"cause,attr"`
+	Role    string   `json:"role,omitempty" xml:"role,attr,omitempty"`
+	Account string   `json:"account,omitempty" xml:"account,attr,omitempty"`
+}
+
+// Graph is an OPM provenance graph.
+type Graph struct {
+	Nodes    map[string]*Node
+	Edges    []Edge
+	Accounts map[string]bool
+}
+
+// NewGraph returns an empty OPM graph.
+func NewGraph() *Graph {
+	return &Graph{Nodes: map[string]*Node{}, Accounts: map[string]bool{}}
+}
+
+// AddNode inserts or merges a node: re-adding an existing ID is legal when
+// kinds agree (merging accounts), and attributes are unioned.
+func (g *Graph) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("opm: node ID must be non-empty")
+	}
+	if have, ok := g.Nodes[n.ID]; ok {
+		if have.Kind != n.Kind {
+			return fmt.Errorf("opm: node %q is both %s and %s", n.ID, have.Kind, n.Kind)
+		}
+		if have.Value == "" {
+			have.Value = n.Value
+		}
+		for k, v := range n.Attrs {
+			if have.Attrs == nil {
+				have.Attrs = map[string]string{}
+			}
+			if _, exists := have.Attrs[k]; !exists {
+				have.Attrs[k] = v
+			}
+		}
+		return nil
+	}
+	cp := n
+	if n.Attrs != nil {
+		cp.Attrs = map[string]string{}
+		for k, v := range n.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	g.Nodes[n.ID] = &cp
+	return nil
+}
+
+var edgeShape = map[EdgeKind][2]NodeKind{
+	Used:            {Process, Artifact},
+	WasGeneratedBy:  {Artifact, Process},
+	WasControlledBy: {Process, Agent},
+	WasTriggeredBy:  {Process, Process},
+	WasDerivedFrom:  {Artifact, Artifact},
+}
+
+// AddEdge inserts a causal edge after checking the endpoints exist and have
+// the node kinds the edge kind requires.
+func (g *Graph) AddEdge(e Edge) error {
+	shape, ok := edgeShape[e.Kind]
+	if !ok {
+		return fmt.Errorf("opm: unknown edge kind %q", e.Kind)
+	}
+	eff, ok := g.Nodes[e.Effect]
+	if !ok {
+		return fmt.Errorf("opm: %s effect %q not found", e.Kind, e.Effect)
+	}
+	cause, ok := g.Nodes[e.Cause]
+	if !ok {
+		return fmt.Errorf("opm: %s cause %q not found", e.Kind, e.Cause)
+	}
+	if eff.Kind != shape[0] || cause.Kind != shape[1] {
+		return fmt.Errorf("opm: %s requires %s->%s, got %s->%s",
+			e.Kind, shape[0], shape[1], eff.Kind, cause.Kind)
+	}
+	if e.Account != "" {
+		g.Accounts[e.Account] = true
+	}
+	g.Edges = append(g.Edges, e)
+	return nil
+}
+
+// NodesOfKind returns node IDs of the given kind, sorted.
+func (g *Graph) NodesOfKind(kind NodeKind) []string {
+	var out []string
+	for id, n := range g.Nodes {
+		if n.Kind == kind {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgesOfKind returns edges of the given kind in stable order.
+func (g *Graph) EdgesOfKind(kind EdgeKind) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Effect != b.Effect {
+			return a.Effect < b.Effect
+		}
+		if a.Cause != b.Cause {
+			return a.Cause < b.Cause
+		}
+		return a.Role < b.Role
+	})
+	return out
+}
+
+// HasEdge reports whether an exact (kind, effect, cause) edge exists in any
+// account.
+func (g *Graph) HasEdge(kind EdgeKind, effect, cause string) bool {
+	for _, e := range g.Edges {
+		if e.Kind == kind && e.Effect == effect && e.Cause == cause {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks OPM legality: within each account an artifact is
+// generated by at most one process, and the causal graph (effect depends on
+// cause) is acyclic.
+func (g *Graph) Validate() error {
+	genBy := map[string]map[string]string{} // account -> artifact -> process
+	for _, e := range g.Edges {
+		if e.Kind != WasGeneratedBy {
+			continue
+		}
+		acc := e.Account
+		if genBy[acc] == nil {
+			genBy[acc] = map[string]string{}
+		}
+		if prev, ok := genBy[acc][e.Effect]; ok && prev != e.Cause {
+			return fmt.Errorf("opm: artifact %q generated by both %q and %q in account %q",
+				e.Effect, prev, e.Cause, acc)
+		}
+		genBy[acc][e.Effect] = e.Cause
+	}
+	// Cycle check over cause -> effect direction.
+	adj := map[string][]string{}
+	for _, e := range g.Edges {
+		adj[e.Cause] = append(adj[e.Cause], e.Effect)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(id string) error {
+		color[id] = gray
+		for _, next := range adj[id] {
+			switch color[next] {
+			case gray:
+				return fmt.Errorf("opm: causal cycle through %q", next)
+			case white:
+				if err := visit(next); err != nil {
+					return err
+				}
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for id := range g.Nodes {
+		if color[id] == white {
+			if err := visit(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Merge unions another OPM graph into this one (the Provenance-Challenge
+// integration step): nodes merge by ID, edges are deduplicated by
+// (kind, effect, cause, role, account).
+func (g *Graph) Merge(other *Graph) error {
+	ids := make([]string, 0, len(other.Nodes))
+	for id := range other.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := g.AddNode(*other.Nodes[id]); err != nil {
+			return err
+		}
+	}
+	have := map[[5]string]bool{}
+	for _, e := range g.Edges {
+		have[[5]string{string(e.Kind), e.Effect, e.Cause, e.Role, e.Account}] = true
+	}
+	for _, e := range other.Edges {
+		key := [5]string{string(e.Kind), e.Effect, e.Cause, e.Role, e.Account}
+		if have[key] {
+			continue
+		}
+		have[key] = true
+		if err := g.AddEdge(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompleteDerivations applies the OPM inference rule
+//
+//	wasGeneratedBy(A2, P) ∧ used(P, A1)  ⇒  wasDerivedFrom*(A2, A1)
+//
+// and returns the full one-step derivation set (asserted plus inferred),
+// deduplicated and sorted. It does not mutate the graph.
+func (g *Graph) CompleteDerivations() []Edge {
+	usedBy := map[string][]string{} // process -> artifacts used
+	for _, e := range g.Edges {
+		if e.Kind == Used {
+			usedBy[e.Effect] = append(usedBy[e.Effect], e.Cause)
+		}
+	}
+	seen := map[[2]string]bool{}
+	var out []Edge
+	add := func(effect, cause, account string) {
+		key := [2]string{effect, cause}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Edge{Kind: WasDerivedFrom, Effect: effect, Cause: cause, Account: account})
+	}
+	for _, e := range g.Edges {
+		if e.Kind == WasDerivedFrom {
+			add(e.Effect, e.Cause, e.Account)
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Kind != WasGeneratedBy {
+			continue
+		}
+		for _, a1 := range usedBy[e.Cause] {
+			add(e.Effect, a1, e.Account)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Effect != out[j].Effect {
+			return out[i].Effect < out[j].Effect
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// TransitiveDerivations returns every (A, ancestor) pair in the transitive
+// closure of the completed derivation relation.
+func (g *Graph) TransitiveDerivations() map[string][]string {
+	direct := map[string][]string{}
+	for _, e := range g.CompleteDerivations() {
+		direct[e.Effect] = append(direct[e.Effect], e.Cause)
+	}
+	memo := map[string][]string{}
+	var visit func(string, map[string]bool) map[string]bool
+	visit = func(id string, guard map[string]bool) map[string]bool {
+		set := map[string]bool{}
+		if guard[id] {
+			return set
+		}
+		guard[id] = true
+		for _, c := range direct[id] {
+			set[c] = true
+			for _, deep := range visitMemo(c, memo, visit, guard) {
+				set[deep] = true
+			}
+		}
+		delete(guard, id)
+		return set
+	}
+	out := map[string][]string{}
+	for id := range g.Nodes {
+		if g.Nodes[id].Kind != Artifact {
+			continue
+		}
+		set := visit(id, map[string]bool{})
+		if len(set) == 0 {
+			continue
+		}
+		list := make([]string, 0, len(set))
+		for c := range set {
+			list = append(list, c)
+		}
+		sort.Strings(list)
+		out[id] = list
+	}
+	return out
+}
+
+func visitMemo(id string, memo map[string][]string, visit func(string, map[string]bool) map[string]bool, guard map[string]bool) []string {
+	if have, ok := memo[id]; ok {
+		return have
+	}
+	set := visit(id, guard)
+	list := make([]string, 0, len(set))
+	for c := range set {
+		list = append(list, c)
+	}
+	sort.Strings(list)
+	memo[id] = list
+	return list
+}
+
+// FilterAccount returns the sub-graph asserted by one account: the audit
+// view of a merged graph ("what did system X actually claim?"). Nodes are
+// kept when incident to a retained edge; isolated nodes are dropped.
+func (g *Graph) FilterAccount(account string) *Graph {
+	out := NewGraph()
+	keep := map[string]bool{}
+	for _, e := range g.Edges {
+		if e.Account == account {
+			keep[e.Effect] = true
+			keep[e.Cause] = true
+		}
+	}
+	ids := make([]string, 0, len(keep))
+	for id := range keep {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		_ = out.AddNode(*g.Nodes[id])
+	}
+	for _, e := range g.Edges {
+		if e.Account == account {
+			_ = out.AddEdge(e)
+		}
+	}
+	if len(out.Edges) > 0 {
+		out.Accounts[account] = true
+	}
+	return out
+}
+
+// Stats summarizes graph composition.
+type Stats struct {
+	Artifacts, Processes, Agents int
+	EdgesByKind                  map[EdgeKind]int
+	Accounts                     int
+}
+
+// Stat computes summary statistics.
+func (g *Graph) Stat() Stats {
+	s := Stats{EdgesByKind: map[EdgeKind]int{}, Accounts: len(g.Accounts)}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Artifact:
+			s.Artifacts++
+		case Process:
+			s.Processes++
+		case Agent:
+			s.Agents++
+		}
+	}
+	for _, e := range g.Edges {
+		s.EdgesByKind[e.Kind]++
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+// Package params implements provenance-backed parameter-space exploration
+// (§2.3: "scalable exploration of large parameter spaces" and comparison of
+// the resulting data products). A sweep is the cartesian product of
+// per-parameter value lists; each point is executed as an ordinary run —
+// capturing full provenance — and the results are collected for comparison.
+// Combined with the engine cache, only the modules downstream of a changed
+// parameter re-execute.
+package params
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/workflow"
+)
+
+// Axis is one swept parameter.
+type Axis struct {
+	ModuleID string
+	Param    string
+	Values   []string
+}
+
+// Sweep is a parameter space over a base workflow.
+type Sweep struct {
+	Base *workflow.Workflow
+	Axes []Axis
+}
+
+// Point is one assignment of all axes.
+type Point map[string]string // "module.param" -> value
+
+// key renders the point deterministically.
+func (p Point) key() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "=" + p[k] + ";"
+	}
+	return out
+}
+
+// Points enumerates the cartesian product in deterministic order.
+func (s *Sweep) Points() ([]Point, error) {
+	for _, ax := range s.Axes {
+		if s.Base.Module(ax.ModuleID) == nil {
+			return nil, fmt.Errorf("params: sweep axis references unknown module %q", ax.ModuleID)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("params: axis %s.%s has no values", ax.ModuleID, ax.Param)
+		}
+	}
+	points := []Point{{}}
+	for _, ax := range s.Axes {
+		var next []Point
+		for _, base := range points {
+			for _, v := range ax.Values {
+				p := Point{}
+				for k, val := range base {
+					p[k] = val
+				}
+				p[ax.ModuleID+"."+ax.Param] = v
+				next = append(next, p)
+			}
+		}
+		points = next
+	}
+	return points, nil
+}
+
+// Size returns the number of points without materializing them.
+func (s *Sweep) Size() int {
+	n := 1
+	for _, ax := range s.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}
+
+// Outcome is the result of one sweep point.
+type Outcome struct {
+	Point  Point
+	RunID  string
+	Result *engine.Result
+	Err    error
+}
+
+// Options tunes sweep execution.
+type Options struct {
+	// Workers bounds concurrently executing points (<=0: 4).
+	Workers int
+	// Collect names the outputs ("module.port") to retain per point; nil
+	// retains all.
+	Collect []string
+}
+
+// Run executes every point of the sweep on the engine. Each point clones
+// the base workflow, applies its assignment, and runs. Outcomes are in
+// point-enumeration order.
+func Run(ctx context.Context, e *engine.Engine, s *Sweep, opt Options) ([]*Outcome, error) {
+	points, err := s.Points()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	out := make([]*Outcome, len(points))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p Point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			oc := &Outcome{Point: p}
+			defer func() { out[i] = oc }()
+			wf := s.Base.Clone()
+			wf.ID = fmt.Sprintf("%s#%s", s.Base.ID, p.key())
+			for key, v := range p {
+				d := lastDot(key)
+				if d < 0 {
+					oc.Err = fmt.Errorf("params: malformed point key %q", key)
+					return
+				}
+				if err := wf.SetParam(key[:d], key[d+1:], v); err != nil {
+					oc.Err = err
+					return
+				}
+			}
+			res, err := e.Run(ctx, wf, nil)
+			oc.Err = err
+			oc.Result = res
+			if res != nil {
+				oc.RunID = res.RunID
+				if opt.Collect != nil {
+					kept := map[string]engine.Value{}
+					for _, k := range opt.Collect {
+						if v, ok := res.Outputs[k]; ok {
+							kept[k] = v
+						}
+					}
+					res.Outputs = kept
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// Compare groups outcomes by the content hash of a chosen output, answering
+// "which parameter settings produce identical data products?". Keys are
+// hashes; values are the points (in order) that produced them.
+func Compare(outcomes []*Outcome, output string) map[string][]Point {
+	groups := map[string][]Point{}
+	for _, oc := range outcomes {
+		if oc.Err != nil || oc.Result == nil {
+			continue
+		}
+		v, ok := oc.Result.Outputs[output]
+		if !ok {
+			continue
+		}
+		h := v.Hash()
+		groups[h] = append(groups[h], oc.Point)
+	}
+	return groups
+}
+
+// Frontier returns, for a numeric summary function over an output, the
+// point with the maximum value — the "best setting" query of exploratory
+// workflows.
+func Frontier(outcomes []*Outcome, output string, score func(engine.Value) float64) (*Outcome, float64, error) {
+	var best *Outcome
+	bestScore := 0.0
+	for _, oc := range outcomes {
+		if oc.Err != nil || oc.Result == nil {
+			continue
+		}
+		v, ok := oc.Result.Outputs[output]
+		if !ok {
+			continue
+		}
+		sc := score(v)
+		if best == nil || sc > bestScore {
+			best = oc
+			bestScore = sc
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("params: no successful outcome produced %q", output)
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,195 @@
+package params
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workloads"
+)
+
+func sweepEngine(rec provenance.Recorder, cache *engine.Cache) *engine.Engine {
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	return engine.New(engine.Options{Registry: reg, Recorder: rec, Cache: cache})
+}
+
+func isoSweep() *Sweep {
+	return &Sweep{
+		Base: workloads.MedicalImaging(),
+		Axes: []Axis{
+			{ModuleID: "contour", Param: "isovalue", Values: []string{"40", "57", "110"}},
+			{ModuleID: "histogram", Param: "bins", Values: []string{"8", "16"}},
+		},
+	}
+}
+
+func TestPointsEnumeration(t *testing.T) {
+	s := isoSweep()
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 || s.Size() != 6 {
+		t.Fatalf("points = %d, size = %d", len(pts), s.Size())
+	}
+	// Deterministic order and all distinct.
+	seen := map[string]bool{}
+	for _, p := range pts {
+		k := p.key()
+		if seen[k] {
+			t.Fatalf("duplicate point %q", k)
+		}
+		seen[k] = true
+	}
+	pts2, _ := s.Points()
+	for i := range pts {
+		if pts[i].key() != pts2[i].key() {
+			t.Fatal("enumeration order unstable")
+		}
+	}
+}
+
+func TestPointsValidation(t *testing.T) {
+	s := &Sweep{Base: workloads.MedicalImaging(),
+		Axes: []Axis{{ModuleID: "ghost", Param: "x", Values: []string{"1"}}}}
+	if _, err := s.Points(); err == nil {
+		t.Fatal("unknown module accepted")
+	}
+	s = &Sweep{Base: workloads.MedicalImaging(),
+		Axes: []Axis{{ModuleID: "contour", Param: "isovalue"}}}
+	if _, err := s.Points(); err == nil {
+		t.Fatal("empty axis accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	e := sweepEngine(nil, nil)
+	outcomes, err := Run(context.Background(), e, isoSweep(), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 6 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for i, oc := range outcomes {
+		if oc == nil || oc.Err != nil {
+			t.Fatalf("outcome %d: %+v", i, oc)
+		}
+		if oc.Result.Status != provenance.StatusOK {
+			t.Fatalf("outcome %d failed: %v", i, oc.Result.Failed)
+		}
+	}
+}
+
+func TestCompareGroupsByHash(t *testing.T) {
+	e := sweepEngine(nil, nil)
+	outcomes, err := Run(context.Background(), e, isoSweep(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The contour surface depends only on isovalue, not bins: 3 groups of 2.
+	groups := Compare(outcomes, "contour.surface")
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for h, pts := range groups {
+		if len(pts) != 2 {
+			t.Fatalf("group %s has %d points", h[:8], len(pts))
+		}
+	}
+	// The histogram depends only on bins: 2 groups of 3.
+	hgroups := Compare(outcomes, "histogram.plot")
+	if len(hgroups) != 2 {
+		t.Fatalf("histogram groups = %d", len(hgroups))
+	}
+}
+
+func TestSweepWithCacheSkipsSharedWork(t *testing.T) {
+	cache := engine.NewCache()
+	e := sweepEngine(nil, cache)
+	if _, err := Run(context.Background(), e, isoSweep(), Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	// The reader executes identically in all 6 points: 5 of 6 are hits.
+	// Contour has 3 distinct settings (3 miss + 3 hit), histogram 2
+	// distinct... overall hits must be substantial.
+	if hits == 0 {
+		t.Fatalf("no cache hits (misses=%d)", misses)
+	}
+	if hits < 5 {
+		t.Fatalf("hits = %d, want >= 5", hits)
+	}
+}
+
+func TestCollectFiltersOutputs(t *testing.T) {
+	e := sweepEngine(nil, nil)
+	outcomes, err := Run(context.Background(), e, isoSweep(),
+		Options{Collect: []string{"render.image"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range outcomes {
+		if len(oc.Result.Outputs) != 1 {
+			t.Fatalf("outputs = %v", len(oc.Result.Outputs))
+		}
+		if _, ok := oc.Result.Outputs["render.image"]; !ok {
+			t.Fatal("collected output missing")
+		}
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	e := sweepEngine(nil, nil)
+	outcomes, err := Run(context.Background(), e, isoSweep(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score: number of non-space characters in the rendered image
+	// (a proxy for surface size; low isovalues produce denser surfaces).
+	best, score, err := Frontier(outcomes, "render.image", func(v engine.Value) float64 {
+		s := v.Data.(string)
+		return float64(len(s) - strings.Count(s, " "))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score <= 0 {
+		t.Fatalf("score = %v", score)
+	}
+	if best.Point["contour.isovalue"] == "" {
+		t.Fatalf("best point = %v", best.Point)
+	}
+	if _, _, err := Frontier(outcomes, "nope.out", nil); err == nil {
+		t.Fatal("missing output accepted")
+	}
+}
+
+func TestSweepCapturesProvenancePerPoint(t *testing.T) {
+	col := provenance.NewCollector()
+	e := sweepEngine(col, nil)
+	outcomes, err := Run(context.Background(), e, isoSweep(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := col.Runs()
+	if len(runs) != len(outcomes) {
+		t.Fatalf("runs = %d, outcomes = %d", len(runs), len(outcomes))
+	}
+	// Each point's run references a distinct workflow hash unless points
+	// coincide (they don't here).
+	hashes := map[string]bool{}
+	for _, id := range runs {
+		l, err := col.Log(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[l.Run.WorkflowHash] = true
+	}
+	if len(hashes) != 6 {
+		t.Fatalf("distinct workflow hashes = %d", len(hashes))
+	}
+}

@@ -1,0 +1,345 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// CausalGraph is the dependency graph derived from retrospective provenance:
+// a bipartite DAG whose nodes are artifacts and executions, with edges
+//
+//	artifact  --used-->        execution   (the execution consumed it)
+//	execution --generated-->   artifact    (the execution produced it)
+//
+// Edges point in dataflow direction, so Ancestors answers "what caused
+// this?" and Reachable answers "what depends on this?".
+type CausalGraph struct {
+	g   *graph.Graph
+	log *RunLog
+}
+
+// Edge labels in the causal graph.
+const (
+	EdgeUsed      = "used"
+	EdgeGenerated = "generated"
+)
+
+// BuildCausalGraph derives the causal graph from a run log. Inference from
+// retrospective provenance (§2.2): causality is exactly the use/generate
+// event structure.
+func BuildCausalGraph(l *RunLog) (*CausalGraph, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	for _, a := range l.Artifacts {
+		if err := g.AddNode(graph.Node{
+			ID: graph.NodeID(a.ID), Label: a.Type, Kind: string(KindArtifact),
+			Attrs: map[string]string{"hash": a.ContentHash, "type": a.Type},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range l.Executions {
+		if err := g.AddNode(graph.Node{
+			ID: graph.NodeID(e.ID), Label: e.ModuleID, Kind: string(KindExecution),
+			Attrs: map[string]string{"module": e.ModuleID, "moduleType": e.ModuleType, "status": string(e.Status)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case EventArtifactUsed:
+			if err := g.AddEdge(graph.Edge{
+				Src: graph.NodeID(ev.ArtifactID), Dst: graph.NodeID(ev.ExecutionID),
+				Label: EdgeUsed, Attrs: map[string]string{"port": ev.Port},
+			}); err != nil {
+				return nil, err
+			}
+		case EventArtifactGen:
+			if err := g.AddEdge(graph.Edge{
+				Src: graph.NodeID(ev.ExecutionID), Dst: graph.NodeID(ev.ArtifactID),
+				Label: EdgeGenerated, Attrs: map[string]string{"port": ev.Port},
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !g.IsDAG() {
+		return nil, fmt.Errorf("provenance: causal graph for run %s is cyclic", l.Run.ID)
+	}
+	return &CausalGraph{g: g, log: l}, nil
+}
+
+// Graph exposes the underlying generic graph (read-mostly; callers must not
+// mutate it).
+func (c *CausalGraph) Graph() *graph.Graph { return c.g }
+
+// Log returns the run log the graph was derived from.
+func (c *CausalGraph) Log() *RunLog { return c.log }
+
+// Lineage returns every artifact and execution that the given entity
+// causally depends on, sorted. This is the classical "audit trail" query:
+// the full derivation history of a data product.
+func (c *CausalGraph) Lineage(entityID string) []string {
+	return sortedNodeIDs(c.g.Ancestors(graph.NodeID(entityID)))
+}
+
+// Dependents returns every entity that causally depends on the given one,
+// sorted. This implements the invalidation scenario of §2.2: when the CT
+// scanner behind an input file is found defective, Dependents lists all
+// results that must be re-examined.
+func (c *CausalGraph) Dependents(entityID string) []string {
+	return sortedNodeIDs(c.g.Reachable(graph.NodeID(entityID)))
+}
+
+// InvalidatedArtifacts returns only the artifacts downstream of the given
+// entity, sorted: the concrete data products to recall.
+func (c *CausalGraph) InvalidatedArtifacts(entityID string) []string {
+	var out []string
+	for id := range c.g.Reachable(graph.NodeID(entityID)) {
+		if n := c.g.Node(id); n != nil && n.Kind == string(KindArtifact) {
+			out = append(out, string(id))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DataDependencies returns the artifact→artifact dependency pairs obtained
+// by collapsing executions out of the causal graph: artifact B depends on
+// artifact A when some execution used A and generated B.
+func (c *CausalGraph) DataDependencies() [][2]string {
+	var out [][2]string
+	for _, e := range c.log.Executions {
+		used := c.log.ArtifactsUsedBy(e.ID)
+		gen := c.log.ArtifactsGeneratedBy(e.ID)
+		for _, u := range used {
+			for _, g := range gen {
+				out = append(out, [2]string{u.ID, g.ID})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ProcessDependencies returns execution→execution dependency pairs:
+// execution Q depends on P when Q used an artifact P generated.
+func (c *CausalGraph) ProcessDependencies() [][2]string {
+	var out [][2]string
+	seen := map[[2]string]bool{}
+	for _, a := range c.log.Artifacts {
+		gen := c.log.GeneratorOf(a.ID)
+		if gen == nil {
+			continue
+		}
+		for _, consumer := range c.log.ConsumersOf(a.ID) {
+			pair := [2]string{gen.ID, consumer.ID}
+			if !seen[pair] {
+				seen[pair] = true
+				out = append(out, pair)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// DerivedFromSameRawData reports whether two artifacts share at least one
+// raw-data ancestor (an artifact with no generating execution) — one of the
+// motivating questions in §1. It returns the shared raw inputs, sorted.
+func (c *CausalGraph) DerivedFromSameRawData(artifactA, artifactB string) []string {
+	rawA := c.rawAncestors(artifactA)
+	rawB := c.rawAncestors(artifactB)
+	var shared []string
+	for id := range rawA {
+		if rawB[id] {
+			shared = append(shared, id)
+		}
+	}
+	sort.Strings(shared)
+	return shared
+}
+
+func (c *CausalGraph) rawAncestors(artifactID string) map[string]bool {
+	out := map[string]bool{}
+	anc := c.g.Ancestors(graph.NodeID(artifactID))
+	anc[graph.NodeID(artifactID)] = true
+	for id := range anc {
+		n := c.g.Node(id)
+		if n != nil && n.Kind == string(KindArtifact) && c.g.InDegree(id) == 0 {
+			out[string(id)] = true
+		}
+	}
+	return out
+}
+
+// Recipe is the reproduction plan for an artifact: the module executions
+// (in causal order) and raw inputs needed to regenerate it — the basis of
+// result reproducibility (§2.3).
+type Recipe struct {
+	Target     string   // artifact to reproduce
+	ModuleIDs  []string // workflow modules to re-execute, in causal order
+	RawInputs  []string // artifact IDs that must be supplied
+	Executions []string // execution IDs, in causal order
+}
+
+// ReproductionRecipe computes the minimal recipe for regenerating an
+// artifact from the run's raw inputs.
+func (c *CausalGraph) ReproductionRecipe(artifactID string) (*Recipe, error) {
+	if !c.g.HasNode(graph.NodeID(artifactID)) {
+		return nil, fmt.Errorf("provenance: unknown artifact %q", artifactID)
+	}
+	anc := c.g.Ancestors(graph.NodeID(artifactID))
+	keep := make([]graph.NodeID, 0, len(anc)+1)
+	for id := range anc {
+		keep = append(keep, id)
+	}
+	keep = append(keep, graph.NodeID(artifactID))
+	sub := c.g.Subgraph(keep)
+	order, err := sub.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	r := &Recipe{Target: artifactID}
+	for _, id := range order {
+		n := sub.Node(id)
+		switch n.Kind {
+		case string(KindExecution):
+			r.Executions = append(r.Executions, string(id))
+			r.ModuleIDs = append(r.ModuleIDs, n.Attrs["module"])
+		case string(KindArtifact):
+			if sub.InDegree(id) == 0 && string(id) != artifactID {
+				r.RawInputs = append(r.RawInputs, string(id))
+			}
+		}
+	}
+	sort.Strings(r.RawInputs)
+	return r, nil
+}
+
+func sortedNodeIDs(set map[graph.NodeID]bool) []string {
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, string(id))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunDiff describes how two runs of (possibly different versions of) a
+// workflow differ: the foundation for "explaining differences in data
+// products" (§1, §2.3).
+type RunDiff struct {
+	OnlyInA        []string             // module IDs executed only in run A
+	OnlyInB        []string             // module IDs executed only in run B
+	ParamChanges   map[string][2]string // moduleID.key -> [valueA, valueB]
+	OutputChanges  []string             // module IDs whose output hashes differ
+	StatusChanges  map[string][2]ExecStatus
+	SameWorkflow   bool
+	WorkflowHashes [2]string
+}
+
+// DiffRuns compares two run logs module-by-module.
+func DiffRuns(a, b *RunLog) *RunDiff {
+	d := &RunDiff{
+		ParamChanges:   map[string][2]string{},
+		StatusChanges:  map[string][2]ExecStatus{},
+		SameWorkflow:   a.Run.WorkflowHash == b.Run.WorkflowHash,
+		WorkflowHashes: [2]string{a.Run.WorkflowHash, b.Run.WorkflowHash},
+	}
+	modsA := map[string]*Execution{}
+	for _, e := range a.Executions {
+		modsA[e.ModuleID] = e
+	}
+	modsB := map[string]*Execution{}
+	for _, e := range b.Executions {
+		modsB[e.ModuleID] = e
+	}
+	for id := range modsA {
+		if _, ok := modsB[id]; !ok {
+			d.OnlyInA = append(d.OnlyInA, id)
+		}
+	}
+	for id := range modsB {
+		if _, ok := modsA[id]; !ok {
+			d.OnlyInB = append(d.OnlyInB, id)
+		}
+	}
+	sort.Strings(d.OnlyInA)
+	sort.Strings(d.OnlyInB)
+	for id, ea := range modsA {
+		eb, ok := modsB[id]
+		if !ok {
+			continue
+		}
+		for k, va := range ea.Params {
+			if vb, ok := eb.Params[k]; ok && va != vb {
+				d.ParamChanges[id+"."+k] = [2]string{va, vb}
+			}
+		}
+		for k, vb := range eb.Params {
+			if _, ok := ea.Params[k]; !ok {
+				d.ParamChanges[id+"."+k] = [2]string{"", vb}
+			}
+		}
+		if ea.Status != eb.Status {
+			d.StatusChanges[id] = [2]ExecStatus{ea.Status, eb.Status}
+		}
+		if outputHashes(a, ea.ID) != outputHashes(b, eb.ID) {
+			d.OutputChanges = append(d.OutputChanges, id)
+		}
+	}
+	sort.Strings(d.OutputChanges)
+	return d
+}
+
+func outputHashes(l *RunLog, execID string) string {
+	arts := l.ArtifactsGeneratedBy(execID)
+	hashes := make([]string, len(arts))
+	for i, a := range arts {
+		hashes[i] = a.ContentHash
+	}
+	sort.Strings(hashes)
+	out := ""
+	for _, h := range hashes {
+		out += h + ";"
+	}
+	return out
+}
+
+// ExplainOutputChange walks the causal structure of the diff and reports,
+// for each changed output module, the upstream parameter changes that can
+// account for it. It answers "why does my result differ between these two
+// runs?".
+func ExplainOutputChange(a, b *RunLog, d *RunDiff, moduleID string, upstream func(string) []string) []string {
+	changedParams := map[string]bool{}
+	for key := range d.ParamChanges {
+		changedParams[key] = true
+	}
+	var causes []string
+	cands := append([]string{moduleID}, upstream(moduleID)...)
+	for _, mod := range cands {
+		for key := range changedParams {
+			if len(key) > len(mod) && key[:len(mod)] == mod && key[len(mod)] == '.' {
+				causes = append(causes, fmt.Sprintf("%s: %q -> %q", key, d.ParamChanges[key][0], d.ParamChanges[key][1]))
+			}
+		}
+	}
+	sort.Strings(causes)
+	return causes
+}

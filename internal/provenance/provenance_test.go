@@ -1,0 +1,391 @@
+package provenance
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// recordFigure1 hand-records the Figure 1 run: reader generates the grid
+// artifact from raw file input; histogram and contour+render consume it.
+// Returns the collector, run ID and a name→ID map for entities.
+func recordFigure1(t *testing.T) (*Collector, string, map[string]string) {
+	t.Helper()
+	c := NewCollector()
+	ids := map[string]string{}
+	run := c.BeginRun("fig1", "hash-fig1", "juliana", map[string]string{"os": "linux"})
+
+	ids["raw"] = c.RecordInput(run, Artifact{Type: "file", ContentHash: HashBytes([]byte("head.120.vtk"))})
+
+	reader := c.BeginExecution(run, "reader", "FileReader", map[string]string{"file": "head.120.vtk"})
+	c.RecordUse(reader, ids["raw"], "file")
+	ids["grid"] = c.RecordGeneration(reader, "data", Artifact{Type: "grid", ContentHash: HashBytes([]byte("grid-data"))})
+	c.EndExecution(reader, StatusOK, "", 1000)
+
+	hist := c.BeginExecution(run, "histogram", "Histogram", nil)
+	c.RecordUse(hist, ids["grid"], "data")
+	ids["plot"] = c.RecordGeneration(hist, "plot", Artifact{Type: "image", ContentHash: HashBytes([]byte("head-hist.png"))})
+	c.EndExecution(hist, StatusOK, "", 500)
+
+	contour := c.BeginExecution(run, "contour", "Contour", map[string]string{"isovalue": "57"})
+	c.RecordUse(contour, ids["grid"], "data")
+	ids["surface"] = c.RecordGeneration(contour, "surface", Artifact{Type: "mesh", ContentHash: HashBytes([]byte("mesh"))})
+	c.EndExecution(contour, StatusOK, "", 2000)
+
+	render := c.BeginExecution(run, "render", "Render", nil)
+	c.RecordUse(render, ids["surface"], "surface")
+	ids["image"] = c.RecordGeneration(render, "image", Artifact{Type: "image", ContentHash: HashBytes([]byte("head-iso.png"))})
+	c.EndExecution(render, StatusOK, "", 1500)
+
+	c.Annotate(ids["image"], KindArtifact, "note", "good isovalue for bone", "juliana")
+	c.EndRun(run, StatusOK)
+
+	ids["reader"], ids["histogram"], ids["contour"], ids["render"] = reader, hist, contour, render
+	return c, run, ids
+}
+
+func TestCollectorProducesValidLog(t *testing.T) {
+	c, run, _ := recordFigure1(t)
+	log, err := c.Log(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Executions) != 4 {
+		t.Fatalf("executions = %d, want 4", len(log.Executions))
+	}
+	if len(log.Artifacts) != 5 { // raw + grid + plot + surface + image
+		t.Fatalf("artifacts = %d, want 5", len(log.Artifacts))
+	}
+	if log.Run.Status != StatusOK || log.Run.End <= log.Run.Start {
+		t.Fatalf("run header wrong: %+v", log.Run)
+	}
+}
+
+func TestLogDeepCopy(t *testing.T) {
+	c, run, _ := recordFigure1(t)
+	a, _ := c.Log(run)
+	b, _ := c.Log(run)
+	a.Executions[0].Params["file"] = "mutated"
+	if b.Executions[0].Params["file"] == "mutated" {
+		t.Fatal("Log returns shared state")
+	}
+}
+
+func TestGeneratorAndConsumers(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	gen := log.GeneratorOf(ids["grid"])
+	if gen == nil || gen.ModuleID != "reader" {
+		t.Fatalf("GeneratorOf(grid) = %+v", gen)
+	}
+	consumers := log.ConsumersOf(ids["grid"])
+	if len(consumers) != 2 {
+		t.Fatalf("ConsumersOf(grid) = %d, want 2", len(consumers))
+	}
+	if log.GeneratorOf(ids["raw"]) != nil {
+		t.Fatal("raw input has a generator")
+	}
+}
+
+func TestAnnotationsRecorded(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	anns := log.AnnotationsFor(ids["image"])
+	if len(anns) != 1 || anns[0].Key != "note" || anns[0].Author != "juliana" {
+		t.Fatalf("annotations = %+v", anns)
+	}
+	// Annotation also appears as an event.
+	found := false
+	for _, ev := range log.Events {
+		if ev.Kind == EventAnnotation && ev.Subject == ids["image"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("annotation missing from event stream")
+	}
+}
+
+func TestCausalGraphStructure(t *testing.T) {
+	c, run, _ := recordFigure1(t)
+	log, _ := c.Log(run)
+	cg, err := BuildCausalGraph(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cg.Graph()
+	if g.NumNodes() != 9 { // 5 artifacts + 4 executions
+		t.Fatalf("nodes = %d, want 9", g.NumNodes())
+	}
+	// 4 used edges (reader←raw, histogram←grid, contour←grid, render←surface)
+	// + 4 generated edges (grid, plot, surface, image); raw has no generator.
+	if got := g.NumEdges(); got != 8 {
+		t.Fatalf("edges = %d, want 8", got)
+	}
+}
+
+func TestLineage(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	cg, _ := BuildCausalGraph(log)
+	lin := cg.Lineage(ids["image"])
+	// image <- render <- surface <- contour <- grid <- reader <- raw
+	want := map[string]bool{
+		ids["render"]: true, ids["surface"]: true, ids["contour"]: true,
+		ids["grid"]: true, ids["reader"]: true, ids["raw"]: true,
+	}
+	if len(lin) != len(want) {
+		t.Fatalf("lineage = %v", lin)
+	}
+	for _, id := range lin {
+		if !want[id] {
+			t.Fatalf("unexpected lineage member %q", id)
+		}
+	}
+	// The histogram branch must NOT be in the image's lineage.
+	for _, id := range lin {
+		if id == ids["plot"] || id == ids["histogram"] {
+			t.Fatal("histogram branch leaked into isosurface lineage")
+		}
+	}
+}
+
+func TestInvalidation(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	cg, _ := BuildCausalGraph(log)
+	// CT scanner defective: invalidate everything derived from raw input.
+	inv := cg.InvalidatedArtifacts(ids["raw"])
+	if len(inv) != 4 {
+		t.Fatalf("invalidated = %v, want 4 artifacts", inv)
+	}
+	deps := cg.Dependents(ids["surface"])
+	want := map[string]bool{ids["render"]: true, ids["image"]: true}
+	if len(deps) != len(want) {
+		t.Fatalf("dependents(surface) = %v", deps)
+	}
+}
+
+func TestDataAndProcessDependencies(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	cg, _ := BuildCausalGraph(log)
+	dd := cg.DataDependencies()
+	if len(dd) != 4 { // raw->grid, grid->plot, grid->surface, surface->image
+		t.Fatalf("data deps = %v", dd)
+	}
+	pd := cg.ProcessDependencies()
+	if len(pd) != 3 { // reader->hist, reader->contour, contour->render
+		t.Fatalf("process deps = %v", pd)
+	}
+	_ = ids
+}
+
+func TestDerivedFromSameRawData(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	cg, _ := BuildCausalGraph(log)
+	shared := cg.DerivedFromSameRawData(ids["plot"], ids["image"])
+	if len(shared) != 1 || shared[0] != ids["raw"] {
+		t.Fatalf("shared raw = %v, want [%s]", shared, ids["raw"])
+	}
+}
+
+func TestReproductionRecipe(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	cg, _ := BuildCausalGraph(log)
+	r, err := cg.ReproductionRecipe(ids["image"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ModuleIDs) != 3 {
+		t.Fatalf("recipe modules = %v, want 3", r.ModuleIDs)
+	}
+	// Causal order: reader before contour before render.
+	order := strings.Join(r.ModuleIDs, ",")
+	if order != "reader,contour,render" {
+		t.Fatalf("recipe order = %q", order)
+	}
+	if len(r.RawInputs) != 1 || r.RawInputs[0] != ids["raw"] {
+		t.Fatalf("raw inputs = %v", r.RawInputs)
+	}
+	if _, err := cg.ReproductionRecipe("nope"); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c, run, ids := recordFigure1(t)
+	log, _ := c.Log(run)
+	// Second generator for the same artifact.
+	log.Events = append(log.Events, Event{
+		Seq: 9999, RunID: run, Kind: EventArtifactGen,
+		ExecutionID: ids["render"], ArtifactID: ids["grid"],
+	})
+	if err := log.Validate(); err == nil {
+		t.Fatal("double generation accepted")
+	}
+}
+
+func TestValidateSequenceMonotonic(t *testing.T) {
+	c, run, _ := recordFigure1(t)
+	log, _ := c.Log(run)
+	log.Events[2].Seq = log.Events[1].Seq
+	if err := log.Validate(); err == nil {
+		t.Fatal("non-monotonic sequence accepted")
+	}
+}
+
+func TestDiffRunsParamChange(t *testing.T) {
+	c, runA, _ := recordFigure1(t)
+	logA, _ := c.Log(runA)
+
+	// Run B: same workflow, isovalue changed, different render output.
+	c2 := NewCollector()
+	runB := c2.BeginRun("fig1", "hash-fig1", "juliana", nil)
+	raw := c2.RecordInput(runB, Artifact{Type: "file", ContentHash: HashBytes([]byte("head.120.vtk"))})
+	reader := c2.BeginExecution(runB, "reader", "FileReader", map[string]string{"file": "head.120.vtk"})
+	c2.RecordUse(reader, raw, "file")
+	grid := c2.RecordGeneration(reader, "data", Artifact{Type: "grid", ContentHash: HashBytes([]byte("grid-data"))})
+	c2.EndExecution(reader, StatusOK, "", 0)
+	hist := c2.BeginExecution(runB, "histogram", "Histogram", nil)
+	c2.RecordUse(hist, grid, "data")
+	c2.RecordGeneration(hist, "plot", Artifact{Type: "image", ContentHash: HashBytes([]byte("head-hist.png"))})
+	c2.EndExecution(hist, StatusOK, "", 0)
+	contour := c2.BeginExecution(runB, "contour", "Contour", map[string]string{"isovalue": "99"})
+	c2.RecordUse(contour, grid, "data")
+	surf := c2.RecordGeneration(contour, "surface", Artifact{Type: "mesh", ContentHash: HashBytes([]byte("mesh-99"))})
+	c2.EndExecution(contour, StatusOK, "", 0)
+	render := c2.BeginExecution(runB, "render", "Render", nil)
+	c2.RecordUse(render, surf, "surface")
+	c2.RecordGeneration(render, "image", Artifact{Type: "image", ContentHash: HashBytes([]byte("head-iso-99.png"))})
+	c2.EndExecution(render, StatusOK, "", 0)
+	c2.EndRun(runB, StatusOK)
+	logB, _ := c2.Log(runB)
+
+	d := DiffRuns(logA, logB)
+	if !d.SameWorkflow {
+		t.Fatal("same workflow not detected")
+	}
+	if got := d.ParamChanges["contour.isovalue"]; got != [2]string{"57", "99"} {
+		t.Fatalf("param change = %v", got)
+	}
+	// contour and render outputs changed; reader and histogram did not.
+	if len(d.OutputChanges) != 2 || d.OutputChanges[0] != "contour" || d.OutputChanges[1] != "render" {
+		t.Fatalf("output changes = %v", d.OutputChanges)
+	}
+	// Explain the render change: the upstream contour param change accounts for it.
+	upstream := func(string) []string { return []string{"contour", "reader"} }
+	causes := ExplainOutputChange(logA, logB, d, "render", upstream)
+	if len(causes) != 1 || !strings.Contains(causes[0], "contour.isovalue") {
+		t.Fatalf("causes = %v", causes)
+	}
+}
+
+func TestDiffRunsModuleSets(t *testing.T) {
+	c, runA, _ := recordFigure1(t)
+	logA, _ := c.Log(runA)
+	c2 := NewCollector()
+	runB := c2.BeginRun("fig1-v2", "other-hash", "x", nil)
+	e := c2.BeginExecution(runB, "smoother", "Smooth", nil)
+	c2.EndExecution(e, StatusOK, "", 0)
+	c2.EndRun(runB, StatusOK)
+	logB, _ := c2.Log(runB)
+	d := DiffRuns(logA, logB)
+	if d.SameWorkflow {
+		t.Fatal("different workflows reported as same")
+	}
+	if len(d.OnlyInA) != 4 || len(d.OnlyInB) != 1 || d.OnlyInB[0] != "smoother" {
+		t.Fatalf("OnlyInA=%v OnlyInB=%v", d.OnlyInA, d.OnlyInB)
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var r Recorder = NopRecorder{}
+	run := r.BeginRun("w", "h", "a", nil)
+	if run != "" {
+		t.Fatal("nop returned non-empty run")
+	}
+	// All calls must be safe no-ops.
+	r.EndRun(run, StatusOK)
+	e := r.BeginExecution(run, "m", "T", nil)
+	r.RecordUse(e, "x", "p")
+	r.RecordGeneration(e, "p", Artifact{})
+	r.RecordInput(run, Artifact{})
+	r.EndExecution(e, StatusOK, "", 0)
+	r.Annotate("s", KindRun, "k", "v", "a")
+}
+
+func TestNilCollectorIsNoop(t *testing.T) {
+	var c *Collector
+	if id := c.BeginRun("w", "h", "a", nil); id != "" {
+		t.Fatal("nil collector returned run ID")
+	}
+	c.EndRun("x", StatusOK)
+	c.RecordUse("e", "a", "p")
+}
+
+func TestCollectorConcurrentExecutions(t *testing.T) {
+	c := NewCollector()
+	run := c.BeginRun("w", "h", "a", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := c.BeginExecution(run, "m", "T", nil)
+			id := c.RecordGeneration(e, "out", Artifact{Type: "t"})
+			c.RecordUse(e, id, "loop")
+			c.EndExecution(e, StatusOK, "", 0)
+		}()
+	}
+	wg.Wait()
+	c.EndRun(run, StatusOK)
+	log, err := c.Log(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatalf("concurrent log invalid: %v", err)
+	}
+	if len(log.Executions) != 32 || len(log.Artifacts) != 32 {
+		t.Fatalf("got %d execs %d artifacts", len(log.Executions), len(log.Artifacts))
+	}
+}
+
+func TestMultipleRunsIsolated(t *testing.T) {
+	c := NewCollector()
+	r1 := c.BeginRun("w1", "h1", "a", nil)
+	r2 := c.BeginRun("w2", "h2", "b", nil)
+	e1 := c.BeginExecution(r1, "m1", "T", nil)
+	e2 := c.BeginExecution(r2, "m2", "T", nil)
+	c.EndExecution(e1, StatusOK, "", 0)
+	c.EndExecution(e2, StatusFailed, "boom", 0)
+	c.EndRun(r1, StatusOK)
+	c.EndRun(r2, StatusFailed)
+	l1, _ := c.Log(r1)
+	l2, _ := c.Log(r2)
+	if len(l1.Executions) != 1 || l1.Executions[0].ModuleID != "m1" {
+		t.Fatalf("run1 executions = %+v", l1.Executions)
+	}
+	if l2.Executions[0].Status != StatusFailed || l2.Executions[0].Error != "boom" {
+		t.Fatalf("run2 status = %+v", l2.Executions[0])
+	}
+	if got := c.Runs(); len(got) != 2 || got[0] != r1 {
+		t.Fatalf("Runs() = %v", got)
+	}
+	if got := c.Logs(); len(got) != 2 {
+		t.Fatalf("Logs() = %d", len(got))
+	}
+}
+
+func TestUnknownRunLog(t *testing.T) {
+	c := NewCollector()
+	if _, err := c.Log("missing"); err == nil {
+		t.Fatal("unknown run accepted")
+	}
+}

@@ -1,0 +1,356 @@
+package provenance
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// idCounter makes entity IDs unique across all Collectors in a process, so
+// logs captured by independent collectors can coexist in one store.
+var idCounter atomic.Uint64
+
+// Recorder is the capture mechanism interface (§2.2): workflow engines are
+// instrumented against it and emit retrospective provenance as they run.
+// Implementations must be safe for concurrent use — module executions run in
+// parallel.
+//
+// A nil *Collector is a valid no-op Recorder, so engines can be benchmarked
+// with capture disabled (experiment E3) without branching at every call
+// site.
+type Recorder interface {
+	// BeginRun opens a run for a workflow. It returns the run ID.
+	BeginRun(workflowID, workflowHash, agent string, env map[string]string) string
+	// EndRun closes the run with a terminal status.
+	EndRun(runID string, status ExecStatus)
+	// BeginExecution opens a module execution and returns its ID.
+	BeginExecution(runID, moduleID, moduleType string, params map[string]string) string
+	// EndExecution closes an execution.
+	EndExecution(execID string, status ExecStatus, errMsg string, wallNanos int64)
+	// RecordUse records that an execution consumed an artifact on a port.
+	RecordUse(execID, artifactID, port string)
+	// RecordGeneration registers an artifact and records that the execution
+	// produced it on a port. It returns the artifact ID.
+	RecordGeneration(execID, port string, art Artifact) string
+	// RecordInput registers an artifact that enters the run from outside
+	// (raw data); it has no generating execution.
+	RecordInput(runID string, art Artifact) string
+	// Annotate attaches user-defined provenance to any entity.
+	Annotate(subject string, kind EntityKind, key, value, author string)
+}
+
+// Collector is the in-memory Recorder: it accumulates complete RunLogs with
+// a per-run logical clock. All methods are safe for concurrent use. The
+// zero value is not usable; call NewCollector.
+type Collector struct {
+	mu      sync.Mutex
+	runs    map[string]*runState
+	byExec  map[string]string // execID -> runID
+	history []string          // run IDs in creation order
+}
+
+type runState struct {
+	log   RunLog
+	clock uint64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{
+		runs:   make(map[string]*runState),
+		byExec: make(map[string]string),
+	}
+}
+
+var _ Recorder = (*Collector)(nil)
+
+func (c *Collector) nextID(prefix string) string {
+	return fmt.Sprintf("%s-%06d", prefix, idCounter.Add(1))
+}
+
+func (c *Collector) tick(rs *runState) uint64 {
+	rs.clock++
+	return rs.clock
+}
+
+// BeginRun implements Recorder.
+func (c *Collector) BeginRun(workflowID, workflowHash, agent string, env map[string]string) string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID("run")
+	rs := &runState{}
+	rs.log.Run = Run{
+		ID:           id,
+		WorkflowID:   workflowID,
+		WorkflowHash: workflowHash,
+		Agent:        agent,
+		Environment:  env,
+		Status:       StatusOK,
+	}
+	rs.log.Run.Start = c.tick(rs)
+	rs.log.Events = append(rs.log.Events, Event{Seq: rs.clock, RunID: id, Kind: EventRunStarted})
+	c.runs[id] = rs
+	c.history = append(c.history, id)
+	return id
+}
+
+// EndRun implements Recorder.
+func (c *Collector) EndRun(runID string, status ExecStatus) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs, ok := c.runs[runID]
+	if !ok {
+		return
+	}
+	rs.log.Run.End = c.tick(rs)
+	rs.log.Run.Status = status
+	rs.log.Events = append(rs.log.Events, Event{Seq: rs.clock, RunID: runID, Kind: EventRunEnded})
+}
+
+// BeginExecution implements Recorder.
+func (c *Collector) BeginExecution(runID, moduleID, moduleType string, params map[string]string) string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs, ok := c.runs[runID]
+	if !ok {
+		return ""
+	}
+	id := c.nextID("exec")
+	exec := &Execution{
+		ID:         id,
+		RunID:      runID,
+		ModuleID:   moduleID,
+		ModuleType: moduleType,
+		Params:     params,
+		Start:      c.tick(rs),
+		Status:     StatusOK,
+	}
+	rs.log.Executions = append(rs.log.Executions, exec)
+	rs.log.Events = append(rs.log.Events, Event{Seq: rs.clock, RunID: runID, Kind: EventExecutionStarted, ExecutionID: id})
+	c.byExec[id] = runID
+	return id
+}
+
+// EndExecution implements Recorder.
+func (c *Collector) EndExecution(execID string, status ExecStatus, errMsg string, wallNanos int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.runs[c.byExec[execID]]
+	if rs == nil {
+		return
+	}
+	exec := rs.log.Execution(execID)
+	if exec == nil {
+		return
+	}
+	exec.End = c.tick(rs)
+	exec.Status = status
+	exec.Error = errMsg
+	exec.WallNanos = wallNanos
+	rs.log.Events = append(rs.log.Events, Event{Seq: rs.clock, RunID: exec.RunID, Kind: EventExecutionEnded, ExecutionID: execID})
+}
+
+// RecordUse implements Recorder.
+func (c *Collector) RecordUse(execID, artifactID, port string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.runs[c.byExec[execID]]
+	if rs == nil {
+		return
+	}
+	rs.log.Events = append(rs.log.Events, Event{
+		Seq: c.tick(rs), RunID: rs.log.Run.ID,
+		Kind: EventArtifactUsed, ExecutionID: execID, ArtifactID: artifactID, Port: port,
+	})
+}
+
+// RecordGeneration implements Recorder.
+func (c *Collector) RecordGeneration(execID, port string, art Artifact) string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.runs[c.byExec[execID]]
+	if rs == nil {
+		return ""
+	}
+	if art.ID == "" {
+		art.ID = c.nextID("art")
+	}
+	art.RunID = rs.log.Run.ID
+	cp := art
+	rs.log.Artifacts = append(rs.log.Artifacts, &cp)
+	rs.log.Events = append(rs.log.Events, Event{
+		Seq: c.tick(rs), RunID: rs.log.Run.ID,
+		Kind: EventArtifactGen, ExecutionID: execID, ArtifactID: art.ID, Port: port,
+	})
+	return art.ID
+}
+
+// RecordInput implements Recorder.
+func (c *Collector) RecordInput(runID string, art Artifact) string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs, ok := c.runs[runID]
+	if !ok {
+		return ""
+	}
+	if art.ID == "" {
+		art.ID = c.nextID("art")
+	}
+	art.RunID = runID
+	cp := art
+	rs.log.Artifacts = append(rs.log.Artifacts, &cp)
+	return art.ID
+}
+
+// Annotate implements Recorder. The subject may be any entity ID; kind
+// records what it identifies.
+func (c *Collector) Annotate(subject string, kind EntityKind, key, value, author string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Attach to the run owning the subject if resolvable; otherwise to the
+	// most recent run.
+	var rs *runState
+	if runID, ok := c.byExec[subject]; ok {
+		rs = c.runs[runID]
+	} else if r, ok := c.runs[subject]; ok {
+		rs = r
+	} else {
+		for _, s := range c.runs {
+			for _, a := range s.log.Artifacts {
+				if a.ID == subject {
+					rs = s
+					break
+				}
+			}
+			if rs != nil {
+				break
+			}
+		}
+	}
+	if rs == nil {
+		if len(c.history) == 0 {
+			return
+		}
+		rs = c.runs[c.history[len(c.history)-1]]
+	}
+	ann := Annotation{Subject: subject, Kind: kind, Key: key, Value: value, Author: author, Seq: c.tick(rs)}
+	rs.log.Annotations = append(rs.log.Annotations, ann)
+	rs.log.Events = append(rs.log.Events, Event{
+		Seq: rs.clock, RunID: rs.log.Run.ID,
+		Kind: EventAnnotation, Subject: subject, Key: key, Value: value,
+	})
+}
+
+// Log returns a deep copy of the RunLog for a run, or an error if unknown.
+func (c *Collector) Log(runID string) (*RunLog, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs, ok := c.runs[runID]
+	if !ok {
+		return nil, fmt.Errorf("provenance: unknown run %q", runID)
+	}
+	return cloneLog(&rs.log), nil
+}
+
+// Runs returns the IDs of all recorded runs in creation order.
+func (c *Collector) Runs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.history...)
+}
+
+// Logs returns deep copies of all run logs in creation order.
+func (c *Collector) Logs() []*RunLog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*RunLog, 0, len(c.history))
+	for _, id := range c.history {
+		out = append(out, cloneLog(&c.runs[id].log))
+	}
+	return out
+}
+
+func cloneLog(l *RunLog) *RunLog {
+	cp := &RunLog{Run: l.Run}
+	cp.Run.Environment = copyStrMap(l.Run.Environment)
+	cp.Run.Annotations = copyStrMap(l.Run.Annotations)
+	cp.Executions = make([]*Execution, len(l.Executions))
+	for i, e := range l.Executions {
+		ec := *e
+		ec.Params = copyStrMap(e.Params)
+		cp.Executions[i] = &ec
+	}
+	cp.Artifacts = make([]*Artifact, len(l.Artifacts))
+	for i, a := range l.Artifacts {
+		ac := *a
+		ac.Annotations = copyStrMap(a.Annotations)
+		cp.Artifacts[i] = &ac
+	}
+	cp.Events = append([]Event(nil), l.Events...)
+	cp.Annotations = append([]Annotation(nil), l.Annotations...)
+	return cp
+}
+
+func copyStrMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// NopRecorder discards everything: the capture-disabled baseline.
+type NopRecorder struct{}
+
+var _ Recorder = NopRecorder{}
+
+// BeginRun implements Recorder.
+func (NopRecorder) BeginRun(string, string, string, map[string]string) string { return "" }
+
+// EndRun implements Recorder.
+func (NopRecorder) EndRun(string, ExecStatus) {}
+
+// BeginExecution implements Recorder.
+func (NopRecorder) BeginExecution(string, string, string, map[string]string) string { return "" }
+
+// EndExecution implements Recorder.
+func (NopRecorder) EndExecution(string, ExecStatus, string, int64) {}
+
+// RecordUse implements Recorder.
+func (NopRecorder) RecordUse(string, string, string) {}
+
+// RecordGeneration implements Recorder.
+func (NopRecorder) RecordGeneration(string, string, Artifact) string { return "" }
+
+// RecordInput implements Recorder.
+func (NopRecorder) RecordInput(string, Artifact) string { return "" }
+
+// Annotate implements Recorder.
+func (NopRecorder) Annotate(string, EntityKind, string, string, string) {}

@@ -1,0 +1,279 @@
+// Package datalog is a semi-naive Datalog engine: the Prolog-style
+// declarative interface to provenance the paper cites ([8] queries
+// collection-oriented provenance in Prolog). Recursive rules express
+// lineage closure naturally:
+//
+//	ancestor(X, Y) :- dep(X, Y).
+//	ancestor(X, Z) :- dep(X, Y), ancestor(Y, Z).
+//
+// Facts are loaded from provenance stores via LoadStore; rules and queries
+// are parsed from text. Variables start with an uppercase letter or '?';
+// everything else is a constant (quoting allows arbitrary strings).
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a variable or constant inside an atom.
+type Term struct {
+	Value string
+	IsVar bool
+}
+
+// Atom is predicate(t1, ..., tn).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.Value
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Rule is head :- body. An empty body makes the rule a fact.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// Program is a set of rules plus a base fact store.
+type Program struct {
+	rules []Rule
+	facts map[string]map[string]bool // pred -> encoded tuple -> true
+	arity map[string]int
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{facts: map[string]map[string]bool{}, arity: map[string]int{}}
+}
+
+const fieldSep = "\x00"
+
+func encodeTuple(vals []string) string { return strings.Join(vals, fieldSep) }
+func decodeTuple(s string) []string    { return strings.Split(s, fieldSep) }
+
+// AddFact inserts a ground fact.
+func (p *Program) AddFact(pred string, vals ...string) error {
+	if err := p.checkArity(pred, len(vals)); err != nil {
+		return err
+	}
+	m, ok := p.facts[pred]
+	if !ok {
+		m = map[string]bool{}
+		p.facts[pred] = m
+	}
+	m[encodeTuple(vals)] = true
+	return nil
+}
+
+func (p *Program) checkArity(pred string, n int) error {
+	if have, ok := p.arity[pred]; ok {
+		if have != n {
+			return fmt.Errorf("datalog: predicate %s used with arity %d and %d", pred, have, n)
+		}
+		return nil
+	}
+	p.arity[pred] = n
+	return nil
+}
+
+// AddRule appends a rule after checking that every head variable is bound
+// in the body (range restriction).
+func (p *Program) AddRule(r Rule) error {
+	if err := p.checkArity(r.Head.Pred, len(r.Head.Args)); err != nil {
+		return err
+	}
+	bound := map[string]bool{}
+	for _, b := range r.Body {
+		if err := p.checkArity(b.Pred, len(b.Args)); err != nil {
+			return err
+		}
+		for _, t := range b.Args {
+			if t.IsVar {
+				bound[t.Value] = true
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if t.IsVar && !bound[t.Value] {
+			return fmt.Errorf("datalog: head variable %s unbound in body of %s", t.Value, r.Head)
+		}
+	}
+	p.rules = append(p.rules, r)
+	return nil
+}
+
+// FactCount returns the number of stored facts for a predicate.
+func (p *Program) FactCount(pred string) int { return len(p.facts[pred]) }
+
+// binding maps variable names to constants.
+type binding map[string]string
+
+// Evaluate runs semi-naive bottom-up evaluation to fixpoint, materializing
+// all derivable facts for rule-head predicates. It returns the total number
+// of derived facts.
+func (p *Program) Evaluate() int {
+	derived := 0
+	// delta holds facts new in the previous iteration, per predicate.
+	delta := map[string]map[string]bool{}
+	for pred, m := range p.facts {
+		delta[pred] = map[string]bool{}
+		for k := range m {
+			delta[pred][k] = true
+		}
+	}
+	for {
+		next := map[string]map[string]bool{}
+		for _, r := range p.rules {
+			// Semi-naive: for each body position, require that atom to match
+			// the delta and the others the full store.
+			for focus := range r.Body {
+				if len(delta[r.Body[focus].Pred]) == 0 {
+					continue
+				}
+				p.joinBody(r, focus, delta, func(b binding) {
+					vals := make([]string, len(r.Head.Args))
+					for i, t := range r.Head.Args {
+						if t.IsVar {
+							vals[i] = b[t.Value]
+						} else {
+							vals[i] = t.Value
+						}
+					}
+					key := encodeTuple(vals)
+					if p.facts[r.Head.Pred] == nil {
+						p.facts[r.Head.Pred] = map[string]bool{}
+					}
+					if !p.facts[r.Head.Pred][key] {
+						p.facts[r.Head.Pred][key] = true
+						if next[r.Head.Pred] == nil {
+							next[r.Head.Pred] = map[string]bool{}
+						}
+						next[r.Head.Pred][key] = true
+						derived++
+					}
+				})
+			}
+		}
+		if len(next) == 0 {
+			return derived
+		}
+		delta = next
+	}
+}
+
+// joinBody enumerates bindings satisfying the rule body, with the atom at
+// index focus restricted to delta facts.
+func (p *Program) joinBody(r Rule, focus int, delta map[string]map[string]bool, emit func(binding)) {
+	var step func(i int, b binding)
+	step = func(i int, b binding) {
+		if i == len(r.Body) {
+			emit(b)
+			return
+		}
+		atom := r.Body[i]
+		var source map[string]bool
+		if i == focus {
+			source = delta[atom.Pred]
+		} else {
+			source = p.facts[atom.Pred]
+		}
+		for key := range source {
+			vals := decodeTuple(key)
+			if len(vals) != len(atom.Args) {
+				continue
+			}
+			nb, ok := unify(atom, vals, b)
+			if !ok {
+				continue
+			}
+			step(i+1, nb)
+		}
+	}
+	step(0, binding{})
+}
+
+func unify(atom Atom, vals []string, b binding) (binding, bool) {
+	nb := b
+	copied := false
+	for i, t := range atom.Args {
+		if !t.IsVar {
+			if t.Value != vals[i] {
+				return nil, false
+			}
+			continue
+		}
+		if have, ok := nb[t.Value]; ok {
+			if have != vals[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !copied {
+			nb = make(binding, len(b)+1)
+			for k, v := range b {
+				nb[k] = v
+			}
+			copied = true
+		}
+		nb[t.Value] = vals[i]
+	}
+	return nb, true
+}
+
+// Query evaluates the program (if not already at fixpoint) and returns all
+// bindings of the query atom's variables, as rows aligned with the order of
+// first appearance of each variable; Vars lists that order.
+type QueryResult struct {
+	Vars []string
+	Rows [][]string
+}
+
+// Query runs a query atom against the materialized program.
+func (p *Program) Query(q Atom) (*QueryResult, error) {
+	if have, ok := p.arity[q.Pred]; ok && have != len(q.Args) {
+		return nil, fmt.Errorf("datalog: query arity mismatch for %s", q.Pred)
+	}
+	p.Evaluate()
+	var vars []string
+	seen := map[string]bool{}
+	for _, t := range q.Args {
+		if t.IsVar && !seen[t.Value] {
+			seen[t.Value] = true
+			vars = append(vars, t.Value)
+		}
+	}
+	res := &QueryResult{Vars: vars}
+	rowSet := map[string]bool{}
+	for key := range p.facts[q.Pred] {
+		vals := decodeTuple(key)
+		if len(vals) != len(q.Args) {
+			continue
+		}
+		b, ok := unify(q, vals, binding{})
+		if !ok {
+			continue
+		}
+		row := make([]string, len(vars))
+		for i, v := range vars {
+			row[i] = b[v]
+		}
+		k := encodeTuple(row)
+		if !rowSet[k] {
+			rowSet[k] = true
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return encodeTuple(res.Rows[i]) < encodeTuple(res.Rows[j])
+	})
+	return res, nil
+}

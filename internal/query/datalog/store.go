@@ -1,0 +1,93 @@
+package datalog
+
+import (
+	"repro/internal/store"
+)
+
+// LoadStore loads base provenance facts from a store into a program,
+// establishing the standard extensional schema the provenance rules
+// (ProvenanceRules) are written against:
+//
+//	used(Exec, Artifact)        execution consumed artifact
+//	generated(Exec, Artifact)   execution produced artifact
+//	module(Exec, ModuleID)      execution instantiated module
+//	moduleType(Exec, Type)      module type name
+//	status(Exec, Status)        terminal status
+//	artifact(Artifact, Type)    artifact with its data type
+//	partOfRun(Entity, Run)      entity belongs to run
+//	agent(Run, Agent)           run executed on behalf of agent
+func LoadStore(p *Program, s store.Store) error {
+	runs, err := s.Runs()
+	if err != nil {
+		return err
+	}
+	for _, runID := range runs {
+		l, err := s.RunLog(runID)
+		if err != nil {
+			return err
+		}
+		if err := p.AddFact("agent", runID, l.Run.Agent); err != nil {
+			return err
+		}
+		for _, e := range l.Executions {
+			if err := p.AddFact("module", e.ID, e.ModuleID); err != nil {
+				return err
+			}
+			if err := p.AddFact("moduleType", e.ID, e.ModuleType); err != nil {
+				return err
+			}
+			if err := p.AddFact("status", e.ID, string(e.Status)); err != nil {
+				return err
+			}
+			if err := p.AddFact("partOfRun", e.ID, runID); err != nil {
+				return err
+			}
+		}
+		for _, a := range l.Artifacts {
+			if err := p.AddFact("artifact", a.ID, a.Type); err != nil {
+				return err
+			}
+			if err := p.AddFact("partOfRun", a.ID, runID); err != nil {
+				return err
+			}
+		}
+		for _, ev := range l.Events {
+			switch ev.Kind {
+			case "artifactUsed":
+				if err := p.AddFact("used", ev.ExecutionID, ev.ArtifactID); err != nil {
+					return err
+				}
+			case "artifactGenerated":
+				if err := p.AddFact("generated", ev.ExecutionID, ev.ArtifactID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ProvenanceRules is the standard intensional schema: direct dependency and
+// its transitive closure over the bipartite causal graph. dep(X, Y) reads
+// "X causally depends on Y".
+const ProvenanceRules = `
+dep(E, A) :- used(E, A).
+dep(A, E) :- generated(E, A).
+ancestor(X, Y) :- dep(X, Y).
+ancestor(X, Z) :- dep(X, Y), ancestor(Y, Z).
+derivedFrom(A2, A1) :- generated(E, A2), used(E, A1).
+sameSource(A, B) :- derivedFrom(A, S), derivedFrom(B, S).
+`
+
+// NewProvenanceProgram builds a program with the provenance rules loaded
+// and facts from the store.
+func NewProvenanceProgram(s store.Store) (*Program, error) {
+	p, err := ParseProgram(ProvenanceRules)
+	if err != nil {
+		return nil, err
+	}
+	if err := LoadStore(p, s); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,154 @@
+// Package qbe implements query-by-example over workflow specifications:
+// the programmatic core of the intuitive visual query interfaces the paper
+// contrasts with SQL/Prolog/SPARQL ([4] queries business processes by
+// example; [34] queries workflows through the same interface used to build
+// them). The user supplies a workflow *fragment* — a few connected modules —
+// and the engine finds every stored workflow embedding that fragment, plus
+// a similarity ranking for "find workflows like this one".
+package qbe
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/workflow"
+)
+
+// Match is one workflow that embeds the query fragment.
+type Match struct {
+	WorkflowID string
+	// Embeddings maps pattern module IDs to target module IDs, one map per
+	// distinct embedding found (capped by options).
+	Embeddings []map[string]string
+}
+
+// Options tunes matching.
+type Options struct {
+	// MaxEmbeddingsPerWorkflow caps embeddings enumerated per candidate
+	// (<=0: 8). Patterns are small, targets can be large.
+	MaxEmbeddingsPerWorkflow int
+	// MatchParams additionally requires parameter values named in the
+	// pattern to be equal in the target module.
+	MatchParams bool
+}
+
+// FindEmbeddings returns every candidate workflow that structurally embeds
+// the pattern fragment: an injective mapping of pattern modules to target
+// modules preserving module types and connections. Results are sorted by
+// workflow ID.
+func FindEmbeddings(pattern *workflow.Workflow, candidates []*workflow.Workflow, opt Options) []Match {
+	limit := opt.MaxEmbeddingsPerWorkflow
+	if limit <= 0 {
+		limit = 8
+	}
+	pg := pattern.Graph()
+	var out []Match
+	for _, cand := range candidates {
+		tg := cand.Graph()
+		nodeOK := func(p, t *graph.Node) bool {
+			if p.Kind != t.Kind {
+				return false
+			}
+			if !opt.MatchParams {
+				return true
+			}
+			pm := pattern.Module(string(p.ID))
+			tm := cand.Module(string(t.ID))
+			if pm == nil || tm == nil {
+				return false
+			}
+			for k, v := range pm.Params {
+				if tm.Params[k] != v {
+					return false
+				}
+			}
+			return true
+		}
+		ms := graph.Match(pg, tg, graph.MatchOptions{NodeMatches: nodeOK, Limit: limit})
+		if len(ms) == 0 {
+			continue
+		}
+		m := Match{WorkflowID: cand.ID}
+		for _, embedding := range ms {
+			conv := make(map[string]string, len(embedding))
+			for p, t := range embedding {
+				conv[string(p)] = string(t)
+			}
+			m.Embeddings = append(m.Embeddings, conv)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WorkflowID < out[j].WorkflowID })
+	return out
+}
+
+// Ranked is a similarity-scored workflow.
+type Ranked struct {
+	WorkflowID string
+	Score      float64
+}
+
+// RankBySimilarity orders candidates by structural similarity to the query
+// workflow (shared module-type and connection signatures), most similar
+// first; ties break by ID. This powers "find workflows suitable for a given
+// task" (§2.2 knowledge re-use).
+func RankBySimilarity(query *workflow.Workflow, candidates []*workflow.Workflow) []Ranked {
+	qg := query.Graph()
+	out := make([]Ranked, 0, len(candidates))
+	for _, cand := range candidates {
+		out = append(out, Ranked{
+			WorkflowID: cand.ID,
+			Score:      graph.Similarity(qg, cand.Graph()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].WorkflowID < out[j].WorkflowID
+	})
+	return out
+}
+
+// Fragment builds a small pattern workflow from module types and typed
+// connections, a convenience for expressing "module of type A feeding a
+// module of type B" queries without full port declarations:
+//
+//	qbe.Fragment("q", []string{"Contour", "Render"}, [][2]int{{0, 1}})
+//
+// Modules are named q0, q1, ...; each connection adds an output port "out"
+// on the source and input port "in<i>" on the destination (type "any").
+func Fragment(id string, moduleTypes []string, edges [][2]int) (*workflow.Workflow, error) {
+	b := workflow.NewBuilder(id, id)
+	hasOut := make([]bool, len(moduleTypes))
+	inPorts := make([][]string, len(moduleTypes))
+	type conn struct{ src, dst, port string }
+	var conns []conn
+	for _, e := range edges {
+		src, dst := e[0], e[1]
+		if src < 0 || src >= len(moduleTypes) || dst < 0 || dst >= len(moduleTypes) {
+			return nil, fmt.Errorf("qbe: edge %v out of range", e)
+		}
+		hasOut[src] = true
+		in := fmt.Sprintf("in%d", len(inPorts[dst]))
+		inPorts[dst] = append(inPorts[dst], in)
+		conns = append(conns, conn{modName(src), modName(dst), in})
+	}
+	for i, mt := range moduleTypes {
+		var ports []workflow.PortSpec
+		if hasOut[i] {
+			ports = append(ports, workflow.Out("out", workflow.Wildcard))
+		}
+		for _, in := range inPorts[i] {
+			ports = append(ports, workflow.In(in, workflow.Wildcard))
+		}
+		b.Module(modName(i), mt, ports...)
+	}
+	for _, c := range conns {
+		b.Connect(c.src, "out", c.dst, c.port)
+	}
+	return b.Build()
+}
+
+func modName(i int) string { return fmt.Sprintf("q%d", i) }

@@ -1,0 +1,141 @@
+package qbe
+
+import (
+	"testing"
+
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func candidates() []*workflow.Workflow {
+	return []*workflow.Workflow{
+		workloads.MedicalImaging(),
+		workloads.SmoothedImaging(),
+		workloads.DownloadAndRender(),
+		workloads.Genomics("s1"),
+		workloads.Forecasting("st1"),
+	}
+}
+
+func TestFragmentBuilds(t *testing.T) {
+	f, err := Fragment("q", []string{"Contour", "Render"}, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Modules) != 2 || len(f.Connections) != 1 {
+		t.Fatalf("fragment shape %d/%d", len(f.Modules), len(f.Connections))
+	}
+	if _, err := Fragment("q", []string{"A"}, [][2]int{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestFindEmbeddingsContourRender(t *testing.T) {
+	// Contour feeding Render directly: matches medimg and dl-render, but
+	// NOT the smoothed variant (smooth interposes).
+	f, err := Fragment("q", []string{"Contour", "Render"}, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := FindEmbeddings(f, candidates(), Options{})
+	if len(ms) != 2 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	ids := []string{ms[0].WorkflowID, ms[1].WorkflowID}
+	if ids[0] != "dl-render" || ids[1] != "medimg" {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Embedding maps q0 -> contour module of the target.
+	for _, m := range ms {
+		if len(m.Embeddings) == 0 || m.Embeddings[0]["q0"] != "contour" {
+			t.Fatalf("embedding = %+v", m.Embeddings)
+		}
+	}
+}
+
+func TestFindEmbeddingsSmoothPath(t *testing.T) {
+	f, err := Fragment("q", []string{"Contour", "Smooth", "Render"}, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := FindEmbeddings(f, candidates(), Options{})
+	if len(ms) != 1 || ms[0].WorkflowID != "medimg-smooth" {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+func TestFindEmbeddingsSingleModule(t *testing.T) {
+	f, err := Fragment("q", []string{"Histogram"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := FindEmbeddings(f, candidates(), Options{})
+	if len(ms) != 2 { // medimg and medimg-smooth
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+func TestFindEmbeddingsNoMatch(t *testing.T) {
+	f, err := Fragment("q", []string{"NoSuchType"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := FindEmbeddings(f, candidates(), Options{}); len(ms) != 0 {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+func TestMatchParams(t *testing.T) {
+	f, err := Fragment("q", []string{"Contour"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetParam("q0", "isovalue", "57"); err != nil {
+		t.Fatal(err)
+	}
+	// All imaging workflows use isovalue 57.
+	ms := FindEmbeddings(f, candidates(), Options{MatchParams: true})
+	if len(ms) != 3 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	// Change the pattern param: no workflow matches.
+	if err := f.SetParam("q0", "isovalue", "101"); err != nil {
+		t.Fatal(err)
+	}
+	if ms := FindEmbeddings(f, candidates(), Options{MatchParams: true}); len(ms) != 0 {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+func TestEmbeddingLimit(t *testing.T) {
+	// A one-Stage pattern against a wide random workflow has many
+	// embeddings; the cap must hold.
+	f, err := Fragment("q", []string{"Stage"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := workloads.RandomLayered(3, 4, 6, 2)
+	ms := FindEmbeddings(f, []*workflow.Workflow{big}, Options{MaxEmbeddingsPerWorkflow: 3})
+	if len(ms) != 1 || len(ms[0].Embeddings) != 3 {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+func TestRankBySimilarity(t *testing.T) {
+	ranked := RankBySimilarity(workloads.MedicalImaging(), candidates())
+	if len(ranked) != 5 {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+	// Identity match first with score 1.
+	if ranked[0].WorkflowID != "medimg" || ranked[0].Score != 1 {
+		t.Fatalf("top = %+v", ranked[0])
+	}
+	// The smoothed variant must outrank genomics/forecasting.
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[r.WorkflowID] = i
+	}
+	if pos["medimg-smooth"] > pos["genomics-s1"] || pos["medimg-smooth"] > pos["forecast-st1"] {
+		t.Fatalf("ranking = %+v", ranked)
+	}
+}

@@ -1,0 +1,292 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/provenance"
+)
+
+// FileStore persists run logs to an append-only JSON-lines file, the
+// file-dialect storage approach (§2.2: "XML dialects that are stored as
+// files"). An in-memory index maps run IDs to byte offsets and entity IDs
+// to their runs; single-entity and navigation queries load the owning log
+// from disk, which makes this the slowest — and most durable — backend.
+// Reopening a store directory rebuilds the index by scanning the log,
+// truncating any torn trailing record (crash recovery).
+type FileStore struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	offsets map[string]int64  // runID -> byte offset
+	order   []string          // runIDs in append order
+	owner   map[string]string // artifact/execution ID -> runID
+	size    int64
+}
+
+const logFileName = "provlog.jsonl"
+
+// OpenFileStore opens (or creates) a file store rooted at dir, scanning any
+// existing log to rebuild the index.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	path := filepath.Join(dir, logFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open log: %w", err)
+	}
+	s := &FileStore{
+		dir:     dir,
+		f:       f,
+		offsets: map[string]int64{},
+		owner:   map[string]string{},
+	}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the log, indexing complete records and truncating a torn
+// trailing record if present.
+func (s *FileStore) recover() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(s.f, 1<<20)
+	var offset int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				// Torn write: truncate the partial record.
+				if terr := s.f.Truncate(offset); terr != nil {
+					return fmt.Errorf("store: truncate torn record: %w", terr)
+				}
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("store: scan log: %w", err)
+		}
+		var l provenance.RunLog
+		if uerr := json.Unmarshal(line, &l); uerr != nil || l.Run.ID == "" {
+			// Corrupt record mid-file: stop indexing here and truncate the
+			// remainder (append-only logs are valid up to the first tear).
+			if terr := s.f.Truncate(offset); terr != nil {
+				return fmt.Errorf("store: truncate corrupt record: %w", terr)
+			}
+			break
+		}
+		s.index(&l, offset)
+		offset += int64(len(line))
+	}
+	s.size = offset
+	_, err := s.f.Seek(offset, io.SeekStart)
+	return err
+}
+
+func (s *FileStore) index(l *provenance.RunLog, offset int64) {
+	s.offsets[l.Run.ID] = offset
+	s.order = append(s.order, l.Run.ID)
+	for _, a := range l.Artifacts {
+		s.owner[a.ID] = l.Run.ID
+	}
+	for _, e := range l.Executions {
+		s.owner[e.ID] = l.Run.ID
+	}
+}
+
+var _ Store = (*FileStore)(nil)
+
+// Name implements Store.
+func (s *FileStore) Name() string { return "file" }
+
+// PutRunLog implements Store.
+func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.offsets[l.Run.ID]; dup {
+		return fmt.Errorf("store: run %q already stored", l.Run.ID)
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("store: encode run %s: %w", l.Run.ID, err)
+	}
+	data = append(data, '\n')
+	if _, err := s.f.Write(data); err != nil {
+		return fmt.Errorf("store: append run %s: %w", l.Run.ID, err)
+	}
+	s.index(l, s.size)
+	s.size += int64(len(data))
+	return nil
+}
+
+// load reads the log owning a run ID from disk.
+func (s *FileStore) load(runID string) (*provenance.RunLog, error) {
+	off, ok := s.offsets[runID]
+	if !ok {
+		return nil, fmt.Errorf("%w: run %q", ErrNotFound, runID)
+	}
+	r := io.NewSectionReader(s.f, off, s.size-off)
+	line, err := bufio.NewReaderSize(r, 1<<20).ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("store: read run %s: %w", runID, err)
+	}
+	var l provenance.RunLog
+	if err := json.Unmarshal(line, &l); err != nil {
+		return nil, fmt.Errorf("store: decode run %s: %w", runID, err)
+	}
+	return &l, nil
+}
+
+// RunLog implements Store.
+func (s *FileStore) RunLog(runID string) (*provenance.RunLog, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load(runID)
+}
+
+// Runs implements Store.
+func (s *FileStore) Runs() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...), nil
+}
+
+func (s *FileStore) loadOwner(entityID string) (*provenance.RunLog, error) {
+	runID, ok := s.owner[entityID]
+	if !ok {
+		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, entityID)
+	}
+	return s.load(runID)
+}
+
+// Artifact implements Store.
+func (s *FileStore) Artifact(id string) (*provenance.Artifact, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.loadOwner(id)
+	if err != nil {
+		return nil, err
+	}
+	a := l.Artifact(id)
+	if a == nil {
+		return nil, fmt.Errorf("%w: artifact %q", ErrNotFound, id)
+	}
+	return a, nil
+}
+
+// Execution implements Store.
+func (s *FileStore) Execution(id string) (*provenance.Execution, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.loadOwner(id)
+	if err != nil {
+		return nil, err
+	}
+	e := l.Execution(id)
+	if e == nil {
+		return nil, fmt.Errorf("%w: execution %q", ErrNotFound, id)
+	}
+	return e, nil
+}
+
+// GeneratorOf implements Store.
+func (s *FileStore) GeneratorOf(artifactID string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.loadOwner(artifactID)
+	if err != nil {
+		return "", err
+	}
+	gen := l.GeneratorOf(artifactID)
+	if gen == nil {
+		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
+	}
+	return gen.ID, nil
+}
+
+// ConsumersOf implements Store.
+func (s *FileStore) ConsumersOf(artifactID string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.loadOwner(artifactID)
+	if err != nil {
+		return nil, err
+	}
+	execs := l.ConsumersOf(artifactID)
+	out := make([]string, len(execs))
+	for i, e := range execs {
+		out[i] = e.ID
+	}
+	return out, nil
+}
+
+// Used implements Store.
+func (s *FileStore) Used(execID string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.loadOwner(execID)
+	if err != nil {
+		return nil, err
+	}
+	arts := l.ArtifactsUsedBy(execID)
+	out := make([]string, len(arts))
+	for i, a := range arts {
+		out[i] = a.ID
+	}
+	return out, nil
+}
+
+// Generated implements Store.
+func (s *FileStore) Generated(execID string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.loadOwner(execID)
+	if err != nil {
+		return nil, err
+	}
+	arts := l.ArtifactsGeneratedBy(execID)
+	out := make([]string, len(arts))
+	for i, a := range arts {
+		out[i] = a.ID
+	}
+	return out, nil
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Runs: len(s.order), Bytes: s.size}
+	for _, runID := range s.order {
+		l, err := s.load(runID)
+		if err != nil {
+			return st, err
+		}
+		st.Executions += len(l.Executions)
+		st.Artifacts += len(l.Artifacts)
+		st.Events += len(l.Events)
+		st.Annotations += len(l.Annotations)
+	}
+	return st, nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/provenance"
+)
+
+// MemStore keeps provenance in native maps with adjacency indexes: the
+// fastest backend and the reference implementation for the others.
+type MemStore struct {
+	mu        sync.RWMutex
+	logs      map[string]*provenance.RunLog
+	order     []string
+	artifacts map[string]*provenance.Artifact
+	execs     map[string]*provenance.Execution
+	genBy     map[string]string   // artifact -> execution
+	consumers map[string][]string // artifact -> executions
+	used      map[string][]string // execution -> artifacts
+	generated map[string][]string // execution -> artifacts
+	bytes     int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		logs:      map[string]*provenance.RunLog{},
+		artifacts: map[string]*provenance.Artifact{},
+		execs:     map[string]*provenance.Execution{},
+		genBy:     map[string]string{},
+		consumers: map[string][]string{},
+		used:      map[string][]string{},
+		generated: map[string][]string{},
+	}
+}
+
+var _ Store = (*MemStore)(nil)
+
+// Name implements Store.
+func (s *MemStore) Name() string { return "mem" }
+
+// PutRunLog implements Store.
+func (s *MemStore) PutRunLog(l *provenance.RunLog) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.logs[l.Run.ID]; dup {
+		return fmt.Errorf("store: run %q already stored", l.Run.ID)
+	}
+	s.logs[l.Run.ID] = l
+	s.order = append(s.order, l.Run.ID)
+	for _, a := range l.Artifacts {
+		s.artifacts[a.ID] = a
+		s.bytes += int64(len(a.ID)+len(a.Type)+len(a.ContentHash)+len(a.Preview)) + 16
+	}
+	for _, e := range l.Executions {
+		s.execs[e.ID] = e
+		s.bytes += int64(len(e.ID)+len(e.ModuleID)+len(e.ModuleType)) + 48
+	}
+	for _, ev := range l.Events {
+		s.bytes += 48
+		switch ev.Kind {
+		case provenance.EventArtifactGen:
+			s.genBy[ev.ArtifactID] = ev.ExecutionID
+			s.generated[ev.ExecutionID] = append(s.generated[ev.ExecutionID], ev.ArtifactID)
+		case provenance.EventArtifactUsed:
+			s.consumers[ev.ArtifactID] = append(s.consumers[ev.ArtifactID], ev.ExecutionID)
+			s.used[ev.ExecutionID] = append(s.used[ev.ExecutionID], ev.ArtifactID)
+		}
+	}
+	s.bytes += int64(len(l.Annotations)) * 64
+	return nil
+}
+
+// RunLog implements Store.
+func (s *MemStore) RunLog(runID string) (*provenance.RunLog, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.logs[runID]
+	if !ok {
+		return nil, fmt.Errorf("%w: run %q", ErrNotFound, runID)
+	}
+	return l, nil
+}
+
+// Runs implements Store.
+func (s *MemStore) Runs() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...), nil
+}
+
+// Artifact implements Store.
+func (s *MemStore) Artifact(id string) (*provenance.Artifact, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.artifacts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: artifact %q", ErrNotFound, id)
+	}
+	return a, nil
+}
+
+// Execution implements Store.
+func (s *MemStore) Execution(id string) (*provenance.Execution, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.execs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: execution %q", ErrNotFound, id)
+	}
+	return e, nil
+}
+
+// GeneratorOf implements Store.
+func (s *MemStore) GeneratorOf(artifactID string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.genBy[artifactID]
+	if !ok {
+		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
+	}
+	return g, nil
+}
+
+// ConsumersOf implements Store.
+func (s *MemStore) ConsumersOf(artifactID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedUnique(s.consumers[artifactID]), nil
+}
+
+// Used implements Store.
+func (s *MemStore) Used(execID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedUnique(s.used[execID]), nil
+}
+
+// Generated implements Store.
+func (s *MemStore) Generated(execID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedUnique(s.generated[execID]), nil
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Runs: len(s.logs), Artifacts: len(s.artifacts), Executions: len(s.execs), Bytes: s.bytes}
+	for _, l := range s.logs {
+		st.Events += len(l.Events)
+		st.Annotations += len(l.Annotations)
+	}
+	return st, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+func sortedUnique(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	dedup := out[:1]
+	for _, s := range out[1:] {
+		if s != dedup[len(dedup)-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	return dedup
+}

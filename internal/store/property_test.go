@@ -1,0 +1,130 @@
+package store
+
+// Backend conformance property: for random generated runs, all four
+// backends agree on every navigation primitive and on full closures.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workloads"
+)
+
+func randomLog(t *testing.T, seed int64) *provenance.RunLog {
+	t.Helper()
+	wf := workloads.RandomLayered(seed, 4, 3, 2)
+	col := provenance.NewCollector()
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 2})
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := col.Log(res.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestQuickBackendsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		log := randomLog(t, seed)
+		fs, err := OpenFileStore(t.TempDir())
+		if err != nil {
+			return false
+		}
+		defer fs.Close()
+		backends := []Store{NewMemStore(), NewRelStore(), NewTripleStore(), fs}
+		for _, s := range backends {
+			if err := s.PutRunLog(log); err != nil {
+				return false
+			}
+		}
+		ref := backends[0]
+		for _, a := range log.Artifacts {
+			refGen, refErr := ref.GeneratorOf(a.ID)
+			refCons, _ := ref.ConsumersOf(a.ID)
+			refLin, _ := Lineage(ref, a.ID)
+			refDeps, _ := Dependents(ref, a.ID)
+			for _, s := range backends[1:] {
+				gen, err := s.GeneratorOf(a.ID)
+				if (err == nil) != (refErr == nil) || gen != refGen {
+					return false
+				}
+				cons, err := s.ConsumersOf(a.ID)
+				if err != nil || fmt.Sprint(cons) != fmt.Sprint(refCons) {
+					return false
+				}
+				lin, err := Lineage(s, a.ID)
+				if err != nil || fmt.Sprint(lin) != fmt.Sprint(refLin) {
+					return false
+				}
+				deps, err := Dependents(s, a.ID)
+				if err != nil || fmt.Sprint(deps) != fmt.Sprint(refDeps) {
+					return false
+				}
+			}
+		}
+		for _, e := range log.Executions {
+			refUsed, _ := ref.Used(e.ID)
+			refGen, _ := ref.Generated(e.ID)
+			for _, s := range backends[1:] {
+				used, err := s.Used(e.ID)
+				if err != nil || fmt.Sprint(used) != fmt.Sprint(refUsed) {
+					return false
+				}
+				gen, err := s.Generated(e.ID)
+				if err != nil || fmt.Sprint(gen) != fmt.Sprint(refGen) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lineage and dependents are converse relations on every backend.
+func TestQuickLineageDependentsConverse(t *testing.T) {
+	f := func(seed int64) bool {
+		log := randomLog(t, seed)
+		s := NewMemStore()
+		if err := s.PutRunLog(log); err != nil {
+			return false
+		}
+		for _, a := range log.Artifacts {
+			lin, err := Lineage(s, a.ID)
+			if err != nil {
+				return false
+			}
+			for _, up := range lin {
+				deps, err := Dependents(s, up)
+				if err != nil {
+					return false
+				}
+				found := false
+				for _, d := range deps {
+					if d == a.ID {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

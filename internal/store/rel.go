@@ -1,0 +1,264 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/provenance"
+	"repro/internal/relalg"
+)
+
+// RelStore keeps provenance as tuples in relational tables, the approach of
+// systems that map provenance onto an RDBMS [3]. Navigation queries are
+// relational scans/selections — deliberately index-free, so experiment E4
+// exposes the cost difference against adjacency- and triple-indexed
+// backends.
+//
+// Tables:
+//
+//	runs(id, workflow, hash, agent, status)
+//	executions(id, run, module, moduleType, status, wallNanos)
+//	artifacts(id, run, type, contentHash, size)
+//	uses(exec, artifact, port)
+//	gens(exec, artifact, port)
+//	annotations(subject, key, value, author)
+type RelStore struct {
+	mu    sync.RWMutex
+	logs  map[string]*provenance.RunLog
+	order []string
+
+	runRows  [][]relalg.Val
+	execRows [][]relalg.Val
+	artRows  [][]relalg.Val
+	useRows  [][]relalg.Val
+	genRows  [][]relalg.Val
+	annRows  [][]relalg.Val
+
+	dirty  bool
+	tables map[string]*relalg.Relation
+}
+
+// NewRelStore returns an empty relational store.
+func NewRelStore() *RelStore {
+	return &RelStore{logs: map[string]*provenance.RunLog{}, tables: map[string]*relalg.Relation{}}
+}
+
+var _ Store = (*RelStore)(nil)
+
+// Name implements Store.
+func (s *RelStore) Name() string { return "rel" }
+
+// PutRunLog implements Store.
+func (s *RelStore) PutRunLog(l *provenance.RunLog) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.logs[l.Run.ID]; dup {
+		return fmt.Errorf("store: run %q already stored", l.Run.ID)
+	}
+	s.logs[l.Run.ID] = l
+	s.order = append(s.order, l.Run.ID)
+	s.runRows = append(s.runRows, []relalg.Val{l.Run.ID, l.Run.WorkflowID, l.Run.WorkflowHash, l.Run.Agent, string(l.Run.Status)})
+	for _, e := range l.Executions {
+		s.execRows = append(s.execRows, []relalg.Val{e.ID, e.RunID, e.ModuleID, e.ModuleType, string(e.Status), e.WallNanos})
+	}
+	for _, a := range l.Artifacts {
+		s.artRows = append(s.artRows, []relalg.Val{a.ID, a.RunID, a.Type, a.ContentHash, a.Size})
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactUsed:
+			s.useRows = append(s.useRows, []relalg.Val{ev.ExecutionID, ev.ArtifactID, ev.Port})
+		case provenance.EventArtifactGen:
+			s.genRows = append(s.genRows, []relalg.Val{ev.ExecutionID, ev.ArtifactID, ev.Port})
+		}
+	}
+	for _, an := range l.Annotations {
+		s.annRows = append(s.annRows, []relalg.Val{an.Subject, an.Key, an.Value, an.Author})
+	}
+	s.dirty = true
+	return nil
+}
+
+// Tables materializes (lazily, after writes) the current relational view.
+// The returned relations are immutable. Exposed so the PQL engine and
+// dbprov can query provenance relationally.
+func (s *RelStore) Tables() map[string]*relalg.Relation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildLocked()
+	out := make(map[string]*relalg.Relation, len(s.tables))
+	for k, v := range s.tables {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *RelStore) rebuildLocked() {
+	if !s.dirty && len(s.tables) > 0 {
+		return
+	}
+	mustRel := func(name string, schema []string, rows [][]relalg.Val) *relalg.Relation {
+		r, err := relalg.NewRelation(name, schema, rows)
+		if err != nil {
+			// Schemas are static and rows are arity-checked on insert.
+			panic(fmt.Sprintf("store: rebuilding %s: %v", name, err))
+		}
+		return r
+	}
+	s.tables = map[string]*relalg.Relation{
+		"runs":        mustRel("runs", []string{"id", "workflow", "hash", "agent", "status"}, s.runRows),
+		"executions":  mustRel("executions", []string{"id", "run", "module", "moduleType", "status", "wallNanos"}, s.execRows),
+		"artifacts":   mustRel("artifacts", []string{"id", "run", "type", "contentHash", "size"}, s.artRows),
+		"uses":        mustRel("uses", []string{"exec", "artifact", "port"}, s.useRows),
+		"gens":        mustRel("gens", []string{"exec", "artifact", "port"}, s.genRows),
+		"annotations": mustRel("annotations", []string{"subject", "key", "value", "author"}, s.annRows),
+	}
+	s.dirty = false
+}
+
+func (s *RelStore) table(name string) *relalg.Relation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildLocked()
+	return s.tables[name]
+}
+
+// RunLog implements Store.
+func (s *RelStore) RunLog(runID string) (*provenance.RunLog, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.logs[runID]
+	if !ok {
+		return nil, fmt.Errorf("%w: run %q", ErrNotFound, runID)
+	}
+	return l, nil
+}
+
+// Runs implements Store.
+func (s *RelStore) Runs() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...), nil
+}
+
+// Artifact implements Store.
+func (s *RelStore) Artifact(id string) (*provenance.Artifact, error) {
+	arts := s.table("artifacts")
+	pred, err := relalg.Eq(arts, "id", id)
+	if err != nil {
+		return nil, err
+	}
+	sel := relalg.Select(arts, pred)
+	if sel.Len() == 0 {
+		return nil, fmt.Errorf("%w: artifact %q", ErrNotFound, id)
+	}
+	t := sel.Tuples[0]
+	return &provenance.Artifact{
+		ID:          t.Values[0].(string),
+		RunID:       t.Values[1].(string),
+		Type:        t.Values[2].(string),
+		ContentHash: t.Values[3].(string),
+		Size:        t.Values[4].(int64),
+	}, nil
+}
+
+// Execution implements Store.
+func (s *RelStore) Execution(id string) (*provenance.Execution, error) {
+	execs := s.table("executions")
+	pred, err := relalg.Eq(execs, "id", id)
+	if err != nil {
+		return nil, err
+	}
+	sel := relalg.Select(execs, pred)
+	if sel.Len() == 0 {
+		return nil, fmt.Errorf("%w: execution %q", ErrNotFound, id)
+	}
+	t := sel.Tuples[0]
+	return &provenance.Execution{
+		ID:         t.Values[0].(string),
+		RunID:      t.Values[1].(string),
+		ModuleID:   t.Values[2].(string),
+		ModuleType: t.Values[3].(string),
+		Status:     provenance.ExecStatus(t.Values[4].(string)),
+		WallNanos:  t.Values[5].(int64),
+	}, nil
+}
+
+// GeneratorOf implements Store.
+func (s *RelStore) GeneratorOf(artifactID string) (string, error) {
+	gens := s.table("gens")
+	pred, err := relalg.Eq(gens, "artifact", artifactID)
+	if err != nil {
+		return "", err
+	}
+	sel := relalg.Select(gens, pred)
+	if sel.Len() == 0 {
+		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
+	}
+	return sel.Tuples[0].Values[0].(string), nil
+}
+
+// ConsumersOf implements Store.
+func (s *RelStore) ConsumersOf(artifactID string) ([]string, error) {
+	return s.column("uses", "artifact", artifactID, "exec")
+}
+
+// Used implements Store.
+func (s *RelStore) Used(execID string) ([]string, error) {
+	return s.column("uses", "exec", execID, "artifact")
+}
+
+// Generated implements Store.
+func (s *RelStore) Generated(execID string) ([]string, error) {
+	return s.column("gens", "exec", execID, "artifact")
+}
+
+func (s *RelStore) column(table, whereCol, whereVal, outCol string) ([]string, error) {
+	rel := s.table(table)
+	pred, err := relalg.Eq(rel, whereCol, whereVal)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := relalg.Project(relalg.Select(rel, pred), outCol)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, proj.Len())
+	for _, t := range proj.Tuples {
+		out = append(out, t.Values[0].(string))
+	}
+	return sortedUnique(out), nil
+}
+
+// Stats implements Store.
+func (s *RelStore) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Runs: len(s.logs)}
+	st.Executions = len(s.execRows)
+	st.Artifacts = len(s.artRows)
+	for _, l := range s.logs {
+		st.Events += len(l.Events)
+		st.Annotations += len(l.Annotations)
+	}
+	// Rough per-row footprints: values plus tuple/witness overhead.
+	for _, rows := range [][][]relalg.Val{s.runRows, s.execRows, s.artRows, s.useRows, s.genRows, s.annRows} {
+		for _, row := range rows {
+			st.Bytes += 32 // tuple + witness overhead
+			for _, v := range row {
+				if str, ok := v.(string); ok {
+					st.Bytes += int64(len(str))
+				} else {
+					st.Bytes += 8
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// Close implements Store.
+func (s *RelStore) Close() error { return nil }

@@ -1,0 +1,147 @@
+// Package store provides the provenance storage infrastructure of §2.2:
+// one Store interface with four backends mirroring the storage spectrum the
+// paper surveys —
+//
+//   - MemStore: native in-memory graph (adjacency indexes), the fastest
+//     baseline;
+//   - RelStore: provenance as tuples in relational tables (systems like [3]
+//     store provenance in an RDBMS), built on internal/relalg;
+//   - TripleStore: provenance as (subject, predicate, object) triples with
+//     SPO/POS/OSP indexes, the Semantic-Web/RDF approach of [46, 26, 22];
+//   - FileStore: provenance as append-only log files with an offset index,
+//     the XML/file-dialect approach, with crash recovery on reopen.
+//
+// Query engines (package query) are written against the interface, so every
+// language runs on every backend.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/provenance"
+)
+
+// ErrNotFound is returned when an entity is not in the store.
+var ErrNotFound = errors.New("store: not found")
+
+// Stats summarizes a store's contents and footprint.
+type Stats struct {
+	Runs        int
+	Executions  int
+	Artifacts   int
+	Events      int
+	Annotations int
+	Bytes       int64 // approximate storage footprint
+}
+
+// Store persists and navigates retrospective provenance. Implementations
+// must be safe for concurrent readers with a single writer.
+type Store interface {
+	// PutRunLog persists a complete run log. Logs are immutable once
+	// stored; re-putting a run ID is an error.
+	PutRunLog(l *provenance.RunLog) error
+	// RunLog retrieves a stored log by run ID.
+	RunLog(runID string) (*provenance.RunLog, error)
+	// Runs lists stored run IDs in insertion order.
+	Runs() ([]string, error)
+	// Artifact and Execution retrieve single entities by ID.
+	Artifact(id string) (*provenance.Artifact, error)
+	Execution(id string) (*provenance.Execution, error)
+	// GeneratorOf returns the execution that generated an artifact
+	// (ErrNotFound if the artifact is raw input or unknown).
+	GeneratorOf(artifactID string) (string, error)
+	// ConsumersOf returns the executions that used an artifact, sorted.
+	ConsumersOf(artifactID string) ([]string, error)
+	// Used returns the artifact IDs an execution consumed, sorted.
+	Used(execID string) ([]string, error)
+	// Generated returns the artifact IDs an execution produced, sorted.
+	Generated(execID string) ([]string, error)
+	// Stats reports entity counts and approximate footprint.
+	Stats() (Stats, error)
+	// Name identifies the backend ("mem", "rel", "triple", "file").
+	Name() string
+	// Close releases resources.
+	Close() error
+}
+
+// Lineage computes the full upstream closure (artifacts and executions) of
+// an entity by navigating any Store. It is the backend-independent BFS the
+// query-language engines are compared against in experiment E6.
+func Lineage(s Store, entityID string) ([]string, error) {
+	seen := map[string]bool{}
+	var order []string
+	frontier := []string{entityID}
+	for len(frontier) > 0 {
+		var next []string
+		for _, id := range frontier {
+			parents, err := parentsOf(s, id)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range parents {
+				if !seen[p] {
+					seen[p] = true
+					order = append(order, p)
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order, nil
+}
+
+// Dependents computes the full downstream closure of an entity.
+func Dependents(s Store, entityID string) ([]string, error) {
+	seen := map[string]bool{}
+	var order []string
+	frontier := []string{entityID}
+	for len(frontier) > 0 {
+		var next []string
+		for _, id := range frontier {
+			children, err := childrenOf(s, id)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range children {
+				if !seen[c] {
+					seen[c] = true
+					order = append(order, c)
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order, nil
+}
+
+func parentsOf(s Store, id string) ([]string, error) {
+	// Artifact: parent is its generator. Execution: parents are used
+	// artifacts. Try artifact first, then execution.
+	if _, err := s.Artifact(id); err == nil {
+		gen, err := s.GeneratorOf(id)
+		if errors.Is(err, ErrNotFound) {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []string{gen}, nil
+	}
+	if _, err := s.Execution(id); err == nil {
+		return s.Used(id)
+	}
+	return nil, fmt.Errorf("%w: entity %q", ErrNotFound, id)
+}
+
+func childrenOf(s Store, id string) ([]string, error) {
+	if _, err := s.Artifact(id); err == nil {
+		return s.ConsumersOf(id)
+	}
+	if _, err := s.Execution(id); err == nil {
+		return s.Generated(id)
+	}
+	return nil, fmt.Errorf("%w: entity %q", ErrNotFound, id)
+}

@@ -1,0 +1,349 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/workloads"
+)
+
+// openAll returns one fresh store per backend.
+func openAll(t *testing.T) []Store {
+	t.Helper()
+	fs, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Store{NewMemStore(), NewRelStore(), NewTripleStore(), fs}
+}
+
+// captureRun executes the Figure 1 workflow and returns its log plus the
+// artifact ID of the rendered image and the run result.
+func captureRun(t *testing.T) (*provenance.RunLog, string, *engine.Result) {
+	t.Helper()
+	col := provenance.NewCollector()
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 1})
+	res, err := e.Run(context.Background(), workloads.MedicalImaging(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := col.Log(res.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log, res.Artifacts["render.image"], res
+}
+
+func TestConformance(t *testing.T) {
+	log, imageArt, res := captureRun(t)
+	for _, s := range openAll(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			if err := s.PutRunLog(log); err != nil {
+				t.Fatal(err)
+			}
+			// Duplicate rejected.
+			if err := s.PutRunLog(log); err == nil {
+				t.Fatal("duplicate run accepted")
+			}
+			// Round trip.
+			got, err := s.RunLog(log.Run.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Run.ID != log.Run.ID || len(got.Executions) != len(log.Executions) {
+				t.Fatalf("round trip mismatch: %+v", got.Run)
+			}
+			runs, err := s.Runs()
+			if err != nil || len(runs) != 1 || runs[0] != log.Run.ID {
+				t.Fatalf("Runs = %v, %v", runs, err)
+			}
+			// Entity lookups.
+			a, err := s.Artifact(imageArt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Type != workloads.TypeImage {
+				t.Fatalf("artifact type = %q", a.Type)
+			}
+			renderExec := log.ExecutionForModule("render")
+			e, err := s.Execution(renderExec.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.ModuleID != "render" {
+				t.Fatalf("execution module = %q", e.ModuleID)
+			}
+			// Navigation.
+			gen, err := s.GeneratorOf(imageArt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != renderExec.ID {
+				t.Fatalf("generator = %q, want %q", gen, renderExec.ID)
+			}
+			gridArt := res.Artifacts["reader.data"]
+			consumers, err := s.ConsumersOf(gridArt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(consumers) != 2 {
+				t.Fatalf("consumers = %v", consumers)
+			}
+			used, err := s.Used(renderExec.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(used) != 1 || used[0] != res.Artifacts["contour.surface"] {
+				t.Fatalf("used = %v", used)
+			}
+			generated, err := s.Generated(renderExec.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(generated) != 1 || generated[0] != imageArt {
+				t.Fatalf("generated = %v", generated)
+			}
+			// Not-found paths.
+			if _, err := s.Artifact("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing artifact err = %v", err)
+			}
+			if _, err := s.Execution("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing execution err = %v", err)
+			}
+			if _, err := s.RunLog("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing run err = %v", err)
+			}
+			if _, err := s.GeneratorOf(gridArt); err != nil {
+				t.Fatalf("grid has generator (reader): %v", err)
+			}
+			// Stats plausible.
+			st, err := s.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Runs != 1 || st.Executions != 4 || st.Artifacts != 5 || st.Bytes <= 0 {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestLineageAndDependentsAgreeAcrossBackends(t *testing.T) {
+	log, imageArt, res := captureRun(t)
+	var want []string
+	for _, s := range openAll(t) {
+		if err := s.PutRunLog(log); err != nil {
+			t.Fatal(err)
+		}
+		lin, err := Lineage(s, imageArt)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if want == nil {
+			want = lin
+			// image <- render <- surface <- contour <- grid <- reader.
+			if len(lin) != 5 {
+				t.Fatalf("lineage size = %d (%v)", len(lin), lin)
+			}
+		} else if fmt.Sprint(lin) != fmt.Sprint(want) {
+			t.Fatalf("%s lineage = %v, want %v", s.Name(), lin, want)
+		}
+		deps, err := Dependents(s, res.Artifacts["reader.data"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// grid -> {histogram, contour} -> {plot, hist, surface} -> render -> image: 7.
+		if len(deps) != 7 {
+			t.Fatalf("%s dependents = %v", s.Name(), deps)
+		}
+		s.Close()
+	}
+}
+
+func TestLineageUnknownEntity(t *testing.T) {
+	s := NewMemStore()
+	if _, err := Lineage(s, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultipleRuns(t *testing.T) {
+	logA, _, _ := captureRun(t)
+	logB, _, _ := captureRun(t)
+	for _, s := range openAll(t) {
+		if err := s.PutRunLog(logA); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutRunLog(logB); err != nil {
+			t.Fatal(err)
+		}
+		runs, _ := s.Runs()
+		if len(runs) != 2 || runs[0] != logA.Run.ID || runs[1] != logB.Run.ID {
+			t.Fatalf("%s runs = %v", s.Name(), runs)
+		}
+		st, _ := s.Stats()
+		if st.Runs != 2 || st.Executions != 8 {
+			t.Fatalf("%s stats = %+v", s.Name(), st)
+		}
+		s.Close()
+	}
+}
+
+func TestFileStoreReopenRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	log, imageArt, _ := captureRun(t)
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRunLog(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: index rebuilt from the log file.
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.RunLog(log.Run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(log.Events) {
+		t.Fatal("events lost through reopen")
+	}
+	if _, err := s2.GeneratorOf(imageArt); err != nil {
+		t.Fatalf("navigation after reopen: %v", err)
+	}
+}
+
+func TestFileStoreTruncatesTornRecord(t *testing.T) {
+	dir := t.TempDir()
+	log, _, _ := captureRun(t)
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRunLog(log); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-append: write a partial record with no newline.
+	path := filepath.Join(dir, logFileName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"run":{"id":"torn-run"`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	runs, _ := s2.Runs()
+	if len(runs) != 1 || runs[0] != log.Run.ID {
+		t.Fatalf("recovered runs = %v", runs)
+	}
+	// The torn bytes are gone: appending works again.
+	log2, _, _ := captureRun(t)
+	if err := s2.PutRunLog(log2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.Runs(); len(got) != 2 {
+		t.Fatalf("runs after re-append = %v", got)
+	}
+}
+
+func TestFileStoreCorruptMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, logFileName)
+	if err := os.WriteFile(path, []byte("this is not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("open over corrupt log: %v", err)
+	}
+	defer s.Close()
+	runs, _ := s.Runs()
+	if len(runs) != 0 {
+		t.Fatalf("corrupt log yielded runs: %v", runs)
+	}
+}
+
+func TestTripleStoreMatch(t *testing.T) {
+	log, imageArt, res := captureRun(t)
+	s := NewTripleStore()
+	if err := s.PutRunLog(log); err != nil {
+		t.Fatal(err)
+	}
+	// (exec, generated, image).
+	renderExec := log.ExecutionForModule("render")
+	ts := s.Match("", PredGenerated, imageArt)
+	if len(ts) != 1 || ts[0].S != renderExec.ID {
+		t.Fatalf("match = %v", ts)
+	}
+	// All uses of the grid artifact.
+	uses := s.Match("", PredUsed, res.Artifacts["reader.data"])
+	if len(uses) != 2 {
+		t.Fatalf("grid uses = %v", uses)
+	}
+	// Wildcard subject+predicate.
+	all := s.Match("", "", "")
+	if len(all) != s.TripleCount() {
+		t.Fatalf("full scan = %d, count = %d", len(all), s.TripleCount())
+	}
+	// Subject-only.
+	sub := s.Match(renderExec.ID, "", "")
+	if len(sub) < 4 {
+		t.Fatalf("subject scan = %v", sub)
+	}
+}
+
+func TestRelStoreTablesExposed(t *testing.T) {
+	log, _, _ := captureRun(t)
+	s := NewRelStore()
+	if err := s.PutRunLog(log); err != nil {
+		t.Fatal(err)
+	}
+	tables := s.Tables()
+	for _, name := range []string{"runs", "executions", "artifacts", "uses", "gens", "annotations"} {
+		if tables[name] == nil {
+			t.Fatalf("table %q missing", name)
+		}
+	}
+	if tables["executions"].Len() != 4 {
+		t.Fatalf("executions table = %d rows", tables["executions"].Len())
+	}
+	// Reader has no inputs; histogram and contour use the grid, render uses
+	// the surface: 3 use records.
+	if tables["uses"].Len() != 3 {
+		t.Fatalf("uses table = %d rows", tables["uses"].Len())
+	}
+}
+
+func TestPutInvalidLogRejected(t *testing.T) {
+	bad := &provenance.RunLog{Run: provenance.Run{ID: "r"}}
+	bad.Executions = []*provenance.Execution{{ID: "e"}, {ID: "e"}}
+	for _, s := range openAll(t) {
+		if err := s.PutRunLog(bad); err == nil {
+			t.Fatalf("%s accepted invalid log", s.Name())
+		}
+		s.Close()
+	}
+}

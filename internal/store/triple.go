@@ -1,0 +1,306 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/provenance"
+)
+
+// Triple is an RDF-style (subject, predicate, object) statement.
+type Triple struct {
+	S, P, O string
+}
+
+// Predicates used when flattening provenance into triples. They mirror the
+// vocabulary of the RDF-based systems the paper surveys [46, 26, 22].
+const (
+	PredType       = "rdf:type"
+	PredGenerated  = "prov:generated"   // execution -> artifact
+	PredUsed       = "prov:used"        // execution -> artifact
+	PredPartOfRun  = "prov:partOfRun"   // execution/artifact -> run
+	PredModule     = "prov:module"      // execution -> module ID
+	PredModuleType = "prov:moduleType"  // execution -> module type
+	PredStatus     = "prov:status"      // execution/run -> status
+	PredHash       = "prov:contentHash" // artifact -> hash
+	PredArtType    = "prov:artifactType"
+	PredWorkflow   = "prov:workflow" // run -> workflow ID
+	PredAgent      = "prov:agent"    // run -> agent
+	PredAnnKey     = "ann:key"
+	PredAnnValue   = "ann:value"
+	PredAnnSubject = "ann:subject"
+)
+
+// TripleStore keeps provenance as triples with SPO/POS/OSP hash indexes,
+// the Semantic-Web storage approach. It also serves as the data source for
+// the SPARQL-like query engine (package query/triplequery).
+type TripleStore struct {
+	mu    sync.RWMutex
+	logs  map[string]*provenance.RunLog
+	order []string
+	spo   map[string]map[string][]string // s -> p -> objects
+	pos   map[string]map[string][]string // p -> o -> subjects
+	osp   map[string]map[string][]string // o -> s -> predicates
+	count int
+	bytes int64
+}
+
+// NewTripleStore returns an empty triple store.
+func NewTripleStore() *TripleStore {
+	return &TripleStore{
+		logs: map[string]*provenance.RunLog{},
+		spo:  map[string]map[string][]string{},
+		pos:  map[string]map[string][]string{},
+		osp:  map[string]map[string][]string{},
+	}
+}
+
+var _ Store = (*TripleStore)(nil)
+
+// Name implements Store.
+func (s *TripleStore) Name() string { return "triple" }
+
+func (s *TripleStore) insert(t Triple) {
+	addTo(s.spo, t.S, t.P, t.O)
+	addTo(s.pos, t.P, t.O, t.S)
+	addTo(s.osp, t.O, t.S, t.P)
+	s.count++
+	s.bytes += int64(len(t.S) + len(t.P) + len(t.O) + 24)
+}
+
+func addTo(idx map[string]map[string][]string, a, b, c string) {
+	m, ok := idx[a]
+	if !ok {
+		m = map[string][]string{}
+		idx[a] = m
+	}
+	m[b] = append(m[b], c)
+}
+
+// PutRunLog implements Store.
+func (s *TripleStore) PutRunLog(l *provenance.RunLog) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.logs[l.Run.ID]; dup {
+		return fmt.Errorf("store: run %q already stored", l.Run.ID)
+	}
+	s.logs[l.Run.ID] = l
+	s.order = append(s.order, l.Run.ID)
+	s.insert(Triple{l.Run.ID, PredType, "Run"})
+	s.insert(Triple{l.Run.ID, PredWorkflow, l.Run.WorkflowID})
+	s.insert(Triple{l.Run.ID, PredAgent, l.Run.Agent})
+	s.insert(Triple{l.Run.ID, PredStatus, string(l.Run.Status)})
+	for _, e := range l.Executions {
+		s.insert(Triple{e.ID, PredType, "Execution"})
+		s.insert(Triple{e.ID, PredPartOfRun, e.RunID})
+		s.insert(Triple{e.ID, PredModule, e.ModuleID})
+		s.insert(Triple{e.ID, PredModuleType, e.ModuleType})
+		s.insert(Triple{e.ID, PredStatus, string(e.Status)})
+	}
+	for _, a := range l.Artifacts {
+		s.insert(Triple{a.ID, PredType, "Artifact"})
+		s.insert(Triple{a.ID, PredPartOfRun, a.RunID})
+		s.insert(Triple{a.ID, PredHash, a.ContentHash})
+		s.insert(Triple{a.ID, PredArtType, a.Type})
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactUsed:
+			s.insert(Triple{ev.ExecutionID, PredUsed, ev.ArtifactID})
+		case provenance.EventArtifactGen:
+			s.insert(Triple{ev.ExecutionID, PredGenerated, ev.ArtifactID})
+		}
+	}
+	for i, an := range l.Annotations {
+		node := fmt.Sprintf("_:ann-%s-%d", l.Run.ID, i)
+		s.insert(Triple{node, PredType, "Annotation"})
+		s.insert(Triple{node, PredAnnSubject, an.Subject})
+		s.insert(Triple{node, PredAnnKey, an.Key})
+		s.insert(Triple{node, PredAnnValue, an.Value})
+	}
+	return nil
+}
+
+// Match returns triples matching a pattern; empty strings are wildcards.
+// Results are sorted. This is the primitive the SPARQL-like engine joins
+// over.
+func (s *TripleStore) Match(subj, pred, obj string) []Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Triple
+	switch {
+	case subj != "" && pred != "":
+		for _, o := range s.spo[subj][pred] {
+			if obj == "" || obj == o {
+				out = append(out, Triple{subj, pred, o})
+			}
+		}
+	case subj != "":
+		for p, objs := range s.spo[subj] {
+			for _, o := range objs {
+				if obj == "" || obj == o {
+					out = append(out, Triple{subj, p, o})
+				}
+			}
+		}
+	case pred != "" && obj != "":
+		for _, sub := range s.pos[pred][obj] {
+			out = append(out, Triple{sub, pred, obj})
+		}
+	case pred != "":
+		for o, subs := range s.pos[pred] {
+			for _, sub := range subs {
+				out = append(out, Triple{sub, pred, o})
+			}
+		}
+	case obj != "":
+		for sub, preds := range s.osp[obj] {
+			for _, p := range preds {
+				out = append(out, Triple{sub, p, obj})
+			}
+		}
+	default:
+		for sub, pm := range s.spo {
+			for p, objs := range pm {
+				for _, o := range objs {
+					out = append(out, Triple{sub, p, o})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	return out
+}
+
+// RunLog implements Store.
+func (s *TripleStore) RunLog(runID string) (*provenance.RunLog, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.logs[runID]
+	if !ok {
+		return nil, fmt.Errorf("%w: run %q", ErrNotFound, runID)
+	}
+	return l, nil
+}
+
+// Runs implements Store.
+func (s *TripleStore) Runs() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...), nil
+}
+
+// Artifact implements Store.
+func (s *TripleStore) Artifact(id string) (*provenance.Artifact, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !hasObj(s.spo, id, PredType, "Artifact") {
+		return nil, fmt.Errorf("%w: artifact %q", ErrNotFound, id)
+	}
+	a := &provenance.Artifact{ID: id}
+	a.RunID = firstObj(s.spo, id, PredPartOfRun)
+	a.ContentHash = firstObj(s.spo, id, PredHash)
+	a.Type = firstObj(s.spo, id, PredArtType)
+	return a, nil
+}
+
+// Execution implements Store.
+func (s *TripleStore) Execution(id string) (*provenance.Execution, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !hasObj(s.spo, id, PredType, "Execution") {
+		return nil, fmt.Errorf("%w: execution %q", ErrNotFound, id)
+	}
+	e := &provenance.Execution{ID: id}
+	e.RunID = firstObj(s.spo, id, PredPartOfRun)
+	e.ModuleID = firstObj(s.spo, id, PredModule)
+	e.ModuleType = firstObj(s.spo, id, PredModuleType)
+	e.Status = provenance.ExecStatus(firstObj(s.spo, id, PredStatus))
+	return e, nil
+}
+
+func hasObj(spo map[string]map[string][]string, s, p, o string) bool {
+	for _, have := range spo[s][p] {
+		if have == o {
+			return true
+		}
+	}
+	return false
+}
+
+func firstObj(spo map[string]map[string][]string, s, p string) string {
+	objs := spo[s][p]
+	if len(objs) == 0 {
+		return ""
+	}
+	return objs[0]
+}
+
+// GeneratorOf implements Store.
+func (s *TripleStore) GeneratorOf(artifactID string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	subs := s.pos[PredGenerated][artifactID]
+	if len(subs) == 0 {
+		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
+	}
+	return subs[0], nil
+}
+
+// ConsumersOf implements Store.
+func (s *TripleStore) ConsumersOf(artifactID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedUnique(s.pos[PredUsed][artifactID]), nil
+}
+
+// Used implements Store.
+func (s *TripleStore) Used(execID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedUnique(s.spo[execID][PredUsed]), nil
+}
+
+// Generated implements Store.
+func (s *TripleStore) Generated(execID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedUnique(s.spo[execID][PredGenerated]), nil
+}
+
+// Stats implements Store.
+func (s *TripleStore) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Runs: len(s.logs), Bytes: s.bytes}
+	for _, l := range s.logs {
+		st.Executions += len(l.Executions)
+		st.Artifacts += len(l.Artifacts)
+		st.Events += len(l.Events)
+		st.Annotations += len(l.Annotations)
+	}
+	return st, nil
+}
+
+// TripleCount returns the number of stored triples.
+func (s *TripleStore) TripleCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Close implements Store.
+func (s *TripleStore) Close() error { return nil }

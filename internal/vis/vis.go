@@ -1,0 +1,204 @@
+// Package vis renders workflows, provenance graphs, OPM graphs and version
+// trees as Graphviz DOT and as ASCII, supporting the paper's emphasis on
+// visualization both for figures (Figure 1's two-panel view) and for
+// provenance analytics (§2.4).
+package vis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/evolution"
+	"repro/internal/graph"
+	"repro/internal/opm"
+	"repro/internal/provenance"
+	"repro/internal/workflow"
+)
+
+// quote escapes a string for DOT.
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// GraphDOT renders any generic graph as DOT, shaping nodes by Kind
+// (artifacts as ellipses, executions/processes as boxes).
+func GraphDOT(name string, g *graph.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=TB;\n", quote(name))
+	for _, n := range g.Nodes() {
+		shape := "box"
+		switch n.Kind {
+		case string(provenance.KindArtifact): // same tag as opm.Artifact
+			shape = "ellipse"
+		case string(opm.Agent):
+			shape = "octagon"
+		}
+		label := n.Label
+		if label == "" {
+			label = string(n.ID)
+		}
+		fmt.Fprintf(&b, "  %s [label=%s, shape=%s];\n", quote(string(n.ID)), quote(label), shape)
+	}
+	for _, e := range g.Edges() {
+		if e.Label != "" {
+			fmt.Fprintf(&b, "  %s -> %s [label=%s];\n", quote(string(e.Src)), quote(string(e.Dst)), quote(e.Label))
+		} else {
+			fmt.Fprintf(&b, "  %s -> %s;\n", quote(string(e.Src)), quote(string(e.Dst)))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// WorkflowDOT renders a workflow specification (prospective provenance).
+func WorkflowDOT(wf *workflow.Workflow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=TB;\n", quote(wf.ID))
+	for _, m := range wf.Modules {
+		label := m.Name
+		if len(m.Params) > 0 {
+			keys := make([]string, 0, len(m.Params))
+			for k := range m.Params {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var ps []string
+			for _, k := range keys {
+				ps = append(ps, k+"="+m.Params[k])
+			}
+			label += "\\n" + strings.Join(ps, ", ")
+		}
+		fmt.Fprintf(&b, "  %s [label=%s, shape=box];\n", quote(m.ID), quote(label))
+	}
+	for _, c := range wf.Connections {
+		fmt.Fprintf(&b, "  %s -> %s [label=%s];\n",
+			quote(c.SrcModule), quote(c.DstModule), quote(c.SrcPort+"→"+c.DstPort))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ProvenanceDOT renders a run's causal graph (retrospective provenance).
+func ProvenanceDOT(l *provenance.RunLog) (string, error) {
+	cg, err := provenance.BuildCausalGraph(l)
+	if err != nil {
+		return "", err
+	}
+	return GraphDOT("run_"+l.Run.ID, cg.Graph()), nil
+}
+
+// OPMDOT renders an OPM graph with per-edge-kind styles.
+func OPMDOT(g *opm.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph opm {\n  rankdir=BT;\n")
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := g.Nodes[id]
+		shape := map[opm.NodeKind]string{
+			opm.Artifact: "ellipse", opm.Process: "box", opm.Agent: "octagon",
+		}[n.Kind]
+		label := n.Value
+		if label == "" {
+			label = id
+		}
+		fmt.Fprintf(&b, "  %s [label=%s, shape=%s];\n", quote(id), quote(label), shape)
+	}
+	style := map[opm.EdgeKind]string{
+		opm.Used:            "solid",
+		opm.WasGeneratedBy:  "solid",
+		opm.WasControlledBy: "dotted",
+		opm.WasTriggeredBy:  "dashed",
+		opm.WasDerivedFrom:  "bold",
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %s -> %s [label=%s, style=%s];\n",
+			quote(e.Effect), quote(e.Cause), quote(string(e.Kind)), style[e.Kind])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// VersionTreeDOT renders a version tree.
+func VersionTreeDOT(t *evolution.Tree) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=TB;\n", quote(t.Name))
+	var walk func(id int)
+	walk = func(id int) {
+		v, err := t.Version(id)
+		if err != nil {
+			return
+		}
+		label := fmt.Sprintf("v%d", id)
+		if v.Tag != "" {
+			label += "\\n[" + v.Tag + "]"
+		}
+		if v.Note != "" {
+			label += "\\n" + v.Note
+		}
+		fmt.Fprintf(&b, "  v%d [label=%s, shape=circle];\n", id, quote(label))
+		for _, c := range t.Children(id) {
+			fmt.Fprintf(&b, "  v%d -> v%d;\n", id, c)
+			walk(c)
+		}
+	}
+	walk(t.Root())
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// WorkflowASCII renders the workflow layer by layer, the terminal
+// counterpart of the visual programming canvas.
+func WorkflowASCII(wf *workflow.Workflow) (string, error) {
+	layers, err := wf.Graph().Layers()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow %s (%d modules, %d connections)\n", wf.ID, len(wf.Modules), len(wf.Connections))
+	for i, layer := range layers {
+		names := make([]string, len(layer))
+		for j, id := range layer {
+			m := wf.Module(string(id))
+			names[j] = fmt.Sprintf("%s:%s", m.ID, m.Type)
+		}
+		fmt.Fprintf(&b, "  layer %d: %s\n", i, strings.Join(names, "  "))
+		if i < len(layers)-1 {
+			b.WriteString("      |\n      v\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// RunASCII summarizes a run log as an indented event listing: the
+// retrospective panel of Figure 1.
+func RunASCII(l *provenance.RunLog) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s of workflow %s (agent %s, status %s)\n",
+		l.Run.ID, l.Run.WorkflowID, l.Run.Agent, l.Run.Status)
+	for _, e := range l.Executions {
+		fmt.Fprintf(&b, "  exec %s module=%s [%d,%d] status=%s\n",
+			e.ID, e.ModuleID, e.Start, e.End, e.Status)
+		for _, a := range l.ArtifactsUsedBy(e.ID) {
+			fmt.Fprintf(&b, "    used      %s (%s, %s)\n", a.ID, a.Type, short(a.ContentHash))
+		}
+		for _, a := range l.ArtifactsGeneratedBy(e.ID) {
+			fmt.Fprintf(&b, "    generated %s (%s, %s)\n", a.ID, a.Type, short(a.ContentHash))
+		}
+	}
+	for _, an := range l.Annotations {
+		fmt.Fprintf(&b, "  note on %s: %s = %q (by %s)\n", an.Subject, an.Key, an.Value, an.Author)
+	}
+	return b.String()
+}
+
+func short(h string) string {
+	if len(h) > 10 {
+		return h[:10]
+	}
+	return h
+}

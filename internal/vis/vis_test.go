@@ -1,0 +1,110 @@
+package vis
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/evolution"
+	"repro/internal/opm"
+	"repro/internal/provenance"
+	"repro/internal/workloads"
+)
+
+func figure1Log(t *testing.T) *provenance.RunLog {
+	t.Helper()
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	col := provenance.NewCollector()
+	e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 1})
+	res, err := e.Run(context.Background(), workloads.MedicalImaging(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Annotate(res.Artifacts["render.image"], provenance.KindArtifact, "note", "bone", "susan")
+	log, _ := col.Log(res.RunID)
+	return log
+}
+
+func TestWorkflowDOT(t *testing.T) {
+	dot := WorkflowDOT(workloads.MedicalImaging())
+	for _, want := range []string{"digraph", `"reader"`, `"contour" -> "render"`, "isovalue=57"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("missing %q in:\n%s", want, dot)
+		}
+	}
+}
+
+func TestProvenanceDOT(t *testing.T) {
+	log := figure1Log(t)
+	dot, err := ProvenanceDOT(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "ellipse") || !strings.Contains(dot, "box") {
+		t.Fatalf("shapes missing:\n%s", dot)
+	}
+	if !strings.Contains(dot, "generated") || !strings.Contains(dot, "used") {
+		t.Fatal("edge labels missing")
+	}
+}
+
+func TestOPMDOT(t *testing.T) {
+	log := figure1Log(t)
+	g, err := opm.FromRunLog(log, "native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := OPMDOT(g)
+	for _, want := range []string{"octagon", "wasGeneratedBy", "wasControlledBy", "dotted"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestVersionTreeDOT(t *testing.T) {
+	tree := evolution.NewTree("demo")
+	v1, err := tree.Commit(tree.Root(), "u", "import",
+		evolution.ImportWorkflow(workloads.MedicalImaging()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Tag(v1, "baseline"); err != nil {
+		t.Fatal(err)
+	}
+	dot := VersionTreeDOT(tree)
+	if !strings.Contains(dot, "v0 -> v1") || !strings.Contains(dot, "baseline") {
+		t.Fatalf("dot:\n%s", dot)
+	}
+}
+
+func TestWorkflowASCII(t *testing.T) {
+	text, err := WorkflowASCII(workloads.MedicalImaging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "layer 0: reader:FileReader") {
+		t.Fatalf("ascii:\n%s", text)
+	}
+	if !strings.Contains(text, "render:Render") {
+		t.Fatalf("ascii:\n%s", text)
+	}
+}
+
+func TestRunASCII(t *testing.T) {
+	log := figure1Log(t)
+	text := RunASCII(log)
+	for _, want := range []string{"run ", "exec ", "generated", "used", `note on`, `"bone"`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestQuoteEscaping(t *testing.T) {
+	if quote(`a"b`) != `"a\"b"` {
+		t.Fatalf("quote = %s", quote(`a"b`))
+	}
+}

@@ -1,0 +1,97 @@
+package workflow
+
+import "fmt"
+
+// Builder offers a fluent construction API for workflows. Errors are
+// accumulated and reported once by Build, so call sites read like the
+// dataflow they describe:
+//
+//	wf, err := workflow.NewBuilder("wf1", "demo").
+//		Module("load", "FileReader", workflow.Out("data", "grid")).
+//		Module("hist", "Histogram", workflow.In("data", "grid"), workflow.Out("plot", "image")).
+//		Connect("load", "data", "hist", "data").
+//		Build()
+type Builder struct {
+	wf   *Workflow
+	errs []error
+}
+
+// NewBuilder starts building a workflow with the given identity.
+func NewBuilder(id, name string) *Builder {
+	return &Builder{wf: New(id, name)}
+}
+
+// PortSpec configures a port on a module being built.
+type PortSpec struct {
+	name    string
+	typ     string
+	isInput bool
+}
+
+// In declares an input port.
+func In(name, typ string) PortSpec { return PortSpec{name: name, typ: typ, isInput: true} }
+
+// Out declares an output port.
+func Out(name, typ string) PortSpec { return PortSpec{name: name, typ: typ} }
+
+// Module adds a module with the given ID and type; the display name defaults
+// to the ID. Ports are declared inline.
+func (b *Builder) Module(id, typ string, ports ...PortSpec) *Builder {
+	m := &Module{ID: id, Name: id, Type: typ}
+	for _, p := range ports {
+		if p.isInput {
+			m.Inputs = append(m.Inputs, Port{Name: p.name, Type: p.typ})
+		} else {
+			m.Outputs = append(m.Outputs, Port{Name: p.name, Type: p.typ})
+		}
+	}
+	if err := b.wf.AddModule(m); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Param sets a parameter on a previously added module.
+func (b *Builder) Param(moduleID, key, value string) *Builder {
+	if err := b.wf.SetParam(moduleID, key, value); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Annotate attaches an annotation to a previously added module.
+func (b *Builder) Annotate(moduleID, key, value string) *Builder {
+	if err := b.wf.AnnotateModule(moduleID, key, value); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Connect wires an output port to an input port.
+func (b *Builder) Connect(srcModule, srcPort, dstModule, dstPort string) *Builder {
+	if err := b.wf.Connect(srcModule, srcPort, dstModule, dstPort); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Build validates and returns the workflow, or the first accumulated error.
+func (b *Builder) Build() (*Workflow, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("workflow build: %w", b.errs[0])
+	}
+	if err := b.wf.Validate(); err != nil {
+		return nil, err
+	}
+	return b.wf, nil
+}
+
+// MustBuild is Build for tests and examples with known-good specifications;
+// it panics on error.
+func (b *Builder) MustBuild() *Workflow {
+	wf, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return wf
+}

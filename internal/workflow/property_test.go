@@ -1,0 +1,113 @@
+package workflow_test
+
+// Cross-package property tests: random layered workflows from the workload
+// generator are pushed through serialization, cloning and hashing, checking
+// the invariants the rest of the system leans on.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// Property: JSON and XML round trips preserve the content hash and
+// validity for arbitrary generated workflows.
+func TestQuickSerializationPreservesHash(t *testing.T) {
+	f := func(seed int64, l, w, fan uint8) bool {
+		wf := workloads.RandomLayered(seed, int(l%4)+2, int(w%4)+1, int(fan%3)+1)
+		jsonData, err := workflow.EncodeJSON(wf)
+		if err != nil {
+			return false
+		}
+		fromJSON, err := workflow.DecodeJSON(jsonData)
+		if err != nil {
+			return false
+		}
+		xmlData, err := workflow.EncodeXML(wf)
+		if err != nil {
+			return false
+		}
+		fromXML, err := workflow.DecodeXML(xmlData)
+		if err != nil {
+			return false
+		}
+		h := wf.ContentHash()
+		return fromJSON.ContentHash() == h && fromXML.ContentHash() == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone produces an equal-hash workflow whose mutation does not
+// affect the original.
+func TestQuickCloneIsolation(t *testing.T) {
+	f := func(seed int64, l, w uint8) bool {
+		wf := workloads.RandomLayered(seed, int(l%4)+2, int(w%4)+1, 1)
+		cp := wf.Clone()
+		if cp.ContentHash() != wf.ContentHash() {
+			return false
+		}
+		before := wf.ContentHash()
+		if err := cp.SetParam(cp.Modules[0].ID, "mutated", "yes"); err != nil {
+			return false
+		}
+		cp.RemoveModule(cp.Modules[len(cp.Modules)-1].ID)
+		return wf.ContentHash() == before && wf.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: topological order respects every connection for arbitrary
+// generated workflows.
+func TestQuickTopoOrderRespectsConnections(t *testing.T) {
+	f := func(seed int64, l, w, fan uint8) bool {
+		wf := workloads.RandomLayered(seed, int(l%5)+2, int(w%5)+1, int(fan%3)+1)
+		order, err := wf.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, c := range wf.Connections {
+			if pos[c.SrcModule] >= pos[c.DstModule] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Upstream and Downstream are converses.
+func TestQuickUpstreamDownstreamConverse(t *testing.T) {
+	f := func(seed int64) bool {
+		wf := workloads.RandomLayered(seed, 4, 3, 2)
+		for _, m := range wf.Modules {
+			for _, up := range wf.Upstream(m.ID) {
+				found := false
+				for _, down := range wf.Downstream(up) {
+					if down == m.ID {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1 builds the workflow of the paper's Figure 1: a structured-grid
+// dataset fans out to a histogram branch and an isosurface-visualization
+// branch.
+func figure1(t *testing.T) *Workflow {
+	t.Helper()
+	wf, err := NewBuilder("fig1", "medical-imaging").
+		Module("reader", "FileReader", Out("data", "grid")).
+		Module("histogram", "Histogram", In("data", "grid"), Out("plot", "image")).
+		Module("contour", "Contour", In("data", "grid"), Out("surface", "mesh")).
+		Module("render", "Render", In("surface", "mesh"), Out("image", "image")).
+		Param("reader", "file", "head.120.vtk").
+		Param("contour", "isovalue", "57").
+		Connect("reader", "data", "histogram", "data").
+		Connect("reader", "data", "contour", "data").
+		Connect("contour", "surface", "render", "surface").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func TestBuilderBuildsValidWorkflow(t *testing.T) {
+	wf := figure1(t)
+	if len(wf.Modules) != 4 || len(wf.Connections) != 3 {
+		t.Fatalf("got %d modules %d connections", len(wf.Modules), len(wf.Connections))
+	}
+	if wf.Module("reader").Params["file"] != "head.120.vtk" {
+		t.Fatal("param lost")
+	}
+}
+
+func TestBuilderDuplicateModule(t *testing.T) {
+	_, err := NewBuilder("w", "w").
+		Module("a", "T").
+		Module("a", "T").
+		Build()
+	if err == nil {
+		t.Fatal("duplicate module accepted")
+	}
+}
+
+func TestConnectTypeMismatch(t *testing.T) {
+	_, err := NewBuilder("w", "w").
+		Module("a", "T", Out("o", "grid")).
+		Module("b", "T", In("i", "mesh")).
+		Connect("a", "o", "b", "i").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "type mismatch") {
+		t.Fatalf("err = %v, want type mismatch", err)
+	}
+}
+
+func TestConnectWildcard(t *testing.T) {
+	_, err := NewBuilder("w", "w").
+		Module("a", "T", Out("o", "grid")).
+		Module("b", "T", In("i", Wildcard)).
+		Connect("a", "o", "b", "i").
+		Build()
+	if err != nil {
+		t.Fatalf("wildcard connection rejected: %v", err)
+	}
+}
+
+func TestConnectMissingPort(t *testing.T) {
+	_, err := NewBuilder("w", "w").
+		Module("a", "T", Out("o", "grid")).
+		Module("b", "T", In("i", "grid")).
+		Connect("a", "nope", "b", "i").
+		Build()
+	if err == nil {
+		t.Fatal("missing port accepted")
+	}
+}
+
+func TestConnectDoubleFeed(t *testing.T) {
+	_, err := NewBuilder("w", "w").
+		Module("a", "T", Out("o", "grid")).
+		Module("b", "T", Out("o", "grid")).
+		Module("c", "T", In("i", "grid")).
+		Connect("a", "o", "c", "i").
+		Connect("b", "o", "c", "i").
+		Build()
+	if err == nil {
+		t.Fatal("double-fed input accepted")
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	wf := New("w", "w")
+	a := &Module{ID: "a", Type: "T", Inputs: []Port{{Name: "i", Type: "x"}}, Outputs: []Port{{Name: "o", Type: "x"}}}
+	b := &Module{ID: "b", Type: "T", Inputs: []Port{{Name: "i", Type: "x"}}, Outputs: []Port{{Name: "o", Type: "x"}}}
+	if err := wf.AddModule(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.AddModule(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Connect("a", "o", "b", "i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Connect("b", "o", "a", "i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Validate(); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("err = %v, want cyclic", err)
+	}
+}
+
+func TestRemoveModuleDropsConnections(t *testing.T) {
+	wf := figure1(t)
+	if !wf.RemoveModule("contour") {
+		t.Fatal("RemoveModule = false")
+	}
+	if len(wf.Connections) != 1 {
+		t.Fatalf("connections = %d, want 1", len(wf.Connections))
+	}
+	if err := wf.Validate(); err != nil {
+		t.Fatalf("invalid after removal: %v", err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	wf := figure1(t)
+	order, err := wf.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos["reader"] > pos["contour"] || pos["contour"] > pos["render"] {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestUpstreamDownstream(t *testing.T) {
+	wf := figure1(t)
+	up := wf.Upstream("render")
+	if len(up) != 2 || up[0] != "contour" || up[1] != "reader" {
+		t.Fatalf("Upstream(render) = %v", up)
+	}
+	down := wf.Downstream("reader")
+	if len(down) != 3 {
+		t.Fatalf("Downstream(reader) = %v", down)
+	}
+}
+
+func TestContentHashStableUnderReordering(t *testing.T) {
+	a := figure1(t)
+	b := figure1(t)
+	// Reorder modules and connections in b.
+	b.Modules[0], b.Modules[3] = b.Modules[3], b.Modules[0]
+	b.Connections[0], b.Connections[2] = b.Connections[2], b.Connections[0]
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("hash differs under reordering")
+	}
+}
+
+func TestContentHashSensitiveToParams(t *testing.T) {
+	a := figure1(t)
+	b := figure1(t)
+	if err := b.SetParam("contour", "isovalue", "99"); err != nil {
+		t.Fatal(err)
+	}
+	if a.ContentHash() == b.ContentHash() {
+		t.Fatal("hash identical despite param change")
+	}
+}
+
+func TestContentHashIgnoresAnnotations(t *testing.T) {
+	a := figure1(t)
+	b := figure1(t)
+	b.Annotate("note", "checked by Susan")
+	if err := b.AnnotateModule("reader", "note", "scanner recalled"); err != nil {
+		t.Fatal(err)
+	}
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("annotations changed content hash")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := figure1(t)
+	b := a.Clone()
+	if err := b.SetParam("contour", "isovalue", "99"); err != nil {
+		t.Fatal(err)
+	}
+	b.RemoveModule("histogram")
+	if a.Module("contour").Params["isovalue"] != "57" {
+		t.Fatal("clone shares params")
+	}
+	if a.Module("histogram") == nil {
+		t.Fatal("clone shares module slice")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := figure1(t)
+	a.Annotate("purpose", "figure 1 reproduction")
+	data, err := EncodeJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("hash changed through JSON round trip")
+	}
+	if b.Annotations["purpose"] != "figure 1 reproduction" {
+		t.Fatal("annotation lost")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	a := figure1(t)
+	if err := a.AnnotateModule("reader", "source", "CT scanner #4"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeXML(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("hash changed through XML round trip")
+	}
+	if b.Module("reader").Annotations["source"] != "CT scanner #4" {
+		t.Fatal("module annotation lost")
+	}
+}
+
+func TestDecodeJSONRejectsInvalid(t *testing.T) {
+	bad := []byte(`{"id":"w","name":"w","modules":[{"id":"a","type":"T"},{"id":"a","type":"T"}]}`)
+	if _, err := DecodeJSON(bad); err == nil {
+		t.Fatal("invalid workflow decoded")
+	}
+	if _, err := DecodeJSON([]byte("{")); err == nil {
+		t.Fatal("malformed json decoded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	wf := figure1(t)
+	wf.Annotate("a", "b")
+	s := wf.Stat()
+	if s.Modules != 4 || s.Connections != 3 || s.Params != 2 || s.Annotations != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Depth != 3 {
+		t.Fatalf("depth = %d, want 3", s.Depth)
+	}
+}
+
+func TestGraphConversion(t *testing.T) {
+	wf := figure1(t)
+	g := wf.Graph()
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("graph %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Node("contour").Kind != "Contour" {
+		t.Fatal("module type not mapped to node kind")
+	}
+}

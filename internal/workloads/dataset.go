@@ -1,0 +1,228 @@
+// Package workloads provides the motivating applications of §2.1 as
+// executable workloads: medical imaging (Figure 1), genomics, and
+// environmental observatories/forecasting — plus random layered workflows
+// for scaling experiments.
+//
+// The paper's datasets (CT scans such as head.120.vtk, sequencing reads,
+// sensor feeds) are proprietary or unavailable; each generator below
+// synthesizes a deterministic stand-in with the same shape, so the dataflow
+// and provenance structure exercised is identical (see DESIGN.md,
+// substitution 1).
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// StructuredGrid is a regular 3-D scalar field: the stand-in for a VTK
+// structured-grid dataset like Figure 1's head.120.vtk.
+type StructuredGrid struct {
+	Dims    [3]int    `json:"dims"`
+	Scalars []float64 `json:"scalars"`
+}
+
+// At returns the scalar at integer coordinates.
+func (g *StructuredGrid) At(x, y, z int) float64 {
+	return g.Scalars[(z*g.Dims[1]+y)*g.Dims[0]+x]
+}
+
+// MinMax returns the scalar range.
+func (g *StructuredGrid) MinMax() (lo, hi float64) {
+	if len(g.Scalars) == 0 {
+		return 0, 0
+	}
+	lo, hi = g.Scalars[0], g.Scalars[0]
+	for _, v := range g.Scalars {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// SynthesizeHead generates a deterministic head-like CT volume: a dense
+// sphere (skull) containing a softer sphere (tissue) with low-amplitude
+// noise. The same (name, dims) always produces identical scalars, so
+// artifact content hashes are reproducible across runs and machines.
+func SynthesizeHead(name string, dim int) *StructuredGrid {
+	seed := int64(0)
+	for _, c := range name {
+		seed = seed*131 + int64(c)
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := &StructuredGrid{Dims: [3]int{dim, dim, dim}, Scalars: make([]float64, dim*dim*dim)}
+	c := float64(dim-1) / 2
+	rSkull := c * 0.9
+	rTissue := c * 0.7
+	i := 0
+	for z := 0; z < dim; z++ {
+		for y := 0; y < dim; y++ {
+			for x := 0; x < dim; x++ {
+				dx, dy, dz := float64(x)-c, float64(y)-c, float64(z)-c
+				d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				v := 0.0
+				switch {
+				case d < rTissue:
+					v = 40 + 10*math.Sin(d/3)
+				case d < rSkull:
+					v = 100 + 20*math.Cos(d/2)
+				}
+				v += r.Float64() * 2
+				g.Scalars[i] = math.Round(v*100) / 100
+				i++
+			}
+		}
+	}
+	return g
+}
+
+// Mesh is the pseudo-isosurface produced by Contour: enough geometry
+// summary for rendering and smoothing to be meaningful computations.
+type Mesh struct {
+	Isovalue  float64   `json:"isovalue"`
+	CellCount int       `json:"cellCount"`
+	Verts     []float64 `json:"verts"` // packed x,y,z triples
+}
+
+// Sequence is a synthetic DNA read set for the genomics workload.
+type Sequence struct {
+	Name  string   `json:"name"`
+	Reads []string `json:"reads"`
+}
+
+// SynthesizeReads generates deterministic pseudo-reads: substrings of a
+// seeded reference with point mutations at a fixed rate.
+func SynthesizeReads(name string, n, length int, mutRate float64) *Sequence {
+	seed := int64(7)
+	for _, c := range name {
+		seed = seed*151 + int64(c)
+	}
+	r := rand.New(rand.NewSource(seed))
+	ref := randomBases(r, length*4)
+	reads := make([]string, n)
+	for i := range reads {
+		start := r.Intn(len(ref) - length)
+		read := []byte(ref[start : start+length])
+		for j := range read {
+			if r.Float64() < mutRate {
+				read[j] = bases[r.Intn(4)]
+			}
+		}
+		reads[i] = string(read)
+	}
+	return &Sequence{Name: name, Reads: reads}
+}
+
+const bases = "ACGT"
+
+// intner is the slice of rand.Rand the base generator needs; the Align
+// module supplies its own xorshift source to stay independent of math/rand.
+type intner interface{ Intn(n int) int }
+
+func randomBases(r intner, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[r.Intn(4)]
+	}
+	return string(b)
+}
+
+// TimeSeries is a synthetic sensor feed for the environmental-observatory
+// workload: hourly samples with diurnal cycle, drift, and spikes.
+type TimeSeries struct {
+	Station string    `json:"station"`
+	Values  []float64 `json:"values"`
+}
+
+// SynthesizeSensor generates a deterministic sensor series of n samples.
+func SynthesizeSensor(station string, n int) *TimeSeries {
+	seed := int64(3)
+	for _, c := range station {
+		seed = seed*137 + int64(c)
+	}
+	r := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		diurnal := 10 * math.Sin(2*math.Pi*float64(i%24)/24)
+		drift := 0.01 * float64(i)
+		noise := r.NormFloat64()
+		v[i] = 20 + diurnal + drift + noise
+		if r.Float64() < 0.01 { // sensor spike
+			v[i] += 80
+		}
+		v[i] = math.Round(v[i]*1000) / 1000
+	}
+	return &TimeSeries{Station: station, Values: v}
+}
+
+// Histogram bins values into nbins equal-width buckets over [lo, hi].
+type Histogram struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int   `json:"counts"`
+}
+
+// BinValues computes a histogram of values.
+func BinValues(values []float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		nbins = 10
+	}
+	h := &Histogram{Counts: make([]int, nbins)}
+	if len(values) == 0 {
+		return h
+	}
+	h.Lo, h.Hi = values[0], values[0]
+	for _, v := range values {
+		if v < h.Lo {
+			h.Lo = v
+		}
+		if v > h.Hi {
+			h.Hi = v
+		}
+	}
+	span := h.Hi - h.Lo
+	if span == 0 {
+		h.Counts[0] = len(values)
+		return h
+	}
+	for _, v := range values {
+		b := int((v - h.Lo) / span * float64(nbins))
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// Render returns an ASCII bar rendering of the histogram: the "image" data
+// product of Figure 1's left branch.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxc := 0
+	for _, c := range h.Counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	out := ""
+	for i, c := range h.Counts {
+		bar := 0
+		if maxc > 0 {
+			bar = c * width / maxc
+		}
+		out += fmt.Sprintf("%3d |", i)
+		for j := 0; j < bar; j++ {
+			out += "#"
+		}
+		out += fmt.Sprintf(" %d\n", c)
+	}
+	return out
+}

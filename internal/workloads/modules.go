@@ -1,0 +1,497 @@
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Data type tags used by the workload modules.
+const (
+	TypeGrid   = "grid"
+	TypeMesh   = "mesh"
+	TypeImage  = "image"
+	TypeHist   = "histogram"
+	TypeSeq    = "sequence"
+	TypeAlign  = "alignment"
+	TypeTable  = "table"
+	TypeSeries = "timeseries"
+	TypeData   = "data" // generic payload for random workflows
+)
+
+// RegisterAll registers every workload module implementation on the
+// registry. Module type names match the workflow builders in pipelines.go.
+func RegisterAll(r *engine.Registry) {
+	registerImaging(r)
+	registerGenomics(r)
+	registerForecast(r)
+	registerGeneric(r)
+}
+
+// --- Medical imaging (Figure 1) -----------------------------------------
+
+func registerImaging(r *engine.Registry) {
+	// FileReader simulates loading a VTK structured grid named by the
+	// "file" parameter; "dim" sets resolution.
+	r.Register("FileReader", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		file := ec.Param("file", "head.120.vtk")
+		dim, err := strconv.Atoi(ec.Param("dim", "24"))
+		if err != nil || dim < 2 {
+			return nil, fmt.Errorf("FileReader: bad dim %q", ec.Param("dim", ""))
+		}
+		grid := SynthesizeHead(file, dim)
+		return map[string]engine.Value{"data": {Type: TypeGrid, Data: grid}}, nil
+	})
+
+	// Histogram bins the scalar values of a grid ("bins" parameter).
+	r.Register("Histogram", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("data")
+		if err != nil {
+			return nil, err
+		}
+		grid, ok := in.Data.(*StructuredGrid)
+		if !ok {
+			return nil, fmt.Errorf("Histogram: input is %T, want *StructuredGrid", in.Data)
+		}
+		bins, _ := strconv.Atoi(ec.Param("bins", "16"))
+		h := BinValues(grid.Scalars, bins)
+		return map[string]engine.Value{"plot": {Type: TypeImage, Data: h.Render(40)},
+			"hist": {Type: TypeHist, Data: h}}, nil
+	})
+
+	// Contour extracts a pseudo-isosurface at "isovalue": it counts cells
+	// straddling the isovalue and emits one vertex per crossing cell
+	// centroid (a marching-cubes stand-in with the same data dependence).
+	r.Register("Contour", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("data")
+		if err != nil {
+			return nil, err
+		}
+		grid, ok := in.Data.(*StructuredGrid)
+		if !ok {
+			return nil, fmt.Errorf("Contour: input is %T, want *StructuredGrid", in.Data)
+		}
+		iso, err := strconv.ParseFloat(ec.Param("isovalue", "57"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("Contour: bad isovalue: %w", err)
+		}
+		mesh := contour(grid, iso)
+		return map[string]engine.Value{"surface": {Type: TypeMesh, Data: mesh}}, nil
+	})
+
+	// Smooth applies iterative vertex averaging to a mesh ("iterations").
+	r.Register("Smooth", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("surface")
+		if err != nil {
+			return nil, err
+		}
+		mesh, ok := in.Data.(*Mesh)
+		if !ok {
+			return nil, fmt.Errorf("Smooth: input is %T, want *Mesh", in.Data)
+		}
+		iters, _ := strconv.Atoi(ec.Param("iterations", "2"))
+		out := smoothMesh(mesh, iters)
+		return map[string]engine.Value{"surface": {Type: TypeMesh, Data: out}}, nil
+	})
+
+	// Render turns a mesh into an ASCII depth image.
+	r.Register("Render", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("surface")
+		if err != nil {
+			return nil, err
+		}
+		mesh, ok := in.Data.(*Mesh)
+		if !ok {
+			return nil, fmt.Errorf("Render: input is %T, want *Mesh", in.Data)
+		}
+		img := renderMesh(mesh, 24, 12)
+		return map[string]engine.Value{"image": {Type: TypeImage, Data: img}}, nil
+	})
+
+	// Download simulates fetching a remote file (the Figure 2 example
+	// downloads a file from the Web); output is deterministic in "url".
+	r.Register("Download", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		url := ec.Param("url", "")
+		if url == "" {
+			return nil, fmt.Errorf("Download: url parameter required")
+		}
+		dim, _ := strconv.Atoi(ec.Param("dim", "16"))
+		grid := SynthesizeHead(url, dim)
+		return map[string]engine.Value{"data": {Type: TypeGrid, Data: grid}}, nil
+	})
+}
+
+func contour(g *StructuredGrid, iso float64) *Mesh {
+	m := &Mesh{Isovalue: iso}
+	nx, ny, nz := g.Dims[0], g.Dims[1], g.Dims[2]
+	for z := 0; z+1 < nz; z++ {
+		for y := 0; y+1 < ny; y++ {
+			for x := 0; x+1 < nx; x++ {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for dz := 0; dz < 2; dz++ {
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							v := g.At(x+dx, y+dy, z+dz)
+							if v < lo {
+								lo = v
+							}
+							if v > hi {
+								hi = v
+							}
+						}
+					}
+				}
+				if lo <= iso && iso <= hi {
+					m.CellCount++
+					m.Verts = append(m.Verts, float64(x)+0.5, float64(y)+0.5, float64(z)+0.5)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func smoothMesh(m *Mesh, iters int) *Mesh {
+	out := &Mesh{Isovalue: m.Isovalue, CellCount: m.CellCount, Verts: append([]float64(nil), m.Verts...)}
+	n := len(out.Verts) / 3
+	if n < 3 {
+		return out
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, len(out.Verts))
+		for i := 0; i < n; i++ {
+			prev := (i - 1 + n) % n
+			nxt := (i + 1) % n
+			for c := 0; c < 3; c++ {
+				next[i*3+c] = math.Round((out.Verts[prev*3+c]+out.Verts[i*3+c]+out.Verts[nxt*3+c])/3*1000) / 1000
+			}
+		}
+		out.Verts = next
+	}
+	return out
+}
+
+func renderMesh(m *Mesh, w, h int) string {
+	depth := make([]float64, w*h)
+	count := make([]int, w*h)
+	n := len(m.Verts) / 3
+	var maxX, maxY float64 = 1, 1
+	for i := 0; i < n; i++ {
+		if m.Verts[i*3] > maxX {
+			maxX = m.Verts[i*3]
+		}
+		if m.Verts[i*3+1] > maxY {
+			maxY = m.Verts[i*3+1]
+		}
+	}
+	for i := 0; i < n; i++ {
+		x := int(m.Verts[i*3] / (maxX + 1) * float64(w))
+		y := int(m.Verts[i*3+1] / (maxY + 1) * float64(h))
+		if x >= 0 && x < w && y >= 0 && y < h {
+			depth[y*w+x] += m.Verts[i*3+2]
+			count[y*w+x]++
+		}
+	}
+	shades := " .:-=+*#%@"
+	maxd := 1.0
+	for i := range depth {
+		if count[i] > 0 {
+			depth[i] /= float64(count[i])
+			if depth[i] > maxd {
+				maxd = depth[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if count[i] == 0 {
+				b.WriteByte(' ')
+			} else {
+				s := int(depth[i] / maxd * float64(len(shades)-1))
+				b.WriteByte(shades[s])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- Genomics -------------------------------------------------------------
+
+func registerGenomics(r *engine.Registry) {
+	// SequenceGen emits synthetic reads ("sample", "reads", "length").
+	r.Register("SequenceGen", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		n, _ := strconv.Atoi(ec.Param("reads", "100"))
+		length, _ := strconv.Atoi(ec.Param("length", "50"))
+		mut, _ := strconv.ParseFloat(ec.Param("mutRate", "0.01"), 64)
+		seq := SynthesizeReads(ec.Param("sample", "sample-1"), n, length, mut)
+		return map[string]engine.Value{"reads": {Type: TypeSeq, Data: seq}}, nil
+	})
+
+	// Trim drops low-complexity read ends ("minLen" filters short reads).
+	r.Register("Trim", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("reads")
+		if err != nil {
+			return nil, err
+		}
+		seq, ok := in.Data.(*Sequence)
+		if !ok {
+			return nil, fmt.Errorf("Trim: input is %T, want *Sequence", in.Data)
+		}
+		minLen, _ := strconv.Atoi(ec.Param("minLen", "30"))
+		out := &Sequence{Name: seq.Name + ".trimmed"}
+		for _, read := range seq.Reads {
+			trimmed := strings.TrimRight(strings.TrimLeft(read, "A"), "A")
+			if len(trimmed) >= minLen {
+				out.Reads = append(out.Reads, trimmed)
+			}
+		}
+		return map[string]engine.Value{"reads": {Type: TypeSeq, Data: out}}, nil
+	})
+
+	// Align scores each read against a seeded reference (k-mer counting, a
+	// cheap stand-in for alignment with the same data dependence).
+	r.Register("Align", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("reads")
+		if err != nil {
+			return nil, err
+		}
+		seq, ok := in.Data.(*Sequence)
+		if !ok {
+			return nil, fmt.Errorf("Align: input is %T, want *Sequence", in.Data)
+		}
+		k, _ := strconv.Atoi(ec.Param("k", "8"))
+		refIndex := map[string]bool{}
+		ref := randomBases(newSeededRand(ec.Param("reference", "GRCh-sim")), 4096)
+		for i := 0; i+k <= len(ref); i++ {
+			refIndex[ref[i:i+k]] = true
+		}
+		scores := make([]float64, len(seq.Reads))
+		for i, read := range seq.Reads {
+			hitCount, total := 0, 0
+			for j := 0; j+k <= len(read); j++ {
+				total++
+				if refIndex[read[j:j+k]] {
+					hitCount++
+				}
+			}
+			if total > 0 {
+				scores[i] = math.Round(float64(hitCount)/float64(total)*1000) / 1000
+			}
+		}
+		return map[string]engine.Value{"scores": {Type: TypeAlign, Data: scores}}, nil
+	})
+
+	// VariantCall thresholds alignment scores ("minScore") into a table of
+	// candidate variant reads.
+	r.Register("VariantCall", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("scores")
+		if err != nil {
+			return nil, err
+		}
+		scores, ok := in.Data.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("VariantCall: input is %T, want []float64", in.Data)
+		}
+		min, _ := strconv.ParseFloat(ec.Param("minScore", "0.5"), 64)
+		var rows []string
+		for i, s := range scores {
+			if s < min {
+				rows = append(rows, fmt.Sprintf("read%04d score=%.3f", i, s))
+			}
+		}
+		return map[string]engine.Value{"variants": {Type: TypeTable, Data: rows}}, nil
+	})
+
+	// Report formats a table into a textual report.
+	r.Register("Report", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("rows")
+		if err != nil {
+			return nil, err
+		}
+		rows, ok := in.Data.([]string)
+		if !ok {
+			return nil, fmt.Errorf("Report: input is %T, want []string", in.Data)
+		}
+		report := fmt.Sprintf("report: %d entries\n%s", len(rows), strings.Join(rows, "\n"))
+		return map[string]engine.Value{"report": {Type: TypeImage, Data: report}}, nil
+	})
+}
+
+func newSeededRand(name string) *seededRand {
+	seed := int64(11)
+	for _, c := range name {
+		seed = seed*149 + int64(c)
+	}
+	return &seededRand{state: uint64(seed)}
+}
+
+// seededRand is a tiny xorshift generator exposing the one method
+// randomBases needs, so Align does not perturb math/rand global state.
+type seededRand struct{ state uint64 }
+
+func (s *seededRand) Intn(n int) int {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return int(s.state % uint64(n))
+}
+
+// --- Environmental forecasting -------------------------------------------
+
+func registerForecast(r *engine.Registry) {
+	// SensorGen emits a synthetic station series ("station", "samples").
+	r.Register("SensorGen", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		n, _ := strconv.Atoi(ec.Param("samples", "240"))
+		ts := SynthesizeSensor(ec.Param("station", "station-A"), n)
+		return map[string]engine.Value{"series": {Type: TypeSeries, Data: ts}}, nil
+	})
+
+	// Clean removes spikes beyond "sigma" standard deviations.
+	r.Register("Clean", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("series")
+		if err != nil {
+			return nil, err
+		}
+		ts, ok := in.Data.(*TimeSeries)
+		if !ok {
+			return nil, fmt.Errorf("Clean: input is %T, want *TimeSeries", in.Data)
+		}
+		sigma, _ := strconv.ParseFloat(ec.Param("sigma", "3"), 64)
+		mean, sd := meanStd(ts.Values)
+		out := &TimeSeries{Station: ts.Station + ".clean"}
+		for _, v := range ts.Values {
+			if math.Abs(v-mean) <= sigma*sd {
+				out.Values = append(out.Values, v)
+			} else {
+				out.Values = append(out.Values, mean) // impute
+			}
+		}
+		return map[string]engine.Value{"series": {Type: TypeSeries, Data: out}}, nil
+	})
+
+	// MovingAverage smooths with window "window".
+	r.Register("MovingAverage", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("series")
+		if err != nil {
+			return nil, err
+		}
+		ts, ok := in.Data.(*TimeSeries)
+		if !ok {
+			return nil, fmt.Errorf("MovingAverage: input is %T, want *TimeSeries", in.Data)
+		}
+		w, _ := strconv.Atoi(ec.Param("window", "5"))
+		if w < 1 {
+			w = 1
+		}
+		out := &TimeSeries{Station: ts.Station + ".ma"}
+		for i := range ts.Values {
+			lo := i - w + 1
+			if lo < 0 {
+				lo = 0
+			}
+			sum := 0.0
+			for j := lo; j <= i; j++ {
+				sum += ts.Values[j]
+			}
+			out.Values = append(out.Values, math.Round(sum/float64(i-lo+1)*1000)/1000)
+		}
+		return map[string]engine.Value{"series": {Type: TypeSeries, Data: out}}, nil
+	})
+
+	// Forecast extrapolates "horizon" steps with a damped trend.
+	r.Register("Forecast", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("series")
+		if err != nil {
+			return nil, err
+		}
+		ts, ok := in.Data.(*TimeSeries)
+		if !ok {
+			return nil, fmt.Errorf("Forecast: input is %T, want *TimeSeries", in.Data)
+		}
+		h, _ := strconv.Atoi(ec.Param("horizon", "24"))
+		out := &TimeSeries{Station: ts.Station + ".forecast"}
+		n := len(ts.Values)
+		if n < 2 {
+			return nil, fmt.Errorf("Forecast: series too short (%d)", n)
+		}
+		trend := (ts.Values[n-1] - ts.Values[0]) / float64(n-1)
+		last := ts.Values[n-1]
+		for i := 1; i <= h; i++ {
+			last += trend * math.Pow(0.95, float64(i))
+			out.Values = append(out.Values, math.Round(last*1000)/1000)
+		}
+		return map[string]engine.Value{"series": {Type: TypeSeries, Data: out}}, nil
+	})
+
+	// Alert emits threshold crossings ("threshold").
+	r.Register("Alert", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		in, err := ec.Input("series")
+		if err != nil {
+			return nil, err
+		}
+		ts, ok := in.Data.(*TimeSeries)
+		if !ok {
+			return nil, fmt.Errorf("Alert: input is %T, want *TimeSeries", in.Data)
+		}
+		th, _ := strconv.ParseFloat(ec.Param("threshold", "30"), 64)
+		var alerts []string
+		for i, v := range ts.Values {
+			if v > th {
+				alerts = append(alerts, fmt.Sprintf("t+%d: %.3f > %.1f", i, v, th))
+			}
+		}
+		return map[string]engine.Value{"alerts": {Type: TypeTable, Data: alerts}}, nil
+	})
+}
+
+func meanStd(v []float64) (mean, sd float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(v)))
+	return mean, sd
+}
+
+// --- Generic stages for random workflows ----------------------------------
+
+func registerGeneric(r *engine.Registry) {
+	// Source emits a deterministic payload derived from "seed".
+	r.Register("Source", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		return map[string]engine.Value{"out": {Type: TypeData, Data: "payload:" + ec.Param("seed", "0")}}, nil
+	})
+
+	// Stage hashes all inputs together "work" times: a CPU-burning generic
+	// transformation whose output depends on every input.
+	r.Register("Stage", func(ec *engine.ExecContext) (map[string]engine.Value, error) {
+		work, _ := strconv.Atoi(ec.Param("work", "1"))
+		ports := make([]string, 0, len(ec.Inputs))
+		for p := range ec.Inputs {
+			ports = append(ports, p)
+		}
+		sort.Strings(ports)
+		h := fnv.New64a()
+		for _, p := range ports {
+			fmt.Fprintf(h, "%s=%s;", p, ec.Inputs[p].Hash())
+		}
+		sum := h.Sum64()
+		for i := 0; i < work*1000; i++ {
+			sum = sum*6364136223846793005 + 1442695040888963407
+		}
+		return map[string]engine.Value{"out": {Type: TypeData, Data: strconv.FormatUint(sum, 16)}}, nil
+	})
+}

@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/workflow"
+)
+
+// MedicalImaging builds the workflow of Figure 1: a structured-grid dataset
+// fans out to (a) a histogram of its scalar values and (b) an isosurface
+// visualization. Annotations mirror the user-defined provenance shown in
+// the figure's yellow boxes.
+func MedicalImaging() *workflow.Workflow {
+	wf := workflow.NewBuilder("medimg", "medical-imaging-fig1").
+		Module("reader", "FileReader", workflow.Out("data", TypeGrid)).
+		Module("histogram", "Histogram", workflow.In("data", TypeGrid),
+			workflow.Out("plot", TypeImage), workflow.Out("hist", TypeHist)).
+		Module("contour", "Contour", workflow.In("data", TypeGrid), workflow.Out("surface", TypeMesh)).
+		Module("render", "Render", workflow.In("surface", TypeMesh), workflow.Out("image", TypeImage)).
+		Param("reader", "file", "head.120.vtk").
+		Param("reader", "dim", "24").
+		Param("contour", "isovalue", "57").
+		Annotate("contour", "note", "isovalue 57 isolates bone in this scan").
+		Connect("reader", "data", "histogram", "data").
+		Connect("reader", "data", "contour", "data").
+		Connect("contour", "surface", "render", "surface").
+		MustBuild()
+	wf.Annotate("purpose", "reproduces Figure 1: histogram + isosurface of a CT volume")
+	return wf
+}
+
+// SmoothedImaging is the Figure 2 "after" workflow: MedicalImaging with a
+// Smooth module inserted between Contour and Render.
+func SmoothedImaging() *workflow.Workflow {
+	wf := workflow.NewBuilder("medimg-smooth", "medical-imaging-smoothed").
+		Module("reader", "FileReader", workflow.Out("data", TypeGrid)).
+		Module("histogram", "Histogram", workflow.In("data", TypeGrid),
+			workflow.Out("plot", TypeImage), workflow.Out("hist", TypeHist)).
+		Module("contour", "Contour", workflow.In("data", TypeGrid), workflow.Out("surface", TypeMesh)).
+		Module("smooth", "Smooth", workflow.In("surface", TypeMesh), workflow.Out("surface", TypeMesh)).
+		Module("render", "Render", workflow.In("surface", TypeMesh), workflow.Out("image", TypeImage)).
+		Param("reader", "file", "head.120.vtk").
+		Param("reader", "dim", "24").
+		Param("contour", "isovalue", "57").
+		Param("smooth", "iterations", "2").
+		Connect("reader", "data", "histogram", "data").
+		Connect("reader", "data", "contour", "data").
+		Connect("contour", "surface", "smooth", "surface").
+		Connect("smooth", "surface", "render", "surface").
+		MustBuild()
+	return wf
+}
+
+// DownloadAndRender builds the Figure 2 analogy-template "before" workflow:
+// download a file from the Web and create a simple visualization.
+func DownloadAndRender() *workflow.Workflow {
+	return workflow.NewBuilder("dl-render", "download-and-render").
+		Module("download", "Download", workflow.Out("data", TypeGrid)).
+		Module("contour", "Contour", workflow.In("data", TypeGrid), workflow.Out("surface", TypeMesh)).
+		Module("render", "Render", workflow.In("surface", TypeMesh), workflow.Out("image", TypeImage)).
+		Param("download", "url", "http://example.org/dataset.vtk").
+		Param("contour", "isovalue", "57").
+		Connect("download", "data", "contour", "data").
+		Connect("contour", "surface", "render", "surface").
+		MustBuild()
+}
+
+// DownloadAndRenderSmoothed is DownloadAndRender with smoothing inserted —
+// the "after" half of the Figure 2 analogy template.
+func DownloadAndRenderSmoothed() *workflow.Workflow {
+	return workflow.NewBuilder("dl-render-smooth", "download-and-render-smoothed").
+		Module("download", "Download", workflow.Out("data", TypeGrid)).
+		Module("contour", "Contour", workflow.In("data", TypeGrid), workflow.Out("surface", TypeMesh)).
+		Module("smooth", "Smooth", workflow.In("surface", TypeMesh), workflow.Out("surface", TypeMesh)).
+		Module("render", "Render", workflow.In("surface", TypeMesh), workflow.Out("image", TypeImage)).
+		Param("download", "url", "http://example.org/dataset.vtk").
+		Param("contour", "isovalue", "57").
+		Param("smooth", "iterations", "2").
+		Connect("download", "data", "contour", "data").
+		Connect("contour", "surface", "smooth", "surface").
+		Connect("smooth", "surface", "render", "surface").
+		MustBuild()
+}
+
+// Genomics builds the sequencing pipeline sketched in §2.1's genomics
+// motivation: generate reads, trim, align, call variants, report.
+func Genomics(sample string) *workflow.Workflow {
+	wf := workflow.NewBuilder("genomics-"+sample, "genomics-"+sample).
+		Module("gen", "SequenceGen", workflow.Out("reads", TypeSeq)).
+		Module("trim", "Trim", workflow.In("reads", TypeSeq), workflow.Out("reads", TypeSeq)).
+		Module("align", "Align", workflow.In("reads", TypeSeq), workflow.Out("scores", TypeAlign)).
+		Module("variants", "VariantCall", workflow.In("scores", TypeAlign), workflow.Out("variants", TypeTable)).
+		Module("report", "Report", workflow.In("rows", TypeTable), workflow.Out("report", TypeImage)).
+		Param("gen", "sample", sample).
+		Param("gen", "reads", "200").
+		Param("align", "reference", "GRCh-sim").
+		Param("variants", "minScore", "0.5").
+		Connect("gen", "reads", "trim", "reads").
+		Connect("trim", "reads", "align", "reads").
+		Connect("align", "scores", "variants", "scores").
+		Connect("variants", "variants", "report", "rows").
+		MustBuild()
+	return wf
+}
+
+// Forecasting builds the environmental-observatory pipeline: sensor feed →
+// clean → moving average → forecast → alert.
+func Forecasting(station string) *workflow.Workflow {
+	return workflow.NewBuilder("forecast-"+station, "forecast-"+station).
+		Module("sensor", "SensorGen", workflow.Out("series", TypeSeries)).
+		Module("clean", "Clean", workflow.In("series", TypeSeries), workflow.Out("series", TypeSeries)).
+		Module("ma", "MovingAverage", workflow.In("series", TypeSeries), workflow.Out("series", TypeSeries)).
+		Module("forecast", "Forecast", workflow.In("series", TypeSeries), workflow.Out("series", TypeSeries)).
+		Module("alert", "Alert", workflow.In("series", TypeSeries), workflow.Out("alerts", TypeTable)).
+		Param("sensor", "station", station).
+		Param("sensor", "samples", "240").
+		Param("alert", "threshold", "25").
+		Connect("sensor", "series", "clean", "series").
+		Connect("clean", "series", "ma", "series").
+		Connect("ma", "series", "forecast", "series").
+		Connect("forecast", "series", "alert", "series").
+		MustBuild()
+}
+
+// RandomLayered generates a random layered DAG workflow for scaling
+// experiments: `layers` layers of `width` Stage modules, each drawing
+// `fanin` inputs from the previous layer. Layer 0 is Source modules.
+// The same seed always yields the same workflow.
+func RandomLayered(seed int64, layers, width, fanin int) *workflow.Workflow {
+	if layers < 2 {
+		layers = 2
+	}
+	if width < 1 {
+		width = 1
+	}
+	if fanin < 1 {
+		fanin = 1
+	}
+	if fanin > width {
+		fanin = width
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := workflow.NewBuilder(fmt.Sprintf("rand-%d-%dx%d", seed, layers, width),
+		fmt.Sprintf("random-layered-%dx%d", layers, width))
+	for i := 0; i < width; i++ {
+		id := modID(0, i)
+		b.Module(id, "Source", workflow.Out("out", TypeData)).
+			Param(id, "seed", fmt.Sprintf("%d-%d", seed, i))
+	}
+	for l := 1; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			id := modID(l, i)
+			var ports []workflow.PortSpec
+			for f := 0; f < fanin; f++ {
+				ports = append(ports, workflow.In(fmt.Sprintf("in%d", f), TypeData))
+			}
+			ports = append(ports, workflow.Out("out", TypeData))
+			b.Module(id, "Stage", ports...)
+			b.Param(id, "work", "1")
+			// Choose fanin distinct predecessors from the previous layer.
+			perm := r.Perm(width)
+			for f := 0; f < fanin; f++ {
+				b.Connect(modID(l-1, perm[f]), "out", id, fmt.Sprintf("in%d", f))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func modID(layer, idx int) string { return fmt.Sprintf("m%02d_%02d", layer, idx) }
+
+// Chain generates a linear n-module workflow (Source followed by n-1
+// Stages): the minimal-parallelism baseline for capture-overhead
+// experiments.
+func Chain(n int) *workflow.Workflow {
+	if n < 1 {
+		n = 1
+	}
+	b := workflow.NewBuilder(fmt.Sprintf("chain-%d", n), fmt.Sprintf("chain-%d", n))
+	b.Module("s00", "Source", workflow.Out("out", TypeData)).Param("s00", "seed", "chain")
+	prev := "s00"
+	for i := 1; i < n; i++ {
+		id := fmt.Sprintf("s%02d", i)
+		b.Module(id, "Stage", workflow.In("in0", TypeData), workflow.Out("out", TypeData))
+		b.Param(id, "work", "1")
+		b.Connect(prev, "out", id, "in0")
+		prev = id
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,351 @@
+package workloads
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+)
+
+func newEngine(rec provenance.Recorder) *engine.Engine {
+	r := engine.NewRegistry()
+	RegisterAll(r)
+	return engine.New(engine.Options{Registry: r, Recorder: rec})
+}
+
+func TestSynthesizeHeadDeterministic(t *testing.T) {
+	a := SynthesizeHead("head.120.vtk", 8)
+	b := SynthesizeHead("head.120.vtk", 8)
+	c := SynthesizeHead("other.vtk", 8)
+	if len(a.Scalars) != 512 {
+		t.Fatalf("scalars = %d", len(a.Scalars))
+	}
+	for i := range a.Scalars {
+		if a.Scalars[i] != b.Scalars[i] {
+			t.Fatal("same name produced different volumes")
+		}
+	}
+	same := true
+	for i := range a.Scalars {
+		if a.Scalars[i] != c.Scalars[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different names produced identical volumes")
+	}
+	lo, hi := a.MinMax()
+	if lo < 0 || hi < 50 {
+		t.Fatalf("implausible range [%v, %v]", lo, hi)
+	}
+}
+
+func TestBinValues(t *testing.T) {
+	h := BinValues([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost values: %v", h.Counts)
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2", i, c)
+		}
+	}
+	// Degenerate cases.
+	empty := BinValues(nil, 4)
+	if len(empty.Counts) != 4 {
+		t.Fatal("empty histogram wrong size")
+	}
+	flat := BinValues([]float64{5, 5, 5}, 4)
+	if flat.Counts[0] != 3 {
+		t.Fatalf("constant series: %v", flat.Counts)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := BinValues([]float64{1, 1, 1, 2}, 2)
+	img := h.Render(10)
+	if !strings.Contains(img, "#") || !strings.Contains(img, "3") {
+		t.Fatalf("render:\n%s", img)
+	}
+}
+
+// Property: histogram conserves count for arbitrary inputs.
+func TestQuickHistogramConservesMass(t *testing.T) {
+	f := func(vals []float64, nb uint8) bool {
+		finite := vals[:0]
+		for _, v := range vals {
+			if v == v && v < 1e18 && v > -1e18 { // drop NaN/±huge
+				finite = append(finite, v)
+			}
+		}
+		h := BinValues(finite, int(nb%16)+1)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(finite)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedicalImagingRunsAndCaptures(t *testing.T) {
+	col := provenance.NewCollector()
+	e := newEngine(col)
+	wf := MedicalImaging()
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s (failed=%v)", res.Status, res.Failed)
+	}
+	img, err := res.Output("render", "image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(img.Data.(string), "\n") {
+		t.Fatal("render produced no image rows")
+	}
+	plot, _ := res.Output("histogram", "plot")
+	if !strings.Contains(plot.Data.(string), "|") {
+		t.Fatal("histogram produced no bars")
+	}
+	log, _ := col.Log(res.RunID)
+	if err := log.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1 structure: both final products trace back to the same grid.
+	cg, err := provenance.BuildCausalGraph(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := cg.DerivedFromSameRawData(res.Artifacts["render.image"], res.Artifacts["histogram.plot"])
+	if len(shared) != 0 {
+		// No external raw inputs here (reader synthesizes), so shared raw
+		// ancestors are the reader's output grid only if it is a source
+		// artifact; it is generated, so expect none shared at raw level.
+		t.Fatalf("unexpected shared raw inputs: %v", shared)
+	}
+	// But both lineages must include the same grid artifact.
+	gridArt := res.Artifacts["reader.data"]
+	inImage := false
+	for _, id := range cg.Lineage(res.Artifacts["render.image"]) {
+		if id == gridArt {
+			inImage = true
+		}
+	}
+	inPlot := false
+	for _, id := range cg.Lineage(res.Artifacts["histogram.plot"]) {
+		if id == gridArt {
+			inPlot = true
+		}
+	}
+	if !inImage || !inPlot {
+		t.Fatal("grid artifact missing from a branch lineage")
+	}
+}
+
+func TestContourIsovalueChangesOutput(t *testing.T) {
+	e := newEngine(nil)
+	wf := MedicalImaging()
+	res1, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf2 := wf.Clone()
+	if err := wf2.SetParam("contour", "isovalue", "110"); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e.Run(context.Background(), wf2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := res1.Output("contour", "surface")
+	s2, _ := res2.Output("contour", "surface")
+	if s1.Hash() == s2.Hash() {
+		t.Fatal("isovalue change produced identical surfaces")
+	}
+	// Histogram branch is unaffected.
+	h1, _ := res1.Output("histogram", "plot")
+	h2, _ := res2.Output("histogram", "plot")
+	if h1.Hash() != h2.Hash() {
+		t.Fatal("histogram changed although its inputs did not")
+	}
+}
+
+func TestSmoothedImagingRuns(t *testing.T) {
+	e := newEngine(nil)
+	res, err := e.Run(context.Background(), SmoothedImaging(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s", res.Status)
+	}
+	// Smoothing must change the surface.
+	plain, err := e.Run(context.Background(), MedicalImaging(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Output("smooth", "surface")
+	b, _ := plain.Output("contour", "surface")
+	if a.Hash() == b.Hash() {
+		t.Fatal("smooth is identity")
+	}
+}
+
+func TestGenomicsPipeline(t *testing.T) {
+	col := provenance.NewCollector()
+	e := newEngine(col)
+	res, err := e.Run(context.Background(), Genomics("sample-42"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s failed=%v", res.Status, res.Failed)
+	}
+	rep, err := res.Output("report", "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rep.Data.(string), "report:") {
+		t.Fatalf("report = %q", rep.Data)
+	}
+	log, _ := col.Log(res.RunID)
+	if len(log.Executions) != 5 {
+		t.Fatalf("executions = %d", len(log.Executions))
+	}
+}
+
+func TestForecastingPipeline(t *testing.T) {
+	e := newEngine(nil)
+	res, err := e.Run(context.Background(), Forecasting("station-A"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s failed=%v", res.Status, res.Failed)
+	}
+	fc, _ := res.Output("forecast", "series")
+	ts := fc.Data.(*TimeSeries)
+	if len(ts.Values) != 24 {
+		t.Fatalf("forecast horizon = %d", len(ts.Values))
+	}
+}
+
+func TestSensorCleanRemovesSpikes(t *testing.T) {
+	ts := SynthesizeSensor("station-A", 500)
+	mean, sd := meanStd(ts.Values)
+	spikes := 0
+	for _, v := range ts.Values {
+		if v > mean+3*sd {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Skip("no spikes generated at this seed; adjust synth rate")
+	}
+	e := newEngine(nil)
+	res, err := e.Run(context.Background(), Forecasting("station-A"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, _ := res.Output("clean", "series")
+	cm, csd := meanStd(cleaned.Data.(*TimeSeries).Values)
+	if csd >= sd {
+		t.Fatalf("cleaning did not reduce variance: %.3f -> %.3f (mean %.3f -> %.3f)", sd, csd, mean, cm)
+	}
+}
+
+func TestRandomLayeredShape(t *testing.T) {
+	wf := RandomLayered(1, 4, 5, 2)
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wf.Modules) != 20 {
+		t.Fatalf("modules = %d, want 20", len(wf.Modules))
+	}
+	if len(wf.Connections) != 3*5*2 {
+		t.Fatalf("connections = %d, want 30", len(wf.Connections))
+	}
+	// Determinism.
+	if RandomLayered(1, 4, 5, 2).ContentHash() != wf.ContentHash() {
+		t.Fatal("same seed produced different workflow")
+	}
+	if RandomLayered(2, 4, 5, 2).ContentHash() == wf.ContentHash() {
+		t.Fatal("different seeds produced identical workflow")
+	}
+}
+
+func TestRandomLayeredRuns(t *testing.T) {
+	e := newEngine(nil)
+	res, err := e.Run(context.Background(), RandomLayered(7, 5, 4, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s failed=%v", res.Status, res.Failed)
+	}
+}
+
+func TestChainRuns(t *testing.T) {
+	e := newEngine(nil)
+	wf := Chain(10)
+	if len(wf.Modules) != 10 || len(wf.Connections) != 9 {
+		t.Fatalf("chain shape %d/%d", len(wf.Modules), len(wf.Connections))
+	}
+	res, err := e.Run(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatal("chain failed")
+	}
+}
+
+func TestFigure2Workflows(t *testing.T) {
+	e := newEngine(nil)
+	for _, wf := range []struct {
+		name string
+		w    interface {
+			Validate() error
+		}
+	}{
+		{"download", DownloadAndRender()},
+		{"download-smoothed", DownloadAndRenderSmoothed()},
+	} {
+		if err := wf.w.Validate(); err != nil {
+			t.Fatalf("%s: %v", wf.name, err)
+		}
+	}
+	res, err := e.Run(context.Background(), DownloadAndRenderSmoothed(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != provenance.StatusOK {
+		t.Fatalf("status = %s failed=%v", res.Status, res.Failed)
+	}
+}
+
+func TestSequenceSynthesisDeterministic(t *testing.T) {
+	a := SynthesizeReads("s", 10, 20, 0.1)
+	b := SynthesizeReads("s", 10, 20, 0.1)
+	if len(a.Reads) != 10 || a.Reads[0] != b.Reads[0] {
+		t.Fatal("reads not deterministic")
+	}
+	for _, r := range a.Reads {
+		if len(r) != 20 {
+			t.Fatalf("read length %d", len(r))
+		}
+	}
+}
