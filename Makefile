@@ -1,0 +1,26 @@
+GO ?= go
+BENCH_DIR ?= bench-results
+
+.PHONY: build test vet bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Run the testing.B benchmark suite (one benchmark per experiment, plus the
+# E4b batch-vs-per-edge lineage comparison).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Run the full experiment suite and write machine-readable BENCH_<ID>.json
+# files so successive PRs can track a perf trajectory.
+bench-json:
+	$(GO) run ./cmd/provbench -json $(BENCH_DIR)
+
+clean:
+	rm -rf $(BENCH_DIR)

@@ -122,6 +122,40 @@ func BenchmarkE4QueryLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkE4bBatchVsPerEdge quantifies the batch-traversal win: the same
+// depth-128 lineage closure once through the per-edge reference BFS (one
+// navigation call per node — on the file backend each call used to re-read
+// the run log from disk) and once through the pushed-down batch Closure
+// (O(hops) backend calls; zero disk reads on the file backend).
+func BenchmarkE4bBatchVsPerEdge(b *testing.B) {
+	log, target := chainLog(b, 128)
+	fs, err := store.OpenFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	backends := []store.Store{store.NewMemStore(), store.NewRelStore(), store.NewTripleStore(), fs}
+	for _, s := range backends {
+		if err := s.PutRunLog(log); err != nil {
+			b.Fatal(err)
+		}
+		b.Run("backend="+s.Name()+"/mode=peredge", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := store.NaiveClosure(s, target, store.Up); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("backend="+s.Name()+"/mode=batch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Closure(target, store.Up); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE5UserViews benchmarks abstraction of a 24-module chain run.
 func BenchmarkE5UserViews(b *testing.B) {
 	log, _ := chainLog(b, 24)

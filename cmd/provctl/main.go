@@ -211,11 +211,13 @@ func cmdLineage(args []string) error {
 		return err
 	}
 	defer fsStore.Close()
-	fn := store.Lineage
+	dir := store.Up
 	if *down {
-		fn = store.Dependents
+		dir = store.Down
 	}
-	ids, err := fn(fsStore, fs.Arg(0))
+	// Pushed-down closure: the file store answers the whole traversal from
+	// its resident adjacency index.
+	ids, err := fsStore.Closure(fs.Arg(0), dir)
 	if err != nil {
 		return err
 	}

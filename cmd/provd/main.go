@@ -1,6 +1,9 @@
 // Command provd serves the collaboratory's HTTP API: workflow sharing,
-// full-text search, run-log retrieval, lineage/dependents closure queries,
-// PQL, and recommendations (see internal/collab for routes).
+// full-text search, run-log retrieval, lineage/dependents closure queries
+// and batch frontier expansion (/expand), PQL, and recommendations (see
+// internal/collab for routes). Closure endpoints run on the storage
+// layer's pushed-down batch traversal, so they cost O(hops) store
+// operations on every backend — including the durable file store.
 //
 // Usage:
 //

@@ -272,6 +272,20 @@ func TestHTTPEndpoints(t *testing.T) {
 	if code := getJSON("/dependents?id="+gridArt, &deps); code != 200 || len(deps) != 7 {
 		t.Fatalf("dependents: %d %v", code, deps)
 	}
+	// Batch frontier expansion over HTTP: both artifacts in one call.
+	var adj map[string][]string
+	if code := getJSON("/expand?ids="+imageArt+","+gridArt+"&dir=down", &adj); code != 200 || len(adj) != 2 {
+		t.Fatalf("expand: %d %v", code, adj)
+	}
+	if len(adj[gridArt]) != 2 {
+		t.Fatalf("expand grid consumers = %v", adj[gridArt])
+	}
+	if code := getJSON("/expand?ids="+imageArt+"&dir=sideways", nil); code != 400 {
+		t.Fatalf("expand bad dir: %d", code)
+	}
+	if code := getJSON("/expand", nil); code != 400 {
+		t.Fatalf("expand without ids: %d", code)
+	}
 	// PQL over HTTP.
 	var qres struct {
 		Columns []string   `json:"Columns"`

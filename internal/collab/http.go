@@ -24,6 +24,7 @@ import (
 //	GET  /runs/{id}              full run log
 //	GET  /lineage?id=ENTITY      upstream closure of an entity
 //	GET  /dependents?id=ENTITY   downstream closure of an entity
+//	GET  /expand?ids=A,B&dir=up  one-hop frontier expansion (batch)
 //	GET  /recommend?user=U       recommendations
 //	GET  /query?q=PQL            PQL query against the provenance store
 //	GET  /stats                  repository statistics
@@ -105,14 +106,16 @@ func NewHandler(repo *Repository) http.Handler {
 		writeJSON(w, http.StatusOK, l)
 	})
 
-	closure := func(fn func(store.Store, string) ([]string, error)) http.HandlerFunc {
+	// Closure endpoints run on the pushed-down batch traversal: one store
+	// round-trip per BFS hop regardless of backend.
+	closure := func(dir store.Direction) http.HandlerFunc {
 		return func(w http.ResponseWriter, req *http.Request) {
 			id := req.URL.Query().Get("id")
 			if id == "" {
 				httpError(w, http.StatusBadRequest, errors.New("collab: id parameter required"))
 				return
 			}
-			ids, err := fn(repo.Store(), id)
+			ids, err := repo.Store().Closure(id, dir)
 			if err != nil {
 				httpError(w, http.StatusNotFound, err)
 				return
@@ -120,8 +123,30 @@ func NewHandler(repo *Repository) http.Handler {
 			writeJSON(w, http.StatusOK, ids)
 		}
 	}
-	mux.HandleFunc("/lineage", closure(store.Lineage))
-	mux.HandleFunc("/dependents", closure(store.Dependents))
+	mux.HandleFunc("/lineage", closure(store.Up))
+	mux.HandleFunc("/dependents", closure(store.Down))
+
+	mux.HandleFunc("/expand", func(w http.ResponseWriter, req *http.Request) {
+		idsParam := req.URL.Query().Get("ids")
+		if idsParam == "" {
+			httpError(w, http.StatusBadRequest, errors.New("collab: ids parameter required"))
+			return
+		}
+		dir := store.Up
+		if d := req.URL.Query().Get("dir"); d != "" {
+			var err error
+			if dir, err = store.ParseDirection(d); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		adj, err := repo.Store().Expand(strings.Split(idsParam, ","), dir)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, adj)
+	})
 
 	mux.HandleFunc("/recommend", func(w http.ResponseWriter, req *http.Request) {
 		user := req.URL.Query().Get("user")

@@ -107,14 +107,15 @@ func (s *System) WorkflowOf(runID string) (*workflow.Workflow, error) {
 	return wf, nil
 }
 
-// Lineage returns the upstream closure of an entity across all stored runs.
+// Lineage returns the upstream closure of an entity across all stored
+// runs, pushed down into the backend's batch traversal API.
 func (s *System) Lineage(entityID string) ([]string, error) {
-	return store.Lineage(s.Store, entityID)
+	return s.Store.Closure(entityID, store.Up)
 }
 
 // Dependents returns the downstream closure of an entity.
 func (s *System) Dependents(entityID string) ([]string, error) {
-	return store.Dependents(s.Store, entityID)
+	return s.Store.Closure(entityID, store.Down)
 }
 
 // InvalidatedArtifacts lists the artifacts that must be recalled when an
@@ -142,13 +143,18 @@ func (s *System) Query(q string) (*pql.Result, error) {
 
 // DatalogQuery evaluates a query atom against the standard provenance
 // Datalog program (see query/datalog.ProvenanceRules) loaded with the
-// store's facts.
+// store's facts. Closure-shaped atoms (ancestor with one bound argument)
+// are pushed down to the store's batch traversal API and skip fact
+// loading and fixpoint materialization entirely.
 func (s *System) DatalogQuery(queryAtom string) (*datalog.QueryResult, error) {
-	p, err := datalog.NewProvenanceProgram(s.Store)
+	atom, err := datalog.ParseAtom(queryAtom)
 	if err != nil {
 		return nil, err
 	}
-	atom, err := datalog.ParseAtom(queryAtom)
+	if res, pushed, err := datalog.AncestorQueryViaStore(s.Store, atom); pushed {
+		return res, err
+	}
+	p, err := datalog.NewProvenanceProgram(s.Store)
 	if err != nil {
 		return nil, err
 	}

@@ -31,11 +31,21 @@ import (
 	"repro/internal/workloads"
 )
 
-// Result is one experiment's rendered output.
+// Metric is one machine-readable measurement of an experiment, emitted by
+// cmd/provbench as BENCH_<ID>.json so successive PRs accumulate a perf
+// trajectory.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Result is one experiment's rendered output plus its structured metrics.
 type Result struct {
-	ID    string
-	Title string
-	Table string
+	ID      string
+	Title   string
+	Table   string
+	Metrics []Metric
 }
 
 // All runs every experiment in order.
@@ -87,7 +97,7 @@ func E1() Result {
 	fmt.Fprintf(&b, "%-34s %10s %10d\n", "total events", "-", len(log.Events))
 	fmt.Fprintf(&b, "final products: histogram=%s..., isosurface=%s...\n",
 		short(res.Outputs["histogram.plot"].Hash()), short(res.Outputs["render.image"].Hash()))
-	return Result{"E1", "Figure 1: prospective vs retrospective provenance", b.String()}
+	return Result{ID: "E1", Title: "Figure 1: prospective vs retrospective provenance", Table: b.String()}
 }
 
 func countEvents(l *provenance.RunLog) int {
@@ -134,7 +144,7 @@ func E2() Result {
 	fmt.Fprintf(&b, "%-38s %8d\n", "perturbed targets", n)
 	fmt.Fprintf(&b, "%-38s %7.0f%%\n", "transfer success (valid result)", 100*float64(ok)/n)
 	fmt.Fprintf(&b, "%-38s %7.0f%%\n", "anchor mapping correct", 100*float64(mappedRight)/n)
-	return Result{"E2", "Figure 2: workflow refinement by analogy", b.String()}
+	return Result{ID: "E2", Title: "Figure 2: workflow refinement by analogy", Table: b.String()}
 }
 
 // E3 measures capture overhead: runtime with capture off vs on (collector)
@@ -164,13 +174,17 @@ func E3() Result {
 		fmt.Fprintf(&b, "%-10d %14s %14s %14s %8.2fx\n", n, off, on, file,
 			float64(on)/float64(off))
 	}
-	return Result{"E3", "capture overhead (chain workflows, 5-run median)", b.String()}
+	return Result{ID: "E3", Title: "capture overhead (chain workflows, 5-run median)", Table: b.String()}
 }
 
-// E4 measures lineage-query latency vs provenance size across backends.
+// E4 measures lineage-query latency vs provenance size across backends,
+// comparing the per-edge reference BFS against the pushed-down batch
+// closure (O(edges) vs O(hops) backend operations).
 func E4() Result {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-8s %12s %12s %12s %12s\n", "modules", "edges", "mem", "rel", "triple", "file")
+	var metrics []Metric
+	fmt.Fprintf(&b, "%-10s %-8s %-8s %14s %14s %9s\n",
+		"modules", "edges", "backend", "per-edge", "batch", "speedup")
 	for _, n := range []int{20, 100, 200} {
 		wf := workloads.Chain(n)
 		col := provenance.NewCollector()
@@ -184,22 +198,30 @@ func E4() Result {
 			return errResult("E4", err)
 		}
 		backends := []store.Store{store.NewMemStore(), store.NewRelStore(), store.NewTripleStore(), fs}
-		times := make([]time.Duration, len(backends))
-		for i, s := range backends {
+		for _, s := range backends {
 			if err := s.PutRunLog(log); err != nil {
 				return errResult("E4", err)
 			}
-			times[i] = timeRuns(func() {
-				if _, err := store.Lineage(s, target); err != nil {
+			perEdge := timeRuns(func() {
+				if _, err := store.NaiveClosure(s, target, store.Up); err != nil {
 					panic(err)
 				}
 			}, 5)
+			batch := timeRuns(func() {
+				if _, err := s.Closure(target, store.Up); err != nil {
+					panic(err)
+				}
+			}, 5)
+			fmt.Fprintf(&b, "%-10d %-8d %-8s %14s %14s %8.1fx\n",
+				n, countEvents(log), s.Name(), perEdge, batch,
+				float64(perEdge)/float64(batch))
+			metrics = append(metrics,
+				Metric{Name: fmt.Sprintf("lineage_peredge_%s_n%d", s.Name(), n), Value: float64(perEdge.Nanoseconds()), Unit: "ns"},
+				Metric{Name: fmt.Sprintf("lineage_batch_%s_n%d", s.Name(), n), Value: float64(batch.Nanoseconds()), Unit: "ns"})
 		}
 		fs.Close()
-		fmt.Fprintf(&b, "%-10d %-8d %12s %12s %12s %12s\n",
-			n, countEvents(log), times[0], times[1], times[2], times[3])
 	}
-	return Result{"E4", "lineage query latency vs graph size, per backend", b.String()}
+	return Result{ID: "E4", Title: "lineage latency: per-edge BFS vs pushed-down batch closure, per backend", Table: b.String(), Metrics: metrics}
 }
 
 // E5 measures user-view provenance reduction.
@@ -232,7 +254,7 @@ func E5() Result {
 		}
 		_ = res
 	}
-	return Result{"E5", "user views: provenance overload reduction (ZOOM)", b.String()}
+	return Result{ID: "E5", Title: "user views: provenance overload reduction (ZOOM)", Table: b.String()}
 }
 
 // E6 compares the query languages on the same lineage workload.
@@ -290,6 +312,18 @@ func E6() Result {
 		dlRows = len(r.Rows)
 	}, 3)
 	fmt.Fprintf(&b, "%-34s %12s %8d\n", "Datalog ancestor (fixpoint)", t, dlRows)
+	// The same ancestor atom pushed down to the store's batch closure: no
+	// fact loading, no fixpoint.
+	var pdRows int
+	t = timeRuns(func() {
+		atom, _ := datalog.ParseAtom(fmt.Sprintf("ancestor('%s', X)", target))
+		r, pushed, err := datalog.AncestorQueryViaStore(mem, atom)
+		if err != nil || !pushed {
+			panic(fmt.Sprintf("pushdown failed: pushed=%v err=%v", pushed, err))
+		}
+		pdRows = len(r.Rows)
+	}, 5)
+	fmt.Fprintf(&b, "%-34s %12s %8d\n", "Datalog ancestor (pushed-down)", t, pdRows)
 	// SPARQL-like one-hop pattern (BGP engines do closure by repeated
 	// joins; one hop is the comparable primitive).
 	var tqRows int
@@ -302,10 +336,10 @@ func E6() Result {
 		tqRows = len(r.Rows)
 	}, 5)
 	fmt.Fprintf(&b, "%-34s %12s %8d\n", "SPARQL-like single hop", t, tqRows)
-	if bfsRows != pqlRows || bfsRows != dlRows {
-		fmt.Fprintf(&b, "WARNING: row counts disagree (%d/%d/%d)\n", bfsRows, pqlRows, dlRows)
+	if bfsRows != pqlRows || bfsRows != dlRows || bfsRows != pdRows {
+		fmt.Fprintf(&b, "WARNING: row counts disagree (%d/%d/%d/%d)\n", bfsRows, pqlRows, dlRows, pdRows)
 	}
-	return Result{"E6", "query languages on the same lineage (60-module chain)", b.String()}
+	return Result{ID: "E6", Title: "query languages on the same lineage (60-module chain)", Table: b.String()}
 }
 
 // E7 runs the Provenance-Challenge integration experiment.
@@ -344,7 +378,7 @@ func E7() Result {
 		row(names[i], interop.RunSuite(names[i], g))
 	}
 	row("integrated", interop.RunSuite("integrated", merged))
-	return Result{"E7", "Provenance Challenge: single-system vs integrated answerability", b.String()}
+	return Result{ID: "E7", Title: "Provenance Challenge: single-system vs integrated answerability", Table: b.String()}
 }
 
 // E8 measures version-tree materialization and diff cost vs history size.
@@ -382,7 +416,7 @@ func E8() Result {
 		}, 3)
 		fmt.Fprintf(&b, "%-12d %14s %14s\n", n, mat, diff)
 	}
-	return Result{"E8", "evolution: version-tree materialization and diff scaling", b.String()}
+	return Result{ID: "E8", Title: "evolution: version-tree materialization and diff scaling", Table: b.String()}
 }
 
 // E9 measures why-provenance overhead on relational pipelines.
@@ -413,7 +447,7 @@ func E9() Result {
 		}, 3)
 		fmt.Fprintf(&b, "%-10d %14s %14s %8.2fx\n", n, plain, prov, float64(prov)/float64(plain))
 	}
-	return Result{"E9", "why-provenance overhead on joins (tuple witnesses)", b.String()}
+	return Result{ID: "E9", Title: "why-provenance overhead on joins (tuple witnesses)", Table: b.String()}
 }
 
 // plainJoin is the no-provenance baseline for E9: the same hash join,
@@ -471,7 +505,7 @@ func E10() Result {
 			fmt.Fprintf(&b, "%-10d %-8v %14s %12d\n", w, cached, elapsed.Round(time.Microsecond), hits)
 		}
 	}
-	return Result{"E10", "parameter sweep: 12 points, workers × cache", b.String()}
+	return Result{ID: "E10", Title: "parameter sweep: 12 points, workers × cache", Table: b.String()}
 }
 
 // E11 measures storage footprint per event across backends.
@@ -507,7 +541,7 @@ func E11() Result {
 			s.Name(), st.Runs, st.Events, st.Bytes, float64(st.Bytes)/float64(st.Events))
 		s.Close()
 	}
-	return Result{"E11", "storage footprint per provenance event, per backend", b.String()}
+	return Result{ID: "E11", Title: "storage footprint per provenance event, per backend", Table: b.String()}
 }
 
 // E12 measures collaboratory search latency and recommendation coverage.
@@ -535,7 +569,7 @@ func E12() Result {
 	fmt.Fprintf(&b, "%-38s %12d\n", "published runs", st.Runs)
 	fmt.Fprintf(&b, "%-38s %12s\n", "search latency (10-run median)", searchT)
 	fmt.Fprintf(&b, "%-38s %11.0f%%\n", "users with recommendations", 100*float64(covered)/float64(len(users)))
-	return Result{"E12", "collaboratory: search latency and recommendation coverage", b.String()}
+	return Result{ID: "E12", Title: "collaboratory: search latency and recommendation coverage", Table: b.String()}
 }
 
 // DBProvEndToEnd exercises the dbprov cross-level lineage as a sanity line

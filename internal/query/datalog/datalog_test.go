@@ -230,6 +230,40 @@ func TestProvenanceProgramLineage(t *testing.T) {
 	}
 }
 
+func TestAncestorQueryViaStoreMatchesFixpoint(t *testing.T) {
+	s, res := provenanceStore(t)
+	p, err := NewProvenanceProgram(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := res.Artifacts["render.image"]
+	grid := res.Artifacts["reader.data"]
+	for _, q := range []string{
+		fmt.Sprintf("ancestor('%s', X)", image), // upstream closure
+		fmt.Sprintf("ancestor(X, '%s')", grid),  // downstream closure
+		"ancestor('no-such-entity', X)",         // unknown constant: empty
+	} {
+		atom := mustAtom(t, q)
+		want, err := p.Query(atom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, pushed, err := AncestorQueryViaStore(s, atom)
+		if err != nil || !pushed {
+			t.Fatalf("%s: pushed=%v err=%v", q, pushed, err)
+		}
+		if fmt.Sprint(got.Vars) != fmt.Sprint(want.Vars) || fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+			t.Fatalf("%s:\npushed-down %v %v\nfixpoint    %v %v", q, got.Vars, got.Rows, want.Vars, want.Rows)
+		}
+	}
+	// Non-closure shapes fall back to the fixpoint.
+	for _, q := range []string{"ancestor(X, Y)", "used(E, A)", "ancestor(a, b)"} {
+		if _, pushed, _ := AncestorQueryViaStore(s, mustAtom(t, q)); pushed {
+			t.Fatalf("%s: unexpectedly pushed down", q)
+		}
+	}
+}
+
 func TestProvenanceProgramDerivedFrom(t *testing.T) {
 	s, res := provenanceStore(t)
 	p, err := NewProvenanceProgram(s)

@@ -1,6 +1,9 @@
 package datalog
 
 import (
+	"errors"
+	"sort"
+
 	"repro/internal/store"
 )
 
@@ -78,6 +81,46 @@ ancestor(X, Z) :- dep(X, Y), ancestor(Y, Z).
 derivedFrom(A2, A1) :- generated(E, A2), used(E, A1).
 sameSource(A, B) :- derivedFrom(A, S), derivedFrom(B, S).
 `
+
+// AncestorQueryViaStore answers ancestor/2 query atoms with exactly one
+// bound argument by pushing the closure down to the store's batch
+// traversal API instead of loading every fact and materializing the full
+// Datalog fixpoint. Under ProvenanceRules, ancestor(c, Y) binds Y to the
+// upstream closure of c and ancestor(X, c) binds X to the downstream
+// closure, so one Store.Closure call — O(hops) backend operations — yields
+// exactly the fixpoint's rows. The bool result reports whether the atom
+// had a pushed-down shape; when false, callers fall back to the fixpoint.
+func AncestorQueryViaStore(s store.Store, q Atom) (*QueryResult, bool, error) {
+	if q.Pred != "ancestor" || len(q.Args) != 2 {
+		return nil, false, nil
+	}
+	a, b := q.Args[0], q.Args[1]
+	var seed string
+	var dir store.Direction
+	var v string
+	switch {
+	case !a.IsVar && b.IsVar:
+		seed, dir, v = a.Value, store.Up, b.Value
+	case a.IsVar && !b.IsVar:
+		seed, dir, v = b.Value, store.Down, a.Value
+	default:
+		return nil, false, nil
+	}
+	res := &QueryResult{Vars: []string{v}}
+	ids, err := s.Closure(seed, dir)
+	if errors.Is(err, store.ErrNotFound) {
+		// The fixpoint yields no rows for an unknown constant; so do we.
+		return res, true, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		res.Rows = append(res.Rows, []string{id})
+	}
+	return res, true, nil
+}
 
 // NewProvenanceProgram builds a program with the provenance rules loaded
 // and facts from the store.

@@ -76,13 +76,15 @@ func Run(s store.Store, src string) (*Result, error) {
 func Execute(s store.Store, q *Query) (*Result, error) {
 	switch {
 	case q.LineageOf != "":
-		ids, err := store.Lineage(s, q.LineageOf)
+		// Pushed-down closure: the backend answers the whole traversal in
+		// O(hops) batch calls.
+		ids, err := s.Closure(q.LineageOf, store.Up)
 		if err != nil {
 			return nil, err
 		}
 		return closureResult(s, ids)
 	case q.DependsOf != "":
-		ids, err := store.Dependents(s, q.DependsOf)
+		ids, err := s.Closure(q.DependsOf, store.Down)
 		if err != nil {
 			return nil, err
 		}

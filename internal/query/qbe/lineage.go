@@ -1,0 +1,65 @@
+package qbe
+
+import (
+	"sort"
+
+	"repro/internal/store"
+)
+
+// FilterByClosure narrows QBE matches using stored provenance: it keeps
+// only the workflows with at least one stored run whose executions or
+// artifacts appear in the closure of entityID (the entity itself counts).
+// With dir store.Up this answers "which of these structurally similar
+// workflows contributed to this result"; with store.Down, "which consumed
+// it" — the §2.2 knowledge-reuse queries joined with retrospective
+// provenance. The closure is pushed down to the backend as one batch
+// traversal, so the filter costs O(hops) store calls plus one run-log scan,
+// not O(edges).
+func FilterByClosure(s store.Store, matches []Match, entityID string, dir store.Direction) ([]Match, error) {
+	closure, err := s.Closure(entityID, dir)
+	if err != nil {
+		return nil, err
+	}
+	inClosure := make(map[string]bool, len(closure)+1)
+	inClosure[entityID] = true
+	for _, id := range closure {
+		inClosure[id] = true
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		return nil, err
+	}
+	touched := map[string]bool{} // workflow ID -> some run intersects the closure
+	for _, runID := range runs {
+		l, err := s.RunLog(runID)
+		if err != nil {
+			return nil, err
+		}
+		hit := false
+		for _, e := range l.Executions {
+			if inClosure[e.ID] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			for _, a := range l.Artifacts {
+				if inClosure[a.ID] {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			touched[l.Run.WorkflowID] = true
+		}
+	}
+	var out []Match
+	for _, m := range matches {
+		if touched[m.WorkflowID] {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WorkflowID < out[j].WorkflowID })
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package qbe
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// storeWithRuns executes medimg and genomics once each into a mem store
+// and returns the store plus medimg's final image artifact ID.
+func storeWithRuns(t *testing.T) (store.Store, string) {
+	t.Helper()
+	s := store.NewMemStore()
+	var imageArt string
+	for _, wf := range candidates()[:1] {
+		col := provenance.NewCollector()
+		reg := engine.NewRegistry()
+		workloads.RegisterAll(reg)
+		e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 1})
+		res, err := e.Run(context.Background(), wf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, _ := col.Log(res.RunID)
+		if err := s.PutRunLog(log); err != nil {
+			t.Fatal(err)
+		}
+		imageArt = res.Artifacts["render.image"]
+	}
+	return s, imageArt
+}
+
+func TestFilterByClosure(t *testing.T) {
+	s, imageArt := storeWithRuns(t)
+	f, err := Fragment("q", []string{"Contour", "Render"}, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural matches: medimg and dl-render both embed Contour->Render.
+	ms := FindEmbeddings(f, candidates(), Options{})
+	if len(ms) != 2 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	// Only medimg has a stored run contributing to the image's lineage, so
+	// the provenance filter drops dl-render.
+	got, err := FilterByClosure(s, ms, imageArt, store.Up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].WorkflowID != "medimg" {
+		t.Fatalf("filtered = %+v", got)
+	}
+	// Downstream of the final image is empty, but the entity itself still
+	// anchors its own run's workflow.
+	got, err = FilterByClosure(s, ms, imageArt, store.Down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].WorkflowID != "medimg" {
+		t.Fatalf("filtered down = %+v", got)
+	}
+	// Unknown entities propagate ErrNotFound.
+	if _, err := FilterByClosure(s, ms, "ghost", store.Up); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("ghost err = %v", err)
+	}
+}

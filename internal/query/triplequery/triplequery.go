@@ -188,12 +188,24 @@ func Execute(ts *store.TripleStore, q *Query) (*Result, error) {
 	sort.SliceStable(patterns, func(i, j int) bool { return score(patterns[i]) < score(patterns[j]) })
 
 	for _, tp := range patterns {
+		// Resolve the pattern against the whole binding frontier, dedup the
+		// resulting index probes, and answer them with one batched store
+		// call instead of one Match (and one lock round-trip) per row.
+		probeIdx := map[store.Triple]int{}
+		var probes []store.Triple
+		resolved := make([]store.Triple, len(rows))
+		for ri, b := range rows {
+			k := store.Triple{S: resolve(tp.S, b), P: resolve(tp.P, b), O: resolve(tp.O, b)}
+			resolved[ri] = k
+			if _, ok := probeIdx[k]; !ok {
+				probeIdx[k] = len(probes)
+				probes = append(probes, k)
+			}
+		}
+		matches := ts.MatchBatch(probes)
 		var next []bindingRow
-		for _, b := range rows {
-			s := resolve(tp.S, b)
-			p := resolve(tp.P, b)
-			o := resolve(tp.O, b)
-			for _, t := range ts.Match(s, p, o) {
+		for ri, b := range rows {
+			for _, t := range matches[probeIdx[resolved[ri]]] {
 				nb := extend(b, tp, t.S, t.P, t.O)
 				if nb != nil {
 					next = append(next, nb)

@@ -63,6 +63,30 @@ func Project(r *Relation, cols ...string) (*Relation, error) {
 	return out, nil
 }
 
+// Semijoin returns the tuples of r whose col value is a member of keys
+// (r ⋉ keys): one scan answers membership for an entire key set, where
+// repeated Select/Eq calls would scan once per key. Witnesses pass
+// through unchanged, as in Select. This is the algebra-level form of the
+// plan the provenance store runs for frontier expansion; the store's hot
+// path (store.RelStore.Expand) evaluates the same semijoin inline over
+// its base rows to avoid materializing tuples and witness sets per hop.
+func Semijoin(r *Relation, col string, keys map[Val]bool) (*Relation, error) {
+	i, err := r.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	out := derived("("+r.Name+"⋉)", r.Schema)
+	for _, t := range r.Tuples {
+		if keys[t.Values[i]] {
+			out.Tuples = append(out.Tuples, Tuple{
+				Values: append([]Val(nil), t.Values...),
+				Prov:   cloneWitnesses(t.Prov),
+			})
+		}
+	}
+	return out, nil
+}
+
 // Rename returns a copy of the relation with a column renamed.
 func Rename(r *Relation, from, to string) (*Relation, error) {
 	if _, err := r.Col(from); err != nil {

@@ -82,6 +82,33 @@ func TestSelectKeepsWitnesses(t *testing.T) {
 	}
 }
 
+func TestSemijoinFiltersByKeySet(t *testing.T) {
+	r := genes(t)
+	s, err := Semijoin(r, "organism", map[Val]bool{"mouse": true, "yeti": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("semijoined %d", s.Len())
+	}
+	for _, tup := range s.Tuples {
+		if tup.Values[1] != "mouse" {
+			t.Fatalf("tuple %v escaped the key set", tup.Values)
+		}
+		if ids := AllBaseTuples(tup.Prov); len(ids) != 1 || !strings.HasPrefix(string(ids[0]), "genes:") {
+			t.Fatalf("prov = %v", tup.Prov)
+		}
+	}
+	if _, err := Semijoin(r, "nope", nil); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	// Empty key set: empty result, same schema.
+	empty, err := Semijoin(r, "organism", nil)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty semijoin = %v, %v", empty, err)
+	}
+}
+
 func TestProjectMergesDuplicateWitnesses(t *testing.T) {
 	r := genes(t)
 	p, err := Project(r, "gene")

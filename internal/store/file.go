@@ -15,24 +15,45 @@ import (
 // FileStore persists run logs to an append-only JSON-lines file, the
 // file-dialect storage approach (§2.2: "XML dialects that are stored as
 // files"). An in-memory index maps run IDs to byte offsets and entity IDs
-// to their runs; single-entity and navigation queries load the owning log
-// from disk, which makes this the slowest — and most durable — backend.
-// Reopening a store directory rebuilds the index by scanning the log,
-// truncating any torn trailing record (crash recovery).
+// to their runs, and a resident adjacency index — rebuilt at open/ingest
+// time from the same records — serves graph navigation (GeneratorOf,
+// ConsumersOf, Used, Generated, Expand, Closure) without re-reading the
+// log, so closure queries perform zero disk reads after open. Full-entity
+// and run-log retrieval still load the owning log from disk, which keeps
+// this the most durable — and for record retrieval the slowest — backend.
+// Reopening a store directory rebuilds both indexes by scanning the log,
+// truncating any torn trailing record (crash recovery); a truncated record
+// is never indexed, so the adjacency index stays consistent with the
+// surviving bytes.
 type FileStore struct {
 	mu      sync.Mutex
 	dir     string
 	f       *os.File
-	offsets map[string]int64  // runID -> byte offset
-	order   []string          // runIDs in append order
-	owner   map[string]string // artifact/execution ID -> runID
+	offsets map[string]int64 // runID -> byte offset
+	order   []string         // runIDs in append order
 	size    int64
+
+	// Resident adjacency and entity-kind index: navigation never touches
+	// disk. Owners are tracked per kind so an ID stored as an artifact by
+	// one run and as an execution by another keeps both entities
+	// addressable, with artifact classification winning for traversal
+	// (matching the other backends).
+	artOwner  map[string]string   // artifact ID -> runID
+	execOwner map[string]string   // execution ID -> runID
+	genBy     map[string]string   // artifact -> execution
+	consumers map[string][]string // artifact -> executions
+	used      map[string][]string // execution -> artifacts
+	generated map[string][]string // execution -> artifacts
+
+	// Resident counters so Stats does not re-read the log.
+	nEvents int
+	nAnns   int
 }
 
 const logFileName = "provlog.jsonl"
 
 // OpenFileStore opens (or creates) a file store rooted at dir, scanning any
-// existing log to rebuild the index.
+// existing log to rebuild the offset and adjacency indexes.
 func OpenFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
@@ -43,10 +64,15 @@ func OpenFileStore(dir string) (*FileStore, error) {
 		return nil, fmt.Errorf("store: open log: %w", err)
 	}
 	s := &FileStore{
-		dir:     dir,
-		f:       f,
-		offsets: map[string]int64{},
-		owner:   map[string]string{},
+		dir:       dir,
+		f:         f,
+		offsets:   map[string]int64{},
+		artOwner:  map[string]string{},
+		execOwner: map[string]string{},
+		genBy:     map[string]string{},
+		consumers: map[string][]string{},
+		used:      map[string][]string{},
+		generated: map[string][]string{},
 	}
 	if err := s.recover(); err != nil {
 		f.Close()
@@ -56,7 +82,8 @@ func OpenFileStore(dir string) (*FileStore, error) {
 }
 
 // recover scans the log, indexing complete records and truncating a torn
-// trailing record if present.
+// trailing record if present. Only records surviving truncation reach
+// index(), so the adjacency index never holds edges from torn bytes.
 func (s *FileStore) recover() error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return err
@@ -94,15 +121,30 @@ func (s *FileStore) recover() error {
 	return err
 }
 
+// index records a run log's offset and folds its entities and events into
+// the resident adjacency index. Called from PutRunLog and recover only,
+// with complete (non-torn) records.
 func (s *FileStore) index(l *provenance.RunLog, offset int64) {
 	s.offsets[l.Run.ID] = offset
 	s.order = append(s.order, l.Run.ID)
 	for _, a := range l.Artifacts {
-		s.owner[a.ID] = l.Run.ID
+		s.artOwner[a.ID] = l.Run.ID
 	}
 	for _, e := range l.Executions {
-		s.owner[e.ID] = l.Run.ID
+		s.execOwner[e.ID] = l.Run.ID
 	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactGen:
+			s.genBy[ev.ArtifactID] = ev.ExecutionID
+			s.generated[ev.ExecutionID] = append(s.generated[ev.ExecutionID], ev.ArtifactID)
+		case provenance.EventArtifactUsed:
+			s.consumers[ev.ArtifactID] = append(s.consumers[ev.ArtifactID], ev.ExecutionID)
+			s.used[ev.ExecutionID] = append(s.used[ev.ExecutionID], ev.ArtifactID)
+		}
+	}
+	s.nEvents += len(l.Events)
+	s.nAnns += len(l.Annotations)
 }
 
 var _ Store = (*FileStore)(nil)
@@ -165,19 +207,16 @@ func (s *FileStore) Runs() ([]string, error) {
 	return append([]string(nil), s.order...), nil
 }
 
-func (s *FileStore) loadOwner(entityID string) (*provenance.RunLog, error) {
-	runID, ok := s.owner[entityID]
-	if !ok {
-		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, entityID)
-	}
-	return s.load(runID)
-}
-
-// Artifact implements Store.
+// Artifact implements Store. Full entity records live only in the log, so
+// this loads the owning run from disk.
 func (s *FileStore) Artifact(id string) (*provenance.Artifact, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l, err := s.loadOwner(id)
+	runID, ok := s.artOwner[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: artifact %q", ErrNotFound, id)
+	}
+	l, err := s.load(runID)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +231,11 @@ func (s *FileStore) Artifact(id string) (*provenance.Artifact, error) {
 func (s *FileStore) Execution(id string) (*provenance.Execution, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l, err := s.loadOwner(id)
+	runID, ok := s.execOwner[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: execution %q", ErrNotFound, id)
+	}
+	l, err := s.load(runID)
 	if err != nil {
 		return nil, err
 	}
@@ -203,85 +246,117 @@ func (s *FileStore) Execution(id string) (*provenance.Execution, error) {
 	return e, nil
 }
 
-// GeneratorOf implements Store.
+// known reports whether an ID names any stored entity; the caller holds
+// the store lock.
+func (s *FileStore) known(id string) bool {
+	_, isArt := s.artOwner[id]
+	_, isExec := s.execOwner[id]
+	return isArt || isExec
+}
+
+// GeneratorOf implements Store, answered from the resident adjacency
+// index without touching disk.
 func (s *FileStore) GeneratorOf(artifactID string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l, err := s.loadOwner(artifactID)
-	if err != nil {
-		return "", err
+	if !s.known(artifactID) {
+		return "", fmt.Errorf("%w: entity %q", ErrNotFound, artifactID)
 	}
-	gen := l.GeneratorOf(artifactID)
-	if gen == nil {
+	g, ok := s.genBy[artifactID]
+	if !ok {
 		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
 	}
-	return gen.ID, nil
+	return g, nil
 }
 
-// ConsumersOf implements Store.
+// ConsumersOf implements Store, answered from the resident index.
 func (s *FileStore) ConsumersOf(artifactID string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l, err := s.loadOwner(artifactID)
-	if err != nil {
-		return nil, err
+	if !s.known(artifactID) {
+		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, artifactID)
 	}
-	execs := l.ConsumersOf(artifactID)
-	out := make([]string, len(execs))
-	for i, e := range execs {
-		out[i] = e.ID
-	}
-	return out, nil
+	return sortedUnique(s.consumers[artifactID]), nil
 }
 
-// Used implements Store.
+// Used implements Store, answered from the resident index.
 func (s *FileStore) Used(execID string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l, err := s.loadOwner(execID)
-	if err != nil {
-		return nil, err
+	if !s.known(execID) {
+		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, execID)
 	}
-	arts := l.ArtifactsUsedBy(execID)
-	out := make([]string, len(arts))
-	for i, a := range arts {
-		out[i] = a.ID
-	}
-	return out, nil
+	return sortedUnique(s.used[execID]), nil
 }
 
-// Generated implements Store.
+// Generated implements Store, answered from the resident index.
 func (s *FileStore) Generated(execID string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l, err := s.loadOwner(execID)
-	if err != nil {
-		return nil, err
+	if !s.known(execID) {
+		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, execID)
 	}
-	arts := l.ArtifactsGeneratedBy(execID)
-	out := make([]string, len(arts))
-	for i, a := range arts {
-		out[i] = a.ID
+	return sortedUnique(s.generated[execID]), nil
+}
+
+// neighborsLocked resolves one entity's frontier neighbors from the
+// resident adjacency index; the caller holds the store lock. Artifact
+// classification wins for an ID stored as both kinds, matching the other
+// backends.
+func (s *FileStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
+	if _, isArt := s.artOwner[id]; isArt {
+		if dir == Up {
+			if g, ok := s.genBy[id]; ok {
+				return []string{g}, true
+			}
+			return nil, true
+		}
+		return sortedUnique(s.consumers[id]), true
+	}
+	if _, isExec := s.execOwner[id]; isExec {
+		if dir == Up {
+			return sortedUnique(s.used[id]), true
+		}
+		return sortedUnique(s.generated[id]), true
+	}
+	return nil, false
+}
+
+// Expand implements Store: the whole frontier is served from the resident
+// index under one lock acquisition, zero disk reads.
+func (s *FileStore) Expand(ids []string, dir Direction) (map[string][]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]string, len(ids))
+	for _, id := range ids {
+		if ns, ok := s.neighborsLocked(id, dir); ok {
+			out[id] = ns
+		}
 	}
 	return out, nil
 }
 
-// Stats implements Store.
+// Closure implements Store: the full BFS runs on the resident adjacency
+// index — zero disk reads after open, where the per-edge path re-read and
+// re-decoded the owning run log once per visited node.
+func (s *FileStore) Closure(seed string, dir Direction) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return bfsClosure(seed, dir, s.neighborsLocked)
+}
+
+// Stats implements Store, answered from resident counters.
 func (s *FileStore) Stats() (Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Runs: len(s.order), Bytes: s.size}
-	for _, runID := range s.order {
-		l, err := s.load(runID)
-		if err != nil {
-			return st, err
-		}
-		st.Executions += len(l.Executions)
-		st.Artifacts += len(l.Artifacts)
-		st.Events += len(l.Events)
-		st.Annotations += len(l.Annotations)
-	}
-	return st, nil
+	return Stats{
+		Runs:        len(s.order),
+		Executions:  len(s.execOwner),
+		Artifacts:   len(s.artOwner),
+		Events:      s.nEvents,
+		Annotations: s.nAnns,
+		Bytes:       s.size,
+	}, nil
 }
 
 // Close implements Store.

@@ -148,6 +148,48 @@ func (s *MemStore) Generated(execID string) ([]string, error) {
 	return sortedUnique(s.generated[execID]), nil
 }
 
+// neighborsLocked resolves one entity's frontier neighbors from the
+// adjacency maps; the caller holds at least a read lock.
+func (s *MemStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
+	if _, isArt := s.artifacts[id]; isArt {
+		if dir == Up {
+			if g, ok := s.genBy[id]; ok {
+				return []string{g}, true
+			}
+			return nil, true
+		}
+		return sortedUnique(s.consumers[id]), true
+	}
+	if _, isExec := s.execs[id]; isExec {
+		if dir == Up {
+			return sortedUnique(s.used[id]), true
+		}
+		return sortedUnique(s.generated[id]), true
+	}
+	return nil, false
+}
+
+// Expand implements Store: the whole frontier is served under one RLock.
+func (s *MemStore) Expand(ids []string, dir Direction) (map[string][]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]string, len(ids))
+	for _, id := range ids {
+		if ns, ok := s.neighborsLocked(id, dir); ok {
+			out[id] = ns
+		}
+	}
+	return out, nil
+}
+
+// Closure implements Store: the full BFS runs under a single RLock with
+// direct map lookups, no per-edge locking.
+func (s *MemStore) Closure(seed string, dir Direction) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return bfsClosure(seed, dir, s.neighborsLocked)
+}
+
 // Stats implements Store.
 func (s *MemStore) Stats() (Stats, error) {
 	s.mu.RLock()

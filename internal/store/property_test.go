@@ -5,7 +5,10 @@ package store
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -88,6 +91,95 @@ func TestQuickBackendsAgree(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// encodeAdj renders an Expand result deterministically for comparison.
+func encodeAdj(adj map[string][]string) string {
+	keys := make([]string, 0, len(adj))
+	for k := range adj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v;", k, adj[k])
+	}
+	return b.String()
+}
+
+// Property: on randomized DAGs, every backend's native Expand matches the
+// per-entity navigation fallback and every backend's pushed-down Closure
+// matches the per-edge reference BFS, in both directions — the conformance
+// contract of the batch traversal API.
+func TestQuickExpandClosureConformance(t *testing.T) {
+	f := func(seed int64) bool {
+		log := randomLog(t, seed)
+		fs, err := OpenFileStore(t.TempDir())
+		if err != nil {
+			return false
+		}
+		defer fs.Close()
+		backends := []Store{NewMemStore(), NewRelStore(), NewTripleStore(), fs}
+		for _, s := range backends {
+			if err := s.PutRunLog(log); err != nil {
+				return false
+			}
+		}
+		var entities []string
+		for _, a := range log.Artifacts {
+			entities = append(entities, a.ID)
+		}
+		for _, e := range log.Executions {
+			entities = append(entities, e.ID)
+		}
+		for _, s := range backends {
+			for _, dir := range []Direction{Up, Down} {
+				// Whole-graph frontier: one batch call vs per-entity calls.
+				want, err := ExpandViaNav(s, entities, dir)
+				if err != nil {
+					t.Logf("%s: ExpandViaNav: %v", s.Name(), err)
+					return false
+				}
+				got, err := s.Expand(entities, dir)
+				if err != nil {
+					t.Logf("%s: Expand: %v", s.Name(), err)
+					return false
+				}
+				if encodeAdj(got) != encodeAdj(want) {
+					t.Logf("%s %v: Expand mismatch:\n got %s\nwant %s", s.Name(), dir, encodeAdj(got), encodeAdj(want))
+					return false
+				}
+				// Unknown IDs are absent, not errors.
+				if adj, err := s.Expand([]string{"ghost-entity"}, dir); err != nil || len(adj) != 0 {
+					t.Logf("%s %v: ghost Expand = %v, %v", s.Name(), dir, adj, err)
+					return false
+				}
+				// Pushed-down closure vs per-edge reference BFS vs the
+				// Expand-based fallback, including identical visit order.
+				for _, id := range entities {
+					want, werr := NaiveClosure(s, id, dir)
+					got, gerr := s.Closure(id, dir)
+					if (werr == nil) != (gerr == nil) || fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Logf("%s %v: Closure(%s) = %v, %v; want %v, %v", s.Name(), dir, id, got, gerr, want, werr)
+						return false
+					}
+					fb, ferr := CloseOverExpand(s.Expand, id, dir)
+					if (werr == nil) != (ferr == nil) || fmt.Sprint(fb) != fmt.Sprint(want) {
+						t.Logf("%s %v: CloseOverExpand(%s) = %v, %v; want %v, %v", s.Name(), dir, id, fb, ferr, want, werr)
+						return false
+					}
+				}
+				if _, err := s.Closure("ghost-entity", dir); !errors.Is(err, ErrNotFound) {
+					t.Logf("%s %v: ghost Closure err = %v", s.Name(), dir, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -216,6 +216,131 @@ func (s *RelStore) Generated(execID string) ([]string, error) {
 	return s.column("gens", "exec", execID, "artifact")
 }
 
+// Expand implements Store. One hop costs a fixed number of semijoin scans
+// — artifacts and executions to classify the frontier, then uses/gens for
+// the adjacency — regardless of frontier width, where per-edge navigation
+// re-scanned a table per frontier node. The semijoins (table ⋉ frontier)
+// are evaluated directly over the base rows: materializing them through
+// relalg.Semijoin would clone tuples and witness sets per hop, which costs
+// more than the scan itself on narrow frontiers.
+func (s *RelStore) Expand(ids []string, dir Direction) (map[string][]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	frontier := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		frontier[id] = true
+	}
+	out := make(map[string][]string, len(ids))
+	isArt := map[string]bool{}
+	isExec := map[string]bool{}
+	for _, row := range s.artRows {
+		if id := row[0].(string); frontier[id] {
+			isArt[id] = true
+			out[id] = nil
+		}
+	}
+	for _, row := range s.execRows {
+		// Artifact classification wins for an ID stored as both (matching
+		// the artifact-first order of navNeighbors and the other backends).
+		if id := row[0].(string); frontier[id] && !isArt[id] {
+			isExec[id] = true
+			out[id] = nil
+		}
+	}
+	// uses(exec, artifact, port) and gens(exec, artifact, port): one
+	// semijoin scan each, grouped back onto the frontier.
+	switch dir {
+	case Up:
+		for _, row := range s.genRows {
+			// Artifact -> generating execution: first scan hit wins, like
+			// GeneratorOf.
+			if art := row[1].(string); isArt[art] && out[art] == nil {
+				out[art] = []string{row[0].(string)}
+			}
+		}
+		for _, row := range s.useRows {
+			if exec := row[0].(string); isExec[exec] {
+				out[exec] = append(out[exec], row[1].(string))
+			}
+		}
+	default:
+		for _, row := range s.useRows {
+			if art := row[1].(string); isArt[art] {
+				out[art] = append(out[art], row[0].(string))
+			}
+		}
+		for _, row := range s.genRows {
+			if exec := row[0].(string); isExec[exec] {
+				out[exec] = append(out[exec], row[1].(string))
+			}
+		}
+	}
+	for id, ns := range out {
+		if dir == Up && isArt[id] {
+			continue // single generator, already in scan order
+		}
+		out[id] = sortedUnique(ns)
+	}
+	return out, nil
+}
+
+// Closure implements Store with the pushed-down plan an index-free
+// relational backend wants for a whole closure: one scan per table builds
+// the hash adjacency (the build side the per-hop semijoins would otherwise
+// re-scan every hop), then the BFS runs over the hash maps. Total cost is
+// O(rows + closure), where per-hop scans pay O(rows) per hop and the
+// per-edge path paid O(rows) per visited node.
+func (s *RelStore) Closure(seed string, dir Direction) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	isArt := make(map[string]bool, len(s.artRows))
+	for _, row := range s.artRows {
+		isArt[row[0].(string)] = true
+	}
+	isExec := make(map[string]bool, len(s.execRows))
+	for _, row := range s.execRows {
+		isExec[row[0].(string)] = true
+	}
+	genBy := map[string]string{} // artifact -> first generating execution
+	adj := map[string][]string{} // execution->artifacts (Up) or either (Down)
+	switch dir {
+	case Up:
+		for _, row := range s.genRows {
+			if art := row[1].(string); genBy[art] == "" {
+				genBy[art] = row[0].(string)
+			}
+		}
+		for _, row := range s.useRows {
+			exec := row[0].(string)
+			adj[exec] = append(adj[exec], row[1].(string))
+		}
+	default:
+		for _, row := range s.useRows {
+			art := row[1].(string)
+			adj[art] = append(adj[art], row[0].(string))
+		}
+		for _, row := range s.genRows {
+			exec := row[0].(string)
+			adj[exec] = append(adj[exec], row[1].(string))
+		}
+	}
+	return bfsClosure(seed, dir, func(id string, d Direction) ([]string, bool) {
+		switch {
+		case isArt[id]:
+			if d == Up {
+				if g := genBy[id]; g != "" {
+					return []string{g}, true
+				}
+				return nil, true
+			}
+			return sortedUnique(adj[id]), true
+		case isExec[id]:
+			return sortedUnique(adj[id]), true
+		}
+		return nil, false
+	})
+}
+
 func (s *RelStore) column(table, whereCol, whereVal, outCol string) ([]string, error) {
 	rel := s.table(table)
 	pred, err := relalg.Eq(rel, whereCol, whereVal)

@@ -8,11 +8,25 @@
 //     store provenance in an RDBMS), built on internal/relalg;
 //   - TripleStore: provenance as (subject, predicate, object) triples with
 //     SPO/POS/OSP indexes, the Semantic-Web/RDF approach of [46, 26, 22];
-//   - FileStore: provenance as append-only log files with an offset index,
-//     the XML/file-dialect approach, with crash recovery on reopen.
+//   - FileStore: provenance as append-only log files with an offset index
+//     and a resident adjacency index, the XML/file-dialect approach, with
+//     crash recovery on reopen.
 //
 // Query engines (package query) are written against the interface, so every
 // language runs on every backend.
+//
+// # Batch traversal
+//
+// Graph navigation is frontier-batched: Expand answers one whole BFS
+// frontier per backend call, and Closure evaluates a full lineage or
+// dependents closure pushed down into the backend, so a closure costs
+// O(hops) backend round-trips instead of O(edges). Each backend implements
+// the pair natively (MemStore and TripleStore serve whole closures under a
+// single read lock; RelStore expands a hop with one semijoin scan per
+// table; FileStore navigates a resident adjacency index and never touches
+// disk). Lineage and Dependents are thin wrappers over Closure;
+// NaiveClosure preserves the per-edge reference BFS that conformance tests
+// and benchmarks compare against.
 package store
 
 import (
@@ -24,6 +38,37 @@ import (
 
 // ErrNotFound is returned when an entity is not in the store.
 var ErrNotFound = errors.New("store: not found")
+
+// Direction orients graph traversal: Up walks toward the inputs an entity
+// was derived from (lineage), Down toward everything derived from it
+// (dependents).
+type Direction int
+
+// Traversal directions.
+const (
+	Up Direction = iota
+	Down
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// ParseDirection maps "up"/"down" (the wire form used by the HTTP API and
+// CLIs) to a Direction.
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "up":
+		return Up, nil
+	case "down":
+		return Down, nil
+	}
+	return 0, fmt.Errorf("store: unknown direction %q (want up or down)", s)
+}
 
 // Stats summarizes a store's contents and footprint.
 type Stats struct {
@@ -57,6 +102,20 @@ type Store interface {
 	Used(execID string) ([]string, error)
 	// Generated returns the artifact IDs an execution produced, sorted.
 	Generated(execID string) ([]string, error)
+	// Expand answers one BFS frontier in a single backend call: for every
+	// known entity in ids the result holds that entity's neighbors in the
+	// given direction (the generating execution or used artifacts going Up;
+	// consuming executions or generated artifacts going Down). Neighbor
+	// lists are sorted and deduplicated. Known entities always have an
+	// entry (possibly empty); unknown IDs are absent from the map rather
+	// than an error, so callers can distinguish "no neighbors" from "no
+	// such entity".
+	Expand(ids []string, dir Direction) (map[string][]string, error)
+	// Closure computes the full transitive closure of seed in the given
+	// direction, pushed down into the backend: BFS order, seed excluded,
+	// ErrNotFound when the seed is unknown. Equivalent to NaiveClosure but
+	// O(hops) instead of O(edges) backend operations.
+	Closure(seed string, dir Direction) ([]string, error)
 	// Stats reports entity counts and approximate footprint.
 	Stats() (Stats, error)
 	// Name identifies the backend ("mem", "rel", "triple", "file").
@@ -66,49 +125,61 @@ type Store interface {
 }
 
 // Lineage computes the full upstream closure (artifacts and executions) of
-// an entity by navigating any Store. It is the backend-independent BFS the
-// query-language engines are compared against in experiment E6.
+// an entity: the backend-independent query of experiments E4/E6, served by
+// the backend's pushed-down Closure.
 func Lineage(s Store, entityID string) ([]string, error) {
-	seen := map[string]bool{}
-	var order []string
-	frontier := []string{entityID}
-	for len(frontier) > 0 {
-		var next []string
-		for _, id := range frontier {
-			parents, err := parentsOf(s, id)
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range parents {
-				if !seen[p] {
-					seen[p] = true
-					order = append(order, p)
-					next = append(next, p)
-				}
-			}
-		}
-		frontier = next
-	}
-	return order, nil
+	return s.Closure(entityID, Up)
 }
 
 // Dependents computes the full downstream closure of an entity.
 func Dependents(s Store, entityID string) ([]string, error) {
+	return s.Closure(entityID, Down)
+}
+
+// ExpandViaNav implements Expand with per-entity navigation calls: the
+// shared fallback for minimal Store implementations that have no native
+// batch path. Backends in this package all override it natively.
+func ExpandViaNav(s Store, ids []string, dir Direction) (map[string][]string, error) {
+	out := make(map[string][]string, len(ids))
+	for _, id := range ids {
+		ns, ok, err := navNeighbors(s, id, dir)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[id] = ns
+		}
+	}
+	return out, nil
+}
+
+// CloseOverExpand is the shared Closure fallback for minimal Store
+// implementations whose only batch primitive is Expand: one Expand call
+// per hop, visiting neighbors in per-node sorted order, seed excluded,
+// ErrNotFound for unknown seeds. The built-in backends implement Closure
+// natively (single-lock BFS, or RelStore's one-scan hash plan), but the
+// conformance property test asserts this fallback agrees with them.
+func CloseOverExpand(expand func([]string, Direction) (map[string][]string, error), seed string, dir Direction) ([]string, error) {
 	seen := map[string]bool{}
 	var order []string
-	frontier := []string{entityID}
-	for len(frontier) > 0 {
+	frontier := []string{seed}
+	for hop := 0; len(frontier) > 0; hop++ {
+		adj, err := expand(frontier, dir)
+		if err != nil {
+			return nil, err
+		}
+		if hop == 0 {
+			if _, known := adj[seed]; !known {
+				return nil, fmt.Errorf("%w: entity %q", ErrNotFound, seed)
+			}
+		}
 		var next []string
 		for _, id := range frontier {
-			children, err := childrenOf(s, id)
-			if err != nil {
-				return nil, err
-			}
-			for _, c := range children {
-				if !seen[c] {
-					seen[c] = true
-					order = append(order, c)
-					next = append(next, c)
+			for _, n := range adj[id] {
+				if !seen[n] {
+					seen[n] = true
+					order = append(order, n)
+					next = append(next, n)
 				}
 			}
 		}
@@ -117,31 +188,89 @@ func Dependents(s Store, entityID string) ([]string, error) {
 	return order, nil
 }
 
-func parentsOf(s Store, id string) ([]string, error) {
-	// Artifact: parent is its generator. Execution: parents are used
-	// artifacts. Try artifact first, then execution.
-	if _, err := s.Artifact(id); err == nil {
-		gen, err := s.GeneratorOf(id)
-		if errors.Is(err, ErrNotFound) {
-			return nil, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		return []string{gen}, nil
+// bfsClosure runs the same BFS over a per-node neighbor function; backends
+// that can hold one lock across the whole traversal (mem, triple, file)
+// use it with their locked lookup. neighbors reports ok=false for unknown
+// entities.
+func bfsClosure(seed string, dir Direction, neighbors func(id string, dir Direction) ([]string, bool)) ([]string, error) {
+	if _, known := neighbors(seed, dir); !known {
+		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, seed)
 	}
-	if _, err := s.Execution(id); err == nil {
-		return s.Used(id)
+	seen := map[string]bool{}
+	var order []string
+	frontier := []string{seed}
+	for len(frontier) > 0 {
+		var next []string
+		for _, id := range frontier {
+			ns, _ := neighbors(id, dir)
+			for _, n := range ns {
+				if !seen[n] {
+					seen[n] = true
+					order = append(order, n)
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
 	}
-	return nil, fmt.Errorf("%w: entity %q", ErrNotFound, id)
+	return order, nil
 }
 
-func childrenOf(s Store, id string) ([]string, error) {
+// NaiveClosure is the per-edge reference BFS the batch API replaced: one
+// navigation call per visited node. Conformance tests assert every
+// backend's Closure matches it, and BenchmarkE4b quantifies the gap.
+func NaiveClosure(s Store, entityID string, dir Direction) ([]string, error) {
+	seen := map[string]bool{}
+	var order []string
+	frontier := []string{entityID}
+	for len(frontier) > 0 {
+		var next []string
+		for _, id := range frontier {
+			ns, ok, err := navNeighbors(s, id, dir)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: entity %q", ErrNotFound, id)
+			}
+			for _, n := range ns {
+				if !seen[n] {
+					seen[n] = true
+					order = append(order, n)
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order, nil
+}
+
+// navNeighbors resolves one entity's neighbors through the single-entity
+// navigation methods. ok=false means the entity is neither a stored
+// artifact nor a stored execution.
+func navNeighbors(s Store, id string, dir Direction) ([]string, bool, error) {
 	if _, err := s.Artifact(id); err == nil {
-		return s.ConsumersOf(id)
+		if dir == Up {
+			gen, err := s.GeneratorOf(id)
+			if errors.Is(err, ErrNotFound) {
+				return nil, true, nil
+			}
+			if err != nil {
+				return nil, false, err
+			}
+			return []string{gen}, true, nil
+		}
+		ns, err := s.ConsumersOf(id)
+		return ns, true, err
 	}
 	if _, err := s.Execution(id); err == nil {
-		return s.Generated(id)
+		if dir == Up {
+			ns, err := s.Used(id)
+			return ns, true, err
+		}
+		ns, err := s.Generated(id)
+		return ns, true, err
 	}
-	return nil, fmt.Errorf("%w: entity %q", ErrNotFound, id)
+	return nil, false, nil
 }

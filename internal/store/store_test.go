@@ -286,6 +286,139 @@ func TestFileStoreCorruptMiddleRecord(t *testing.T) {
 	}
 }
 
+func TestFileStoreReopenRebuildsAdjacencyIndex(t *testing.T) {
+	dir := t.TempDir()
+	log, imageArt, _ := captureRun(t)
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRunLog(log); err != nil {
+		t.Fatal(err)
+	}
+	wantLin, err := s.Closure(imageArt, Up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Reopen: the resident adjacency index is rebuilt from the log, so
+	// batch traversal answers identically.
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	lin, err := s2.Closure(imageArt, Up)
+	if err != nil {
+		t.Fatalf("closure after reopen: %v", err)
+	}
+	if fmt.Sprint(lin) != fmt.Sprint(wantLin) {
+		t.Fatalf("closure after reopen = %v, want %v", lin, wantLin)
+	}
+	adj, err := s2.Expand([]string{imageArt}, Up)
+	if err != nil || len(adj[imageArt]) != 1 {
+		t.Fatalf("expand after reopen = %v, %v", adj, err)
+	}
+}
+
+func TestFileStoreTornRecordDroppedFromAdjacencyIndex(t *testing.T) {
+	dir := t.TempDir()
+	log, imageArt, _ := captureRun(t)
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRunLog(log); err != nil {
+		t.Fatal(err)
+	}
+	wantLin, err := s.Closure(imageArt, Up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-append of a second run that mentions new
+	// entities: crash recovery must truncate the torn bytes and keep them
+	// out of the rebuilt adjacency index.
+	path := filepath.Join(dir, logFileName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := `{"run":{"id":"torn-run"},"artifacts":[{"id":"torn-art"}],` +
+		`"executions":[{"id":"torn-exec"}],"events":[{"kind":"artifactGenerated","execution":"torn-exec","artifact":"torn-art"`
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	// Surviving run's closure is intact.
+	lin, err := s2.Closure(imageArt, Up)
+	if err != nil || fmt.Sprint(lin) != fmt.Sprint(wantLin) {
+		t.Fatalf("closure after recovery = %v, %v; want %v", lin, err, wantLin)
+	}
+	// Torn entities never reached the index.
+	if _, err := s2.Closure("torn-art", Up); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn artifact in index: err = %v", err)
+	}
+	if adj, err := s2.Expand([]string{"torn-art", "torn-exec"}, Down); err != nil || len(adj) != 0 {
+		t.Fatalf("torn entities expanded: %v, %v", adj, err)
+	}
+	if _, err := s2.GeneratorOf("torn-art"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn generator in index: err = %v", err)
+	}
+}
+
+// TestExpandArtifactClassificationWins pins the conformance corner the
+// randomized property test cannot generate: an ID stored as an artifact by
+// one run and as an execution by another (per-run validation accepts
+// both). Every backend must classify it artifact-first, like navNeighbors.
+func TestExpandArtifactClassificationWins(t *testing.T) {
+	logA := &provenance.RunLog{
+		Run:       provenance.Run{ID: "ra"},
+		Artifacts: []*provenance.Artifact{{ID: "X", RunID: "ra"}, {ID: "a2", RunID: "ra"}},
+		Executions: []*provenance.Execution{
+			{ID: "ea", RunID: "ra"},
+		},
+		Events: []provenance.Event{
+			{Seq: 1, Kind: provenance.EventArtifactUsed, ExecutionID: "ea", ArtifactID: "X"},
+			{Seq: 2, Kind: provenance.EventArtifactGen, ExecutionID: "ea", ArtifactID: "a2"},
+		},
+	}
+	logB := &provenance.RunLog{
+		Run:        provenance.Run{ID: "rb"},
+		Artifacts:  []*provenance.Artifact{{ID: "b1", RunID: "rb"}},
+		Executions: []*provenance.Execution{{ID: "X", RunID: "rb"}},
+		Events: []provenance.Event{
+			{Seq: 1, Kind: provenance.EventArtifactGen, ExecutionID: "X", ArtifactID: "b1"},
+		},
+	}
+	for _, s := range openAll(t) {
+		for _, l := range []*provenance.RunLog{logA, logB} {
+			if err := s.PutRunLog(l); err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+		}
+		for _, dir := range []Direction{Up, Down} {
+			want, err := ExpandViaNav(s, []string{"X"}, dir)
+			if err != nil {
+				t.Fatalf("%s %v: %v", s.Name(), dir, err)
+			}
+			got, err := s.Expand([]string{"X"}, dir)
+			if err != nil {
+				t.Fatalf("%s %v: %v", s.Name(), dir, err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%s %v: Expand = %v, navigation fallback = %v", s.Name(), dir, got, want)
+			}
+		}
+		s.Close()
+	}
+}
+
 func TestTripleStoreMatch(t *testing.T) {
 	log, imageArt, res := captureRun(t)
 	s := NewTripleStore()

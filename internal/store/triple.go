@@ -131,6 +131,24 @@ func (s *TripleStore) PutRunLog(l *provenance.RunLog) error {
 func (s *TripleStore) Match(subj, pred, obj string) []Triple {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.matchLocked(subj, pred, obj)
+}
+
+// MatchBatch resolves many patterns (empty strings are wildcards, as in
+// Match) under a single read lock: the batched index-probe primitive the
+// SPARQL-like engine uses to evaluate one pattern across a whole binding
+// frontier in one store call. Result i holds the matches of patterns[i].
+func (s *TripleStore) MatchBatch(patterns []Triple) [][]Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]Triple, len(patterns))
+	for i, p := range patterns {
+		out[i] = s.matchLocked(p.S, p.P, p.O)
+	}
+	return out
+}
+
+func (s *TripleStore) matchLocked(subj, pred, obj string) []Triple {
 	var out []Triple
 	switch {
 	case subj != "" && pred != "":
@@ -279,6 +297,51 @@ func (s *TripleStore) Generated(execID string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return sortedUnique(s.spo[execID][PredGenerated]), nil
+}
+
+// neighborsLocked resolves one entity's frontier neighbors with SPO/POS
+// index probes; the caller holds at least a read lock. Only Artifact and
+// Execution nodes participate in traversal (Run and Annotation subjects
+// are not causal-graph entities).
+func (s *TripleStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
+	switch {
+	case hasObj(s.spo, id, PredType, "Artifact"):
+		if dir == Up {
+			if gens := s.pos[PredGenerated][id]; len(gens) > 0 {
+				return gens[:1:1], true
+			}
+			return nil, true
+		}
+		return sortedUnique(s.pos[PredUsed][id]), true
+	case hasObj(s.spo, id, PredType, "Execution"):
+		if dir == Up {
+			return sortedUnique(s.spo[id][PredUsed]), true
+		}
+		return sortedUnique(s.spo[id][PredGenerated]), true
+	}
+	return nil, false
+}
+
+// Expand implements Store: the whole frontier's SPO/POS probes run under
+// one read lock.
+func (s *TripleStore) Expand(ids []string, dir Direction) (map[string][]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]string, len(ids))
+	for _, id := range ids {
+		if ns, ok := s.neighborsLocked(id, dir); ok {
+			out[id] = ns
+		}
+	}
+	return out, nil
+}
+
+// Closure implements Store: the full BFS runs under a single read lock,
+// probing the triple indexes directly.
+func (s *TripleStore) Closure(seed string, dir Direction) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return bfsClosure(seed, dir, s.neighborsLocked)
 }
 
 // Stats implements Store.

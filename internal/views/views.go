@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/provenance"
+	"repro/internal/store"
 	"repro/internal/workflow"
 )
 
@@ -140,6 +141,62 @@ func (v *View) Abstract(l *provenance.RunLog) (*AbstractProvenance, error) {
 	if err != nil {
 		return nil, err
 	}
+	_ = cg
+	// One pass over the events builds the whole adjacency, instead of a
+	// per-artifact scan of the event list.
+	gen := map[string]string{}
+	cons := map[string][]string{}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactGen:
+			gen[ev.ArtifactID] = ev.ExecutionID
+		case provenance.EventArtifactUsed:
+			cons[ev.ArtifactID] = append(cons[ev.ArtifactID], ev.ExecutionID)
+		}
+	}
+	return v.abstract(l, gen, cons)
+}
+
+// AbstractStored collapses a stored run to view granularity, reading the
+// causal adjacency through the store's batch traversal API: two Expand
+// calls (generators and consumers of every artifact, whole frontiers at
+// once) replace per-artifact navigation, so the abstraction works at batch
+// cost on any backend — including FileStore, where it touches disk only
+// for the run log itself.
+func (v *View) AbstractStored(s store.Store, runID string) (*AbstractProvenance, error) {
+	l, err := s.RunLog(runID)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(l.Artifacts))
+	for _, a := range l.Artifacts {
+		ids = append(ids, a.ID)
+	}
+	up, err := s.Expand(ids, store.Up)
+	if err != nil {
+		return nil, err
+	}
+	down, err := s.Expand(ids, store.Down)
+	if err != nil {
+		return nil, err
+	}
+	gen := make(map[string]string, len(up))
+	for id, parents := range up {
+		if len(parents) > 0 {
+			gen[id] = parents[0]
+		}
+	}
+	cons := make(map[string][]string, len(down))
+	for id, consumers := range down {
+		cons[id] = consumers
+	}
+	return v.abstract(l, gen, cons)
+}
+
+// abstract builds the quotient provenance graph from precomputed artifact
+// adjacency: gen maps artifact -> generating execution, cons maps
+// artifact -> consuming executions.
+func (v *View) abstract(l *provenance.RunLog, gen map[string]string, cons map[string][]string) (*AbstractProvenance, error) {
 	g := graph.New()
 	execGroup := map[string]string{} // execution ID -> composite node ID
 	for _, e := range l.Executions {
@@ -149,12 +206,22 @@ func (v *View) Abstract(l *provenance.RunLog) (*AbstractProvenance, error) {
 	}
 	hidden := 0
 	for _, a := range l.Artifacts {
-		gen := l.GeneratorOf(a.ID)
-		consumers := l.ConsumersOf(a.ID)
-		internal := gen != nil && len(consumers) > 0
+		// Keep only adjacency within this run: store-wide maps (from
+		// AbstractStored's Expand) may mention executions of other runs.
+		genExec, hasGen := gen[a.ID]
+		if hasGen {
+			_, hasGen = execGroup[genExec]
+		}
+		consumers := cons[a.ID][:0:0]
+		for _, c := range cons[a.ID] {
+			if _, ok := execGroup[c]; ok {
+				consumers = append(consumers, c)
+			}
+		}
+		internal := hasGen && len(consumers) > 0
 		if internal {
 			for _, c := range consumers {
-				if execGroup[c.ID] != execGroup[gen.ID] {
+				if execGroup[c] != execGroup[genExec] {
 					internal = false
 					break
 				}
@@ -167,8 +234,8 @@ func (v *View) Abstract(l *provenance.RunLog) (*AbstractProvenance, error) {
 		if err := g.AddNode(graph.Node{ID: graph.NodeID(a.ID), Label: a.Type, Kind: string(provenance.KindArtifact)}); err != nil {
 			return nil, err
 		}
-		if gen != nil {
-			src := graph.NodeID(execGroup[gen.ID])
+		if hasGen {
+			src := graph.NodeID(execGroup[genExec])
 			if !g.HasEdge(src, graph.NodeID(a.ID)) {
 				if err := g.AddEdge(graph.Edge{Src: src, Dst: graph.NodeID(a.ID), Label: provenance.EdgeGenerated}); err != nil {
 					return nil, err
@@ -176,7 +243,7 @@ func (v *View) Abstract(l *provenance.RunLog) (*AbstractProvenance, error) {
 			}
 		}
 		for _, c := range consumers {
-			dst := graph.NodeID(execGroup[c.ID])
+			dst := graph.NodeID(execGroup[c])
 			if !g.HasEdge(graph.NodeID(a.ID), dst) {
 				if err := g.AddEdge(graph.Edge{Src: graph.NodeID(a.ID), Dst: dst, Label: provenance.EdgeUsed}); err != nil {
 					return nil, err
@@ -187,7 +254,6 @@ func (v *View) Abstract(l *provenance.RunLog) (*AbstractProvenance, error) {
 	if !g.IsDAG() {
 		return nil, fmt.Errorf("views: view %q yields cyclic abstract provenance", v.Name)
 	}
-	_ = cg
 	return &AbstractProvenance{View: v, Graph: g, HiddenArtifacts: hidden}, nil
 }
 

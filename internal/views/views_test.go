@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/provenance"
+	"repro/internal/store"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
 )
@@ -112,6 +113,46 @@ func TestAbstractProvenanceHidesInternalArtifacts(t *testing.T) {
 		t.Fatal("abstract provenance cyclic")
 	}
 	_ = wf
+}
+
+func TestAbstractStoredMatchesAbstract(t *testing.T) {
+	_, log := chainLog(t)
+	v := NewView("v")
+	if err := v.Group("mid", "s01", "s02", "s03", "s04"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := v.Abstract(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := store.OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	backends := []store.Store{store.NewMemStore(), store.NewRelStore(), store.NewTripleStore(), fs}
+	for _, s := range backends {
+		if err := s.PutRunLog(log); err != nil {
+			t.Fatal(err)
+		}
+		ap, err := v.AbstractStored(s, log.Run.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if ap.HiddenArtifacts != want.HiddenArtifacts {
+			t.Fatalf("%s: hidden = %d, want %d", s.Name(), ap.HiddenArtifacts, want.HiddenArtifacts)
+		}
+		if ap.Graph.NumNodes() != want.Graph.NumNodes() || ap.Graph.NumEdges() != want.Graph.NumEdges() {
+			t.Fatalf("%s: graph %d/%d, want %d/%d", s.Name(),
+				ap.Graph.NumNodes(), ap.Graph.NumEdges(), want.Graph.NumNodes(), want.Graph.NumEdges())
+		}
+		if !ap.Graph.IsDAG() {
+			t.Fatalf("%s: abstract provenance cyclic", s.Name())
+		}
+	}
+	if _, err := v.AbstractStored(store.NewMemStore(), "ghost-run"); err == nil {
+		t.Fatal("unknown run accepted")
+	}
 }
 
 func TestReductionFactor(t *testing.T) {
