@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DIR ?= bench-results
 
-.PHONY: build test vet bench bench-json clean
+.PHONY: build test vet fmt-check test-race bench bench-smoke bench-json ci clean
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,34 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file is not gofmt-clean, listing the offenders.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+test-race:
+	$(GO) test -race ./...
+
 # Run the testing.B benchmark suite (one benchmark per experiment, plus the
-# E4b batch-vs-per-edge lineage comparison).
+# E4b batch-vs-per-edge and E13 closure-cache comparisons).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# One-iteration benchmark smoke for CI: proves the lineage benchmark paths
+# still run without paying full measurement time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench E4b -benchtime 1x .
+
 # Run the full experiment suite and write machine-readable BENCH_<ID>.json
-# files so successive PRs can track a perf trajectory.
+# files so successive PRs can track a perf trajectory. CI uploads these as
+# build artifacts.
 bench-json:
 	$(GO) run ./cmd/provbench -json $(BENCH_DIR)
+
+# Everything the CI workflow gates on, runnable locally.
+ci: fmt-check build vet test-race bench-smoke
 
 clean:
 	rm -rf $(BENCH_DIR)

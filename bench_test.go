@@ -1,5 +1,5 @@
 // Package repro's benchmark harness: one testing.B benchmark per experiment
-// of DESIGN.md §3 (E1–E12). cmd/provbench prints the full human-readable
+// of DESIGN.md §3 (E1–E13). cmd/provbench prints the full human-readable
 // tables; these benches regenerate the underlying measurements under `go
 // test -bench`. Sizes are the mid-points of each experiment's sweep so the
 // full suite completes quickly.
@@ -22,6 +22,7 @@ import (
 	"repro/internal/query/pql"
 	"repro/internal/relalg"
 	"repro/internal/store"
+	"repro/internal/store/closurecache"
 	"repro/internal/views"
 	"repro/internal/workloads"
 )
@@ -367,6 +368,76 @@ func BenchmarkE12Collaboratory(b *testing.B) {
 	b.Run("op=recommend", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			repo.Recommend(users[i%len(users)], 3)
+		}
+	})
+}
+
+// BenchmarkE13ClosureCache quantifies incremental closure maintenance on
+// the file backend at depth 128: mode=cold recomputes the pushed-down
+// closure every query, mode=warm hits the memoized closure, and
+// mode=ingestpatch pays one ingest whose new edges patch a warm downstream
+// closure in place (the cost invalidation would otherwise turn into a full
+// recompute on the next query).
+func BenchmarkE13ClosureCache(b *testing.B) {
+	log, target := chainLog(b, 128)
+	head := log.Artifacts[0].ID // the chain's first artifact: upstream of everything
+	fs, err := store.OpenFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	cached := closurecache.Wrap(fs)
+	if err := cached.PutRunLog(log); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mode=cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fs.Closure(target, store.Up); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=warm", func(b *testing.B) {
+		if _, err := cached.Closure(target, store.Up); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cached.Closure(target, store.Up); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	extSeq := 0 // unique IDs across the harness's repeated b.N runs
+	b.Run("mode=ingestpatch", func(b *testing.B) {
+		// Warm the downstream closure the extensions will attach to.
+		if _, err := cached.Closure(head, store.Down); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			extSeq++
+			runID := fmt.Sprintf("bext-%06d", extSeq)
+			exec := fmt.Sprintf("bext-exec-%06d", extSeq)
+			out := fmt.Sprintf("bext-art-%06d", extSeq)
+			ext := &provenance.RunLog{}
+			ext.Run = provenance.Run{ID: runID, WorkflowID: "ext", Status: provenance.StatusOK}
+			ext.Executions = []*provenance.Execution{{ID: exec, RunID: runID, ModuleID: "ext", ModuleType: "Ext", Status: provenance.StatusOK}}
+			ext.Artifacts = []*provenance.Artifact{
+				{ID: target, RunID: runID, Type: "blob"},
+				{ID: out, RunID: runID, Type: "blob"},
+			}
+			ext.Events = []provenance.Event{
+				{Seq: 1, RunID: runID, Kind: provenance.EventArtifactUsed, ExecutionID: exec, ArtifactID: target},
+				{Seq: 2, RunID: runID, Kind: provenance.EventArtifactGen, ExecutionID: exec, ArtifactID: out},
+			}
+			if err := cached.PutRunLog(ext); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if m := cached.Metrics(); m.Patched == 0 {
+			b.Fatalf("ingests never patched a cached closure: %+v", m)
 		}
 	})
 }

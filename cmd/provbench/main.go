@@ -1,4 +1,4 @@
-// Command provbench runs the reproduction experiment suite (E1–E12 of
+// Command provbench runs the reproduction experiment suite (E1–E13 of
 // DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
 // reference run.
 //
@@ -46,6 +46,7 @@ func main() {
 			"E10 parameter sweep throughput",
 			"E11 storage footprint per backend",
 			"E12 collaboratory search + recommendation",
+			"E13 incremental closure maintenance (closure cache)",
 		} {
 			fmt.Println(r)
 		}

@@ -3,9 +3,9 @@
 //	provctl validate wf.json              check a workflow specification
 //	provctl show wf.json [-format ascii|dot]
 //	provctl hash wf.json                  content hash (prospective identity)
-//	provctl run wf.json [-store DIR]      execute with provenance capture
-//	provctl query -store DIR 'PQL'        query stored provenance
-//	provctl lineage -store DIR ENTITY     upstream closure of an entity
+//	provctl run wf.json [-store DIR] [-cache]   execute with provenance capture
+//	provctl query -store DIR [-cache] 'PQL'     query stored provenance
+//	provctl lineage -store DIR [-cache] ENTITY  upstream closure of an entity
 //	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
 //	provctl demo NAME                     print a built-in workflow as JSON
 //	                                      (medimg, medimg-smooth, genomics,
@@ -13,6 +13,11 @@
 //
 // Module implementations come from the built-in workload library; run
 // works for any workflow whose module types it registers.
+//
+// -cache serves closure queries through the incrementally maintained
+// closure cache (internal/store/closurecache): repeated lineage/dependents
+// queries hit memoized closures, and ingests patch the affected entries in
+// place instead of invalidating the cache.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"repro/internal/opm"
 	"repro/internal/query/pql"
 	"repro/internal/store"
+	"repro/internal/store/closurecache"
 	"repro/internal/vis"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
@@ -130,7 +136,7 @@ func cmdHash(args []string) error {
 	return nil
 }
 
-func newSystem(storeDir string) (*core.System, func(), error) {
+func newSystem(storeDir string, closureCache bool) (*core.System, func(), error) {
 	var st store.Store
 	cleanup := func() {}
 	if storeDir != "" {
@@ -141,15 +147,30 @@ func newSystem(storeDir string) (*core.System, func(), error) {
 		st = fsStore
 		cleanup = func() { fsStore.Close() }
 	}
-	sys := core.NewSystem(core.Options{Store: st, Agent: os.Getenv("USER")})
+	sys := core.NewSystem(core.Options{Store: st, Agent: os.Getenv("USER"), EnableClosureCache: closureCache})
 	workloads.RegisterAll(sys.Registry)
 	dbprov.RegisterRelationalModules(sys.Registry)
 	return sys, cleanup, nil
 }
 
+// openStore opens the file store for a query-side command, optionally
+// wrapped in the incrementally maintained closure cache.
+func openStore(storeDir string, closureCache bool) (store.Store, func(), error) {
+	fsStore, err := store.OpenFileStore(storeDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var st store.Store = fsStore
+	if closureCache {
+		st = closurecache.Wrap(fsStore)
+	}
+	return st, func() { fsStore.Close() }, nil
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	storeDir := fs.String("store", "", "persist provenance to this directory")
+	cache := fs.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,7 +181,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, cleanup, err := newSystem(*storeDir)
+	sys, cleanup, err := newSystem(*storeDir, *cache)
 	if err != nil {
 		return err
 	}
@@ -177,18 +198,19 @@ func cmdRun(args []string) error {
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	storeDir := fs.String("store", "", "provenance store directory")
+	cache := fs.Bool("cache", false, "serve closures through the incrementally maintained cache")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || *storeDir == "" {
 		return fmt.Errorf("query: want -store DIR and one PQL query")
 	}
-	fsStore, err := store.OpenFileStore(*storeDir)
+	st, cleanup, err := openStore(*storeDir, *cache)
 	if err != nil {
 		return err
 	}
-	defer fsStore.Close()
-	res, err := pql.Run(fsStore, fs.Arg(0))
+	defer cleanup()
+	res, err := pql.Run(st, fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -200,24 +222,25 @@ func cmdLineage(args []string) error {
 	fs := flag.NewFlagSet("lineage", flag.ContinueOnError)
 	storeDir := fs.String("store", "", "provenance store directory")
 	down := fs.Bool("dependents", false, "downstream instead of upstream")
+	cache := fs.Bool("cache", false, "serve closures through the incrementally maintained cache")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || *storeDir == "" {
 		return fmt.Errorf("lineage: want -store DIR and one entity ID")
 	}
-	fsStore, err := store.OpenFileStore(*storeDir)
+	st, cleanup, err := openStore(*storeDir, *cache)
 	if err != nil {
 		return err
 	}
-	defer fsStore.Close()
+	defer cleanup()
 	dir := store.Up
 	if *down {
 		dir = store.Down
 	}
 	// Pushed-down closure: the file store answers the whole traversal from
-	// its resident adjacency index.
-	ids, err := fsStore.Closure(fs.Arg(0), dir)
+	// its resident adjacency index (memoized when -cache is set).
+	ids, err := st.Closure(fs.Arg(0), dir)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,12 @@
 //	provd -addr :8080                      # empty repository
 //	provd -addr :8080 -seed 7 -users 20    # with a synthetic community
 //	provd -store /var/lib/provd            # durable file-backed store
+//	provd -cache                           # incremental closure cache
+//
+// With -cache the store is wrapped in the incrementally maintained closure
+// cache (internal/store/closurecache): /lineage and /dependents hit
+// memoized closures, /expand hits memoized frontiers, and each published
+// run patches the affected entries at ingest instead of flushing them.
 package main
 
 import (
@@ -19,12 +25,14 @@ import (
 
 	"repro/internal/collab"
 	"repro/internal/store"
+	"repro/internal/store/closurecache"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		storeDir = flag.String("store", "", "directory for a durable file store (default: in-memory)")
+		cache    = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
 		seed     = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
 		users    = flag.Int("users", 10, "synthetic community size")
 		runsEach = flag.Int("runs", 3, "synthetic runs published per user")
@@ -39,6 +47,9 @@ func main() {
 		}
 		defer fs.Close()
 		st = fs
+	}
+	if *cache {
+		st = closurecache.Wrap(st)
 	}
 	repo := collab.NewRepository(st)
 	if *seed != 0 {

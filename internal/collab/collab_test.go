@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/provenance"
 	"repro/internal/store"
+	"repro/internal/store/closurecache"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
 )
@@ -386,4 +388,90 @@ func TestStatValues(t *testing.T) {
 		t.Fatalf("stats users = %d < %d", st.Users, len(users))
 	}
 	_ = fmt.Sprint(st)
+}
+
+// TestHTTPClosureEndpointsCached runs the closure-serving endpoints over a
+// store wrapped in the incremental closure cache (how provd -cache deploys
+// it): warm queries must match the first answers, and runs published after
+// the cache warmed must show up in subsequent closure responses via the
+// ingest-time patch, not a flush.
+func TestHTTPClosureEndpointsCached(t *testing.T) {
+	cached := closurecache.Wrap(store.NewMemStore())
+	r := NewRepository(cached)
+	wf := workloads.MedicalImaging()
+	if err := r.Publish(wf, "juliana", "figure 1", "imaging"); err != nil {
+		t.Fatal(err)
+	}
+	log := runOf(t, wf)
+	if err := r.PublishRun("medimg", "u1", log); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+
+	getJSON := func(path string, into any) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	gridArt := ""
+	for _, a := range log.Artifacts {
+		if a.Type == workloads.TypeGrid {
+			gridArt = a.ID
+		}
+	}
+	var cold, warm []string
+	if code := getJSON("/dependents?id="+gridArt, &cold); code != 200 || len(cold) == 0 {
+		t.Fatalf("dependents cold: %d %v", code, cold)
+	}
+	if code := getJSON("/dependents?id="+gridArt, &warm); code != 200 {
+		t.Fatal("dependents warm failed")
+	}
+	if fmt.Sprint(cold) != fmt.Sprint(warm) {
+		t.Fatalf("warm closure diverged: %v vs %v", cold, warm)
+	}
+	if m := cached.Metrics(); m.ClosureHits == 0 {
+		t.Fatalf("warm request missed the cache: %+v", m)
+	}
+
+	// Publish a second run of the same workflow after the cache warmed; its
+	// entities must be reachable through the cached endpoints.
+	log2 := runOf(t, wf)
+	if err := r.PublishRun("medimg", "u2", log2); err != nil {
+		t.Fatal(err)
+	}
+	var adj map[string][]string
+	if code := getJSON("/expand?ids="+gridArt+"&dir=down", &adj); code != 200 || len(adj[gridArt]) == 0 {
+		t.Fatalf("expand post-ingest: %d %v", code, adj)
+	}
+	var lineage []string
+	imageArt2 := ""
+	for _, a := range log2.Artifacts {
+		if a.Type == workloads.TypeImage {
+			imageArt2 = a.ID
+		}
+	}
+	if code := getJSON("/lineage?id="+imageArt2, &lineage); code != 200 || len(lineage) == 0 {
+		t.Fatalf("lineage of second run: %d %v", code, lineage)
+	}
+	want, err := store.NaiveClosure(cached.Underlying(), imageArt2, store.Up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached closures guarantee set equality, not BFS order; compare sorted.
+	sort.Strings(lineage)
+	sort.Strings(want)
+	if fmt.Sprint(lineage) != fmt.Sprint(want) {
+		t.Fatalf("cached lineage diverged:\n got %v\nwant %v", lineage, want)
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/query/datalog"
 	"repro/internal/query/pql"
 	"repro/internal/store"
+	"repro/internal/store/closurecache"
 	"repro/internal/workflow"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	Workers int
 	// EnableCache memoizes module executions across runs.
 	EnableCache bool
+	// EnableClosureCache wraps the store in an incrementally maintained
+	// closure cache (internal/store/closurecache): lineage, dependents, PQL
+	// and pushed-down Datalog closures memoize per (root, direction), and
+	// each Run's ingest patches the affected cached closures in place.
+	EnableClosureCache bool
 	// Agent names the user; Environment is recorded on every run.
 	Agent       string
 	Environment map[string]string
@@ -63,6 +69,9 @@ func NewSystem(opt Options) *System {
 	}
 	if s.Store == nil {
 		s.Store = store.NewMemStore()
+	}
+	if opt.EnableClosureCache {
+		s.Store = closurecache.Wrap(s.Store)
 	}
 	if opt.EnableCache {
 		s.Cache = engine.NewCache()

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction experiment suite of
-// DESIGN.md §3 (E1–E12). Each experiment returns a formatted table; the
+// DESIGN.md §3 (E1–E13). Each experiment returns a formatted table; the
 // cmd/provbench binary prints them and EXPERIMENTS.md records the results.
 // The paper (a tutorial) has no numeric tables of its own: E1 and E2
 // reproduce its two figures, and E3–E12 quantify the claims its prose makes
@@ -26,6 +26,7 @@ import (
 	"repro/internal/query/triplequery"
 	"repro/internal/relalg"
 	"repro/internal/store"
+	"repro/internal/store/closurecache"
 	"repro/internal/views"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
@@ -51,7 +52,7 @@ type Result struct {
 // All runs every experiment in order.
 func All() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(),
 	}
 }
 
@@ -60,6 +61,7 @@ func ByID(id string) (Result, error) {
 	fns := map[string]func() Result{
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4, "E5": E5, "E6": E6,
 		"E7": E7, "E8": E8, "E9": E9, "E10": E10, "E11": E11, "E12": E12,
+		"E13": E13,
 	}
 	fn, ok := fns[strings.ToUpper(id)]
 	if !ok {
@@ -572,6 +574,131 @@ func E12() Result {
 	return Result{ID: "E12", Title: "collaboratory: search latency and recommendation coverage", Table: b.String()}
 }
 
+// E13 measures incremental closure maintenance on the durable file backend
+// at depth 128: cold pushed-down Closure vs warm cached closures, plus the
+// cost of an ingest that patches a warm closure in place and the latency of
+// the first query after that patch. Every cached answer is verified
+// set-equal against NaiveClosure on the current graph.
+func E13() Result {
+	const n = 128
+	wf := workloads.Chain(n)
+	col := provenance.NewCollector()
+	e := newEngine(col, 4, nil)
+	res := mustRun(e, wf)
+	log, _ := col.Log(res.RunID)
+	head := res.Artifacts["s00.out"]
+	tail := res.Artifacts[fmt.Sprintf("s%02d.out", n-1)]
+
+	dir, _ := tempDir()
+	fs, err := store.OpenFileStore(dir)
+	if err != nil {
+		return errResult("E13", err)
+	}
+	defer fs.Close()
+	cached := closurecache.Wrap(fs)
+	if err := cached.PutRunLog(log); err != nil {
+		return errResult("E13", err)
+	}
+
+	verify := func(root string, d store.Direction) error {
+		got, err := cached.Closure(root, d)
+		if err != nil {
+			return err
+		}
+		want, err := store.NaiveClosure(fs, root, d)
+		if err != nil {
+			return err
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			return fmt.Errorf("cached closure of %s diverged from NaiveClosure", root)
+		}
+		return nil
+	}
+
+	cold := timeRunsExact(func() {
+		if _, err := fs.Closure(tail, store.Up); err != nil {
+			panic(err)
+		}
+	}, 7)
+	// Warm the upstream closure of the tail and the downstream closure of
+	// the head, then measure pure cache hits.
+	if err := verify(tail, store.Up); err != nil {
+		return errResult("E13", err)
+	}
+	if err := verify(head, store.Down); err != nil {
+		return errResult("E13", err)
+	}
+	warm := timeRunsExact(func() {
+		if _, err := cached.Closure(tail, store.Up); err != nil {
+			panic(err)
+		}
+	}, 7)
+
+	// Ingest runs that consume the chain's tail: each patches the warm
+	// downstream closure of the head in place.
+	extend := func(i int) *provenance.RunLog {
+		l := &provenance.RunLog{}
+		l.Run = provenance.Run{ID: fmt.Sprintf("e13-ext-%04d", i), WorkflowID: "ext", Status: provenance.StatusOK}
+		exec := fmt.Sprintf("e13-exec-%04d", i)
+		out := fmt.Sprintf("e13-art-%04d", i)
+		l.Executions = []*provenance.Execution{{ID: exec, RunID: l.Run.ID, ModuleID: "ext", ModuleType: "Ext", Status: provenance.StatusOK}}
+		l.Artifacts = []*provenance.Artifact{
+			{ID: tail, RunID: l.Run.ID, Type: "blob"},
+			{ID: out, RunID: l.Run.ID, Type: "blob"},
+		}
+		l.Events = []provenance.Event{
+			{Seq: 1, RunID: l.Run.ID, Kind: provenance.EventArtifactUsed, ExecutionID: exec, ArtifactID: tail},
+			{Seq: 2, RunID: l.Run.ID, Kind: provenance.EventArtifactGen, ExecutionID: exec, ArtifactID: out},
+		}
+		return l
+	}
+	i := 0
+	patch := timeRunsExact(func() {
+		if err := cached.PutRunLog(extend(i)); err != nil {
+			panic(err)
+		}
+		i++
+	}, 5)
+	postPatch := timeRunsExact(func() {
+		if _, err := cached.Closure(head, store.Down); err != nil {
+			panic(err)
+		}
+	}, 7)
+	if err := verify(head, store.Down); err != nil {
+		return errResult("E13", err)
+	}
+	m := cached.Metrics()
+	if m.Patched == 0 {
+		return errResult("E13", fmt.Errorf("ingests never patched a cached closure (metrics %+v)", m))
+	}
+
+	speedup := float64(cold) / float64(warm)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s\n", "measure (file backend, depth 128)", "value")
+	fmt.Fprintf(&b, "%-44s %14s\n", "cold pushed-down Closure", cold)
+	fmt.Fprintf(&b, "%-44s %14s\n", "warm cached Closure", warm)
+	fmt.Fprintf(&b, "%-44s %13.1fx\n", "warm speedup", speedup)
+	fmt.Fprintf(&b, "%-44s %14s\n", "ingest + incremental patch", patch)
+	fmt.Fprintf(&b, "%-44s %14s\n", "first query after patch (still warm)", postPatch)
+	fmt.Fprintf(&b, "%-44s %14d\n", "closures patched in place", m.Patched)
+	fmt.Fprintf(&b, "%-44s %14d\n", "closures evicted", m.Evicted)
+	fmt.Fprintf(&b, "%-44s %14s\n", "cached == NaiveClosure", "verified")
+	return Result{
+		ID:    "E13",
+		Title: "incremental closure maintenance: cold vs warm vs ingest-time patch (file backend)",
+		Table: b.String(),
+		Metrics: []Metric{
+			{Name: "closure_cold_file_d128", Value: float64(cold.Nanoseconds()), Unit: "ns"},
+			{Name: "closure_warm_file_d128", Value: float64(warm.Nanoseconds()), Unit: "ns"},
+			{Name: "closure_warm_speedup_file_d128", Value: speedup, Unit: "x"},
+			{Name: "ingest_incremental_patch_file", Value: float64(patch.Nanoseconds()), Unit: "ns"},
+			{Name: "closure_post_patch_file_d128", Value: float64(postPatch.Nanoseconds()), Unit: "ns"},
+		},
+	}
+}
+
 // DBProvEndToEnd exercises the dbprov cross-level lineage as a sanity line
 // appended to E9's table context (kept separate for test use).
 func DBProvEndToEnd() error {
@@ -597,8 +724,15 @@ func mustRun(e *engine.Engine, wf *workflow.Workflow) *engine.Result {
 	return res
 }
 
-// timeRuns returns the median duration of n invocations.
+// timeRuns returns the median duration of n invocations, rounded for
+// display.
 func timeRuns(fn func(), n int) time.Duration {
+	return timeRunsExact(fn, n).Round(time.Microsecond)
+}
+
+// timeRunsExact is timeRuns without the microsecond rounding, for
+// sub-microsecond measurements such as cache hits.
+func timeRunsExact(fn func(), n int) time.Duration {
 	times := make([]time.Duration, n)
 	for i := 0; i < n; i++ {
 		start := time.Now()
@@ -606,7 +740,7 @@ func timeRuns(fn func(), n int) time.Duration {
 		times[i] = time.Since(start)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	return times[n/2].Round(time.Microsecond)
+	return times[n/2]
 }
 
 func tempDir() (string, error) {

@@ -164,8 +164,19 @@ func tokenize(src string) ([]string, error) {
 	return toks, nil
 }
 
-// Execute evaluates the query against a triple store.
-func Execute(ts *store.TripleStore, q *Query) (*Result, error) {
+// Matcher is the triple-pattern source the engine evaluates against: the
+// native *store.TripleStore, or a closurecache.Cache wrapping one, whose
+// memoized patterns are patched incrementally on ingest.
+type Matcher interface {
+	// Match returns triples matching a pattern; empty strings wildcard.
+	Match(subj, pred, obj string) []store.Triple
+	// MatchBatch resolves many patterns in one store call; result i holds
+	// the matches of patterns[i].
+	MatchBatch(patterns []store.Triple) [][]store.Triple
+}
+
+// Execute evaluates the query against a triple-pattern source.
+func Execute(ts Matcher, q *Query) (*Result, error) {
 	type bindingRow map[string]string
 	rows := []bindingRow{{}}
 
@@ -268,7 +279,7 @@ func extend(b map[string]string, tp TriplePattern, s, p, o string) map[string]st
 }
 
 // Run parses and executes in one step.
-func Run(ts *store.TripleStore, src string) (*Result, error) {
+func Run(ts Matcher, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err

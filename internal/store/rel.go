@@ -10,9 +10,11 @@ import (
 
 // RelStore keeps provenance as tuples in relational tables, the approach of
 // systems that map provenance onto an RDBMS [3]. Navigation queries are
-// relational scans/selections — deliberately index-free, so experiment E4
-// exposes the cost difference against adjacency- and triple-indexed
-// backends.
+// relational scans — deliberately index-free, so experiment E4 exposes the
+// cost difference against adjacency- and triple-indexed backends. Since the
+// batch-traversal API landed, single-entity navigation runs through the
+// same one-pass semijoin plan as Expand with a one-element frontier,
+// instead of materializing relations and per-call relalg Select plans.
 //
 // Tables:
 //
@@ -187,33 +189,87 @@ func (s *RelStore) Execution(id string) (*provenance.Execution, error) {
 	}, nil
 }
 
-// GeneratorOf implements Store.
+// GeneratorOf implements Store, routed through a one-element Expand
+// frontier: one classification + adjacency semijoin pass over the base
+// rows, no relation materialization and no per-call relalg plan.
 func (s *RelStore) GeneratorOf(artifactID string) (string, error) {
-	gens := s.table("gens")
-	pred, err := relalg.Eq(gens, "artifact", artifactID)
-	if err != nil {
-		return "", err
-	}
-	sel := relalg.Select(gens, pred)
-	if sel.Len() == 0 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out, isArt, _ := s.expandLocked([]string{artifactID}, Up)
+	if !isArt[artifactID] || len(out[artifactID]) == 0 {
 		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
 	}
-	return sel.Tuples[0].Values[0].(string), nil
+	return out[artifactID][0], nil
 }
 
-// ConsumersOf implements Store.
+// ConsumersOf implements Store, via a one-element Down frontier.
 func (s *RelStore) ConsumersOf(artifactID string) ([]string, error) {
-	return s.column("uses", "artifact", artifactID, "exec")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out, isArt, _ := s.expandLocked([]string{artifactID}, Down)
+	if !isArt[artifactID] {
+		return nil, nil
+	}
+	return out[artifactID], nil
 }
 
-// Used implements Store.
+// Used implements Store, via a one-element Up frontier. Expand classifies
+// artifact-first, so an ID stored as both kinds falls back to a direct
+// uses scan — keeping the execution-side adjacency addressable, as on
+// MemStore and the other backends.
 func (s *RelStore) Used(execID string) ([]string, error) {
-	return s.column("uses", "exec", execID, "artifact")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out, isArt, isExec := s.expandLocked([]string{execID}, Up)
+	switch {
+	case isExec[execID]:
+		return out[execID], nil
+	case isArt[execID]:
+		return s.execAdjacencyLocked(execID, Up), nil
+	}
+	return nil, nil
 }
 
-// Generated implements Store.
+// Generated implements Store, via a one-element Down frontier, with the
+// same dual-kind fallback as Used.
 func (s *RelStore) Generated(execID string) ([]string, error) {
-	return s.column("gens", "exec", execID, "artifact")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out, isArt, isExec := s.expandLocked([]string{execID}, Down)
+	switch {
+	case isExec[execID]:
+		return out[execID], nil
+	case isArt[execID]:
+		return s.execAdjacencyLocked(execID, Down), nil
+	}
+	return nil, nil
+}
+
+// execAdjacencyLocked scans the edge tables for one execution's adjacency,
+// bypassing Expand's artifact-first classification: the dual-kind path of
+// Used/Generated. Returns nil when the ID is not a stored execution.
+func (s *RelStore) execAdjacencyLocked(execID string, dir Direction) []string {
+	known := false
+	for _, row := range s.execRows {
+		if row[0].(string) == execID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil
+	}
+	rows := s.useRows
+	if dir == Down {
+		rows = s.genRows
+	}
+	var ns []string
+	for _, row := range rows {
+		if row[0].(string) == execID {
+			ns = append(ns, row[1].(string))
+		}
+	}
+	return sortedUnique(ns)
 }
 
 // Expand implements Store. One hop costs a fixed number of semijoin scans
@@ -226,13 +282,22 @@ func (s *RelStore) Generated(execID string) ([]string, error) {
 func (s *RelStore) Expand(ids []string, dir Direction) (map[string][]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	out, _, _ := s.expandLocked(ids, dir)
+	return out, nil
+}
+
+// expandLocked answers one frontier and reports how each frontier ID was
+// classified (artifact wins over execution, as everywhere else). It is the
+// shared plan behind Expand and — with one-element frontiers — the
+// single-entity navigation methods. The caller holds at least a read lock.
+func (s *RelStore) expandLocked(ids []string, dir Direction) (out map[string][]string, isArt, isExec map[string]bool) {
 	frontier := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		frontier[id] = true
 	}
-	out := make(map[string][]string, len(ids))
-	isArt := map[string]bool{}
-	isExec := map[string]bool{}
+	out = make(map[string][]string, len(ids))
+	isArt = map[string]bool{}
+	isExec = map[string]bool{}
 	for _, row := range s.artRows {
 		if id := row[0].(string); frontier[id] {
 			isArt[id] = true
@@ -281,7 +346,7 @@ func (s *RelStore) Expand(ids []string, dir Direction) (map[string][]string, err
 		}
 		out[id] = sortedUnique(ns)
 	}
-	return out, nil
+	return out, isArt, isExec
 }
 
 // Closure implements Store with the pushed-down plan an index-free
@@ -339,23 +404,6 @@ func (s *RelStore) Closure(seed string, dir Direction) ([]string, error) {
 		}
 		return nil, false
 	})
-}
-
-func (s *RelStore) column(table, whereCol, whereVal, outCol string) ([]string, error) {
-	rel := s.table(table)
-	pred, err := relalg.Eq(rel, whereCol, whereVal)
-	if err != nil {
-		return nil, err
-	}
-	proj, err := relalg.Project(relalg.Select(rel, pred), outCol)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, 0, proj.Len())
-	for _, t := range proj.Tuples {
-		out = append(out, t.Values[0].(string))
-	}
-	return sortedUnique(out), nil
 }
 
 // Stats implements Store.

@@ -1,0 +1,111 @@
+package store
+
+// Conformance for RelStore's single-entity navigation, which now runs
+// through one-element Expand frontiers instead of per-call relalg Select
+// scans: on random runs it must agree with MemStore on every navigation
+// method, including unknown IDs and raw (generator-less) artifacts.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/provenance"
+)
+
+func TestQuickRelNavMatchesMem(t *testing.T) {
+	f := func(seed int64) bool {
+		log := randomLog(t, seed)
+		mem, rel := NewMemStore(), NewRelStore()
+		if err := mem.PutRunLog(log); err != nil || rel.PutRunLog(log) != nil {
+			return false
+		}
+		for _, a := range log.Artifacts {
+			memGen, memErr := mem.GeneratorOf(a.ID)
+			relGen, relErr := rel.GeneratorOf(a.ID)
+			if (memErr == nil) != (relErr == nil) || memGen != relGen {
+				t.Logf("GeneratorOf(%s): mem=%q,%v rel=%q,%v", a.ID, memGen, memErr, relGen, relErr)
+				return false
+			}
+			if relErr != nil && !errors.Is(relErr, ErrNotFound) {
+				return false
+			}
+			memCons, _ := mem.ConsumersOf(a.ID)
+			relCons, err := rel.ConsumersOf(a.ID)
+			if err != nil || fmt.Sprint(memCons) != fmt.Sprint(relCons) {
+				t.Logf("ConsumersOf(%s): mem=%v rel=%v,%v", a.ID, memCons, relCons, err)
+				return false
+			}
+		}
+		for _, e := range log.Executions {
+			memUsed, _ := mem.Used(e.ID)
+			relUsed, err := rel.Used(e.ID)
+			if err != nil || fmt.Sprint(memUsed) != fmt.Sprint(relUsed) {
+				t.Logf("Used(%s): mem=%v rel=%v,%v", e.ID, memUsed, relUsed, err)
+				return false
+			}
+			memGen, _ := mem.Generated(e.ID)
+			relGen, err := rel.Generated(e.ID)
+			if err != nil || fmt.Sprint(memGen) != fmt.Sprint(relGen) {
+				t.Logf("Generated(%s): mem=%v rel=%v,%v", e.ID, memGen, relGen, err)
+				return false
+			}
+		}
+		// Unknown IDs: GeneratorOf errors with ErrNotFound; list-valued
+		// navigation returns empty without error, as on MemStore.
+		if _, err := rel.GeneratorOf("ghost-entity"); !errors.Is(err, ErrNotFound) {
+			return false
+		}
+		for _, probe := range []func(string) ([]string, error){rel.ConsumersOf, rel.Used, rel.Generated} {
+			if ns, err := probe("ghost-entity"); err != nil || len(ns) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelNavDualKindID pins the pathological case of one ID declared as
+// both an artifact and an execution: Expand classifies artifact-first, but
+// Used/Generated must still answer the execution-side adjacency, as
+// MemStore does.
+func TestRelNavDualKindID(t *testing.T) {
+	l := &provenance.RunLog{}
+	l.Run = provenance.Run{ID: "dual", WorkflowID: "wf", Status: provenance.StatusOK}
+	l.Executions = []*provenance.Execution{
+		{ID: "x", RunID: "dual", ModuleID: "m", ModuleType: "T", Status: provenance.StatusOK},
+	}
+	l.Artifacts = []*provenance.Artifact{
+		{ID: "x", RunID: "dual", Type: "blob"}, // same ID as the execution
+		{ID: "in", RunID: "dual", Type: "blob"},
+		{ID: "out", RunID: "dual", Type: "blob"},
+	}
+	l.Events = []provenance.Event{
+		{Seq: 1, RunID: "dual", Kind: provenance.EventArtifactUsed, ExecutionID: "x", ArtifactID: "in"},
+		{Seq: 2, RunID: "dual", Kind: provenance.EventArtifactGen, ExecutionID: "x", ArtifactID: "out"},
+	}
+	mem, rel := NewMemStore(), NewRelStore()
+	if err := mem.PutRunLog(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.PutRunLog(l); err != nil {
+		t.Fatal(err)
+	}
+	for name, probe := range map[string]func(Store) ([]string, error){
+		"Used":      func(s Store) ([]string, error) { return s.Used("x") },
+		"Generated": func(s Store) ([]string, error) { return s.Generated("x") },
+	} {
+		want, err := probe(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := probe(rel)
+		if err != nil || fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s dual-kind: rel=%v,%v mem=%v", name, got, err, want)
+		}
+	}
+}

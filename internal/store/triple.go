@@ -78,6 +78,52 @@ func addTo(idx map[string]map[string][]string, a, b, c string) {
 	m[b] = append(m[b], c)
 }
 
+// TriplesOf flattens a run log into the triples PutRunLog stores, in
+// insertion order. It is the single source of truth for the provenance
+// vocabulary, shared with the closure cache's ingest-time pattern patching
+// (package closurecache), which must predict exactly which triples an
+// ingest adds.
+func TriplesOf(l *provenance.RunLog) []Triple {
+	out := make([]Triple, 0, 4+5*len(l.Executions)+4*len(l.Artifacts)+len(l.Events)+4*len(l.Annotations))
+	out = append(out,
+		Triple{l.Run.ID, PredType, "Run"},
+		Triple{l.Run.ID, PredWorkflow, l.Run.WorkflowID},
+		Triple{l.Run.ID, PredAgent, l.Run.Agent},
+		Triple{l.Run.ID, PredStatus, string(l.Run.Status)})
+	for _, e := range l.Executions {
+		out = append(out,
+			Triple{e.ID, PredType, "Execution"},
+			Triple{e.ID, PredPartOfRun, e.RunID},
+			Triple{e.ID, PredModule, e.ModuleID},
+			Triple{e.ID, PredModuleType, e.ModuleType},
+			Triple{e.ID, PredStatus, string(e.Status)})
+	}
+	for _, a := range l.Artifacts {
+		out = append(out,
+			Triple{a.ID, PredType, "Artifact"},
+			Triple{a.ID, PredPartOfRun, a.RunID},
+			Triple{a.ID, PredHash, a.ContentHash},
+			Triple{a.ID, PredArtType, a.Type})
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactUsed:
+			out = append(out, Triple{ev.ExecutionID, PredUsed, ev.ArtifactID})
+		case provenance.EventArtifactGen:
+			out = append(out, Triple{ev.ExecutionID, PredGenerated, ev.ArtifactID})
+		}
+	}
+	for i, an := range l.Annotations {
+		node := fmt.Sprintf("_:ann-%s-%d", l.Run.ID, i)
+		out = append(out,
+			Triple{node, PredType, "Annotation"},
+			Triple{node, PredAnnSubject, an.Subject},
+			Triple{node, PredAnnKey, an.Key},
+			Triple{node, PredAnnValue, an.Value})
+	}
+	return out
+}
+
 // PutRunLog implements Store.
 func (s *TripleStore) PutRunLog(l *provenance.RunLog) error {
 	if err := l.Validate(); err != nil {
@@ -90,37 +136,8 @@ func (s *TripleStore) PutRunLog(l *provenance.RunLog) error {
 	}
 	s.logs[l.Run.ID] = l
 	s.order = append(s.order, l.Run.ID)
-	s.insert(Triple{l.Run.ID, PredType, "Run"})
-	s.insert(Triple{l.Run.ID, PredWorkflow, l.Run.WorkflowID})
-	s.insert(Triple{l.Run.ID, PredAgent, l.Run.Agent})
-	s.insert(Triple{l.Run.ID, PredStatus, string(l.Run.Status)})
-	for _, e := range l.Executions {
-		s.insert(Triple{e.ID, PredType, "Execution"})
-		s.insert(Triple{e.ID, PredPartOfRun, e.RunID})
-		s.insert(Triple{e.ID, PredModule, e.ModuleID})
-		s.insert(Triple{e.ID, PredModuleType, e.ModuleType})
-		s.insert(Triple{e.ID, PredStatus, string(e.Status)})
-	}
-	for _, a := range l.Artifacts {
-		s.insert(Triple{a.ID, PredType, "Artifact"})
-		s.insert(Triple{a.ID, PredPartOfRun, a.RunID})
-		s.insert(Triple{a.ID, PredHash, a.ContentHash})
-		s.insert(Triple{a.ID, PredArtType, a.Type})
-	}
-	for _, ev := range l.Events {
-		switch ev.Kind {
-		case provenance.EventArtifactUsed:
-			s.insert(Triple{ev.ExecutionID, PredUsed, ev.ArtifactID})
-		case provenance.EventArtifactGen:
-			s.insert(Triple{ev.ExecutionID, PredGenerated, ev.ArtifactID})
-		}
-	}
-	for i, an := range l.Annotations {
-		node := fmt.Sprintf("_:ann-%s-%d", l.Run.ID, i)
-		s.insert(Triple{node, PredType, "Annotation"})
-		s.insert(Triple{node, PredAnnSubject, an.Subject})
-		s.insert(Triple{node, PredAnnKey, an.Key})
-		s.insert(Triple{node, PredAnnValue, an.Value})
+	for _, t := range TriplesOf(l) {
+		s.insert(t)
 	}
 	return nil
 }
@@ -190,8 +207,16 @@ func (s *TripleStore) matchLocked(subj, pred, obj string) []Triple {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortTriples(out)
+	return out
+}
+
+// SortTriples orders triples by (S, P, O): the canonical result order of
+// Match/MatchBatch, shared with the closure cache's pattern patching so
+// warm results sort exactly like cold ones.
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
 		if a.S != b.S {
 			return a.S < b.S
 		}
@@ -200,7 +225,6 @@ func (s *TripleStore) matchLocked(subj, pred, obj string) []Triple {
 		}
 		return a.O < b.O
 	})
-	return out
 }
 
 // RunLog implements Store.
