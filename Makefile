@@ -1,7 +1,8 @@
 GO ?= go
 BENCH_DIR ?= bench-results
+BASELINE_DIR ?= bench-results/baseline
 
-.PHONY: build test vet fmt-check test-race bench bench-smoke bench-json ci clean
+.PHONY: build test vet fmt-check test-race bench bench-smoke bench-json bench-gate bench-json-gate bench-baseline ci clean
 
 build:
 	$(GO) build ./...
@@ -38,8 +39,26 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/provbench -json $(BENCH_DIR)
 
+# Bench regression gate: re-run the gated experiments and fail when a gated
+# metric (machine-independent speedup ratios, e.g. E13's warm-closure
+# speedup or E14's mixed-load ingest speedup) regresses beyond its
+# tolerance against the committed baseline in $(BASELINE_DIR).
+bench-gate:
+	$(GO) run ./cmd/provbench -e E13,E14 -check $(BASELINE_DIR)
+
+# Refresh the committed bench baseline deliberately (review the diff before
+# committing: this is the reference future CI runs gate against).
+bench-baseline:
+	$(GO) run ./cmd/provbench -e E13,E14 -json $(BASELINE_DIR)
+
+# CI's combined bench step: one full-suite run that both writes the
+# BENCH_*.json artifacts and applies the regression gate, so the gated
+# experiments are not executed twice.
+bench-json-gate:
+	$(GO) run ./cmd/provbench -json $(BENCH_DIR) -check $(BASELINE_DIR)
+
 # Everything the CI workflow gates on, runnable locally.
-ci: fmt-check build vet test-race bench-smoke
+ci: fmt-check build vet test-race bench-smoke bench-gate
 
 clean:
-	rm -rf $(BENCH_DIR)
+	find $(BENCH_DIR) -maxdepth 1 -name 'BENCH_*.json' -delete

@@ -8,6 +8,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/analogy"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/relalg"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/shardedstore"
 	"repro/internal/views"
 	"repro/internal/workloads"
 )
@@ -440,6 +442,56 @@ func BenchmarkE13ClosureCache(b *testing.B) {
 			b.Fatalf("ingests never patched a cached closure: %+v", m)
 		}
 	})
+}
+
+// BenchmarkE14Sharding measures the sharded store router at 1/2/4/8
+// durable file-backed shards on the E14 wide-DAG workload: mode=ingest is
+// one batch of 16 runs pushed by 8 concurrent publishers per iteration
+// (runs hash-route to their home shards, commits overlap across shards);
+// mode=closure is the scatter/gather downstream closure of the seed root.
+func BenchmarkE14Sharding(b *testing.B) {
+	for _, nShards := range []int{1, 2, 4, 8} {
+		r, err := shardedstore.Open(b.TempDir(), nShards, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seedLogs, lastLayer := experiments.E14Seed(4, 16, 3)
+		for _, l := range seedLogs {
+			if err := r.PutRunLog(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		batch := 0
+		b.Run(fmt.Sprintf("shards=%d/mode=ingest", nShards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch++
+				var wg sync.WaitGroup
+				for w := 0; w < 8; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for k := 0; k < 2; k++ {
+							l := experiments.E14Run(fmt.Sprintf("b%d-%d-%d", batch, w, k), batch,
+								lastLayer[(batch+w+k)%len(lastLayer)])
+							if err := r.PutRunLog(l); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+		})
+		b.Run(fmt.Sprintf("shards=%d/mode=closure", nShards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Closure("e14-root-art", store.Down); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		r.Close()
+	}
 }
 
 // TestExperimentSuiteSmoke runs the fast experiments end-to-end so `go

@@ -1,4 +1,4 @@
-// Command provbench runs the reproduction experiment suite (E1–E13 of
+// Command provbench runs the reproduction experiment suite (E1–E14 of
 // DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
 // reference run.
 //
@@ -8,9 +8,19 @@
 //	provbench -e E4,E7    # run selected experiments
 //	provbench -list       # list experiments
 //	provbench -json DIR   # also write machine-readable BENCH_<ID>.json
+//	provbench -check DIR  # bench regression gate against a baseline DIR
 //
 // With -json, each experiment's structured metrics land in
 // DIR/BENCH_<ID>.json so successive PRs can track a perf trajectory.
+//
+// With -check, the gated metrics (see gates) of the freshly run
+// experiments are compared against the committed baseline BENCH_<ID>.json
+// files in DIR; the process exits 1 when any gated metric regresses beyond
+// its tolerance. Gated metrics are machine-speed-independent ratios
+// (speedups), so the gate is robust across hosts; the tolerances absorb
+// normal scheduler noise and still catch architectural regressions.
+// `make bench-gate` wires this into CI, `make bench-baseline` refreshes
+// the committed baseline deliberately.
 package main
 
 import (
@@ -24,11 +34,27 @@ import (
 	"repro/internal/experiments"
 )
 
+// gates names the bench-regression metrics CI enforces: a fresh value must
+// be at least minRatio × the committed baseline value. All gated metrics
+// are higher-is-better speedup ratios.
+var gates = []struct {
+	experiment string
+	metric     string
+	minRatio   float64
+}{
+	{"E13", "closure_warm_speedup_file_d128", 0.4},
+	// Wall-clock-window metric on shared CI runners: the loose tolerance
+	// keeps the floor below the 1.5x acceptance threshold (it guards
+	// against sharding collapsing toward parity, not against noise).
+	{"E14", "ingest_mixed_speedup_shards4", 0.3},
+}
+
 func main() {
 	var (
-		which   = flag.String("e", "", "comma-separated experiment IDs (default: all)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		jsonDir = flag.String("json", "", "write BENCH_<ID>.json files to this directory")
+		which    = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonDir  = flag.String("json", "", "write BENCH_<ID>.json files to this directory")
+		checkDir = flag.String("check", "", "compare gated metrics against baseline BENCH_<ID>.json files in this directory")
 	)
 	flag.Parse()
 
@@ -47,6 +73,7 @@ func main() {
 			"E11 storage footprint per backend",
 			"E12 collaboratory search + recommendation",
 			"E13 incremental closure maintenance (closure cache)",
+			"E14 sharded store: ingest + closure scaling vs shard count",
 		} {
 			fmt.Println(r)
 		}
@@ -72,6 +99,11 @@ func main() {
 	if *jsonDir != "" {
 		if err := writeJSON(*jsonDir, results); err != nil {
 			fmt.Fprintln(os.Stderr, "provbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *checkDir != "" {
+		if !check(*checkDir, results) {
 			os.Exit(1)
 		}
 	}
@@ -103,4 +135,67 @@ func writeJSON(dir string, results []experiments.Result) error {
 		fmt.Fprintf(os.Stderr, "provbench: wrote %s\n", path)
 	}
 	return nil
+}
+
+// check compares every gated metric of the fresh results against the
+// baseline directory, printing one verdict line per gate. It returns false
+// when a gated metric is missing or regresses beyond its tolerance.
+func check(dir string, results []experiments.Result) bool {
+	fresh := map[string]experiments.Result{}
+	for _, r := range results {
+		fresh[r.ID] = r
+	}
+	ok := true
+	for _, g := range gates {
+		r, ran := fresh[g.experiment]
+		if !ran {
+			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (experiment not run; include it via -e)\n", g.experiment, g.metric)
+			ok = false
+			continue
+		}
+		cur, found := metricValue(r.Metrics, g.metric)
+		if !found {
+			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (metric missing from fresh run)\n", g.experiment, g.metric)
+			ok = false
+			continue
+		}
+		path := filepath.Join(dir, "BENCH_"+g.experiment+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (baseline: %v)\n", g.experiment, g.metric, err)
+			ok = false
+			continue
+		}
+		var base benchFile
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (baseline: %v)\n", g.experiment, g.metric, err)
+			ok = false
+			continue
+		}
+		want, found := metricValue(base.Metrics, g.metric)
+		if !found {
+			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (metric missing from baseline %s)\n", g.experiment, g.metric, path)
+			ok = false
+			continue
+		}
+		floor := want * g.minRatio
+		if cur < floor {
+			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (%.3f < %.3f = baseline %.3f × %.2f)\n",
+				g.experiment, g.metric, cur, floor, want, g.minRatio)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "gate %s/%s: ok (%.3f vs baseline %.3f, floor %.3f)\n",
+			g.experiment, g.metric, cur, want, floor)
+	}
+	return ok
+}
+
+func metricValue(ms []experiments.Metric, name string) (float64, bool) {
+	for _, m := range ms {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
 }

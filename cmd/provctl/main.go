@@ -3,9 +3,9 @@
 //	provctl validate wf.json              check a workflow specification
 //	provctl show wf.json [-format ascii|dot]
 //	provctl hash wf.json                  content hash (prospective identity)
-//	provctl run wf.json [-store DIR] [-cache]   execute with provenance capture
-//	provctl query -store DIR [-cache] 'PQL'     query stored provenance
-//	provctl lineage -store DIR [-cache] ENTITY  upstream closure of an entity
+//	provctl run wf.json [-store DIR] [-cache] [-shards N]   execute with provenance capture
+//	provctl query -store DIR [-cache] [-shards N] 'PQL'     query stored provenance
+//	provctl lineage -store DIR [-cache] [-shards N] ENTITY  upstream closure of an entity
 //	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
 //	provctl demo NAME                     print a built-in workflow as JSON
 //	                                      (medimg, medimg-smooth, genomics,
@@ -18,6 +18,12 @@
 // closure cache (internal/store/closurecache): repeated lineage/dependents
 // queries hit memoized closures, and ingests patch the affected entries in
 // place instead of invalidating the cache.
+//
+// -shards N partitions the store across N hash-routed shards
+// (internal/store/shardedstore): with -store DIR the shards are file-backed
+// under DIR/shard-000…, otherwise in-memory. A store directory must be
+// reopened with the same shard count it was written with. -cache wraps the
+// sharded router unchanged.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"repro/internal/query/pql"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/shardedstore"
 	"repro/internal/vis"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
@@ -136,41 +143,53 @@ func cmdHash(args []string) error {
 	return nil
 }
 
-func newSystem(storeDir string, closureCache bool) (*core.System, func(), error) {
+// openBacking opens the persistent backing store for a store directory:
+// one FileStore, or a sharded router over file-backed shards when
+// shards > 1.
+func openBacking(storeDir string, shards int) (store.Store, error) {
+	if shards > 1 {
+		return shardedstore.Open(storeDir, shards, false)
+	}
+	return store.OpenFileStore(storeDir)
+}
+
+func newSystem(storeDir string, closureCache bool, shards int) (*core.System, func(), error) {
 	var st store.Store
 	cleanup := func() {}
 	if storeDir != "" {
-		fsStore, err := store.OpenFileStore(storeDir)
+		backing, err := openBacking(storeDir, shards)
 		if err != nil {
 			return nil, nil, err
 		}
-		st = fsStore
-		cleanup = func() { fsStore.Close() }
+		st = backing
+		cleanup = func() { backing.Close() }
 	}
-	sys := core.NewSystem(core.Options{Store: st, Agent: os.Getenv("USER"), EnableClosureCache: closureCache})
+	sys := core.NewSystem(core.Options{Store: st, Shards: shards, Agent: os.Getenv("USER"), EnableClosureCache: closureCache})
 	workloads.RegisterAll(sys.Registry)
 	dbprov.RegisterRelationalModules(sys.Registry)
 	return sys, cleanup, nil
 }
 
-// openStore opens the file store for a query-side command, optionally
-// wrapped in the incrementally maintained closure cache.
-func openStore(storeDir string, closureCache bool) (store.Store, func(), error) {
-	fsStore, err := store.OpenFileStore(storeDir)
+// openStore opens the store for a query-side command — file-backed, sharded
+// when requested — optionally wrapped in the incrementally maintained
+// closure cache (the cache layers above the sharded router unchanged).
+func openStore(storeDir string, closureCache bool, shards int) (store.Store, func(), error) {
+	backing, err := openBacking(storeDir, shards)
 	if err != nil {
 		return nil, nil, err
 	}
-	var st store.Store = fsStore
+	st := backing
 	if closureCache {
-		st = closurecache.Wrap(fsStore)
+		st = closurecache.Wrap(backing)
 	}
-	return st, func() { fsStore.Close() }, nil
+	return st, func() { backing.Close() }, nil
 }
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	storeDir := fs.String("store", "", "persist provenance to this directory")
 	cache := fs.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
+	shards := fs.Int("shards", 1, "partition the store across N hash-routed shards")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,7 +200,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, cleanup, err := newSystem(*storeDir, *cache)
+	sys, cleanup, err := newSystem(*storeDir, *cache, *shards)
 	if err != nil {
 		return err
 	}
@@ -199,13 +218,14 @@ func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	storeDir := fs.String("store", "", "provenance store directory")
 	cache := fs.Bool("cache", false, "serve closures through the incrementally maintained cache")
+	shards := fs.Int("shards", 1, "shard count the store directory was written with")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || *storeDir == "" {
 		return fmt.Errorf("query: want -store DIR and one PQL query")
 	}
-	st, cleanup, err := openStore(*storeDir, *cache)
+	st, cleanup, err := openStore(*storeDir, *cache, *shards)
 	if err != nil {
 		return err
 	}
@@ -223,13 +243,14 @@ func cmdLineage(args []string) error {
 	storeDir := fs.String("store", "", "provenance store directory")
 	down := fs.Bool("dependents", false, "downstream instead of upstream")
 	cache := fs.Bool("cache", false, "serve closures through the incrementally maintained cache")
+	shards := fs.Int("shards", 1, "shard count the store directory was written with")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || *storeDir == "" {
 		return fmt.Errorf("lineage: want -store DIR and one entity ID")
 	}
-	st, cleanup, err := openStore(*storeDir, *cache)
+	st, cleanup, err := openStore(*storeDir, *cache, *shards)
 	if err != nil {
 		return err
 	}

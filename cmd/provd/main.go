@@ -11,11 +11,20 @@
 //	provd -addr :8080 -seed 7 -users 20    # with a synthetic community
 //	provd -store /var/lib/provd            # durable file-backed store
 //	provd -cache                           # incremental closure cache
+//	provd -shards 4                        # hash-partitioned sharded store
 //
 // With -cache the store is wrapped in the incrementally maintained closure
 // cache (internal/store/closurecache): /lineage and /dependents hit
 // memoized closures, /expand hits memoized frontiers, and each published
 // run patches the affected entries at ingest instead of flushing them.
+//
+// With -shards N the store is partitioned across N hash-routed shards
+// (internal/store/shardedstore): published runs route whole to a home
+// shard (ingests of different runs proceed under per-shard locking) and
+// closure endpoints scatter/gather each BFS frontier across the shards in
+// parallel. Combined with -store DIR the shards are file-backed under
+// DIR/shard-000…; a directory must be reopened with the shard count it was
+// written with. -cache wraps the sharded router unchanged.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"repro/internal/collab"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/shardedstore"
 )
 
 func main() {
@@ -33,20 +43,33 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		storeDir = flag.String("store", "", "directory for a durable file store (default: in-memory)")
 		cache    = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
+		shards   = flag.Int("shards", 1, "partition the store across N hash-routed shards")
 		seed     = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
 		users    = flag.Int("users", 10, "synthetic community size")
 		runsEach = flag.Int("runs", 3, "synthetic runs published per user")
 	)
 	flag.Parse()
 
-	var st store.Store = store.NewMemStore()
-	if *storeDir != "" {
+	var st store.Store
+	switch {
+	case *storeDir != "" && *shards > 1:
+		r, err := shardedstore.Open(*storeDir, *shards, false)
+		if err != nil {
+			log.Fatalf("provd: open sharded store: %v", err)
+		}
+		defer r.Close()
+		st = r
+	case *storeDir != "":
 		fs, err := store.OpenFileStore(*storeDir)
 		if err != nil {
 			log.Fatalf("provd: open store: %v", err)
 		}
 		defer fs.Close()
 		st = fs
+	case *shards > 1:
+		st = shardedstore.NewMem(*shards)
+	default:
+		st = store.NewMemStore()
 	}
 	if *cache {
 		st = closurecache.Wrap(st)

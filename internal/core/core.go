@@ -25,13 +25,23 @@ import (
 	"repro/internal/query/pql"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/shardedstore"
 	"repro/internal/workflow"
 )
 
 // Options configures a System.
 type Options struct {
-	// Store persists run logs; nil means a fresh in-memory store.
+	// Store persists run logs; nil means a fresh in-memory store (sharded
+	// across Shards hash-routed partitions when Shards > 1).
 	Store store.Store
+	// Shards partitions a nil-Store system across this many in-memory
+	// shards behind internal/store/shardedstore: runs hash-route to a home
+	// shard, ingests of different runs proceed under per-shard locking, and
+	// traversals scatter/gather one frontier per hop. 0 or 1 keeps a single
+	// unsharded store. File-backed sharding follows the same idiom as the
+	// single FileStore: assemble it with shardedstore.Open and pass it as
+	// Store (provctl and provd do exactly that behind their -shards flags).
+	Shards int
 	// Workers bounds parallel module executions (0: GOMAXPROCS).
 	Workers int
 	// EnableCache memoizes module executions across runs.
@@ -68,9 +78,15 @@ func NewSystem(opt Options) *System {
 		workflows: map[string]*workflow.Workflow{},
 	}
 	if s.Store == nil {
-		s.Store = store.NewMemStore()
+		if opt.Shards > 1 {
+			s.Store = shardedstore.NewMem(opt.Shards)
+		} else {
+			s.Store = store.NewMemStore()
+		}
 	}
 	if opt.EnableClosureCache {
+		// The cache wraps any Store, so it layers above the sharded router
+		// unchanged: memoized closures stay warm across sharded ingests.
 		s.Store = closurecache.Wrap(s.Store)
 	}
 	if opt.EnableCache {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analogy"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/relalg"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/shardedstore"
 	"repro/internal/views"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
@@ -52,7 +55,7 @@ type Result struct {
 // All runs every experiment in order.
 func All() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(),
 	}
 }
 
@@ -61,7 +64,7 @@ func ByID(id string) (Result, error) {
 	fns := map[string]func() Result{
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4, "E5": E5, "E6": E6,
 		"E7": E7, "E8": E8, "E9": E9, "E10": E10, "E11": E11, "E12": E12,
-		"E13": E13,
+		"E13": E13, "E14": E14,
 	}
 	fn, ok := fns[strings.ToUpper(id)]
 	if !ok {
@@ -696,6 +699,249 @@ func E13() Result {
 			{Name: "ingest_incremental_patch_file", Value: float64(patch.Nanoseconds()), Unit: "ns"},
 			{Name: "closure_post_patch_file_d128", Value: float64(postPatch.Nanoseconds()), Unit: "ns"},
 		},
+	}
+}
+
+// E14Seed builds the E14 base graph: one root artifact feeding `layers`
+// layers of `runsPerLayer` runs, each consuming one previous-layer artifact
+// and generating `fanout` artifacts — a wide DAG whose downstream closure
+// from the root is a few large BFS frontiers, the shape the frontier-
+// batched scatter/gather is designed for. Returns the logs and the last
+// layer's artifact IDs (the attachment points for ingested runs).
+func E14Seed(layers, runsPerLayer, fanout int) ([]*provenance.RunLog, []string) {
+	root := &provenance.RunLog{}
+	root.Run = provenance.Run{ID: "e14-seed-root", WorkflowID: "e14", Status: provenance.StatusOK}
+	root.Executions = []*provenance.Execution{{ID: "e14-root-exec", RunID: root.Run.ID, ModuleID: "src", ModuleType: "Synth", Status: provenance.StatusOK}}
+	root.Artifacts = []*provenance.Artifact{{ID: "e14-root-art", RunID: root.Run.ID, Type: "blob"}}
+	root.Events = []provenance.Event{{Seq: 1, RunID: root.Run.ID, Kind: provenance.EventArtifactGen, ExecutionID: "e14-root-exec", ArtifactID: "e14-root-art"}}
+	logs := []*provenance.RunLog{root}
+	prev := []string{"e14-root-art"}
+	for l := 0; l < layers; l++ {
+		var next []string
+		for r := 0; r < runsPerLayer; r++ {
+			runID := fmt.Sprintf("e14-seed-%d-%03d", l, r)
+			in := prev[r%len(prev)]
+			lg := &provenance.RunLog{}
+			lg.Run = provenance.Run{ID: runID, WorkflowID: "e14", Status: provenance.StatusOK}
+			exec := fmt.Sprintf("e14-sx-%d-%03d", l, r)
+			lg.Executions = []*provenance.Execution{{ID: exec, RunID: runID, ModuleID: "m", ModuleType: "Synth", Status: provenance.StatusOK}}
+			lg.Artifacts = []*provenance.Artifact{{ID: in, RunID: runID, Type: "blob"}}
+			lg.Events = []provenance.Event{{Seq: 1, RunID: runID, Kind: provenance.EventArtifactUsed, ExecutionID: exec, ArtifactID: in}}
+			seq := uint64(1)
+			for f := 0; f < fanout; f++ {
+				out := fmt.Sprintf("e14-sa-%d-%03d-%d", l, r, f)
+				lg.Artifacts = append(lg.Artifacts, &provenance.Artifact{ID: out, RunID: runID, Type: "blob"})
+				seq++
+				lg.Events = append(lg.Events, provenance.Event{Seq: seq, RunID: runID, Kind: provenance.EventArtifactGen, ExecutionID: exec, ArtifactID: out})
+				next = append(next, out)
+			}
+			logs = append(logs, lg)
+		}
+		prev = next
+	}
+	return logs, prev
+}
+
+// E14Run synthesizes one small ingest run consuming `in` and generating one
+// fresh artifact — the steady-state "publish a derived result" unit of the
+// E14 workload.
+func E14Run(tag string, i int, in string) *provenance.RunLog {
+	runID := fmt.Sprintf("e14-%s-run-%06d", tag, i)
+	exec := fmt.Sprintf("e14-%s-exec-%06d", tag, i)
+	out := fmt.Sprintf("e14-%s-art-%06d", tag, i)
+	l := &provenance.RunLog{}
+	l.Run = provenance.Run{ID: runID, WorkflowID: "e14", Status: provenance.StatusOK}
+	l.Executions = []*provenance.Execution{{ID: exec, RunID: runID, ModuleID: "pub", ModuleType: "Synth", Status: provenance.StatusOK}}
+	l.Artifacts = []*provenance.Artifact{{ID: in, RunID: runID, Type: "blob"}, {ID: out, RunID: runID, Type: "blob"}}
+	l.Events = []provenance.Event{
+		{Seq: 1, RunID: runID, Kind: provenance.EventArtifactUsed, ExecutionID: exec, ArtifactID: in},
+		{Seq: 2, RunID: runID, Kind: provenance.EventArtifactGen, ExecutionID: exec, ArtifactID: out},
+	}
+	return l
+}
+
+// E14 measures sharded-store scaling at 1, 2, 4 and 8 durable file-backed
+// shards (every accepted run fsyncs its home shard's log), in the scenario
+// the sharding ROADMAP item names: a store that must absorb ingest and
+// serve traversals at the same time, where single-log backends bottleneck
+// both on one lock and one file.
+//
+// Three measurements per shard count, all over the same wide seed DAG:
+//
+//   - quiet ingest: 320 runs through 16 concurrent writers with no query
+//     load. Sharding's win here is commit-latency overlap (concurrent runs
+//     with different home shards fsync in parallel), bounded on a
+//     single-core host by the serial CPU share of each append.
+//   - cold closure: the downstream closure of the seed root (every
+//     derived artifact and execution), scatter/gathered per BFS hop. This
+//     is the price side of the router: per-hop fan-out overhead against
+//     the single store's one-lock BFS.
+//   - mixed workload (the headline): fixed 700ms windows (median of three)
+//     of 8 writers publishing runs while one query worker sweeps the
+//     root's downstream closure continuously — the recall/invalidation
+//     sweep of §2.3 run against a live store. On a single shard every sweep holds the one
+//     store lock for its whole BFS and ingest throughput collapses; on a
+//     sharded store the sweep takes each shard lock only per hop, so
+//     writers stream between hops. Both achieved rates are reported; the
+//     acceptance metric is the mixed-load ingest speedup.
+func E14() Result {
+	const (
+		quietRuns    = 320
+		quietWriters = 16
+		mixedWriters = 8
+		window       = 700 * time.Millisecond
+	)
+	var b strings.Builder
+	var metrics []Metric
+	fmt.Fprintf(&b, "%-8s %12s %9s %12s %14s %9s %12s %12s\n",
+		"shards", "quiet runs/s", "speedup", "closure", "mixed runs/s", "speedup", "queries/s", "query avg")
+	quietBase, mixedBase := 0.0, 0.0
+	for _, nShards := range []int{1, 2, 4, 8} {
+		dir, err := tempDir()
+		if err != nil {
+			return errResult("E14", err)
+		}
+		r, err := shardedstore.Open(dir, nShards, true)
+		if err != nil {
+			return errResult("E14", err)
+		}
+		seedLogs, lastLayer := E14Seed(4, 16, 3)
+		for _, l := range seedLogs {
+			if err := r.PutRunLog(l); err != nil {
+				r.Close()
+				return errResult("E14", err)
+			}
+		}
+
+		// Quiet durable ingest: 320 runs, 16 writers, no queries.
+		var quietErr atomic.Value
+		work := make(chan *provenance.RunLog, quietRuns)
+		for i := 0; i < quietRuns; i++ {
+			work <- E14Run("q", i, lastLayer[i%len(lastLayer)])
+		}
+		close(work)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < quietWriters; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for l := range work {
+					if err := r.PutRunLog(l); err != nil {
+						quietErr.Store(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err, _ := quietErr.Load().(error); err != nil {
+			r.Close()
+			return errResult("E14", err)
+		}
+		quietRPS := float64(quietRuns) / time.Since(start).Seconds()
+
+		// Cold scatter/gather closure of the root's full downstream.
+		var closureLen int
+		closure := timeRuns(func() {
+			got, err := r.Closure("e14-root-art", store.Down)
+			if err != nil {
+				panic(err)
+			}
+			closureLen = len(got)
+		}, 5)
+		if closureLen == 0 {
+			r.Close()
+			return errResult("E14", fmt.Errorf("empty root closure"))
+		}
+
+		// Mixed workload: continuous closure sweeps + concurrent publishers.
+		// Scheduler and lock-handoff dynamics make one window noisy, so the
+		// reported rates are the median-by-ingest-rate of three windows.
+		type mixedSample struct {
+			rps, qps float64
+			queryAvg time.Duration
+		}
+		var samples []mixedSample
+		for trial := 0; trial < 3; trial++ {
+			var stop atomic.Bool
+			var ingested, queried atomic.Int64
+			var queryNanos atomic.Int64
+			var mixedErr atomic.Value
+			wg = sync.WaitGroup{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					qs := time.Now()
+					if _, err := r.Closure("e14-root-art", store.Down); err != nil {
+						mixedErr.Store(err)
+						return
+					}
+					queryNanos.Add(int64(time.Since(qs)))
+					queried.Add(1)
+				}
+			}()
+			for w := 0; w < mixedWriters; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; !stop.Load(); i++ {
+						l := E14Run(fmt.Sprintf("t%dw%d", trial, w), i, lastLayer[(w*7919+i)%len(lastLayer)])
+						if err := r.PutRunLog(l); err != nil {
+							mixedErr.Store(err)
+							return
+						}
+						ingested.Add(1)
+					}
+				}(w)
+			}
+			time.Sleep(window)
+			stop.Store(true)
+			wg.Wait()
+			if err, _ := mixedErr.Load().(error); err != nil {
+				r.Close()
+				return errResult("E14", err)
+			}
+			s := mixedSample{
+				rps: float64(ingested.Load()) / window.Seconds(),
+				qps: float64(queried.Load()) / window.Seconds(),
+			}
+			if n := queried.Load(); n > 0 {
+				s.queryAvg = time.Duration(queryNanos.Load() / n)
+			}
+			samples = append(samples, s)
+		}
+		r.Close()
+		sort.Slice(samples, func(i, j int) bool { return samples[i].rps < samples[j].rps })
+		med := samples[len(samples)/2]
+		mixedRPS, queriesPS, queryAvg := med.rps, med.qps, med.queryAvg
+
+		quietSpeedup, mixedSpeedup := 1.0, 1.0
+		if quietBase == 0 {
+			quietBase, mixedBase = quietRPS, mixedRPS
+		} else {
+			quietSpeedup = quietRPS / quietBase
+			mixedSpeedup = mixedRPS / mixedBase
+		}
+		fmt.Fprintf(&b, "%-8d %12.0f %8.2fx %12s %14.0f %8.2fx %12.0f %12s\n",
+			nShards, quietRPS, quietSpeedup, closure, mixedRPS, mixedSpeedup,
+			queriesPS, queryAvg.Round(time.Microsecond))
+		metrics = append(metrics,
+			Metric{Name: fmt.Sprintf("ingest_quiet_runs_per_sec_shards%d", nShards), Value: quietRPS, Unit: "runs/s"},
+			Metric{Name: fmt.Sprintf("ingest_quiet_speedup_shards%d", nShards), Value: quietSpeedup, Unit: "x"},
+			Metric{Name: fmt.Sprintf("closure_cold_wide_shards%d", nShards), Value: float64(closure.Nanoseconds()), Unit: "ns"},
+			Metric{Name: fmt.Sprintf("ingest_mixed_runs_per_sec_shards%d", nShards), Value: mixedRPS, Unit: "runs/s"},
+			Metric{Name: fmt.Sprintf("ingest_mixed_speedup_shards%d", nShards), Value: mixedSpeedup, Unit: "x"},
+			Metric{Name: fmt.Sprintf("query_mixed_per_sec_shards%d", nShards), Value: queriesPS, Unit: "q/s"},
+			Metric{Name: fmt.Sprintf("query_mixed_avg_ms_shards%d", nShards), Value: float64(queryAvg.Milliseconds()), Unit: "ms"})
+	}
+	fmt.Fprintf(&b, "mixed workload: 8 publishers + 1 continuous downstream-closure sweep, median of 3×700ms windows, durable (fsync) shards\n")
+	return Result{
+		ID:      "E14",
+		Title:   "sharded store: ingest throughput (quiet and under query load) and closure latency vs shard count",
+		Table:   b.String(),
+		Metrics: metrics,
 	}
 }
 

@@ -29,6 +29,7 @@ type FileStore struct {
 	mu      sync.Mutex
 	dir     string
 	f       *os.File
+	durable bool
 	offsets map[string]int64 // runID -> byte offset
 	order   []string         // runIDs in append order
 	size    int64
@@ -38,12 +39,9 @@ type FileStore struct {
 	// one run and as an execution by another keeps both entities
 	// addressable, with artifact classification winning for traversal
 	// (matching the other backends).
-	artOwner  map[string]string   // artifact ID -> runID
-	execOwner map[string]string   // execution ID -> runID
-	genBy     map[string]string   // artifact -> execution
-	consumers map[string][]string // artifact -> executions
-	used      map[string][]string // execution -> artifacts
-	generated map[string][]string // execution -> artifacts
+	artOwner  map[string]string // artifact ID -> runID
+	execOwner map[string]string // execution ID -> runID
+	adj       adjacency
 
 	// Resident counters so Stats does not re-read the log.
 	nEvents int
@@ -55,6 +53,19 @@ const logFileName = "provlog.jsonl"
 // OpenFileStore opens (or creates) a file store rooted at dir, scanning any
 // existing log to rebuild the offset and adjacency indexes.
 func OpenFileStore(dir string) (*FileStore, error) {
+	return openFileStore(dir, false)
+}
+
+// OpenFileStoreDurable is OpenFileStore with per-append fsync: every
+// PutRunLog syncs the log to stable storage before returning, so an
+// accepted ingest survives power loss, at the cost of one commit latency
+// per run. The sharded router overlaps these commits across shards, which
+// is what its multi-shard ingest-throughput win (experiment E14) measures.
+func OpenFileStoreDurable(dir string) (*FileStore, error) {
+	return openFileStore(dir, true)
+}
+
+func openFileStore(dir string, durable bool) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
@@ -66,13 +77,11 @@ func OpenFileStore(dir string) (*FileStore, error) {
 	s := &FileStore{
 		dir:       dir,
 		f:         f,
+		durable:   durable,
 		offsets:   map[string]int64{},
 		artOwner:  map[string]string{},
 		execOwner: map[string]string{},
-		genBy:     map[string]string{},
-		consumers: map[string][]string{},
-		used:      map[string][]string{},
-		generated: map[string][]string{},
+		adj:       newAdjacency(),
 	}
 	if err := s.recover(); err != nil {
 		f.Close()
@@ -133,16 +142,7 @@ func (s *FileStore) index(l *provenance.RunLog, offset int64) {
 	for _, e := range l.Executions {
 		s.execOwner[e.ID] = l.Run.ID
 	}
-	for _, ev := range l.Events {
-		switch ev.Kind {
-		case provenance.EventArtifactGen:
-			s.genBy[ev.ArtifactID] = ev.ExecutionID
-			s.generated[ev.ExecutionID] = append(s.generated[ev.ExecutionID], ev.ArtifactID)
-		case provenance.EventArtifactUsed:
-			s.consumers[ev.ArtifactID] = append(s.consumers[ev.ArtifactID], ev.ExecutionID)
-			s.used[ev.ExecutionID] = append(s.used[ev.ExecutionID], ev.ArtifactID)
-		}
-	}
+	s.adj.fold(l.Events)
 	s.nEvents += len(l.Events)
 	s.nAnns += len(l.Annotations)
 }
@@ -152,27 +152,51 @@ var _ Store = (*FileStore)(nil)
 // Name implements Store.
 func (s *FileStore) Name() string { return "file" }
 
-// PutRunLog implements Store.
+// PutRunLog implements Store. Validation and encoding run outside the
+// store lock, so concurrent writers (to this store or to sibling shards
+// behind a router) marshal while another append's commit is in flight; the
+// lock covers only the append, the optional fsync and the index fold.
 func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
 	if err := l.Validate(); err != nil {
 		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.offsets[l.Run.ID]; dup {
-		return fmt.Errorf("store: run %q already stored", l.Run.ID)
 	}
 	data, err := json.Marshal(l)
 	if err != nil {
 		return fmt.Errorf("store: encode run %s: %w", l.Run.ID, err)
 	}
 	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.offsets[l.Run.ID]; dup {
+		return fmt.Errorf("store: run %q already stored", l.Run.ID)
+	}
 	if _, err := s.f.Write(data); err != nil {
+		s.discardTail()
 		return fmt.Errorf("store: append run %s: %w", l.Run.ID, err)
+	}
+	if s.durable {
+		if err := s.f.Sync(); err != nil {
+			s.discardTail()
+			return fmt.Errorf("store: sync run %s: %w", l.Run.ID, err)
+		}
 	}
 	s.index(l, s.size)
 	s.size += int64(len(data))
 	return nil
+}
+
+// discardTail truncates the log back to the last indexed record after a
+// failed append or sync, so the rejected run's bytes are neither counted
+// against later runs' offsets nor resurrected by the next recover scan.
+// The seek is unconditional: even if the truncate fails, the next append
+// must land at s.size (overwriting the orphan) for the offset index to
+// stay correct. Fully best-effort beyond that — if the device is gone, the
+// orphan is at least never indexed in this process, and a torn tail is
+// dropped by recover at next open; a fully written record whose sync,
+// truncate and overwrite all failed can still resurface then.
+func (s *FileStore) discardTail() {
+	_ = s.f.Truncate(s.size)
+	_, _ = s.f.Seek(s.size, io.SeekStart)
 }
 
 // load reads the log owning a run ID from disk.
@@ -262,7 +286,7 @@ func (s *FileStore) GeneratorOf(artifactID string) (string, error) {
 	if !s.known(artifactID) {
 		return "", fmt.Errorf("%w: entity %q", ErrNotFound, artifactID)
 	}
-	g, ok := s.genBy[artifactID]
+	g, ok := s.adj.genBy[artifactID]
 	if !ok {
 		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
 	}
@@ -276,7 +300,7 @@ func (s *FileStore) ConsumersOf(artifactID string) ([]string, error) {
 	if !s.known(artifactID) {
 		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, artifactID)
 	}
-	return sortedUnique(s.consumers[artifactID]), nil
+	return sortedUnique(s.adj.consumers[artifactID]), nil
 }
 
 // Used implements Store, answered from the resident index.
@@ -286,7 +310,7 @@ func (s *FileStore) Used(execID string) ([]string, error) {
 	if !s.known(execID) {
 		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, execID)
 	}
-	return sortedUnique(s.used[execID]), nil
+	return sortedUnique(s.adj.used[execID]), nil
 }
 
 // Generated implements Store, answered from the resident index.
@@ -296,30 +320,26 @@ func (s *FileStore) Generated(execID string) ([]string, error) {
 	if !s.known(execID) {
 		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, execID)
 	}
-	return sortedUnique(s.generated[execID]), nil
+	return sortedUnique(s.adj.generated[execID]), nil
 }
 
-// neighborsLocked resolves one entity's frontier neighbors from the
-// resident adjacency index; the caller holds the store lock. Artifact
-// classification wins for an ID stored as both kinds, matching the other
-// backends.
-func (s *FileStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
+// kindLocked classifies an ID for traversal; the caller holds the store
+// lock. Artifact classification wins for an ID stored as both kinds,
+// matching the other backends.
+func (s *FileStore) kindLocked(id string) entityKind {
 	if _, isArt := s.artOwner[id]; isArt {
-		if dir == Up {
-			if g, ok := s.genBy[id]; ok {
-				return []string{g}, true
-			}
-			return nil, true
-		}
-		return sortedUnique(s.consumers[id]), true
+		return kindArtifact
 	}
 	if _, isExec := s.execOwner[id]; isExec {
-		if dir == Up {
-			return sortedUnique(s.used[id]), true
-		}
-		return sortedUnique(s.generated[id]), true
+		return kindExecution
 	}
-	return nil, false
+	return kindUnknown
+}
+
+// neighborsLocked resolves one entity's frontier neighbors from the shared
+// adjacency core over the resident index; the caller holds the store lock.
+func (s *FileStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
+	return s.adj.neighbors(id, dir, s.kindLocked(id))
 }
 
 // Expand implements Store: the whole frontier is served from the resident

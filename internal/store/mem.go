@@ -16,10 +16,7 @@ type MemStore struct {
 	order     []string
 	artifacts map[string]*provenance.Artifact
 	execs     map[string]*provenance.Execution
-	genBy     map[string]string   // artifact -> execution
-	consumers map[string][]string // artifact -> executions
-	used      map[string][]string // execution -> artifacts
-	generated map[string][]string // execution -> artifacts
+	adj       adjacency
 	bytes     int64
 }
 
@@ -29,10 +26,7 @@ func NewMemStore() *MemStore {
 		logs:      map[string]*provenance.RunLog{},
 		artifacts: map[string]*provenance.Artifact{},
 		execs:     map[string]*provenance.Execution{},
-		genBy:     map[string]string{},
-		consumers: map[string][]string{},
-		used:      map[string][]string{},
-		generated: map[string][]string{},
+		adj:       newAdjacency(),
 	}
 }
 
@@ -61,17 +55,8 @@ func (s *MemStore) PutRunLog(l *provenance.RunLog) error {
 		s.execs[e.ID] = e
 		s.bytes += int64(len(e.ID)+len(e.ModuleID)+len(e.ModuleType)) + 48
 	}
-	for _, ev := range l.Events {
-		s.bytes += 48
-		switch ev.Kind {
-		case provenance.EventArtifactGen:
-			s.genBy[ev.ArtifactID] = ev.ExecutionID
-			s.generated[ev.ExecutionID] = append(s.generated[ev.ExecutionID], ev.ArtifactID)
-		case provenance.EventArtifactUsed:
-			s.consumers[ev.ArtifactID] = append(s.consumers[ev.ArtifactID], ev.ExecutionID)
-			s.used[ev.ExecutionID] = append(s.used[ev.ExecutionID], ev.ArtifactID)
-		}
-	}
+	s.adj.fold(l.Events)
+	s.bytes += int64(len(l.Events)) * 48
 	s.bytes += int64(len(l.Annotations)) * 64
 	return nil
 }
@@ -120,7 +105,7 @@ func (s *MemStore) Execution(id string) (*provenance.Execution, error) {
 func (s *MemStore) GeneratorOf(artifactID string) (string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	g, ok := s.genBy[artifactID]
+	g, ok := s.adj.genBy[artifactID]
 	if !ok {
 		return "", fmt.Errorf("%w: generator of %q", ErrNotFound, artifactID)
 	}
@@ -131,42 +116,39 @@ func (s *MemStore) GeneratorOf(artifactID string) (string, error) {
 func (s *MemStore) ConsumersOf(artifactID string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return sortedUnique(s.consumers[artifactID]), nil
+	return sortedUnique(s.adj.consumers[artifactID]), nil
 }
 
 // Used implements Store.
 func (s *MemStore) Used(execID string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return sortedUnique(s.used[execID]), nil
+	return sortedUnique(s.adj.used[execID]), nil
 }
 
 // Generated implements Store.
 func (s *MemStore) Generated(execID string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return sortedUnique(s.generated[execID]), nil
+	return sortedUnique(s.adj.generated[execID]), nil
 }
 
-// neighborsLocked resolves one entity's frontier neighbors from the
-// adjacency maps; the caller holds at least a read lock.
-func (s *MemStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
+// kindLocked classifies an ID for traversal; the caller holds at least a
+// read lock.
+func (s *MemStore) kindLocked(id string) entityKind {
 	if _, isArt := s.artifacts[id]; isArt {
-		if dir == Up {
-			if g, ok := s.genBy[id]; ok {
-				return []string{g}, true
-			}
-			return nil, true
-		}
-		return sortedUnique(s.consumers[id]), true
+		return kindArtifact
 	}
 	if _, isExec := s.execs[id]; isExec {
-		if dir == Up {
-			return sortedUnique(s.used[id]), true
-		}
-		return sortedUnique(s.generated[id]), true
+		return kindExecution
 	}
-	return nil, false
+	return kindUnknown
+}
+
+// neighborsLocked resolves one entity's frontier neighbors from the shared
+// adjacency core; the caller holds at least a read lock.
+func (s *MemStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
+	return s.adj.neighbors(id, dir, s.kindLocked(id))
 }
 
 // Expand implements Store: the whole frontier is served under one RLock.

@@ -1,0 +1,520 @@
+// Package shardedstore partitions runs across N store.Store shards behind
+// one router that itself implements store.Store, so every query engine —
+// and the closure cache, which wraps any Store — runs over a partitioned
+// store unchanged. The pieces:
+//
+//   - Deterministic hash routing: a run's home shard is FNV-1a(runID) mod
+//     N. Whole runs live on one shard, so a run log is one shard append and
+//     one shard read, and runs with different homes ingest concurrently
+//     under per-shard locking instead of one global writer.
+//   - A global entity→shard index: artifacts and executions that appear in
+//     runs on multiple shards (shared, content-addressed inputs) are
+//     tracked per kind, so the router knows exactly which shards to ask
+//     about any entity — and which single shard holds an artifact's current
+//     generator edge (generator edges are last-write-wins; the router
+//     remembers the shard of the most recent re-declaration).
+//   - Parallel scatter/gather Expand: one BFS frontier fans out to every
+//     shard holding any frontier entity — one goroutine per shard with
+//     work — and the per-shard neighbor lists merge under the same
+//     tie-break/dedup rules as the single-store backends
+//     (store.MergeNeighbors; artifact Up edges come only from the
+//     generator's shard).
+//   - Closure iterates sharded Expand to fixpoint (store.CloseOverExpand),
+//     so a whole-graph traversal costs O(hops) scatter/gather rounds.
+//
+// The router holds no edges of its own: shards own the graph, the router
+// owns only the routing and membership maps, so its memory footprint is
+// O(entities), not O(edges).
+package shardedstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/provenance"
+	"repro/internal/store"
+)
+
+// Router implements store.Store over N underlying shards (any mix of
+// backends). Reads scatter to the shards named by the entity index and
+// gather under the shared merge rules; ingests route whole runs to their
+// home shard. Safe for concurrent readers and concurrent writers: writers
+// serialize per shard (plus a brief global index update), not globally.
+type Router struct {
+	shards []store.Store
+	name   string
+
+	mu         sync.RWMutex
+	manifest   *os.File         // global accepted-run order journal (file-backed routers)
+	runShard   map[string]int   // run -> home shard
+	order      []string         // runs in accepted order
+	artShards  map[string][]int // artifact -> shards holding it (sorted)
+	execShards map[string][]int // execution -> shards holding it (sorted)
+	artLatest  map[string]int   // artifact -> shard of its latest declaration
+	execLatest map[string]int   // execution -> shard of its latest declaration
+	genShard   map[string]int   // artifact -> shard of its current generator edge
+}
+
+var _ store.Store = (*Router)(nil)
+
+// New builds a router over the given shards (at least one). The shards
+// should be empty or previously populated through a router with the same
+// shard count and order; use Open to reopen file-backed shards.
+func New(shards []store.Store) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shardedstore: need at least one shard")
+	}
+	r := &Router{
+		shards:     shards,
+		name:       fmt.Sprintf("sharded(%d×%s)", len(shards), shards[0].Name()),
+		runShard:   map[string]int{},
+		artShards:  map[string][]int{},
+		execShards: map[string][]int{},
+		artLatest:  map[string]int{},
+		execLatest: map[string]int{},
+		genShard:   map[string]int{},
+	}
+	return r, nil
+}
+
+// NewMem returns a router over n fresh in-memory shards (n < 1 is treated
+// as 1).
+func NewMem(n int) *Router {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]store.Store, n)
+	for i := range shards {
+		shards[i] = store.NewMemStore()
+	}
+	r, _ := New(shards)
+	return r
+}
+
+const manifestFileName = "router-manifest.log"
+
+// Open opens (or creates) n file-backed shards under dir/shard-000 …
+// dir/shard-N-1 and rebuilds the router's run and entity indexes from the
+// shards' logs. With durable set, every ingest fsyncs its home shard's log
+// before returning (see store.OpenFileStoreDurable) — the configuration
+// experiment E14 measures.
+//
+// A small manifest journal (dir/router-manifest.log, one run ID per
+// accepted ingest) preserves the global cross-shard ingest order, so a
+// reopened router restores Runs() order and generator last-write-wins
+// tie-breaks exactly in the common case. The manifest is advisory, not
+// authoritative: runs the journal misses (a crash between the shard append
+// and the manifest append, or a failed journal write) are recovered from
+// the shard scan and replayed after the journaled runs, stale or torn
+// entries are dropped, and the journal is rewritten to the recovered order
+// so later reopens are stable. Run data thus never depends on the journal;
+// the one observable skew is that a journal-missed run replays last, which
+// can flip a generator tie-break for an artifact whose generator was
+// re-declared across shards (journaling durably would need an fsync per
+// ingest on a shared file — exactly the serialization sharding removes).
+func Open(dir string, n int, durable bool) (*Router, error) {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]store.Store, n)
+	for i := range shards {
+		open := store.OpenFileStore
+		if durable {
+			open = store.OpenFileStoreDurable
+		}
+		fs, err := open(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)))
+		if err != nil {
+			for _, s := range shards[:i] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("shardedstore: open shard %d: %w", i, err)
+		}
+		shards[i] = fs
+	}
+	r, err := New(shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.rebuild(dir); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// rebuild reconstructs the routing and entity indexes: shard contents are
+// replayed in the manifest's global order where the journal has them, then
+// any journal-missed runs in shard-scan order, and the manifest is
+// rewritten to the recovered order.
+func (r *Router) rebuild(dir string) error {
+	manifestPath := filepath.Join(dir, manifestFileName)
+	var manifestOrder []string
+	if data, err := os.ReadFile(manifestPath); err == nil {
+		lines := strings.Split(string(data), "\n")
+		if len(lines) > 0 && !strings.HasSuffix(string(data), "\n") {
+			lines = lines[:len(lines)-1] // torn trailing entry
+		}
+		for _, l := range lines {
+			if l != "" {
+				manifestOrder = append(manifestOrder, l)
+			}
+		}
+	}
+
+	type rec struct {
+		l     *provenance.RunLog
+		shard int
+	}
+	byRun := map[string]rec{}
+	var shardOrder []string
+	for si, s := range r.shards {
+		runs, err := s.Runs()
+		if err != nil {
+			return fmt.Errorf("shardedstore: rebuild shard %d: %w", si, err)
+		}
+		for _, runID := range runs {
+			l, err := s.RunLog(runID)
+			if err != nil {
+				return fmt.Errorf("shardedstore: rebuild run %s: %w", runID, err)
+			}
+			byRun[runID] = rec{l, si}
+			shardOrder = append(shardOrder, runID)
+		}
+	}
+	seen := map[string]bool{}
+	replay := func(runID string) {
+		if rc, ok := byRun[runID]; ok && !seen[runID] {
+			seen[runID] = true
+			r.indexLocked(rc.l, rc.shard)
+		}
+	}
+	for _, runID := range manifestOrder {
+		replay(runID)
+	}
+	for _, runID := range shardOrder {
+		replay(runID)
+	}
+
+	// Rewrite the journal to the recovered order and keep it open for
+	// appends.
+	var b strings.Builder
+	for _, runID := range r.order {
+		b.WriteString(runID)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(manifestPath, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("shardedstore: rewrite manifest: %w", err)
+	}
+	f, err := os.OpenFile(manifestPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("shardedstore: open manifest: %w", err)
+	}
+	r.manifest = f
+	return nil
+}
+
+// shardOf is the deterministic routing function: FNV-1a of the run ID.
+func (r *Router) shardOf(runID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(runID))
+	return int(h.Sum32() % uint32(len(r.shards)))
+}
+
+// NumShards reports the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// HomeShard reports the shard a run ID routes to — the deterministic hash
+// placement, exposed so ingest pipelines can partition work per shard
+// (one producer per shard never contends on a shard lock) and operators
+// can locate a run's log on disk.
+func (r *Router) HomeShard(runID string) int { return r.shardOf(runID) }
+
+// Shard exposes one underlying shard (tests and stats tooling).
+func (r *Router) Shard(i int) store.Store { return r.shards[i] }
+
+// indexLocked folds one accepted run into the routing and entity indexes;
+// the caller holds the write lock (or has exclusive access during rebuild).
+func (r *Router) indexLocked(l *provenance.RunLog, shard int) {
+	r.runShard[l.Run.ID] = shard
+	r.order = append(r.order, l.Run.ID)
+	for _, a := range l.Artifacts {
+		r.artShards[a.ID] = addShard(r.artShards[a.ID], shard)
+		r.artLatest[a.ID] = shard
+	}
+	for _, e := range l.Executions {
+		r.execShards[e.ID] = addShard(r.execShards[e.ID], shard)
+		r.execLatest[e.ID] = shard
+	}
+	for _, ev := range l.Events {
+		if ev.Kind == provenance.EventArtifactGen {
+			r.genShard[ev.ArtifactID] = shard
+		}
+	}
+}
+
+// addShard inserts a shard index into a small sorted set.
+func addShard(set []int, shard int) []int {
+	for i, s := range set {
+		if s == shard {
+			return set
+		}
+		if s > shard {
+			set = append(set, 0)
+			copy(set[i+1:], set[i:])
+			set[i] = shard
+			return set
+		}
+	}
+	return append(set, shard)
+}
+
+// --- Store: ingest -----------------------------------------------------------
+
+// PutRunLog implements Store: the run routes whole to its home shard, and
+// runs whose homes differ ingest concurrently — the shard serializes its
+// own appends and rejects duplicates, so the router only takes its global
+// lock for the brief index update after the shard accepts the log.
+// Validation is the shard's: every backend validates before storing, and a
+// second router-side pass would serialize that CPU across all writers.
+func (r *Router) PutRunLog(l *provenance.RunLog) error {
+	shard := r.shardOf(l.Run.ID)
+	r.mu.RLock()
+	_, dup := r.runShard[l.Run.ID]
+	r.mu.RUnlock()
+	if dup {
+		return fmt.Errorf("store: run %q already stored", l.Run.ID)
+	}
+	// Concurrent puts of the same run ID race to the same home shard, which
+	// accepts exactly one; the loser returns the shard's duplicate error.
+	if err := r.shards[shard].PutRunLog(l); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.indexLocked(l, shard)
+	if r.manifest != nil {
+		// Advisory order journal; never fail the ingest the shard already
+		// committed over it. A missed append costs this run its place in
+		// the reopen ordering: it replays after the journaled runs, which
+		// can flip a cross-shard generator tie-break if another run
+		// re-declared the same artifact's generator (see Open).
+		_, _ = r.manifest.WriteString(l.Run.ID + "\n")
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// --- Store: routed single-entity reads ---------------------------------------
+
+// RunLog implements Store, served by the run's home shard.
+func (r *Router) RunLog(runID string) (*provenance.RunLog, error) {
+	r.mu.RLock()
+	shard, ok := r.runShard[runID]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: run %q", store.ErrNotFound, runID)
+	}
+	return r.shards[shard].RunLog(runID)
+}
+
+// Runs implements Store: accepted order across all shards.
+func (r *Router) Runs() ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...), nil
+}
+
+// Artifact implements Store, served by the shard that most recently
+// declared the artifact — entity records are last-write-wins on every
+// single-store backend, and the router preserves that across shards.
+func (r *Router) Artifact(id string) (*provenance.Artifact, error) {
+	r.mu.RLock()
+	shard, ok := r.artLatest[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: artifact %q", store.ErrNotFound, id)
+	}
+	return r.shards[shard].Artifact(id)
+}
+
+// Execution implements Store, served by the latest declaring shard.
+func (r *Router) Execution(id string) (*provenance.Execution, error) {
+	r.mu.RLock()
+	shard, ok := r.execLatest[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: execution %q", store.ErrNotFound, id)
+	}
+	return r.shards[shard].Execution(id)
+}
+
+// GeneratorOf implements Store: generator edges are last-write-wins across
+// the whole store, and the router remembers which shard holds the current
+// edge, so the answer is a single routed call.
+func (r *Router) GeneratorOf(artifactID string) (string, error) {
+	r.mu.RLock()
+	shard, ok := r.genShard[artifactID]
+	r.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: generator of %q", store.ErrNotFound, artifactID)
+	}
+	return r.shards[shard].GeneratorOf(artifactID)
+}
+
+// ConsumersOf implements Store: consumer lists accumulate across runs, so
+// the answer is the merge of every holding shard's list.
+func (r *Router) ConsumersOf(artifactID string) ([]string, error) {
+	return r.mergedNav(artifactID, r.artShards, store.Store.ConsumersOf)
+}
+
+// Used implements Store.
+func (r *Router) Used(execID string) ([]string, error) {
+	return r.mergedNav(execID, r.execShards, store.Store.Used)
+}
+
+// Generated implements Store.
+func (r *Router) Generated(execID string) ([]string, error) {
+	return r.mergedNav(execID, r.execShards, store.Store.Generated)
+}
+
+// mergedNav gathers one navigation list from every shard holding the
+// entity and merges under the shared dedup rules. Unknown entities resolve
+// to an empty list, mirroring the in-memory reference backend.
+func (r *Router) mergedNav(id string, index map[string][]int, nav func(store.Store, string) ([]string, error)) ([]string, error) {
+	r.mu.RLock()
+	shards := append([]int(nil), index[id]...)
+	r.mu.RUnlock()
+	lists := make([][]string, 0, len(shards))
+	for _, si := range shards {
+		ns, err := nav(r.shards[si], id)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, ns)
+	}
+	return store.MergeNeighbors(lists...), nil
+}
+
+// --- Store: scatter/gather traversal -----------------------------------------
+
+// Expand implements Store: the frontier is planned against the entity
+// index, scattered to every shard with work in parallel (one goroutine per
+// shard), and gathered under the shared merge rules. Known entities always
+// get an entry; artifact Up edges come only from the shard holding the
+// artifact's current generator edge, so a generator re-declared on another
+// shard never resurrects the stale edge.
+func (r *Router) Expand(ids []string, dir store.Direction) (map[string][]string, error) {
+	perShard := make([][]string, len(r.shards))
+	plan := make(map[string][]int, len(ids))
+	r.mu.RLock()
+	for _, id := range ids {
+		if _, done := plan[id]; done {
+			continue
+		}
+		if shards, isArt := r.artShards[id]; isArt {
+			// Artifact classification wins for an ID stored as both kinds.
+			if dir == store.Up {
+				if gs, ok := r.genShard[id]; ok {
+					plan[id] = []int{gs}
+					perShard[gs] = append(perShard[gs], id)
+				} else {
+					plan[id] = nil // known artifact, no generator: empty entry
+				}
+			} else {
+				plan[id] = shards
+				for _, si := range shards {
+					perShard[si] = append(perShard[si], id)
+				}
+			}
+		} else if shards, isExec := r.execShards[id]; isExec {
+			plan[id] = shards
+			for _, si := range shards {
+				perShard[si] = append(perShard[si], id)
+			}
+		}
+		// Unknown IDs stay absent from the plan and the result.
+	}
+	r.mu.RUnlock()
+
+	// Scatter: one concurrent Expand per shard with work.
+	results := make([]map[string][]string, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for si, list := range perShard {
+		if len(list) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, list []string) {
+			defer wg.Done()
+			results[si], errs[si] = r.shards[si].Expand(list, dir)
+		}(si, list)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	// Gather: merge per-shard neighbor lists per frontier entity.
+	out := make(map[string][]string, len(plan))
+	for id, shards := range plan {
+		lists := make([][]string, 0, len(shards))
+		for _, si := range shards {
+			if ns, ok := results[si][id]; ok {
+				lists = append(lists, ns)
+			}
+		}
+		out[id] = store.MergeNeighbors(lists...)
+	}
+	return out, nil
+}
+
+// Closure implements Store by iterating sharded Expand to fixpoint: each
+// BFS hop is one parallel scatter/gather round, and the visit order matches
+// the single-store backends (per-node sorted neighbors, seed excluded).
+func (r *Router) Closure(seed string, dir store.Direction) ([]string, error) {
+	return store.CloseOverExpand(r.Expand, seed, dir)
+}
+
+// --- Store: aggregates -------------------------------------------------------
+
+// Stats implements Store: entity counts come from the global index (shared
+// entities counted once), volumes sum across shards.
+func (r *Router) Stats() (store.Stats, error) {
+	r.mu.RLock()
+	st := store.Stats{
+		Runs:       len(r.runShard),
+		Artifacts:  len(r.artShards),
+		Executions: len(r.execShards),
+	}
+	r.mu.RUnlock()
+	for _, s := range r.shards {
+		sub, err := s.Stats()
+		if err != nil {
+			return store.Stats{}, err
+		}
+		st.Events += sub.Events
+		st.Annotations += sub.Annotations
+		st.Bytes += sub.Bytes
+	}
+	return st, nil
+}
+
+// Name implements Store, e.g. "sharded(4×file)".
+func (r *Router) Name() string { return r.name }
+
+// Close implements Store, closing every shard and the manifest journal.
+func (r *Router) Close() error {
+	var errs []error
+	for _, s := range r.shards {
+		errs = append(errs, s.Close())
+	}
+	if r.manifest != nil {
+		errs = append(errs, r.manifest.Close())
+	}
+	return errors.Join(errs...)
+}
