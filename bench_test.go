@@ -25,6 +25,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
 	"repro/internal/store/shardedstore"
+	"repro/internal/store/wal"
 	"repro/internal/views"
 	"repro/internal/workloads"
 )
@@ -492,6 +493,104 @@ func BenchmarkE14Sharding(b *testing.B) {
 		})
 		r.Close()
 	}
+}
+
+// BenchmarkE15WAL measures the write-ahead group-commit and checkpoint
+// subsystem: mode=ingest commits one batch of 16 runs through 16
+// concurrent writers per iteration — durability=fsync pays one fsync per
+// run, durability=group coalesces the 16 into a few shared batch commits;
+// mode=reopen measures restart latency on a 600-run chain store, cold
+// (full log scan + cold closure) vs from-checkpoint (snapshot load + warm
+// cached closure).
+func BenchmarkE15WAL(b *testing.B) {
+	for _, d := range []store.Durability{store.DurabilityFsync, store.DurabilityGroup} {
+		fs, err := store.OpenFileStoreWith(b.TempDir(), store.FileOptions{Durability: d})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := 0
+		b.Run(fmt.Sprintf("mode=ingest/durability=%s", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch++
+				var wg sync.WaitGroup
+				for w := 0; w < 16; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						l := experiments.E14Run(fmt.Sprintf("b15-%s-%d-%d", d, batch, w), batch,
+							fmt.Sprintf("b15-in-%03d", (batch+w)%7))
+						if err := fs.PutRunLog(l); err != nil {
+							b.Error(err)
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			m := fs.WALMetrics()
+			if m.Batches > 0 {
+				b.ReportMetric(float64(m.Appends)/float64(m.Batches), "runs/fsync")
+			}
+		})
+		fs.Close()
+	}
+
+	// Reopen latency: one prebuilt checkpointed chain store.
+	const chainLen = 600
+	dir := b.TempDir()
+	built, err := store.OpenFileStoreWith(dir, store.FileOptions{Durability: store.DurabilityGroup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cached := closurecache.New(built, closurecache.Options{SnapshotDir: dir})
+	for i := 0; i < chainLen; i++ {
+		if err := cached.PutRunLog(experiments.E15ChainRun(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const head = "e15-art-000000"
+	if _, err := cached.Closure(head, store.Down); err != nil {
+		b.Fatal(err)
+	}
+	if err := cached.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	cached.Close()
+	b.Run("mode=reopen/state=warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs, err := store.OpenFileStoreWith(dir, store.FileOptions{Durability: store.DurabilityGroup})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := closurecache.New(fs, closurecache.Options{SnapshotDir: dir})
+			if _, err := c.Closure(head, store.Down); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+	// Cold control: measured against a copy with the snapshots removed —
+	// the log alone is authoritative.
+	b.Run("mode=reopen/state=cold", func(b *testing.B) {
+		// Tolerant removal: the harness re-invokes this closure with a
+		// larger b.N after the files are already gone.
+		if err := wal.RemoveCheckpoint(store.CheckpointPath(dir)); err != nil {
+			b.Fatal(err)
+		}
+		if err := wal.RemoveCheckpoint(closurecache.SnapshotPath(dir)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs, err := store.OpenFileStoreWith(dir, store.FileOptions{Durability: store.DurabilityGroup})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fs.Closure(head, store.Down); err != nil {
+				b.Fatal(err)
+			}
+			fs.Close()
+		}
+	})
 }
 
 // TestExperimentSuiteSmoke runs the fast experiments end-to-end so `go

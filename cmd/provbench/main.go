@@ -1,4 +1,4 @@
-// Command provbench runs the reproduction experiment suite (E1–E14 of
+// Command provbench runs the reproduction experiment suite (E1–E15 of
 // DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
 // reference run.
 //
@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,6 +48,14 @@ var gates = []struct {
 	// keeps the floor below the 1.5x acceptance threshold (it guards
 	// against sharding collapsing toward parity, not against noise).
 	{"E14", "ingest_mixed_speedup_shards4", 0.3},
+	// Group commit: the fsync-reduction ratio is scheduling-dependent
+	// (how many writers join a batch while the previous fsync is in
+	// flight), the ingest speedup additionally depends on the host's
+	// fsync cost; both collapse toward 1.0 if batching breaks.
+	{"E15", "ingest_group_speedup_x", 0.3},
+	{"E15", "fsync_reduction_x", 0.3},
+	// Warm restart: reopen-from-checkpoint vs full log replay.
+	{"E15", "reopen_warm_speedup_x", 0.3},
 }
 
 func main() {
@@ -74,6 +83,7 @@ func main() {
 			"E12 collaboratory search + recommendation",
 			"E13 incremental closure maintenance (closure cache)",
 			"E14 sharded store: ingest + closure scaling vs shard count",
+			"E15 WAL group commit + checkpoint: durable ingest and warm restarts",
 		} {
 			fmt.Println(r)
 		}
@@ -103,7 +113,7 @@ func main() {
 		}
 	}
 	if *checkDir != "" {
-		if !check(*checkDir, results) {
+		if !check(*checkDir, results, os.Stderr) {
 			os.Exit(1)
 		}
 	}
@@ -138,9 +148,11 @@ func writeJSON(dir string, results []experiments.Result) error {
 }
 
 // check compares every gated metric of the fresh results against the
-// baseline directory, printing one verdict line per gate. It returns false
-// when a gated metric is missing or regresses beyond its tolerance.
-func check(dir string, results []experiments.Result) bool {
+// baseline directory, printing one verdict line per gate to w. It returns
+// false when a gated metric is missing, its baseline file is absent, or it
+// regresses beyond its tolerance — every failure names its cause and the
+// fix, never a panic or a silent skip.
+func check(dir string, results []experiments.Result, w io.Writer) bool {
 	fresh := map[string]experiments.Result{}
 	for _, r := range results {
 		fresh[r.ID] = r
@@ -149,43 +161,53 @@ func check(dir string, results []experiments.Result) bool {
 	for _, g := range gates {
 		r, ran := fresh[g.experiment]
 		if !ran {
-			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (experiment not run; include it via -e)\n", g.experiment, g.metric)
+			fmt.Fprintf(w, "gate %s/%s: FAIL (experiment not run; include it via -e)\n", g.experiment, g.metric)
 			ok = false
 			continue
 		}
 		cur, found := metricValue(r.Metrics, g.metric)
 		if !found {
-			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (metric missing from fresh run)\n", g.experiment, g.metric)
+			fmt.Fprintf(w, "gate %s/%s: FAIL (metric missing from fresh run)\n", g.experiment, g.metric)
 			ok = false
 			continue
 		}
 		path := filepath.Join(dir, "BENCH_"+g.experiment+".json")
 		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			// A gate without its committed baseline is a broken gate, not
+			// a skippable one: fail with the remediation spelled out.
+			fmt.Fprintf(w, "gate %s/%s: FAIL (no baseline %s — run `make bench-baseline` and commit the result)\n",
+				g.experiment, g.metric, path)
+			ok = false
+			continue
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (baseline: %v)\n", g.experiment, g.metric, err)
+			fmt.Fprintf(w, "gate %s/%s: FAIL (baseline: %v)\n", g.experiment, g.metric, err)
 			ok = false
 			continue
 		}
 		var base benchFile
 		if err := json.Unmarshal(data, &base); err != nil {
-			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (baseline: %v)\n", g.experiment, g.metric, err)
+			fmt.Fprintf(w, "gate %s/%s: FAIL (baseline %s unreadable: %v — refresh it with `make bench-baseline`)\n",
+				g.experiment, g.metric, path, err)
 			ok = false
 			continue
 		}
 		want, found := metricValue(base.Metrics, g.metric)
 		if !found {
-			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (metric missing from baseline %s)\n", g.experiment, g.metric, path)
+			fmt.Fprintf(w, "gate %s/%s: FAIL (metric missing from baseline %s — refresh it with `make bench-baseline`)\n",
+				g.experiment, g.metric, path)
 			ok = false
 			continue
 		}
 		floor := want * g.minRatio
 		if cur < floor {
-			fmt.Fprintf(os.Stderr, "gate %s/%s: FAIL (%.3f < %.3f = baseline %.3f × %.2f)\n",
+			fmt.Fprintf(w, "gate %s/%s: FAIL (%.3f < %.3f = baseline %.3f × %.2f)\n",
 				g.experiment, g.metric, cur, floor, want, g.minRatio)
 			ok = false
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "gate %s/%s: ok (%.3f vs baseline %.3f, floor %.3f)\n",
+		fmt.Fprintf(w, "gate %s/%s: ok (%.3f vs baseline %.3f, floor %.3f)\n",
 			g.experiment, g.metric, cur, want, floor)
 	}
 	return ok

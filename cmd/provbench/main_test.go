@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// fakeResults fabricates fresh results carrying every gated metric at the
+// given value.
+func fakeResults(value float64) []experiments.Result {
+	byExp := map[string][]experiments.Metric{}
+	for _, g := range gates {
+		byExp[g.experiment] = append(byExp[g.experiment], experiments.Metric{Name: g.metric, Value: value, Unit: "x"})
+	}
+	var out []experiments.Result
+	for id, ms := range byExp {
+		out = append(out, experiments.Result{ID: id, Title: id, Metrics: ms})
+	}
+	return out
+}
+
+func writeBaseline(t *testing.T, dir string, value float64) {
+	t.Helper()
+	for _, r := range fakeResults(value) {
+		data, err := json.Marshal(benchFile{ID: r.ID, Title: r.Title, Metrics: r.Metrics})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_"+r.ID+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckMissingBaselineFailsLoudly is the regression test for the
+// nil-baseline path: a gate whose baseline file is absent must fail with
+// an actionable message, not panic or silently pass.
+func TestCheckMissingBaselineFailsLoudly(t *testing.T) {
+	dir := t.TempDir() // empty: no baseline files at all
+	var out strings.Builder
+	if check(dir, fakeResults(2.0), &out) {
+		t.Fatalf("check passed with no baseline files:\n%s", out.String())
+	}
+	msg := out.String()
+	if !strings.Contains(msg, "no baseline") || !strings.Contains(msg, "make bench-baseline") {
+		t.Fatalf("missing-baseline failure is not actionable:\n%s", msg)
+	}
+	// Every known gate must have reported, none skipped.
+	for _, g := range gates {
+		if !strings.Contains(msg, g.experiment+"/"+g.metric) {
+			t.Fatalf("gate %s/%s missing from output:\n%s", g.experiment, g.metric, msg)
+		}
+	}
+}
+
+// TestCheckCorruptBaselineFailsLoudly covers the unreadable-baseline path.
+func TestCheckCorruptBaselineFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	for _, g := range gates {
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_"+g.experiment+".json"), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out strings.Builder
+	if check(dir, fakeResults(2.0), &out) {
+		t.Fatal("check passed with corrupt baselines")
+	}
+	if !strings.Contains(out.String(), "unreadable") {
+		t.Fatalf("corrupt-baseline failure unclear:\n%s", out.String())
+	}
+}
+
+// TestCheckPassAndRegress covers the healthy pass and the regression trip.
+func TestCheckPassAndRegress(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline(t, dir, 2.0)
+	var out strings.Builder
+	if !check(dir, fakeResults(2.0), &out) {
+		t.Fatalf("check failed against equal baseline:\n%s", out.String())
+	}
+	out.Reset()
+	// Far below every gate's floor (min ratio ≥ 0.3 of 2.0).
+	if check(dir, fakeResults(0.1), &out) {
+		t.Fatalf("regression not caught:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("regression output lacks FAIL verdict:\n%s", out.String())
+	}
+	out.Reset()
+	// An experiment that never ran must fail its gates, not skip them.
+	if check(dir, nil, &out) {
+		t.Fatal("check passed with no experiments run")
+	}
+	if !strings.Contains(out.String(), "not run") {
+		t.Fatalf("not-run failure unclear:\n%s", out.String())
+	}
+}

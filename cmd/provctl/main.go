@@ -3,9 +3,10 @@
 //	provctl validate wf.json              check a workflow specification
 //	provctl show wf.json [-format ascii|dot]
 //	provctl hash wf.json                  content hash (prospective identity)
-//	provctl run wf.json [-store DIR] [-cache] [-shards N]   execute with provenance capture
+//	provctl run wf.json [-store DIR] [-cache] [-shards N] [-durability none|fsync|group] [-checkpoint-every N]
 //	provctl query -store DIR [-cache] [-shards N] 'PQL'     query stored provenance
 //	provctl lineage -store DIR [-cache] [-shards N] ENTITY  upstream closure of an entity
+//	provctl checkpoint -store DIR [-shards N]               snapshot folded state next to the log
 //	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
 //	provctl demo NAME                     print a built-in workflow as JSON
 //	                                      (medimg, medimg-smooth, genomics,
@@ -22,8 +23,18 @@
 // -shards N partitions the store across N hash-routed shards
 // (internal/store/shardedstore): with -store DIR the shards are file-backed
 // under DIR/shard-000…, otherwise in-memory. A store directory must be
-// reopened with the same shard count it was written with. -cache wraps the
-// sharded router unchanged.
+// reopened with the same shard count it was written with — any mismatch is
+// rejected loudly. -cache wraps the sharded router unchanged.
+//
+// -durability selects the write-path guarantee of run's ingest: none (OS
+// buffered, the default), fsync (one fsync per append) or group
+// (write-ahead group commit: concurrent appends coalesce into batches
+// sharing one fsync — the durable mode for multi-writer ingest).
+//
+// -checkpoint-every N snapshots the store's folded state (and, with
+// -cache, the memoized closures) every N ingests; `provctl checkpoint`
+// does the same explicitly. A checkpointed store reopens by replaying only
+// the log suffix past the snapshot and serves warm closures immediately.
 package main
 
 import (
@@ -37,8 +48,6 @@ import (
 	"repro/internal/opm"
 	"repro/internal/query/pql"
 	"repro/internal/store"
-	"repro/internal/store/closurecache"
-	"repro/internal/store/shardedstore"
 	"repro/internal/vis"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
@@ -64,6 +73,8 @@ func main() {
 		err = cmdQuery(args)
 	case "lineage":
 		err = cmdLineage(args)
+	case "checkpoint":
+		err = cmdCheckpoint(args)
 	case "export":
 		err = cmdExport(args)
 	case "demo":
@@ -79,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|export|demo> ...`)
+	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|export|demo> ...`)
 }
 
 func loadWorkflow(path string) (*workflow.Workflow, error) {
@@ -143,28 +154,60 @@ func cmdHash(args []string) error {
 	return nil
 }
 
-// openBacking opens the persistent backing store for a store directory:
-// one FileStore, or a sharded router over file-backed shards when
-// shards > 1.
-func openBacking(storeDir string, shards int) (store.Store, error) {
-	if shards > 1 {
-		return shardedstore.Open(storeDir, shards, false)
-	}
-	return store.OpenFileStore(storeDir)
+// storeFlags are the persistent-store options shared by run, query,
+// lineage and checkpoint, resolved into core.Options.
+type storeFlags struct {
+	storeDir   string
+	cache      bool
+	shards     int
+	durability string
+	ckptEvery  int
 }
 
-func newSystem(storeDir string, closureCache bool, shards int) (*core.System, func(), error) {
-	var st store.Store
+func (f *storeFlags) register(fs *flag.FlagSet, withWritePath bool) {
+	fs.StringVar(&f.storeDir, "store", "", "provenance store directory")
+	fs.BoolVar(&f.cache, "cache", false, "serve closures through the incrementally maintained cache (persisted next to the log)")
+	fs.IntVar(&f.shards, "shards", 1, "shard count the store directory is (or will be) written with")
+	if withWritePath {
+		fs.StringVar(&f.durability, "durability", "none", "ingest durability: none, fsync, or group (group-commit WAL)")
+		fs.IntVar(&f.ckptEvery, "checkpoint-every", 0, "snapshot the store every N ingests (0: only explicit checkpoints)")
+	} else {
+		f.durability = "none"
+	}
+}
+
+func (f *storeFlags) options() (core.Options, error) {
+	d, err := store.ParseDurability(f.durability)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		StoreDir:           f.storeDir,
+		Shards:             f.shards,
+		EnableClosureCache: f.cache,
+		Durability:         d,
+		CheckpointEvery:    f.ckptEvery,
+		Agent:              os.Getenv("USER"),
+	}, nil
+}
+
+func newSystem(f *storeFlags) (*core.System, func(), error) {
+	opt, err := f.options()
+	if err != nil {
+		return nil, nil, err
+	}
+	var sys *core.System
 	cleanup := func() {}
-	if storeDir != "" {
-		backing, err := openBacking(storeDir, shards)
+	if f.storeDir != "" {
+		var closer func() error
+		sys, closer, err = core.NewPersistentSystem(opt)
 		if err != nil {
 			return nil, nil, err
 		}
-		st = backing
-		cleanup = func() { backing.Close() }
+		cleanup = func() { closer() }
+	} else {
+		sys = core.NewSystem(opt)
 	}
-	sys := core.NewSystem(core.Options{Store: st, Shards: shards, Agent: os.Getenv("USER"), EnableClosureCache: closureCache})
 	workloads.RegisterAll(sys.Registry)
 	dbprov.RegisterRelationalModules(sys.Registry)
 	return sys, cleanup, nil
@@ -172,24 +215,24 @@ func newSystem(storeDir string, closureCache bool, shards int) (*core.System, fu
 
 // openStore opens the store for a query-side command — file-backed, sharded
 // when requested — optionally wrapped in the incrementally maintained
-// closure cache (the cache layers above the sharded router unchanged).
-func openStore(storeDir string, closureCache bool, shards int) (store.Store, func(), error) {
-	backing, err := openBacking(storeDir, shards)
+// closure cache, which restores its persisted snapshot so repeated CLI
+// queries start warm.
+func openStore(f *storeFlags) (store.Store, func(), error) {
+	opt, err := f.options()
 	if err != nil {
 		return nil, nil, err
 	}
-	st := backing
-	if closureCache {
-		st = closurecache.Wrap(backing)
+	st, closer, err := core.OpenPersistentStore(opt)
+	if err != nil {
+		return nil, nil, err
 	}
-	return st, func() { backing.Close() }, nil
+	return st, func() { closer() }, nil
 }
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	storeDir := fs.String("store", "", "persist provenance to this directory")
-	cache := fs.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
-	shards := fs.Int("shards", 1, "partition the store across N hash-routed shards")
+	var sf storeFlags
+	sf.register(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,7 +243,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, cleanup, err := newSystem(*storeDir, *cache, *shards)
+	sys, cleanup, err := newSystem(&sf)
 	if err != nil {
 		return err
 	}
@@ -216,16 +259,15 @@ func cmdRun(args []string) error {
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
-	storeDir := fs.String("store", "", "provenance store directory")
-	cache := fs.Bool("cache", false, "serve closures through the incrementally maintained cache")
-	shards := fs.Int("shards", 1, "shard count the store directory was written with")
+	var sf storeFlags
+	sf.register(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 || *storeDir == "" {
+	if fs.NArg() != 1 || sf.storeDir == "" {
 		return fmt.Errorf("query: want -store DIR and one PQL query")
 	}
-	st, cleanup, err := openStore(*storeDir, *cache, *shards)
+	st, cleanup, err := openStore(&sf)
 	if err != nil {
 		return err
 	}
@@ -240,17 +282,16 @@ func cmdQuery(args []string) error {
 
 func cmdLineage(args []string) error {
 	fs := flag.NewFlagSet("lineage", flag.ContinueOnError)
-	storeDir := fs.String("store", "", "provenance store directory")
+	var sf storeFlags
+	sf.register(fs, false)
 	down := fs.Bool("dependents", false, "downstream instead of upstream")
-	cache := fs.Bool("cache", false, "serve closures through the incrementally maintained cache")
-	shards := fs.Int("shards", 1, "shard count the store directory was written with")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 || *storeDir == "" {
+	if fs.NArg() != 1 || sf.storeDir == "" {
 		return fmt.Errorf("lineage: want -store DIR and one entity ID")
 	}
-	st, cleanup, err := openStore(*storeDir, *cache, *shards)
+	st, cleanup, err := openStore(&sf)
 	if err != nil {
 		return err
 	}
@@ -268,6 +309,40 @@ func cmdLineage(args []string) error {
 	for _, id := range ids {
 		fmt.Println(id)
 	}
+	return nil
+}
+
+// cmdCheckpoint snapshots a store directory's folded state (and, with
+// -cache, the closure cache's entries) next to its log, so the next open
+// replays only the log suffix written after this point.
+func cmdCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("checkpoint", flag.ContinueOnError)
+	var sf storeFlags
+	sf.register(fs, false)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 || sf.storeDir == "" {
+		return fmt.Errorf("checkpoint: want -store DIR (plus -shards N for sharded stores)")
+	}
+	st, cleanup, err := openStore(&sf)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	ck, ok := st.(store.Checkpointer)
+	if !ok {
+		return fmt.Errorf("checkpoint: store %s cannot checkpoint", st.Name())
+	}
+	if err := ck.Checkpoint(); err != nil {
+		return err
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written: %d runs, %d events, %d log bytes covered\n",
+		stats.Runs, stats.Events, stats.Bytes)
 	return nil
 }
 

@@ -9,7 +9,9 @@
 //
 //	provd -addr :8080                      # empty repository
 //	provd -addr :8080 -seed 7 -users 20    # with a synthetic community
-//	provd -store /var/lib/provd            # durable file-backed store
+//	provd -store /var/lib/provd            # file-backed store
+//	provd -durability group                # group-commit WAL durable ingest
+//	provd -checkpoint-every 256            # periodic snapshots for warm restarts
 //	provd -cache                           # incremental closure cache
 //	provd -shards 4                        # hash-partitioned sharded store
 //
@@ -24,7 +26,17 @@
 // closure endpoints scatter/gather each BFS frontier across the shards in
 // parallel. Combined with -store DIR the shards are file-backed under
 // DIR/shard-000…; a directory must be reopened with the shard count it was
-// written with. -cache wraps the sharded router unchanged.
+// written with (mismatches are rejected loudly). -cache wraps the sharded
+// router unchanged.
+//
+// With -store DIR, -durability selects the ingest guarantee — none,
+// fsync (one fsync per published run) or group (write-ahead group commit:
+// concurrent publishes coalesce into batches sharing one fsync; the
+// durable mode meant for this daemon's multi-writer ingest) — and
+// -checkpoint-every N snapshots the folded store state plus the closure
+// cache's entries every N publishes, so a daemon restart replays only the
+// log suffix and serves warm closures immediately instead of recomputing
+// them cold.
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"net/http"
 
 	"repro/internal/collab"
+	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
 	"repro/internal/store/shardedstore"
@@ -40,38 +53,50 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		storeDir = flag.String("store", "", "directory for a durable file store (default: in-memory)")
-		cache    = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
-		shards   = flag.Int("shards", 1, "partition the store across N hash-routed shards")
-		seed     = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
-		users    = flag.Int("users", 10, "synthetic community size")
-		runsEach = flag.Int("runs", 3, "synthetic runs published per user")
+		addr       = flag.String("addr", ":8080", "listen address")
+		storeDir   = flag.String("store", "", "directory for a durable file store (default: in-memory)")
+		cache      = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
+		shards     = flag.Int("shards", 1, "partition the store across N hash-routed shards")
+		durability = flag.String("durability", "none", "ingest durability with -store: none, fsync, or group (group-commit WAL)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "with -store: snapshot the store (and cache) every N published runs")
+		seed       = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
+		users      = flag.Int("users", 10, "synthetic community size")
+		runsEach   = flag.Int("runs", 3, "synthetic runs published per user")
 	)
 	flag.Parse()
 
+	dur, err := store.ParseDurability(*durability)
+	if err != nil {
+		log.Fatalf("provd: %v", err)
+	}
 	var st store.Store
 	switch {
-	case *storeDir != "" && *shards > 1:
-		r, err := shardedstore.Open(*storeDir, *shards, false)
-		if err != nil {
-			log.Fatalf("provd: open sharded store: %v", err)
-		}
-		defer r.Close()
-		st = r
 	case *storeDir != "":
-		fs, err := store.OpenFileStore(*storeDir)
+		persistent, closer, err := core.OpenPersistentStore(core.Options{
+			StoreDir:           *storeDir,
+			Shards:             *shards,
+			Durability:         dur,
+			CheckpointEvery:    *ckptEvery,
+			EnableClosureCache: *cache,
+		})
 		if err != nil {
 			log.Fatalf("provd: open store: %v", err)
 		}
-		defer fs.Close()
-		st = fs
+		defer closer()
+		st = persistent
+		if *cache {
+			if c, ok := st.(*closurecache.Cache); ok {
+				if m := c.Metrics(); m.Restored > 0 {
+					log.Printf("provd: restored %d warm closures from snapshot", m.Restored)
+				}
+			}
+		}
 	case *shards > 1:
 		st = shardedstore.NewMem(*shards)
 	default:
 		st = store.NewMemStore()
 	}
-	if *cache {
+	if *cache && *storeDir == "" {
 		st = closurecache.Wrap(st)
 	}
 	repo := collab.NewRepository(st)

@@ -51,6 +51,21 @@ type Options struct {
 	// and pushed-down Datalog closures memoize per (root, direction), and
 	// each Run's ingest patches the affected cached closures in place.
 	EnableClosureCache bool
+	// StoreDir roots a persistent file-backed store; used by
+	// OpenPersistentStore / NewPersistentSystem, which assemble the
+	// FileStore or sharded router (plus persistent closure cache) there.
+	StoreDir string
+	// Durability selects what an accepted persistent ingest guarantees:
+	// DurabilityNone (default), DurabilityFsync (one fsync per append) or
+	// DurabilityGroup (write-ahead group commit — concurrent appends
+	// share one fsync per batch; see internal/store/wal).
+	Durability store.Durability
+	// CheckpointEvery, when positive, snapshots the persistent store's
+	// folded state — and the closure cache's entries, when enabled —
+	// every N accepted ingests, so a reopen replays only the log suffix
+	// and serves warm closures immediately (see System.Checkpoint for the
+	// explicit form, and `provctl checkpoint` for the offline one).
+	CheckpointEvery int
 	// Agent names the user; Environment is recorded on every run.
 	Agent       string
 	Environment map[string]string
@@ -87,7 +102,12 @@ func NewSystem(opt Options) *System {
 	if opt.EnableClosureCache {
 		// The cache wraps any Store, so it layers above the sharded router
 		// unchanged: memoized closures stay warm across sharded ingests.
-		s.Store = closurecache.Wrap(s.Store)
+		// A store assembled by OpenPersistentStore arrives already wrapped
+		// (with its snapshot directory configured); don't stack a second
+		// cold cache on top of it.
+		if _, wrapped := s.Store.(*closurecache.Cache); !wrapped {
+			s.Store = closurecache.Wrap(s.Store)
+		}
 	}
 	if opt.EnableCache {
 		s.Cache = engine.NewCache()

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Durability selects what an accepted file-store ingest guarantees:
+//
+//   - DurabilityNone: the record reached the OS; a power loss may drop it.
+//   - DurabilityFsync: one fsync per append — an accepted ingest survives
+//     power loss, at one commit latency per run.
+//   - DurabilityGroup: group commit — concurrent appends coalesce into
+//     batches committed with a single buffered write + one fsync each
+//     (internal/store/wal), so an accepted ingest still survives power
+//     loss but N concurrent writers share ~one fsync instead of paying N.
+type Durability int
+
+// Durability modes, ordered by increasing write-path cost per append.
+const (
+	DurabilityNone Durability = iota
+	DurabilityFsync
+	DurabilityGroup
+)
+
+// String implements fmt.Stringer with the wire form used by CLI flags.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityNone:
+		return "none"
+	case DurabilityFsync:
+		return "fsync"
+	case DurabilityGroup:
+		return "group"
+	}
+	return fmt.Sprintf("Durability(%d)", int(d))
+}
+
+// ParseDurability maps the CLI flag form ("none", "fsync", "group") to a
+// Durability.
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "none":
+		return DurabilityNone, nil
+	case "fsync":
+		return DurabilityFsync, nil
+	case "group":
+		return DurabilityGroup, nil
+	}
+	return 0, fmt.Errorf("store: unknown durability %q (want none, fsync or group)", s)
+}
+
+// FileOptions configures a file-backed store's durability and checkpoint
+// behavior. The zero value is the historical OpenFileStore behavior: no
+// fsync, no automatic checkpoints.
+type FileOptions struct {
+	// Durability selects the append commit guarantee.
+	Durability Durability
+	// CheckpointEvery, when positive, writes a checkpoint automatically
+	// after every N accepted ingests, bounding reopen replay to the last
+	// N runs' log suffix.
+	CheckpointEvery int
+	// GroupFlushDelay, when positive, lets a group-commit leader whose
+	// batch holds a single record wait this long for joiners — useful on
+	// media whose fsync is too fast for commit-latency overlap to batch.
+	// 0 (default) batches purely by overlapping the in-flight commit.
+	GroupFlushDelay time.Duration
+	// MaxBatchBytes caps a group-commit batch (default 1 MiB).
+	MaxBatchBytes int
+}
+
+// Checkpointer is implemented by stores that can snapshot their folded
+// state next to their log so a reopen replays only the log suffix: the
+// file store, the sharded router (per-shard checkpoints plus a manifest
+// record), and the closure cache (which also persists its entries).
+type Checkpointer interface {
+	// Checkpoint writes a consistent snapshot to stable storage. It is
+	// safe to call concurrently with reads and ingests; ingests admitted
+	// after the snapshot point are simply replayed at the next reopen.
+	Checkpoint() error
+}
+
+// AutoCheckpoint triggers a background best-effort checkpoint every N
+// accepted ingests, at most one in flight: the shared every-N /
+// single-flight / fire-and-forget discipline of FileStore, the sharded
+// router and the closure cache. The zero value (or every <= 0) never
+// fires.
+type AutoCheckpoint struct {
+	every uint64
+	count atomic.Uint64
+	busy  atomic.Bool
+}
+
+// NewAutoCheckpoint returns a trigger firing every N ingests (n <= 0:
+// never).
+func NewAutoCheckpoint(n int) *AutoCheckpoint {
+	t := &AutoCheckpoint{}
+	if n > 0 {
+		t.every = uint64(n)
+	}
+	return t
+}
+
+// Tick counts one accepted ingest and, on every Nth, runs checkpoint in a
+// background goroutine unless one is already in flight. Failures are
+// dropped: the log is authoritative, a skipped snapshot only costs reopen
+// time.
+func (t *AutoCheckpoint) Tick(checkpoint func() error) {
+	if t == nil || t.every == 0 {
+		return
+	}
+	if t.count.Add(1)%t.every == 0 && t.busy.CompareAndSwap(false, true) {
+		go func() {
+			defer t.busy.Store(false)
+			_ = checkpoint()
+		}()
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/provenance"
+	"repro/internal/store/wal"
 )
 
 // FileStore persists run logs to an append-only JSON-lines file, the
@@ -21,18 +22,46 @@ import (
 // log, so closure queries perform zero disk reads after open. Full-entity
 // and run-log retrieval still load the owning log from disk, which keeps
 // this the most durable — and for record retrieval the slowest — backend.
-// Reopening a store directory rebuilds both indexes by scanning the log,
+//
+// Appends go through a write-ahead group-commit writer (internal/store/
+// wal): under DurabilityGroup, concurrent PutRunLog calls coalesce into
+// batches sharing one fsync; under DurabilityFsync every append pays its
+// own; under DurabilityNone nothing syncs. Reads take a shared lock, so
+// concurrent closure sweeps never serialize against each other — only
+// against the brief index fold of each accepted ingest.
+//
+// Reopening a store directory rebuilds the indexes by scanning the log,
 // truncating any torn trailing record (crash recovery); a truncated record
 // is never indexed, so the adjacency index stays consistent with the
-// surviving bytes.
+// surviving bytes. When a checkpoint file is present (see Checkpoint), the
+// scan starts at the checkpointed offset instead of zero: the snapshot
+// restores the folded indexes and only the log suffix replays, making
+// restarts O(suffix) instead of O(history). The pre-checkpoint prefix is
+// never read at open — only index recovery is prefix-free; full-record
+// retrieval (RunLog/Artifact/Execution) still reads the owning record's
+// bytes, so archiving the prefix sacrifices retrieval of those runs while
+// navigation and closures stay fully served.
 type FileStore struct {
-	mu      sync.Mutex
-	dir     string
-	f       *os.File
-	durable bool
+	mu  sync.RWMutex
+	dir string
+	f   *os.File
+	opt FileOptions
+	w   *wal.Writer
+
 	offsets map[string]int64 // runID -> byte offset
-	order   []string         // runIDs in append order
-	size    int64
+	order   []string         // runIDs in log-offset order
+	size    int64            // contiguous fold watermark: every record below is indexed
+
+	// Fold coordination: WAL commits are in offset order, but writers
+	// re-acquire the store lock in arbitrary order, so committed records
+	// queue here and fold strictly at the watermark — the in-memory
+	// index always equals a replay of the log prefix [0, size), which is
+	// what recover() reproduces and what a checkpoint snapshots.
+	pending   map[string]bool      // run IDs reserved by in-flight ingests
+	foldQueue map[int64]*foldEntry // committed, not-yet-indexed records by offset
+	foldCond  *sync.Cond           // watermark advance
+	autoCkpt  *AutoCheckpoint
+	lastCkpt  int64 // LogOffset of the last checkpoint written (-1: none)
 
 	// Resident adjacency and entity-kind index: navigation never touches
 	// disk. Owners are tracked per kind so an ID stored as an artifact by
@@ -48,28 +77,41 @@ type FileStore struct {
 	nAnns   int
 }
 
-const logFileName = "provlog.jsonl"
+// LogFileName is the append-only run-log file inside a FileStore
+// directory; tools (and the sharded router's layout detection) key on it.
+const LogFileName = "provlog.jsonl"
 
-// OpenFileStore opens (or creates) a file store rooted at dir, scanning any
-// existing log to rebuild the offset and adjacency indexes.
+// checkpointFileName holds the FileStore's folded-state snapshot.
+const checkpointFileName = "checkpoint.json"
+
+// CheckpointPath returns the checkpoint file a FileStore rooted at dir
+// writes; tools (and E15's cold-reopen measurement) remove it to force a
+// full-scan reopen.
+func CheckpointPath(dir string) string { return filepath.Join(dir, checkpointFileName) }
+
+// OpenFileStore opens (or creates) a file store rooted at dir with no
+// fsync on append — the historical default.
 func OpenFileStore(dir string) (*FileStore, error) {
-	return openFileStore(dir, false)
+	return OpenFileStoreWith(dir, FileOptions{})
 }
 
 // OpenFileStoreDurable is OpenFileStore with per-append fsync: every
 // PutRunLog syncs the log to stable storage before returning, so an
 // accepted ingest survives power loss, at the cost of one commit latency
-// per run. The sharded router overlaps these commits across shards, which
-// is what its multi-shard ingest-throughput win (experiment E14) measures.
+// per run. For concurrent writers, DurabilityGroup (OpenFileStoreWith)
+// amortizes that latency across a whole batch.
 func OpenFileStoreDurable(dir string) (*FileStore, error) {
-	return openFileStore(dir, true)
+	return OpenFileStoreWith(dir, FileOptions{Durability: DurabilityFsync})
 }
 
-func openFileStore(dir string, durable bool) (*FileStore, error) {
+// OpenFileStoreWith opens (or creates) a file store rooted at dir with
+// explicit durability and checkpoint configuration, loading a checkpoint
+// snapshot when one is present so only the log suffix replays.
+func OpenFileStoreWith(dir string, opt FileOptions) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
-	path := filepath.Join(dir, logFileName)
+	path := filepath.Join(dir, LogFileName)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open log: %w", err)
@@ -77,28 +119,101 @@ func openFileStore(dir string, durable bool) (*FileStore, error) {
 	s := &FileStore{
 		dir:       dir,
 		f:         f,
-		durable:   durable,
+		opt:       opt,
 		offsets:   map[string]int64{},
+		pending:   map[string]bool{},
+		foldQueue: map[int64]*foldEntry{},
+		autoCkpt:  NewAutoCheckpoint(opt.CheckpointEvery),
+		lastCkpt:  -1,
 		artOwner:  map[string]string{},
 		execOwner: map[string]string{},
 		adj:       newAdjacency(),
 	}
+	s.foldCond = sync.NewCond(&s.mu)
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	policy := wal.SyncNone
+	switch opt.Durability {
+	case DurabilityFsync:
+		policy = wal.SyncEachAppend
+	case DurabilityGroup:
+		policy = wal.SyncBatch
+	}
+	s.w = wal.NewWriter(f, s.size, wal.Options{
+		Policy:        policy,
+		FlushDelay:    opt.GroupFlushDelay,
+		MaxBatchBytes: opt.MaxBatchBytes,
+	})
 	return s, nil
 }
 
-// recover scans the log, indexing complete records and truncating a torn
-// trailing record if present. Only records surviving truncation reach
-// index(), so the adjacency index never holds edges from torn bytes.
+// fileCheckpoint is the on-disk snapshot of a FileStore's folded state:
+// everything recover would rebuild by scanning the log up to LogOffset.
+type fileCheckpoint struct {
+	LogOffset int64               `json:"log_offset"`
+	Order     []string            `json:"order"`
+	Offsets   map[string]int64    `json:"offsets"`
+	ArtOwner  map[string]string   `json:"art_owner"`
+	ExecOwner map[string]string   `json:"exec_owner"`
+	GenBy     map[string]string   `json:"gen_by"`
+	Consumers map[string][]string `json:"consumers"`
+	Used      map[string][]string `json:"used"`
+	Generated map[string][]string `json:"generated"`
+	Events    int                 `json:"events"`
+	Anns      int                 `json:"annotations"`
+}
+
+// recover restores the indexes: from the checkpoint snapshot when a valid
+// one exists (replaying only the log suffix past its offset), otherwise by
+// scanning the whole log. A torn trailing record is truncated; only
+// records surviving truncation reach index(), so the adjacency index never
+// holds edges from torn bytes.
 func (s *FileStore) recover() error {
-	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
-		return err
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat log: %w", err)
 	}
-	r := bufio.NewReaderSize(s.f, 1<<20)
-	var offset int64
+	logSize := fi.Size()
+
+	var from int64
+	var ck fileCheckpoint
+	if ok, err := wal.LoadCheckpoint(filepath.Join(s.dir, checkpointFileName), &ck); err != nil {
+		return err
+	} else if ok && ck.LogOffset <= logSize && s.alignedOffset(ck.LogOffset) {
+		// The snapshot is authoritative for the prefix: restore it and
+		// replay only the suffix. The prefix bytes are never read here.
+		s.offsets = ck.Offsets
+		s.order = ck.Order
+		s.artOwner = ck.ArtOwner
+		s.execOwner = ck.ExecOwner
+		s.adj = adjacency{genBy: ck.GenBy, consumers: ck.Consumers, used: ck.Used, generated: ck.Generated}
+		ensureAdjacency(&s.adj)
+		if s.offsets == nil {
+			s.offsets = map[string]int64{}
+		}
+		if s.artOwner == nil {
+			s.artOwner = map[string]string{}
+		}
+		if s.execOwner == nil {
+			s.execOwner = map[string]string{}
+		}
+		s.nEvents = ck.Events
+		s.nAnns = ck.Anns
+		s.lastCkpt = ck.LogOffset
+		from = ck.LogOffset
+	}
+	// A checkpoint claiming more log than exists, or an offset that does
+	// not land on a record boundary, is stale (the log was replaced or
+	// truncated by hand): fall back to the full scan with fresh state,
+	// which the zero `from` above already encodes. Without the boundary
+	// check a misaligned suffix scan would misparse its first line and
+	// truncate valid records — the log is authoritative, so a suspect
+	// checkpoint must never cost log bytes.
+
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, from, logSize-from), 1<<20)
+	offset := from
 	for {
 		line, err := r.ReadBytes('\n')
 		if err == io.EOF {
@@ -126,8 +241,37 @@ func (s *FileStore) recover() error {
 		offset += int64(len(line))
 	}
 	s.size = offset
-	_, err := s.f.Seek(offset, io.SeekStart)
-	return err
+	return nil
+}
+
+// alignedOffset reports whether a checkpoint offset sits on a record
+// boundary of the current log: zero, or immediately after a newline.
+func (s *FileStore) alignedOffset(off int64) bool {
+	if off == 0 {
+		return true
+	}
+	var b [1]byte
+	if _, err := s.f.ReadAt(b[:], off-1); err != nil {
+		return false
+	}
+	return b[0] == '\n'
+}
+
+// ensureAdjacency replaces nil maps from a decoded checkpoint (empty maps
+// marshal to null) with empty ones.
+func ensureAdjacency(a *adjacency) {
+	if a.genBy == nil {
+		a.genBy = map[string]string{}
+	}
+	if a.consumers == nil {
+		a.consumers = map[string][]string{}
+	}
+	if a.used == nil {
+		a.used = map[string][]string{}
+	}
+	if a.generated == nil {
+		a.generated = map[string][]string{}
+	}
 }
 
 // index records a run log's offset and folds its entities and events into
@@ -148,14 +292,34 @@ func (s *FileStore) index(l *provenance.RunLog, offset int64) {
 }
 
 var _ Store = (*FileStore)(nil)
+var _ Checkpointer = (*FileStore)(nil)
 
 // Name implements Store.
 func (s *FileStore) Name() string { return "file" }
 
+// Durability reports the store's append commit guarantee.
+func (s *FileStore) Durability() Durability { return s.opt.Durability }
+
+// WALMetrics snapshots the append log's counters — appends, batches and
+// fsyncs — the observable behind E15's fsync-reduction claim.
+func (s *FileStore) WALMetrics() wal.Metrics { return s.w.Metrics() }
+
+// foldEntry is one WAL-committed record waiting for its turn at the fold
+// watermark.
+type foldEntry struct {
+	l   *provenance.RunLog
+	end int64
+}
+
 // PutRunLog implements Store. Validation and encoding run outside the
-// store lock, so concurrent writers (to this store or to sibling shards
-// behind a router) marshal while another append's commit is in flight; the
-// lock covers only the append, the optional fsync and the index fold.
+// store lock; the append itself goes through the group-commit writer, so
+// concurrent writers coalesce into shared batches (one fsync per batch
+// under DurabilityGroup) instead of serializing their commits. The store
+// lock covers only the duplicate-ID reservation and, after the WAL
+// acknowledges the batch, the index fold — performed in strict log-offset
+// order via the watermark queue, so the live index, a checkpoint snapshot
+// and a reopen replay all agree on last-write-wins tie-breaks and Runs()
+// order even when writers re-acquire the lock out of commit order.
 func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
 	if err := l.Validate(); err != nil {
 		return err
@@ -165,41 +329,132 @@ func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
 		return fmt.Errorf("store: encode run %s: %w", l.Run.ID, err)
 	}
 	data = append(data, '\n')
+
+	// Reserve the run ID so concurrent duplicates cannot both commit.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.offsets[l.Run.ID]; dup {
+	if s.pending[l.Run.ID] {
+		s.mu.Unlock()
 		return fmt.Errorf("store: run %q already stored", l.Run.ID)
 	}
-	if _, err := s.f.Write(data); err != nil {
-		s.discardTail()
-		return fmt.Errorf("store: append run %s: %w", l.Run.ID, err)
+	if _, dup := s.offsets[l.Run.ID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("store: run %q already stored", l.Run.ID)
 	}
-	if s.durable {
-		if err := s.f.Sync(); err != nil {
-			s.discardTail()
-			return fmt.Errorf("store: sync run %s: %w", l.Run.ID, err)
+	s.pending[l.Run.ID] = true
+	s.mu.Unlock()
+
+	off, werr := s.w.Append(data)
+
+	s.mu.Lock()
+	delete(s.pending, l.Run.ID)
+	if werr != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: append run %s: %w", l.Run.ID, werr)
+	}
+	end := off + int64(len(data))
+	s.foldQueue[off] = &foldEntry{l: l, end: end}
+	// Fold everything contiguous at the watermark. A successful append at
+	// offset X implies every lower offset's append also succeeded (WAL
+	// batches commit in order and a failure poisons all successors), and
+	// each of those writers is past its Append return, so any gap below
+	// us is filled by a writer that is about to take this lock: waiting
+	// for our own record to fold always terminates.
+	advanced := false
+	for {
+		fe, ok := s.foldQueue[s.size]
+		if !ok {
+			break
 		}
+		delete(s.foldQueue, s.size)
+		s.index(fe.l, s.size)
+		s.size = fe.end
+		advanced = true
 	}
-	s.index(l, s.size)
-	s.size += int64(len(data))
+	if advanced {
+		s.foldCond.Broadcast()
+	}
+	for s.size < end {
+		s.foldCond.Wait()
+	}
+	s.mu.Unlock()
+	s.autoCkpt.Tick(s.Checkpoint)
 	return nil
 }
 
-// discardTail truncates the log back to the last indexed record after a
-// failed append or sync, so the rejected run's bytes are neither counted
-// against later runs' offsets nor resurrected by the next recover scan.
-// The seek is unconditional: even if the truncate fails, the next append
-// must land at s.size (overwriting the orphan) for the offset index to
-// stay correct. Fully best-effort beyond that — if the device is gone, the
-// orphan is at least never indexed in this process, and a torn tail is
-// dropped by recover at next open; a fully written record whose sync,
-// truncate and overwrite all failed can still resurface then.
-func (s *FileStore) discardTail() {
-	_ = s.f.Truncate(s.size)
-	_, _ = s.f.Seek(s.size, io.SeekStart)
+// Checkpoint implements Checkpointer. The watermark invariant makes any
+// instant a consistent snapshot point — every record below s.size is
+// folded — so the snapshot copies the state under a read lock (readers
+// proceed, writers wait only for the copy), then the log is fsynced up to
+// the snapshot and the checkpoint file atomically installed, all outside
+// any lock.
+func (s *FileStore) Checkpoint() error {
+	s.mu.RLock()
+	ck := s.snapshotLocked()
+	s.mu.RUnlock()
+
+	// The snapshot covers only bytes written before their Append returned,
+	// which happened before the snapshot was taken: syncing now makes the
+	// whole covered prefix durable before the checkpoint claims it.
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: checkpoint sync: %w", err)
+	}
+	if err := wal.SaveCheckpoint(filepath.Join(s.dir, checkpointFileName), ck); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if ck.LogOffset > s.lastCkpt {
+		s.lastCkpt = ck.LogOffset
+	}
+	s.mu.Unlock()
+	return nil
 }
 
-// load reads the log owning a run ID from disk.
+// LastCheckpoint reports the log offset covered by the most recent
+// checkpoint (loaded or written), ok=false when none exists.
+func (s *FileStore) LastCheckpoint() (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastCkpt, s.lastCkpt >= 0
+}
+
+// snapshotLocked deep-copies the folded state; the caller holds at least
+// a read lock, and the watermark invariant guarantees every record below
+// s.size is indexed.
+func (s *FileStore) snapshotLocked() *fileCheckpoint {
+	return &fileCheckpoint{
+		LogOffset: s.size,
+		Order:     append([]string(nil), s.order...),
+		Offsets:   copyMap(s.offsets),
+		ArtOwner:  copyMap(s.artOwner),
+		ExecOwner: copyMap(s.execOwner),
+		GenBy:     copyMap(s.adj.genBy),
+		Consumers: copyListMap(s.adj.consumers),
+		Used:      copyListMap(s.adj.used),
+		Generated: copyListMap(s.adj.generated),
+		Events:    s.nEvents,
+		Anns:      s.nAnns,
+	}
+}
+
+func copyMap[V any](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyListMap(m map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(m))
+	for k, v := range m {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// load reads the log owning a run ID from disk; the caller holds at least
+// a read lock. The read is positional (ReadAt), so it never races the WAL
+// writer's appends past s.size.
 func (s *FileStore) load(runID string) (*provenance.RunLog, error) {
 	off, ok := s.offsets[runID]
 	if !ok {
@@ -219,23 +474,23 @@ func (s *FileStore) load(runID string) (*provenance.RunLog, error) {
 
 // RunLog implements Store.
 func (s *FileStore) RunLog(runID string) (*provenance.RunLog, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.load(runID)
 }
 
 // Runs implements Store.
 func (s *FileStore) Runs() ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]string(nil), s.order...), nil
 }
 
 // Artifact implements Store. Full entity records live only in the log, so
 // this loads the owning run from disk.
 func (s *FileStore) Artifact(id string) (*provenance.Artifact, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	runID, ok := s.artOwner[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: artifact %q", ErrNotFound, id)
@@ -253,8 +508,8 @@ func (s *FileStore) Artifact(id string) (*provenance.Artifact, error) {
 
 // Execution implements Store.
 func (s *FileStore) Execution(id string) (*provenance.Execution, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	runID, ok := s.execOwner[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: execution %q", ErrNotFound, id)
@@ -271,7 +526,7 @@ func (s *FileStore) Execution(id string) (*provenance.Execution, error) {
 }
 
 // known reports whether an ID names any stored entity; the caller holds
-// the store lock.
+// at least a read lock.
 func (s *FileStore) known(id string) bool {
 	_, isArt := s.artOwner[id]
 	_, isExec := s.execOwner[id]
@@ -281,8 +536,8 @@ func (s *FileStore) known(id string) bool {
 // GeneratorOf implements Store, answered from the resident adjacency
 // index without touching disk.
 func (s *FileStore) GeneratorOf(artifactID string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.known(artifactID) {
 		return "", fmt.Errorf("%w: entity %q", ErrNotFound, artifactID)
 	}
@@ -295,8 +550,8 @@ func (s *FileStore) GeneratorOf(artifactID string) (string, error) {
 
 // ConsumersOf implements Store, answered from the resident index.
 func (s *FileStore) ConsumersOf(artifactID string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.known(artifactID) {
 		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, artifactID)
 	}
@@ -305,8 +560,8 @@ func (s *FileStore) ConsumersOf(artifactID string) ([]string, error) {
 
 // Used implements Store, answered from the resident index.
 func (s *FileStore) Used(execID string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.known(execID) {
 		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, execID)
 	}
@@ -315,16 +570,16 @@ func (s *FileStore) Used(execID string) ([]string, error) {
 
 // Generated implements Store, answered from the resident index.
 func (s *FileStore) Generated(execID string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.known(execID) {
 		return nil, fmt.Errorf("%w: entity %q", ErrNotFound, execID)
 	}
 	return sortedUnique(s.adj.generated[execID]), nil
 }
 
-// kindLocked classifies an ID for traversal; the caller holds the store
-// lock. Artifact classification wins for an ID stored as both kinds,
+// kindLocked classifies an ID for traversal; the caller holds at least a
+// read lock. Artifact classification wins for an ID stored as both kinds,
 // matching the other backends.
 func (s *FileStore) kindLocked(id string) entityKind {
 	if _, isArt := s.artOwner[id]; isArt {
@@ -337,16 +592,17 @@ func (s *FileStore) kindLocked(id string) entityKind {
 }
 
 // neighborsLocked resolves one entity's frontier neighbors from the shared
-// adjacency core over the resident index; the caller holds the store lock.
+// adjacency core over the resident index; the caller holds at least a read
+// lock.
 func (s *FileStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
 	return s.adj.neighbors(id, dir, s.kindLocked(id))
 }
 
 // Expand implements Store: the whole frontier is served from the resident
-// index under one lock acquisition, zero disk reads.
+// index under one shared-lock acquisition, zero disk reads.
 func (s *FileStore) Expand(ids []string, dir Direction) (map[string][]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string][]string, len(ids))
 	for _, id := range ids {
 		if ns, ok := s.neighborsLocked(id, dir); ok {
@@ -357,18 +613,18 @@ func (s *FileStore) Expand(ids []string, dir Direction) (map[string][]string, er
 }
 
 // Closure implements Store: the full BFS runs on the resident adjacency
-// index — zero disk reads after open, where the per-edge path re-read and
-// re-decoded the owning run log once per visited node.
+// index under a shared lock — zero disk reads after open, and concurrent
+// closure sweeps proceed in parallel instead of queueing on one mutex.
 func (s *FileStore) Closure(seed string, dir Direction) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return bfsClosure(seed, dir, s.neighborsLocked)
 }
 
 // Stats implements Store, answered from resident counters.
 func (s *FileStore) Stats() (Stats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return Stats{
 		Runs:        len(s.order),
 		Executions:  len(s.execOwner),
@@ -379,8 +635,9 @@ func (s *FileStore) Stats() (Stats, error) {
 	}, nil
 }
 
-// Close implements Store.
+// Close implements Store, draining the append pipeline first.
 func (s *FileStore) Close() error {
+	_ = s.w.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.f.Close()

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/provenance"
 	"repro/internal/store"
+	"repro/internal/store/wal"
 )
 
 // Router implements store.Store over N underlying shards (any mix of
@@ -48,6 +49,9 @@ import (
 type Router struct {
 	shards []store.Store
 	name   string
+	dir    string // store directory for file-backed routers ("" otherwise)
+
+	autoCkpt *store.AutoCheckpoint
 
 	mu         sync.RWMutex
 	manifest   *os.File         // global accepted-run order journal (file-backed routers)
@@ -61,6 +65,7 @@ type Router struct {
 }
 
 var _ store.Store = (*Router)(nil)
+var _ store.Checkpointer = (*Router)(nil)
 
 // New builds a router over the given shards (at least one). The shards
 // should be empty or previously populated through a router with the same
@@ -96,13 +101,60 @@ func NewMem(n int) *Router {
 	return r
 }
 
-const manifestFileName = "router-manifest.log"
+const (
+	manifestFileName = "router-manifest.log"
+	metaFileName     = "router-meta.json"
+)
+
+// routerMeta is the durable record of a sharded store directory's layout:
+// the shard count it was written with (reopening with any other count is
+// rejected loudly — hash routing would silently misroute every run) and
+// the per-shard checkpoint positions of the last Checkpoint, so operators
+// and tools can see how much log each shard replays at reopen.
+type routerMeta struct {
+	Shards      int     `json:"shards"`
+	Checkpoints []int64 `json:"checkpoint_offsets,omitempty"`
+}
+
+// DetectShards inspects a store directory's layout: the number of shards
+// it was written with (from the meta record, falling back to counting
+// shard subdirectories for pre-meta stores) and whether it holds an
+// unsharded single-store log instead. n == 0 means the directory is empty
+// or brand new.
+func DetectShards(dir string) (n int, unsharded bool) {
+	if _, err := os.Stat(filepath.Join(dir, store.LogFileName)); err == nil {
+		return 0, true
+	}
+	var meta routerMeta
+	if ok, _ := wal.LoadCheckpoint(filepath.Join(dir, metaFileName), &meta); ok && meta.Shards > 0 {
+		return meta.Shards, false
+	}
+	for i := 0; ; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%03d", i))); err != nil {
+			return i, false
+		}
+	}
+}
+
+// validateLayout rejects reopening a store directory with a different
+// shard count than it was written with.
+func validateLayout(dir string, n int) error {
+	existing, unsharded := DetectShards(dir)
+	if unsharded {
+		return fmt.Errorf("shardedstore: %s holds an unsharded store log; open it without shards or reshard it offline", dir)
+	}
+	if existing > 0 && existing != n {
+		return fmt.Errorf("shardedstore: %s was written with %d shards, refusing to open with %d (hash routing would misroute runs; reshard offline instead)", dir, existing, n)
+	}
+	return nil
+}
 
 // Open opens (or creates) n file-backed shards under dir/shard-000 …
 // dir/shard-N-1 and rebuilds the router's run and entity indexes from the
 // shards' logs. With durable set, every ingest fsyncs its home shard's log
 // before returning (see store.OpenFileStoreDurable) — the configuration
-// experiment E14 measures.
+// experiment E14 measures. OpenWith exposes the full durability and
+// checkpoint configuration, including group commit.
 //
 // A small manifest journal (dir/router-manifest.log, one run ID per
 // accepted ingest) preserves the global cross-shard ingest order, so a
@@ -118,16 +170,41 @@ const manifestFileName = "router-manifest.log"
 // re-declared across shards (journaling durably would need an fsync per
 // ingest on a shared file — exactly the serialization sharding removes).
 func Open(dir string, n int, durable bool) (*Router, error) {
+	opt := store.FileOptions{}
+	if durable {
+		opt.Durability = store.DurabilityFsync
+	}
+	return OpenWith(dir, n, opt)
+}
+
+// OpenWith is Open with explicit per-shard durability and checkpoint
+// configuration. Each shard owns its own write-ahead group-commit log
+// (store.FileOptions.Durability selects none/fsync/group per append), so
+// under DurabilityGroup concurrent ingests coalesce per shard AND overlap
+// across shards. CheckpointEvery is counted router-wide: every N accepted
+// ingests the router checkpoints all shards and records their checkpoint
+// positions in the store's meta record.
+//
+// A store directory must be reopened with the shard count it was written
+// with: any mismatch (including opening an unsharded log as sharded) is
+// rejected loudly, because hash routing at the wrong count would silently
+// misroute every run.
+func OpenWith(dir string, n int, opt store.FileOptions) (*Router, error) {
 	if n < 1 {
 		n = 1
 	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shardedstore: create dir: %w", err)
+	}
+	if err := validateLayout(dir, n); err != nil {
+		return nil, err
+	}
+	// Checkpointing is coordinated by the router, not per shard.
+	shardOpt := opt
+	shardOpt.CheckpointEvery = 0
 	shards := make([]store.Store, n)
 	for i := range shards {
-		open := store.OpenFileStore
-		if durable {
-			open = store.OpenFileStoreDurable
-		}
-		fs, err := open(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)))
+		fs, err := store.OpenFileStoreWith(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)), shardOpt)
 		if err != nil {
 			for _, s := range shards[:i] {
 				s.Close()
@@ -140,11 +217,61 @@ func Open(dir string, n int, durable bool) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.dir = dir
+	r.autoCkpt = store.NewAutoCheckpoint(opt.CheckpointEvery)
 	if err := r.rebuild(dir); err != nil {
 		r.Close()
 		return nil, err
 	}
+	if err := r.writeMeta(); err != nil {
+		r.Close()
+		return nil, err
+	}
 	return r, nil
+}
+
+// writeMeta records the directory's shard count and the shards' last
+// checkpoint positions.
+func (r *Router) writeMeta() error {
+	if r.dir == "" {
+		return nil
+	}
+	meta := routerMeta{Shards: len(r.shards)}
+	for _, s := range r.shards {
+		var off int64 = -1
+		if fs, ok := s.(*store.FileStore); ok {
+			if o, has := fs.LastCheckpoint(); has {
+				off = o
+			}
+		}
+		meta.Checkpoints = append(meta.Checkpoints, off)
+	}
+	return wal.SaveCheckpoint(filepath.Join(r.dir, metaFileName), meta)
+}
+
+// Checkpoint implements store.Checkpointer: every shard checkpoints in
+// parallel (snapshot + log fsync each), then the meta record captures the
+// new checkpoint positions. Closure-cache layers above the router persist
+// their own snapshot on top of this.
+func (r *Router) Checkpoint() error {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		ck, ok := s.(store.Checkpointer)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ck store.Checkpointer) {
+			defer wg.Done()
+			errs[i] = ck.Checkpoint()
+		}(i, ck)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return r.writeMeta()
 }
 
 // rebuild reconstructs the routing and entity indexes: shard contents are
@@ -305,6 +432,7 @@ func (r *Router) PutRunLog(l *provenance.RunLog) error {
 		_, _ = r.manifest.WriteString(l.Run.ID + "\n")
 	}
 	r.mu.Unlock()
+	r.autoCkpt.Tick(r.Checkpoint)
 	return nil
 }
 

@@ -241,7 +241,7 @@ func TestFileStoreTruncatesTornRecord(t *testing.T) {
 	}
 	s.Close()
 	// Simulate a crash mid-append: write a partial record with no newline.
-	path := filepath.Join(dir, logFileName)
+	path := filepath.Join(dir, LogFileName)
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -271,7 +271,7 @@ func TestFileStoreTruncatesTornRecord(t *testing.T) {
 
 func TestFileStoreCorruptMiddleRecord(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, logFileName)
+	path := filepath.Join(dir, LogFileName)
 	if err := os.WriteFile(path, []byte("this is not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestFileStoreTornRecordDroppedFromAdjacencyIndex(t *testing.T) {
 	// Simulate a crash mid-append of a second run that mentions new
 	// entities: crash recovery must truncate the torn bytes and keep them
 	// out of the rebuilt adjacency index.
-	path := filepath.Join(dir, logFileName)
+	path := filepath.Join(dir, LogFileName)
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint files: a JSON payload framed by a one-line header carrying a
+// CRC32 of the payload, written atomically (temp file + fsync + rename).
+// A checkpoint is advisory state — the log remains authoritative — so
+// loaders treat a missing, torn or corrupt checkpoint as "no checkpoint"
+// and fall back to a full log scan rather than failing the open.
+
+// checkpointMagic guards against loading a file that is not a checkpoint.
+const checkpointMagic = "provckpt1"
+
+// SaveCheckpoint atomically writes payload (JSON-encoded) to path with an
+// integrity header. The file is fsynced before the rename and the
+// directory after it, so a crash leaves either the old checkpoint or the
+// new one, never a torn mix.
+func SaveCheckpoint(path string, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %08x %d\n", checkpointMagic, crc32.ChecksumIEEE(body), len(body))
+	buf.Write(body)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into dst.
+// ok=false (with a nil error) means no usable checkpoint exists — absent,
+// torn or corrupt — and the caller should rebuild from the log instead.
+func LoadCheckpoint(path string, dst any) (ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, nil
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return false, nil
+	}
+	var magic string
+	var sum uint32
+	var size int
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %x %d", &magic, &sum, &size); err != nil || magic != checkpointMagic {
+		return false, nil
+	}
+	body := data[nl+1:]
+	if len(body) != size || crc32.ChecksumIEEE(body) != sum {
+		return false, nil
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// RemoveCheckpoint deletes a checkpoint file if present (tests and tools
+// forcing a cold reopen).
+func RemoveCheckpoint(path string) error {
+	err := os.Remove(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
