@@ -181,14 +181,18 @@ func (f *storeFlags) options() (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
-	return core.Options{
+	opt := core.Options{
 		StoreDir:           f.storeDir,
 		Shards:             f.shards,
 		EnableClosureCache: f.cache,
 		Durability:         d,
 		CheckpointEvery:    f.ckptEvery,
 		Agent:              os.Getenv("USER"),
-	}, nil
+	}
+	if err := opt.ValidatePersistence(); err != nil {
+		return core.Options{}, err
+	}
+	return opt, nil
 }
 
 func newSystem(f *storeFlags) (*core.System, func(), error) {

@@ -69,6 +69,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("provd: %v", err)
 	}
+	if err := (core.Options{StoreDir: *storeDir, Durability: dur, CheckpointEvery: *ckptEvery}).ValidatePersistence(); err != nil {
+		log.Fatalf("provd: %v", err)
+	}
 	var st store.Store
 	switch {
 	case *storeDir != "":

@@ -73,6 +73,25 @@ type Options struct {
 	Faults map[string]string
 }
 
+// ValidatePersistence rejects option combinations that would silently
+// drop a requested durability guarantee: Durability or CheckpointEvery
+// without a store to persist (no StoreDir and no caller-assembled Store)
+// would configure an in-memory system that persists nothing. Both CLIs
+// call this after flag parsing; NewSystem does not, because the zero
+// Options legitimately describe the plain in-memory system.
+func (o Options) ValidatePersistence() error {
+	if o.StoreDir != "" || o.Store != nil {
+		return nil
+	}
+	if o.Durability != store.DurabilityNone {
+		return fmt.Errorf("core: durability %s requires a store directory (-store DIR): an in-memory store persists nothing", o.Durability)
+	}
+	if o.CheckpointEvery > 0 {
+		return fmt.Errorf("core: checkpoint-every requires a store directory (-store DIR): an in-memory store has nothing to snapshot")
+	}
+	return nil
+}
+
 // System is a provenance-enabled workflow system.
 type System struct {
 	Registry  *engine.Registry

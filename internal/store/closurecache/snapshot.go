@@ -60,11 +60,25 @@ func (c *Cache) Checkpoint() error {
 }
 
 // saveSnapshot writes the current closures and generation to the snapshot
-// file. The read lock excludes ingests through the cache, so the captured
-// run prefix and entries are mutually consistent.
+// file. Holding the ingest gate exclusively quiesces in-flight ingests:
+// an additive PutRunLog commits to the backing store before taking the
+// cache lock, so without the gate Runs() could already include a run
+// whose delta patch is still pending — the snapshot would record a
+// RunCount covering that run while its closures miss the delta, and
+// loadSnapshot (which replays only runs[RunCount:]) would serve those
+// closures stale forever. With the gate held, every run the store
+// reports is folded into the captured entries, so the recorded prefix
+// and the closures are mutually consistent. The gate is released as soon
+// as the run prefix is read — later commits append past the recorded
+// prefix and their delta applies need the write lock, which the read
+// lock held across the copy excludes — so ingests keep reaching the
+// store's group-commit batches while the entries are copied, and the
+// file write happens outside every lock.
 func (c *Cache) saveSnapshot() error {
+	c.ingestGate.Lock()
 	c.mu.RLock()
 	runs, err := c.s.Runs()
+	c.ingestGate.Unlock()
 	if err != nil {
 		c.mu.RUnlock()
 		return fmt.Errorf("closurecache: snapshot runs: %w", err)
@@ -129,23 +143,27 @@ func (c *Cache) loadSnapshot() {
 			c.flushLocked()
 			return
 		}
-		c.applyDeltaLocked(l, c.replayHazardsLocked(l))
+		c.applyDeltaLocked(l, c.residentRegenHazardsLocked(l))
 		c.generation++
 	}
 }
 
-// replayHazardsLocked over-approximates generator hazards during suffix
-// replay: the pre-ingest generator edge is gone, so every re-generation
-// event touching a cache-resident artifact is treated as a replacement and
-// evicts the upstream entries containing it. Over-eviction costs warmth,
-// never correctness.
-func (c *Cache) replayHazardsLocked(l *provenance.RunLog) map[string]bool {
+// residentRegenHazardsLocked over-approximates generator hazards when the
+// pre-ingest generator state is unknowable — snapshot suffix replay (the
+// pre-ingest edge is gone) and the additive ingest path (its lock-free
+// classification can race a concurrent declarer for the same artifact):
+// every generation event touching a cache-resident artifact is treated as
+// a replacement and evicts the upstream entries containing it. The common
+// all-fresh-IDs ingest touches no resident artifact, so this costs
+// nothing; on the rare hit, over-eviction costs warmth, never
+// correctness.
+func (c *Cache) residentRegenHazardsLocked(l *provenance.RunLog) map[string]bool {
 	var hazards map[string]bool
 	for _, ev := range l.Events {
 		if ev.Kind != provenance.EventArtifactGen {
 			continue
 		}
-		if _, resident := c.nodeIndex[ev.ArtifactID]; !resident {
+		if !c.residentUpLocked(ev.ArtifactID) {
 			continue
 		}
 		if hazards == nil {

@@ -334,10 +334,16 @@ func TestWarmReopenSurvivesCorruptPrefix(t *testing.T) {
 // group stack: additive ingests must reach the WAL concurrently (the
 // cache lock is not held across the store commit), so concurrent writers
 // coalesce into shared fsync batches instead of degenerating to one
-// fsync per run.
+// fsync per run. GroupFlushDelay gives each lone leader a bounded joiner
+// window — on tmpfs the fsync itself is too fast for commit-latency
+// overlap to batch reliably — and a serialized cache still fails here,
+// because writers stuck behind a cache lock can never join the window.
 func TestCachePutDoesNotSerializeGroupCommit(t *testing.T) {
 	dir := t.TempDir()
-	fs, err := store.OpenFileStoreWith(dir, store.FileOptions{Durability: store.DurabilityGroup})
+	fs, err := store.OpenFileStoreWith(dir, store.FileOptions{
+		Durability:      store.DurabilityGroup,
+		GroupFlushDelay: 2 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

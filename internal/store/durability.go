@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -83,13 +84,19 @@ type Checkpointer interface {
 
 // AutoCheckpoint triggers a background best-effort checkpoint every N
 // accepted ingests, at most one in flight: the shared every-N /
-// single-flight / fire-and-forget discipline of FileStore, the sharded
-// router and the closure cache. The zero value (or every <= 0) never
-// fires.
+// single-flight discipline of FileStore, the sharded router and the
+// closure cache. The in-flight goroutine is tracked, and owners call
+// Drain from their Close paths so a background checkpoint never fsyncs
+// or writes against files the owner has already closed. The zero value
+// (or every <= 0) never fires.
 type AutoCheckpoint struct {
 	every uint64
 	count atomic.Uint64
-	busy  atomic.Bool
+
+	mu     sync.Mutex
+	busy   bool
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewAutoCheckpoint returns a trigger firing every N ingests (n <= 0:
@@ -103,17 +110,42 @@ func NewAutoCheckpoint(n int) *AutoCheckpoint {
 }
 
 // Tick counts one accepted ingest and, on every Nth, runs checkpoint in a
-// background goroutine unless one is already in flight. Failures are
-// dropped: the log is authoritative, a skipped snapshot only costs reopen
-// time.
+// background goroutine unless one is already in flight or the trigger has
+// been drained. Failures are dropped: the log is authoritative, a skipped
+// snapshot only costs reopen time.
 func (t *AutoCheckpoint) Tick(checkpoint func() error) {
 	if t == nil || t.every == 0 {
 		return
 	}
-	if t.count.Add(1)%t.every == 0 && t.busy.CompareAndSwap(false, true) {
-		go func() {
-			defer t.busy.Store(false)
-			_ = checkpoint()
-		}()
+	if t.count.Add(1)%t.every != 0 {
+		return
 	}
+	t.mu.Lock()
+	if t.closed || t.busy {
+		t.mu.Unlock()
+		return
+	}
+	t.busy = true
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		_ = checkpoint()
+		t.mu.Lock()
+		t.busy = false
+		t.mu.Unlock()
+	}()
+}
+
+// Drain stops future automatic checkpoints and waits for any in-flight
+// one, so the owner can close the files a checkpoint touches. Safe on a
+// nil trigger and idempotent.
+func (t *AutoCheckpoint) Drain() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
 }

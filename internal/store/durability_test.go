@@ -1,0 +1,128 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/provenance"
+)
+
+// TestAutoCheckpointDrain pins the close-path contract: Drain must wait
+// for an in-flight background checkpoint (so owners can close the files
+// it touches) and suppress any checkpoint ticked afterwards.
+func TestAutoCheckpointDrain(t *testing.T) {
+	ac := NewAutoCheckpoint(1)
+	var runs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ac.Tick(func() error {
+		runs.Add(1)
+		close(started)
+		<-release
+		return nil
+	})
+	<-started
+
+	drained := make(chan struct{})
+	go func() {
+		ac.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a checkpoint was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the in-flight checkpoint finished")
+	}
+
+	ac.Tick(func() error { runs.Add(1); return nil })
+	time.Sleep(20 * time.Millisecond)
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("checkpoint ran after Drain: %d runs, want 1", got)
+	}
+	ac.Drain() // idempotent
+}
+
+// TestAutoCheckpointDrainNil asserts Drain is safe on the nil trigger a
+// router built without checkpoint configuration carries.
+func TestAutoCheckpointDrainNil(t *testing.T) {
+	var ac *AutoCheckpoint
+	ac.Drain()
+	ac.Tick(func() error { return nil })
+}
+
+// TestFileStoreConcurrentDuplicateRun hammers the duplicate-ID guard
+// under group commit: retries of one run ID race fillers that keep the
+// fold watermark busy, and exactly one attempt may ever commit. The
+// reservation must be held until the record is folded into offsets — a
+// writer parked at the watermark has committed its record but not yet
+// made it visible to the offsets guard, so releasing the reservation
+// earlier lets a concurrent retry pass both checks and store the run
+// twice.
+func TestFileStoreConcurrentDuplicateRun(t *testing.T) {
+	mk := func(run string, n int) *provenance.RunLog {
+		art := fmt.Sprintf("%s-art-%d", run, n)
+		exec := fmt.Sprintf("%s-exec-%d", run, n)
+		return &provenance.RunLog{
+			Run:        provenance.Run{ID: run, WorkflowID: "wf", Status: provenance.StatusOK},
+			Artifacts:  []*provenance.Artifact{{ID: art, RunID: run, Type: "blob"}},
+			Executions: []*provenance.Execution{{ID: exec, RunID: run, ModuleID: "m", ModuleType: "T", Status: provenance.StatusOK}},
+			Events: []provenance.Event{
+				{Seq: 1, RunID: run, Kind: provenance.EventArtifactGen, ExecutionID: exec, ArtifactID: art},
+			},
+		}
+	}
+	const iters, dups, fillers = 40, 4, 4
+	for iter := 0; iter < iters; iter++ {
+		s, err := OpenFileStoreWith(t.TempDir(), FileOptions{Durability: DurabilityGroup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var successes atomic.Int32
+		var wg sync.WaitGroup
+		for g := 0; g < dups; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if err := s.PutRunLog(mk("dup", g)); err == nil {
+					successes.Add(1)
+				}
+			}(g)
+		}
+		for g := 0; g < fillers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if err := s.PutRunLog(mk(fmt.Sprintf("fill-%d", g), g)); err != nil {
+					t.Error(err)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := successes.Load(); got != 1 {
+			t.Fatalf("iter %d: %d concurrent puts of the same run ID succeeded, want 1", iter, got)
+		}
+		runs, err := s.Runs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, id := range runs {
+			if seen[id] {
+				t.Fatalf("iter %d: run %q stored twice: %v", iter, id, runs)
+			}
+			seen[id] = true
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 	"os"
 	"path/filepath"
 	"sync"
@@ -346,8 +347,8 @@ func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
 	off, werr := s.w.Append(data)
 
 	s.mu.Lock()
-	delete(s.pending, l.Run.ID)
 	if werr != nil {
+		delete(s.pending, l.Run.ID)
 		s.mu.Unlock()
 		return fmt.Errorf("store: append run %s: %w", l.Run.ID, werr)
 	}
@@ -376,6 +377,13 @@ func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
 	for s.size < end {
 		s.foldCond.Wait()
 	}
+	// Release the duplicate reservation only now, in the same lock hold
+	// that saw our record folded: offsets[runID] is set, so the dup guard
+	// hands off from pending to offsets with no window in between. While
+	// we waited at the watermark the record was committed but not yet in
+	// offsets — dropping pending back then would let a concurrent retry of
+	// the same run ID pass both guards and commit the run twice.
+	delete(s.pending, l.Run.ID)
 	s.mu.Unlock()
 	s.autoCkpt.Tick(s.Checkpoint)
 	return nil
@@ -424,24 +432,16 @@ func (s *FileStore) snapshotLocked() *fileCheckpoint {
 	return &fileCheckpoint{
 		LogOffset: s.size,
 		Order:     append([]string(nil), s.order...),
-		Offsets:   copyMap(s.offsets),
-		ArtOwner:  copyMap(s.artOwner),
-		ExecOwner: copyMap(s.execOwner),
-		GenBy:     copyMap(s.adj.genBy),
+		Offsets:   maps.Clone(s.offsets),
+		ArtOwner:  maps.Clone(s.artOwner),
+		ExecOwner: maps.Clone(s.execOwner),
+		GenBy:     maps.Clone(s.adj.genBy),
 		Consumers: copyListMap(s.adj.consumers),
 		Used:      copyListMap(s.adj.used),
 		Generated: copyListMap(s.adj.generated),
 		Events:    s.nEvents,
 		Anns:      s.nAnns,
 	}
-}
-
-func copyMap[V any](m map[string]V) map[string]V {
-	out := make(map[string]V, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
 }
 
 func copyListMap(m map[string][]string) map[string][]string {
@@ -635,8 +635,10 @@ func (s *FileStore) Stats() (Stats, error) {
 	}, nil
 }
 
-// Close implements Store, draining the append pipeline first.
+// Close implements Store, draining any in-flight auto-checkpoint and the
+// append pipeline before closing the log file.
 func (s *FileStore) Close() error {
+	s.autoCkpt.Drain()
 	_ = s.w.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -635,8 +635,10 @@ func (r *Router) Stats() (store.Stats, error) {
 // Name implements Store, e.g. "sharded(4×file)".
 func (r *Router) Name() string { return r.name }
 
-// Close implements Store, closing every shard and the manifest journal.
+// Close implements Store, draining any in-flight auto-checkpoint before
+// closing every shard and the manifest journal.
 func (r *Router) Close() error {
+	r.autoCkpt.Drain()
 	var errs []error
 	for _, s := range r.shards {
 		errs = append(errs, s.Close())

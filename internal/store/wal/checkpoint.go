@@ -32,6 +32,17 @@ func SaveCheckpoint(path string, payload any) error {
 	buf.Write(body)
 
 	dir := filepath.Dir(path)
+	// Sweep temp files a crashed earlier save left behind — the deferred
+	// remove below only runs in-process, so without this a repeatedly
+	// crashing daemon accumulates orphans next to the log. A concurrent
+	// save of the same path can lose its temp to the sweep and fail its
+	// rename, which is harmless: the surviving save installs a complete
+	// checkpoint.
+	if stale, gerr := filepath.Glob(path + ".tmp-*"); gerr == nil {
+		for _, p := range stale {
+			_ = os.Remove(p)
+		}
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint temp file: %w", err)

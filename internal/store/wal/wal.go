@@ -29,7 +29,12 @@
 // truncates the file back to the failed batch's base offset, and resets
 // the writer so later appends retry from the truncation point: a rejected
 // record is never silently resurrected, matching the single-append discard
-// semantics the file store had before this layer existed.
+// semantics the file store had before this layer existed. If that truncate
+// itself fails, the rejected bytes are stuck on disk: the writer corrupts
+// the rejected batch's head (so a reopen scan drops the tail at the batch
+// base instead of parsing rejected records as valid) and poisons itself —
+// every later Append fails — rather than appending over bytes whose
+// durable state is unknowable.
 package wal
 
 import (
@@ -125,6 +130,12 @@ type Writer struct {
 	nextSeq uint64     // ticket for the next batch
 	commits uint64     // next ticket allowed to commit
 	closed  bool
+	// poisoned is set when the truncate after a failed commit itself
+	// fails: the file then still holds rejected bytes past nextOff, and
+	// retrying appends over them could let a crash-recovery scan read a
+	// stale rejected record as valid (resurrection). Every later Append
+	// fails instead.
+	poisoned error
 
 	appends, batches, syncs, bytes uint64
 }
@@ -166,6 +177,11 @@ func (w *Writer) Append(rec []byte) (int64, error) {
 	if w.closed {
 		w.mu.Unlock()
 		return 0, fmt.Errorf("wal: writer closed")
+	}
+	if w.poisoned != nil {
+		err := w.poisoned
+		w.mu.Unlock()
+		return 0, err
 	}
 	b := w.cur
 	lead := false
@@ -230,7 +246,19 @@ func (w *Writer) Append(rec []byte) (int64, error) {
 
 	w.mu.Lock()
 	if err != nil {
-		_ = w.f.Truncate(base)
+		if terr := w.f.Truncate(base); terr != nil {
+			// The rejected bytes cannot be removed — and after a failed
+			// sync they may well be on disk, where a reopen scan would
+			// parse a fully-written rejected batch as valid records.
+			// Corrupt the batch head (best effort) so the scan stops at
+			// base and drops the rejected tail instead, then refuse all
+			// further appends: the file's durable state is unknowable. If
+			// this write fails too, the residual window is a rejected
+			// batch surviving to reopen on a device that failed sync,
+			// truncate and write in a row.
+			_, _ = w.f.WriteAt([]byte{0}, base)
+			w.poisoned = fmt.Errorf("wal: writer unusable: truncate after failed commit: %w (commit error: %v)", terr, err)
+		}
 		w.failLocked(b, err)
 		w.mu.Unlock()
 		return 0, b.err

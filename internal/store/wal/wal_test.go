@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -229,5 +230,67 @@ func TestWriterClosed(t *testing.T) {
 	}
 	if _, err := w.Append(nil); err == nil {
 		t.Fatal("empty record accepted")
+	}
+}
+
+// TestWriterPoisonedAfterFailedTruncate drives a commit failure whose
+// cleanup truncate also fails (a read-only file descriptor fails both):
+// the writer must refuse every later append instead of writing over
+// bytes it could not truncate — appending there could resurrect a
+// rejected record at the next recovery scan.
+func TestWriterPoisonedAfterFailedTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ro.log")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path) // read-only: WriteAt and Truncate both fail
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewWriter(f, 0, Options{Policy: SyncBatch})
+	if _, err := w.Append([]byte("a\n")); err == nil {
+		t.Fatal("append to read-only file succeeded")
+	}
+	_, err = w.Append([]byte("b\n"))
+	if err == nil {
+		t.Fatal("append after failed truncate succeeded")
+	}
+	if !strings.Contains(err.Error(), "truncate after failed commit") {
+		t.Fatalf("append after failed truncate returned %q, want the poison error", err)
+	}
+}
+
+// TestSaveCheckpointSweepsCrashedTemps plants orphan temp files (as a
+// crash mid-save would leave) and checks the next save removes them while
+// leaving unrelated files alone.
+func TestSaveCheckpointSweepsCrashedTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	for _, orphan := range []string{"checkpoint.json.tmp-111", "checkpoint.json.tmp-222"} {
+		if err := os.WriteFile(filepath.Join(dir, orphan), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other := filepath.Join(dir, "closures.json.tmp-333")
+	if err := os.WriteFile(other, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("stale temp files survived the save: %v", left)
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Fatalf("unrelated temp file was swept: %v", err)
+	}
+	var got map[string]int
+	if ok, err := LoadCheckpoint(path, &got); err != nil || !ok || got["x"] != 1 {
+		t.Fatalf("checkpoint not readable after sweep: ok=%v err=%v got=%v", ok, err, got)
 	}
 }
