@@ -593,6 +593,64 @@ func BenchmarkE15WAL(b *testing.B) {
 	})
 }
 
+// BenchmarkE16ClosurePushdown measures the depth-128 chain lineage of
+// experiment E16 three ways: the single FileStore's one-lock BFS, the
+// sharded router's pre-pushdown per-hop scatter/gather
+// (ClosureViaExpand), and the closure pushdown (local fixpoint per shard +
+// cross-shard frontier exchange). Allocations are reported — the pooled
+// per-shard buffers are the E16 micro-opt observable.
+func BenchmarkE16ClosurePushdown(b *testing.B) {
+	const chainRuns = 128
+	logs := make([]*provenance.RunLog, chainRuns)
+	for i := range logs {
+		logs[i] = experiments.E16ChainRun(i)
+	}
+	tail := fmt.Sprintf("e16-art-%06d", chainRuns)
+
+	fs, err := store.OpenFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	r, err := shardedstore.Open(b.TempDir(), 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	for _, l := range logs {
+		if err := fs.PutRunLog(l); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.PutRunLog(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("mode=singlefile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fs.Closure(tail, store.Up); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=sharded-perhop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.ClosureViaExpand(tail, store.Up); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=sharded-pushdown", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Closure(tail, store.Up); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // TestExperimentSuiteSmoke runs the fast experiments end-to-end so `go
 // test` exercises the harness itself (timing-heavy ones are covered by the
 // benchmarks above and cmd/provbench).

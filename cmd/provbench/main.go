@@ -56,6 +56,14 @@ var gates = []struct {
 	{"E15", "fsync_reduction_x", 0.3},
 	// Warm restart: reopen-from-checkpoint vs full log replay.
 	{"E15", "reopen_warm_speedup_x", 0.3},
+	// Closure pushdown vs the per-hop scatter/gather path on the deep
+	// chain; wall-clock ratio on shared runners gets a loose floor.
+	{"E16", "deep_closure_pushdown_speedup_x", 0.3},
+	// Rounds executed are deterministic for the fixed E16 chain (hash
+	// placement does not move between runs), so the reduction ratio gets
+	// a tight floor: it collapses to ~1 only if the pushdown stops
+	// exchanging frontiers and degrades to per-hop rounds.
+	{"E16", "deep_closure_rounds_reduction_x", 0.9},
 }
 
 func main() {
@@ -84,6 +92,7 @@ func main() {
 			"E13 incremental closure maintenance (closure cache)",
 			"E14 sharded store: ingest + closure scaling vs shard count",
 			"E15 WAL group commit + checkpoint: durable ingest and warm restarts",
+			"E16 closure pushdown: deep sharded lineage, local fixpoints + frontier exchange",
 		} {
 			fmt.Println(r)
 		}

@@ -5,7 +5,7 @@
 //	provctl hash wf.json                  content hash (prospective identity)
 //	provctl run wf.json [-store DIR] [-cache] [-shards N] [-durability none|fsync|group] [-checkpoint-every N]
 //	provctl query -store DIR [-cache] [-shards N] 'PQL'     query stored provenance
-//	provctl lineage -store DIR [-cache] [-shards N] ENTITY  upstream closure of an entity
+//	provctl lineage -store DIR [-cache] [-shards N] [-trace-rounds] ENTITY  upstream closure of an entity
 //	provctl checkpoint -store DIR [-shards N]               snapshot folded state next to the log
 //	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
 //	provctl demo NAME                     print a built-in workflow as JSON
@@ -35,6 +35,10 @@
 // -cache, the memoized closures) every N ingests; `provctl checkpoint`
 // does the same explicitly. A checkpointed store reopens by replaying only
 // the log suffix past the snapshot and serves warm closures immediately.
+//
+// lineage's -trace-rounds prints, for sharded stores, how many pushdown
+// rounds the closure executed and each round's frontier probe count, so a
+// regression in cross-shard round count is observable outside the bench.
 package main
 
 import (
@@ -48,6 +52,7 @@ import (
 	"repro/internal/opm"
 	"repro/internal/query/pql"
 	"repro/internal/store"
+	"repro/internal/store/shardedstore"
 	"repro/internal/vis"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
@@ -162,6 +167,7 @@ type storeFlags struct {
 	shards     int
 	durability string
 	ckptEvery  int
+	trace      func(shardedstore.ClosureTrace) // -trace-rounds sink (lineage)
 }
 
 func (f *storeFlags) register(fs *flag.FlagSet, withWritePath bool) {
@@ -187,6 +193,7 @@ func (f *storeFlags) options() (core.Options, error) {
 		EnableClosureCache: f.cache,
 		Durability:         d,
 		CheckpointEvery:    f.ckptEvery,
+		TraceRounds:        f.trace,
 		Agent:              os.Getenv("USER"),
 	}
 	if err := opt.ValidatePersistence(); err != nil {
@@ -289,11 +296,21 @@ func cmdLineage(args []string) error {
 	var sf storeFlags
 	sf.register(fs, false)
 	down := fs.Bool("dependents", false, "downstream instead of upstream")
+	traceRounds := fs.Bool("trace-rounds", false,
+		"print the sharded closure pushdown's rounds and per-round frontier sizes to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || sf.storeDir == "" {
 		return fmt.Errorf("lineage: want -store DIR and one entity ID")
+	}
+	traced := false
+	if *traceRounds {
+		sf.trace = func(t shardedstore.ClosureTrace) {
+			traced = true
+			fmt.Fprintf(os.Stderr, "trace: closure(%s, %s): %d rounds, %d cross-shard crossings, %d nodes, per-round frontier sizes %v\n",
+				t.Seed, t.Dir, t.Rounds, t.Crossings, t.Nodes, t.Probes)
+		}
 	}
 	st, cleanup, err := openStore(&sf)
 	if err != nil {
@@ -305,10 +322,14 @@ func cmdLineage(args []string) error {
 		dir = store.Down
 	}
 	// Pushed-down closure: the file store answers the whole traversal from
-	// its resident adjacency index (memoized when -cache is set).
+	// its resident adjacency index (memoized when -cache is set; a sharded
+	// store runs the per-shard pushdown with frontier exchange).
 	ids, err := st.Closure(fs.Arg(0), dir)
 	if err != nil {
 		return err
+	}
+	if *traceRounds && !traced {
+		fmt.Fprintln(os.Stderr, "trace: no pushdown rounds executed (unsharded store, or served warm by the closure cache)")
 	}
 	for _, id := range ids {
 		fmt.Println(id)

@@ -22,12 +22,16 @@
 //
 // With -shards N the store is partitioned across N hash-routed shards
 // (internal/store/shardedstore): published runs route whole to a home
-// shard (ingests of different runs proceed under per-shard locking) and
-// closure endpoints scatter/gather each BFS frontier across the shards in
-// parallel. Combined with -store DIR the shards are file-backed under
+// shard (ingests of different runs proceed under per-shard locking),
+// /expand scatter/gathers one frontier across the shards in parallel, and
+// /lineage and /dependents run the closure pushdown — each shard computes
+// its local fixpoint and only cross-shard frontiers are exchanged between
+// rounds. Combined with -store DIR the shards are file-backed under
 // DIR/shard-000…; a directory must be reopened with the shard count it was
 // written with (mismatches are rejected loudly). -cache wraps the sharded
-// router unchanged.
+// router unchanged. -trace-rounds logs each pushdown closure's rounds
+// executed and per-round frontier sizes, so round-count regressions are
+// observable in production, not just in the bench.
 //
 // With -store DIR, -durability selects the ingest guarantee — none,
 // fsync (one fsync per published run) or group (write-ahead group commit:
@@ -53,15 +57,16 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		storeDir   = flag.String("store", "", "directory for a durable file store (default: in-memory)")
-		cache      = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
-		shards     = flag.Int("shards", 1, "partition the store across N hash-routed shards")
-		durability = flag.String("durability", "none", "ingest durability with -store: none, fsync, or group (group-commit WAL)")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "with -store: snapshot the store (and cache) every N published runs")
-		seed       = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
-		users      = flag.Int("users", 10, "synthetic community size")
-		runsEach   = flag.Int("runs", 3, "synthetic runs published per user")
+		addr        = flag.String("addr", ":8080", "listen address")
+		storeDir    = flag.String("store", "", "directory for a durable file store (default: in-memory)")
+		cache       = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
+		shards      = flag.Int("shards", 1, "partition the store across N hash-routed shards")
+		durability  = flag.String("durability", "none", "ingest durability with -store: none, fsync, or group (group-commit WAL)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "with -store: snapshot the store (and cache) every N published runs")
+		traceRounds = flag.Bool("trace-rounds", false, "log each sharded closure's pushdown rounds and per-round frontier sizes")
+		seed        = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
+		users       = flag.Int("users", 10, "synthetic community size")
+		runsEach    = flag.Int("runs", 3, "synthetic runs published per user")
 	)
 	flag.Parse()
 
@@ -72,6 +77,13 @@ func main() {
 	if err := (core.Options{StoreDir: *storeDir, Durability: dur, CheckpointEvery: *ckptEvery}).ValidatePersistence(); err != nil {
 		log.Fatalf("provd: %v", err)
 	}
+	var trace func(shardedstore.ClosureTrace)
+	if *traceRounds {
+		trace = func(t shardedstore.ClosureTrace) {
+			log.Printf("provd: closure(%s, %s): %d rounds, %d cross-shard crossings, %d nodes, per-round frontier sizes %v",
+				t.Seed, t.Dir, t.Rounds, t.Crossings, t.Nodes, t.Probes)
+		}
+	}
 	var st store.Store
 	switch {
 	case *storeDir != "":
@@ -81,6 +93,7 @@ func main() {
 			Durability:         dur,
 			CheckpointEvery:    *ckptEvery,
 			EnableClosureCache: *cache,
+			TraceRounds:        trace,
 		})
 		if err != nil {
 			log.Fatalf("provd: open store: %v", err)
@@ -95,7 +108,7 @@ func main() {
 			}
 		}
 	case *shards > 1:
-		st = shardedstore.NewMem(*shards)
+		st = shardedstore.NewMem(*shards).WithTrace(trace)
 	default:
 		st = store.NewMemStore()
 	}

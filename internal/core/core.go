@@ -66,6 +66,13 @@ type Options struct {
 	// and serves warm closures immediately (see System.Checkpoint for the
 	// explicit form, and `provctl checkpoint` for the offline one).
 	CheckpointEvery int
+	// TraceRounds, when set on a sharded persistent store, receives the
+	// round trace of every pushdown Closure the router executes (rounds,
+	// per-round frontier probe counts, cross-shard crossings) — the
+	// observability hook behind provctl's and provd's -trace-rounds
+	// flags. Cache hits and unsharded stores execute no rounds and emit
+	// nothing.
+	TraceRounds func(shardedstore.ClosureTrace)
 	// Agent names the user; Environment is recorded on every run.
 	Agent       string
 	Environment map[string]string

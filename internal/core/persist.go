@@ -38,7 +38,9 @@ func OpenPersistentStore(opt Options) (store.Store, func() error, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		backing = r
+		// WithTrace sits between the router and the closure cache, so a
+		// cache miss that reaches the router still reports its rounds.
+		backing = r.WithTrace(opt.TraceRounds)
 	} else if n, unsharded := shardedstore.DetectShards(opt.StoreDir); n > 1 && !unsharded {
 		return nil, nil, fmt.Errorf("core: %s was written with %d shards; reopen it with Shards/-shards %d", opt.StoreDir, n, n)
 	} else if n == 1 && !unsharded {
@@ -48,7 +50,7 @@ func OpenPersistentStore(opt Options) (store.Store, func() error, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		backing = r
+		backing = r.WithTrace(opt.TraceRounds)
 	} else {
 		fs, err := store.OpenFileStoreWith(opt.StoreDir, fileOpt)
 		if err != nil {

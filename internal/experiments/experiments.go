@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	"repro/internal/analogy"
@@ -56,7 +57,7 @@ type Result struct {
 // All runs every experiment in order.
 func All() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16(),
 	}
 }
 
@@ -65,7 +66,7 @@ func ByID(id string) (Result, error) {
 	fns := map[string]func() Result{
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4, "E5": E5, "E6": E6,
 		"E7": E7, "E8": E8, "E9": E9, "E10": E10, "E11": E11, "E12": E12,
-		"E13": E13, "E14": E14, "E15": E15,
+		"E13": E13, "E14": E14, "E15": E15, "E16": E16,
 	}
 	fn, ok := fns[strings.ToUpper(id)]
 	if !ok {
@@ -1142,6 +1143,185 @@ func E15() Result {
 			{Name: "reopen_cold_ns", Value: float64(reopenCold.Nanoseconds()), Unit: "ns"},
 			{Name: "reopen_warm_ns", Value: float64(reopenWarm.Nanoseconds()), Unit: "ns"},
 			{Name: "reopen_warm_speedup_x", Value: warmSpeedup, Unit: "x"},
+		},
+	}
+}
+
+// E16ChainRun synthesizes run i of the E16 deep chain (the same shape as
+// E15's, in its own namespace): it consumes e16-art-i and generates
+// e16-art-i+1, so the tail artifact's upstream closure walks every run.
+func E16ChainRun(i int) *provenance.RunLog {
+	runID := fmt.Sprintf("e16-run-%06d", i)
+	exec := fmt.Sprintf("e16-exec-%06d", i)
+	in := fmt.Sprintf("e16-art-%06d", i)
+	out := fmt.Sprintf("e16-art-%06d", i+1)
+	l := &provenance.RunLog{}
+	l.Run = provenance.Run{ID: runID, WorkflowID: "e16", Status: provenance.StatusOK}
+	l.Executions = []*provenance.Execution{{ID: exec, RunID: runID, ModuleID: "step", ModuleType: "Synth", Status: provenance.StatusOK}}
+	l.Artifacts = []*provenance.Artifact{{ID: in, RunID: runID, Type: "blob"}, {ID: out, RunID: runID, Type: "blob"}}
+	l.Events = []provenance.Event{
+		{Seq: 1, RunID: runID, Kind: provenance.EventArtifactUsed, ExecutionID: exec, ArtifactID: in},
+		{Seq: 2, RunID: runID, Kind: provenance.EventArtifactGen, ExecutionID: exec, ArtifactID: out},
+	}
+	return l
+}
+
+// E16 measures the closure pushdown on the workload the sharding ROADMAP
+// item flagged as a regression: a depth-128 chain-shaped lineage over 4
+// file-backed shards, where the pre-pushdown router paid one global
+// scatter/gather round per BFS hop (257 rounds for this chain) and a
+// single FileStore answers the whole closure under one lock.
+//
+// The pushdown runs each shard's closure to local fixpoint and exchanges
+// only the cross-shard frontier between rounds, so rounds collapse to the
+// chain's cross-shard crossings (+1); the experiment asserts that bound,
+// verifies the pushdown's visit order equals the single store's exactly,
+// and reports the speedup over the per-hop path (the gated metric) plus
+// how close the sharded traversal now gets to the single-store time. It
+// also reports the allocation count of one wide fan-out Expand hop — the
+// buffer-reuse observable of the router's scratch pooling.
+func E16() Result {
+	const (
+		chainRuns = 128
+		nShards   = 4
+	)
+	logs := make([]*provenance.RunLog, chainRuns)
+	for i := range logs {
+		logs[i] = E16ChainRun(i)
+	}
+	tail := fmt.Sprintf("e16-art-%06d", chainRuns)
+
+	// Single FileStore reference: one-lock BFS over the resident index.
+	singleDir, err := tempDir()
+	if err != nil {
+		return errResult("E16", err)
+	}
+	fs, err := store.OpenFileStore(singleDir)
+	if err != nil {
+		return errResult("E16", err)
+	}
+	defer fs.Close()
+	for _, l := range logs {
+		if err := fs.PutRunLog(l); err != nil {
+			return errResult("E16", err)
+		}
+	}
+	var want []string
+	single := timeRunsExact(func() {
+		got, err := fs.Closure(tail, store.Up)
+		if err != nil {
+			panic(err)
+		}
+		want = got
+	}, 21)
+	if len(want) != 2*chainRuns {
+		return errResult("E16", fmt.Errorf("chain closure has %d nodes, want %d", len(want), 2*chainRuns))
+	}
+
+	// Sharded router over the same chain.
+	shardDir, err := tempDir()
+	if err != nil {
+		return errResult("E16", err)
+	}
+	r, err := shardedstore.Open(shardDir, nShards, false)
+	if err != nil {
+		return errResult("E16", err)
+	}
+	defer r.Close()
+	for _, l := range logs {
+		if err := r.PutRunLog(l); err != nil {
+			return errResult("E16", err)
+		}
+	}
+
+	// Pre-pushdown path: one scatter/gather Expand round per BFS hop.
+	legacyRounds := 0
+	if _, err := store.CloseOverExpand(func(ids []string, dir store.Direction) (map[string][]string, error) {
+		legacyRounds++
+		return r.Expand(ids, dir)
+	}, tail, store.Up); err != nil {
+		return errResult("E16", err)
+	}
+	legacy := timeRunsExact(func() {
+		if _, err := r.ClosureViaExpand(tail, store.Up); err != nil {
+			panic(err)
+		}
+	}, 21)
+
+	// Pushdown: local fixpoints + cross-shard frontier exchange.
+	var trace shardedstore.ClosureTrace
+	var got []string
+	pushdown := timeRunsExact(func() {
+		ids, tr, err := r.TracedClosure(tail, store.Up)
+		if err != nil {
+			panic(err)
+		}
+		got, trace = ids, tr
+	}, 21)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		return errResult("E16", fmt.Errorf("pushdown closure diverged from single store: %d vs %d nodes", len(got), len(want)))
+	}
+	// Independent crossing count: the chain's upstream walk hands off
+	// between shards exactly where consecutive runs have different homes.
+	// Computed from run placement alone — NOT from the trace — so a
+	// pushdown that degrades toward one hop per round fails this check
+	// instead of inflating its own crossing counter to match.
+	independentCrossings := 0
+	for i := 1; i < chainRuns; i++ {
+		if r.HomeShard(logs[i].Run.ID) != r.HomeShard(logs[i-1].Run.ID) {
+			independentCrossings++
+		}
+	}
+	if trace.Rounds != independentCrossings+1 || trace.Crossings != independentCrossings {
+		return errResult("E16", fmt.Errorf("pushdown executed %d rounds / %d crossings; run placement implies exactly %d crossings (+1 round)",
+			trace.Rounds, trace.Crossings, independentCrossings))
+	}
+
+	// Wide fan-out Expand allocations: one hop over the E14 wide DAG's
+	// last layer, upstream (every probe fans to a generator shard). The
+	// router's pooled scratch keeps this flat per hop.
+	wide := shardedstore.NewMem(nShards)
+	seedLogs, lastLayer := E14Seed(3, 16, 3)
+	for _, l := range seedLogs {
+		if err := wide.PutRunLog(l); err != nil {
+			return errResult("E16", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		if _, err := wide.Expand(lastLayer, store.Up); err != nil {
+			panic(err)
+		}
+	})
+
+	speedup := float64(legacy) / float64(pushdown)
+	roundsReduction := float64(legacyRounds) / float64(trace.Rounds)
+	vsSingle := float64(single) / float64(pushdown)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %14s\n", "measure (depth-128 chain, 4 file shards)", "value")
+	fmt.Fprintf(&b, "%-52s %14s\n", "single FileStore closure (one-lock BFS)", single)
+	fmt.Fprintf(&b, "%-52s %14s\n", fmt.Sprintf("sharded per-hop closure (%d rounds)", legacyRounds), legacy)
+	fmt.Fprintf(&b, "%-52s %14s\n", fmt.Sprintf("sharded pushdown closure (%d rounds)", trace.Rounds), pushdown)
+	fmt.Fprintf(&b, "%-52s %13.1fx\n", "pushdown speedup over per-hop", speedup)
+	fmt.Fprintf(&b, "%-52s %13.1fx\n", "rounds reduction", roundsReduction)
+	fmt.Fprintf(&b, "%-52s %14d\n", "cross-shard crossings", trace.Crossings)
+	fmt.Fprintf(&b, "%-52s %14s\n", "rounds == placement crossings + 1", "verified")
+	fmt.Fprintf(&b, "%-52s %13.2fx\n", "single-store time / pushdown time", vsSingle)
+	fmt.Fprintf(&b, "%-52s %14.0f\n", "allocs per wide fan-out Expand hop", allocs)
+	fmt.Fprintf(&b, "%-52s %14s\n", "pushdown order == single-store order", "verified")
+	return Result{
+		ID:    "E16",
+		Title: "closure pushdown: deep chain lineage over shards, local fixpoints + frontier exchange",
+		Table: b.String(),
+		Metrics: []Metric{
+			{Name: "deep_closure_single_file_ns", Value: float64(single.Nanoseconds()), Unit: "ns"},
+			{Name: "deep_closure_legacy_ns", Value: float64(legacy.Nanoseconds()), Unit: "ns"},
+			{Name: "deep_closure_pushdown_ns", Value: float64(pushdown.Nanoseconds()), Unit: "ns"},
+			{Name: "deep_closure_pushdown_speedup_x", Value: speedup, Unit: "x"},
+			{Name: "deep_closure_rounds", Value: float64(trace.Rounds), Unit: "rounds"},
+			{Name: "deep_closure_crossings", Value: float64(trace.Crossings), Unit: "crossings"},
+			{Name: "deep_closure_rounds_reduction_x", Value: roundsReduction, Unit: "x"},
+			{Name: "deep_closure_vs_single_file_x", Value: vsSingle, Unit: "x"},
+			{Name: "expand_wide_allocs_per_op", Value: allocs, Unit: "allocs"},
 		},
 	}
 }

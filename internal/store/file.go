@@ -294,6 +294,7 @@ func (s *FileStore) index(l *provenance.RunLog, offset int64) {
 
 var _ Store = (*FileStore)(nil)
 var _ Checkpointer = (*FileStore)(nil)
+var _ LocalCloser = (*FileStore)(nil)
 
 // Name implements Store.
 func (s *FileStore) Name() string { return "file" }
@@ -619,6 +620,15 @@ func (s *FileStore) Closure(seed string, dir Direction) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return bfsClosure(seed, dir, s.neighborsLocked)
+}
+
+// CloseLocal implements LocalCloser: the local fixpoint runs on the
+// resident adjacency index under one shared-lock acquisition, zero disk
+// reads (the sharded router's closure-pushdown primitive).
+func (s *FileStore) CloseLocal(seeds []string, dir Direction, skip func(string) bool, buf []LocalNeighbors) ([]LocalNeighbors, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return localCloseBFS(seeds, dir, skip, s.neighborsLocked, buf), nil
 }
 
 // Stats implements Store, answered from resident counters.

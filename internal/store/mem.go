@@ -31,6 +31,7 @@ func NewMemStore() *MemStore {
 }
 
 var _ Store = (*MemStore)(nil)
+var _ LocalCloser = (*MemStore)(nil)
 
 // Name implements Store.
 func (s *MemStore) Name() string { return "mem" }
@@ -170,6 +171,14 @@ func (s *MemStore) Closure(seed string, dir Direction) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return bfsClosure(seed, dir, s.neighborsLocked)
+}
+
+// CloseLocal implements LocalCloser: the whole local fixpoint runs under
+// one RLock (the sharded router's closure-pushdown primitive).
+func (s *MemStore) CloseLocal(seeds []string, dir Direction, skip func(string) bool, buf []LocalNeighbors) ([]LocalNeighbors, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return localCloseBFS(seeds, dir, skip, s.neighborsLocked, buf), nil
 }
 
 // Stats implements Store.

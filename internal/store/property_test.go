@@ -184,6 +184,123 @@ func TestQuickExpandClosureConformance(t *testing.T) {
 	}
 }
 
+// closeLocal resolves a backend's LocalCloser face, falling back to the
+// Expand-based implementation the sharded router uses for backends
+// without the capability (RelStore), and flattens the result to a map —
+// asserting each expanded entity appears exactly once on the way.
+func closeLocal(t *testing.T, s Store, seeds []string, dir Direction, skip func(string) bool) (map[string][]string, error) {
+	t.Helper()
+	var (
+		res []LocalNeighbors
+		err error
+	)
+	if lc, ok := s.(LocalCloser); ok {
+		res, err = lc.CloseLocal(seeds, dir, skip, nil)
+	} else {
+		res, err = LocalCloseOverExpand(s.Expand, seeds, dir, skip, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string, len(res))
+	for _, ln := range res {
+		if _, dup := out[ln.ID]; dup {
+			t.Fatalf("%s: CloseLocal expanded %s twice", s.Name(), ln.ID)
+		}
+		out[ln.ID] = ln.Neighbors
+	}
+	return out, nil
+}
+
+// Property: every backend's CloseLocal (native or via the Expand
+// fallback) expands exactly the seed's reachable set — the seed plus its
+// Closure — and reports each expanded entity's neighbors exactly as
+// Expand would; a skip boundary covering everything but the seed stops
+// the walk after one expansion. On a single backend the local fixpoint
+// and the global closure coincide, which is what makes this the
+// correctness contract the sharded router's pushdown builds on.
+func TestQuickCloseLocalConformance(t *testing.T) {
+	f := func(seed int64) bool {
+		log := randomLog(t, seed)
+		fs, err := OpenFileStore(t.TempDir())
+		if err != nil {
+			return false
+		}
+		defer fs.Close()
+		backends := []Store{NewMemStore(), NewRelStore(), NewTripleStore(), fs}
+		for _, s := range backends {
+			if err := s.PutRunLog(log); err != nil {
+				return false
+			}
+		}
+		var entities []string
+		for _, a := range log.Artifacts {
+			entities = append(entities, a.ID)
+		}
+		for _, e := range log.Executions {
+			entities = append(entities, e.ID)
+		}
+		for _, s := range backends {
+			for _, dir := range []Direction{Up, Down} {
+				for _, id := range entities {
+					local, err := closeLocal(t, s, []string{id}, dir, nil)
+					if err != nil {
+						t.Logf("%s %v: CloseLocal(%s): %v", s.Name(), dir, id, err)
+						return false
+					}
+					reach, err := s.Closure(id, dir)
+					if err != nil {
+						return false
+					}
+					wantKeys := map[string]bool{id: true}
+					for _, n := range reach {
+						wantKeys[n] = true
+					}
+					if len(local) != len(wantKeys) {
+						t.Logf("%s %v: CloseLocal(%s) expanded %d entities, want %d", s.Name(), dir, id, len(local), len(wantKeys))
+						return false
+					}
+					probe := make([]string, 0, len(local))
+					for n := range local {
+						if !wantKeys[n] {
+							t.Logf("%s %v: CloseLocal(%s) expanded %s outside the reachable set", s.Name(), dir, id, n)
+							return false
+						}
+						probe = append(probe, n)
+					}
+					want, err := s.Expand(probe, dir)
+					if err != nil {
+						return false
+					}
+					if encodeAdj(local) != encodeAdj(want) {
+						t.Logf("%s %v: CloseLocal(%s) lists:\n got %s\nwant %s", s.Name(), dir, id, encodeAdj(local), encodeAdj(want))
+						return false
+					}
+					// A skip boundary on everything but the seed stops the
+					// walk after the seed's own expansion.
+					bounded, err := closeLocal(t, s, []string{id}, dir, func(n string) bool { return n != id })
+					if err != nil {
+						return false
+					}
+					if len(bounded) != 1 || fmt.Sprint(bounded[id]) != fmt.Sprint(want[id]) {
+						t.Logf("%s %v: bounded CloseLocal(%s) = %v, want only %v", s.Name(), dir, id, bounded, want[id])
+						return false
+					}
+				}
+				// Unknown seeds are ignored, not errors.
+				if got, err := closeLocal(t, s, []string{"ghost-entity"}, dir, nil); err != nil || len(got) != 0 {
+					t.Logf("%s %v: ghost CloseLocal = %v, %v", s.Name(), dir, got, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: lineage and dependents are converse relations on every backend.
 func TestQuickLineageDependentsConverse(t *testing.T) {
 	f := func(seed int64) bool {

@@ -19,12 +19,25 @@
 //     tie-break/dedup rules as the single-store backends
 //     (store.MergeNeighbors; artifact Up edges come only from the
 //     generator's shard).
-//   - Closure iterates sharded Expand to fixpoint (store.CloseOverExpand),
-//     so a whole-graph traversal costs O(hops) scatter/gather rounds.
+//   - Closure pushdown: instead of one scatter/gather round per BFS hop,
+//     each shard runs its local closure to fixpoint inside its own lock
+//     (store.LocalCloser, with a store.LocalCloseOverExpand fallback for
+//     backends without the capability) and only the frontier of entities
+//     whose edges continue on another shard is exchanged between rounds.
+//     Synchronization rounds drop from O(depth) to O(cross-shard boundary
+//     crossings): the router skips frontier entities with no remote edges
+//     (the entity→shard and generator-edge indexes already know), batches
+//     each round's probes per destination shard, and finally replays the
+//     gathered subgraph in memory to reproduce the exact single-store BFS
+//     order. ClosureViaExpand keeps the per-hop path as the conformance
+//     and benchmarking reference; TracedClosure exposes the round
+//     structure (-trace-rounds, experiment E16).
 //
 // The router holds no edges of its own: shards own the graph, the router
-// owns only the routing and membership maps, so its memory footprint is
-// O(entities), not O(edges).
+// owns only the routing and membership maps, so its resident footprint is
+// O(entities), not O(edges). (A pushdown closure transiently gathers the
+// traversed subgraph's edges for the ordering replay, released when the
+// query returns.)
 package shardedstore
 
 import (
@@ -53,15 +66,27 @@ type Router struct {
 
 	autoCkpt *store.AutoCheckpoint
 
+	// scratch pools the per-shard request/response buffers Expand and the
+	// pushdown closure driver need every round, so deep traversals and
+	// wide fan-out hops stop reallocating them per hop. single holds the
+	// precomputed one-shard sets ({0}, {1}, …) traversal planning hands
+	// out for generator-edge lookups without allocating.
+	scratch sync.Pool
+	single  [][]int
+
 	mu         sync.RWMutex
 	manifest   *os.File         // global accepted-run order journal (file-backed routers)
 	runShard   map[string]int   // run -> home shard
 	order      []string         // runs in accepted order
 	artShards  map[string][]int // artifact -> shards holding it (sorted)
 	execShards map[string][]int // execution -> shards holding it (sorted)
-	artLatest  map[string]int   // artifact -> shard of its latest declaration
-	execLatest map[string]int   // execution -> shard of its latest declaration
-	genShard   map[string]int   // artifact -> shard of its current generator edge
+	// entityShard collapses both kind indexes for the pushdown's hot
+	// classification path: the one shard an entity lives on, or -1 once
+	// it spans shards or kinds (then the full per-kind indexes decide).
+	entityShard map[string]int32
+	artLatest   map[string]int // artifact -> shard of its latest declaration
+	execLatest  map[string]int // execution -> shard of its latest declaration
+	genShard    map[string]int // artifact -> shard of its current generator edge
 }
 
 var _ store.Store = (*Router)(nil)
@@ -75,14 +100,20 @@ func New(shards []store.Store) (*Router, error) {
 		return nil, fmt.Errorf("shardedstore: need at least one shard")
 	}
 	r := &Router{
-		shards:     shards,
-		name:       fmt.Sprintf("sharded(%d×%s)", len(shards), shards[0].Name()),
-		runShard:   map[string]int{},
-		artShards:  map[string][]int{},
-		execShards: map[string][]int{},
-		artLatest:  map[string]int{},
-		execLatest: map[string]int{},
-		genShard:   map[string]int{},
+		shards:      shards,
+		name:        fmt.Sprintf("sharded(%d×%s)", len(shards), shards[0].Name()),
+		runShard:    map[string]int{},
+		artShards:   map[string][]int{},
+		execShards:  map[string][]int{},
+		entityShard: map[string]int32{},
+		artLatest:   map[string]int{},
+		execLatest:  map[string]int{},
+		genShard:    map[string]int{},
+	}
+	r.scratch.New = func() any { return &expandScratch{} }
+	r.single = make([][]int, len(shards))
+	for i := range r.single {
+		r.single[i] = []int{i}
 	}
 	return r, nil
 }
@@ -345,11 +376,24 @@ func (r *Router) rebuild(dir string) error {
 	return nil
 }
 
-// shardOf is the deterministic routing function: FNV-1a of the run ID.
+// shardOf is the deterministic routing function: FNV-1a of the run ID,
+// finished with one avalanche round. FNV-1a's low-order bits mix weakly
+// and shard selection is a modulo, so without the finalizer sequential run
+// IDs land in near-alternating patterns that maximize cross-shard
+// boundaries on chain-shaped lineages (measurably more pushdown rounds
+// than random placement); the finalizer restores uniform dispersion.
+// Changing the function is safe for existing directories: reopen rebuilds
+// the run→shard index from actual shard contents, never from the hash.
 func (r *Router) shardOf(runID string) int {
 	h := fnv.New32a()
 	h.Write([]byte(runID))
-	return int(h.Sum32() % uint32(len(r.shards)))
+	x := h.Sum32()
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return int(x % uint32(len(r.shards)))
 }
 
 // NumShards reports the shard count.
@@ -369,13 +413,22 @@ func (r *Router) Shard(i int) store.Store { return r.shards[i] }
 func (r *Router) indexLocked(l *provenance.RunLog, shard int) {
 	r.runShard[l.Run.ID] = shard
 	r.order = append(r.order, l.Run.ID)
+	single := func(id string) {
+		if es, ok := r.entityShard[id]; !ok {
+			r.entityShard[id] = int32(shard)
+		} else if es != int32(shard) {
+			r.entityShard[id] = -1
+		}
+	}
 	for _, a := range l.Artifacts {
 		r.artShards[a.ID] = addShard(r.artShards[a.ID], shard)
 		r.artLatest[a.ID] = shard
+		single(a.ID)
 	}
 	for _, e := range l.Executions {
 		r.execShards[e.ID] = addShard(r.execShards[e.ID], shard)
 		r.execLatest[e.ID] = shard
+		single(e.ID)
 	}
 	for _, ev := range l.Events {
 		if ev.Kind == provenance.EventArtifactGen {
@@ -384,20 +437,34 @@ func (r *Router) indexLocked(l *provenance.RunLog, shard int) {
 	}
 }
 
-// addShard inserts a shard index into a small sorted set.
+// addShard inserts a shard index into a small sorted set. Insertion always
+// allocates a fresh backing array: published sets are read outside the
+// router lock (Expand plans and the pushdown closure's allowed-shard sets
+// hold them across rounds), so an in-place insert would race those readers.
 func addShard(set []int, shard int) []int {
 	for i, s := range set {
 		if s == shard {
 			return set
 		}
 		if s > shard {
-			set = append(set, 0)
-			copy(set[i+1:], set[i:])
-			set[i] = shard
-			return set
+			out := make([]int, 0, len(set)+1)
+			out = append(out, set[:i]...)
+			out = append(out, shard)
+			return append(out, set[i:]...)
 		}
 	}
-	return append(set, shard)
+	out := make([]int, 0, len(set)+1)
+	return append(append(out, set...), shard)
+}
+
+// containsShard reports membership in a small sorted shard set.
+func containsShard(set []int, shard int) bool {
+	for _, s := range set {
+		if s == shard {
+			return true
+		}
+	}
+	return false
 }
 
 // --- Store: ingest -----------------------------------------------------------
@@ -529,14 +596,55 @@ func (r *Router) mergedNav(id string, index map[string][]int, nav func(store.Sto
 
 // --- Store: scatter/gather traversal -----------------------------------------
 
+// expandScratch holds the per-shard request/response buffers one Expand
+// call or pushdown closure round needs. Pooled on the router, so a deep
+// traversal's rounds (and repeated wide fan-out hops) reuse the same
+// buffers instead of re-growing fresh ones every round.
+type expandScratch struct {
+	perShard [][]string               // per-shard probe/seed lists
+	results  []map[string][]string    // per-shard Expand responses
+	local    [][]store.LocalNeighbors // per-shard CloseLocal responses
+	errs     []error
+	lists    [][]string // per-entity gather workspace
+}
+
+// getScratch checks a scratch buffer set out of the pool, sized for the
+// router's shard count with every slot reset.
+func (r *Router) getScratch() *expandScratch {
+	sc := r.scratch.Get().(*expandScratch)
+	n := len(r.shards)
+	if cap(sc.perShard) < n {
+		sc.perShard = make([][]string, n)
+		sc.results = make([]map[string][]string, n)
+		sc.local = make([][]store.LocalNeighbors, n)
+		sc.errs = make([]error, n)
+	} else {
+		sc.perShard = sc.perShard[:n]
+		sc.results = sc.results[:n]
+		sc.local = sc.local[:n]
+		sc.errs = sc.errs[:n]
+	}
+	for i := 0; i < n; i++ {
+		sc.perShard[i] = sc.perShard[i][:0]
+		sc.results[i] = nil
+		sc.local[i] = sc.local[i][:0] // keep capacity: CloseLocal appends into it
+		sc.errs[i] = nil
+	}
+	sc.lists = sc.lists[:0]
+	return sc
+}
+
 // Expand implements Store: the frontier is planned against the entity
 // index, scattered to every shard with work in parallel (one goroutine per
-// shard), and gathered under the shared merge rules. Known entities always
-// get an entry; artifact Up edges come only from the shard holding the
-// artifact's current generator edge, so a generator re-declared on another
-// shard never resurrects the stale edge.
+// shard, or a direct call when a single shard holds the whole frontier),
+// and gathered under the shared merge rules. Known entities always get an
+// entry; artifact Up edges come only from the shard holding the artifact's
+// current generator edge, so a generator re-declared on another shard
+// never resurrects the stale edge. Neighbor lists in the result may alias
+// the shards' per-call response slices; callers must not mutate them.
 func (r *Router) Expand(ids []string, dir store.Direction) (map[string][]string, error) {
-	perShard := make([][]string, len(r.shards))
+	sc := r.getScratch()
+	defer r.scratch.Put(sc)
 	plan := make(map[string][]int, len(ids))
 	r.mu.RLock()
 	for _, id := range ids {
@@ -547,21 +655,21 @@ func (r *Router) Expand(ids []string, dir store.Direction) (map[string][]string,
 			// Artifact classification wins for an ID stored as both kinds.
 			if dir == store.Up {
 				if gs, ok := r.genShard[id]; ok {
-					plan[id] = []int{gs}
-					perShard[gs] = append(perShard[gs], id)
+					plan[id] = r.single[gs]
+					sc.perShard[gs] = append(sc.perShard[gs], id)
 				} else {
 					plan[id] = nil // known artifact, no generator: empty entry
 				}
 			} else {
 				plan[id] = shards
 				for _, si := range shards {
-					perShard[si] = append(perShard[si], id)
+					sc.perShard[si] = append(sc.perShard[si], id)
 				}
 			}
 		} else if shards, isExec := r.execShards[id]; isExec {
 			plan[id] = shards
 			for _, si := range shards {
-				perShard[si] = append(perShard[si], id)
+				sc.perShard[si] = append(sc.perShard[si], id)
 			}
 		}
 		// Unknown IDs stay absent from the plan and the result.
@@ -569,44 +677,369 @@ func (r *Router) Expand(ids []string, dir store.Direction) (map[string][]string,
 	r.mu.RUnlock()
 
 	// Scatter: one concurrent Expand per shard with work.
-	results := make([]map[string][]string, len(r.shards))
-	errs := make([]error, len(r.shards))
-	var wg sync.WaitGroup
-	for si, list := range perShard {
-		if len(list) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(si int, list []string) {
-			defer wg.Done()
-			results[si], errs[si] = r.shards[si].Expand(list, dir)
-		}(si, list)
-	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	if err := scatter(sc.perShard, sc.results, sc.errs, func(si int, seeds []string) (map[string][]string, error) {
+		return r.shards[si].Expand(seeds, dir)
+	}); err != nil {
 		return nil, err
 	}
 
-	// Gather: merge per-shard neighbor lists per frontier entity.
-	out := make(map[string][]string, len(plan))
+	// Gather: merge per-shard neighbor lists per frontier entity, the
+	// result map preallocated from the frontier size.
+	out := make(map[string][]string, len(ids))
 	for id, shards := range plan {
-		lists := make([][]string, 0, len(shards))
+		lists := sc.lists[:0]
 		for _, si := range shards {
-			if ns, ok := results[si][id]; ok {
+			if ns, ok := sc.results[si][id]; ok {
 				lists = append(lists, ns)
 			}
 		}
-		out[id] = store.MergeNeighbors(lists...)
+		switch len(lists) {
+		case 0:
+			out[id] = nil
+		case 1:
+			// Single-shard entities adopt the shard's freshly built list
+			// without the merge copy.
+			out[id] = lists[0]
+		default:
+			out[id] = store.MergeNeighbors(lists...)
+		}
+		sc.lists = lists[:0]
 	}
 	return out, nil
 }
 
-// Closure implements Store by iterating sharded Expand to fixpoint: each
-// BFS hop is one parallel scatter/gather round, and the visit order matches
-// the single-store backends (per-node sorted neighbors, seed excluded).
+// scatter runs probe once per shard with pending seeds, in parallel when
+// more than one shard participates (the single-shard round of a deep chain
+// traversal pays no goroutine handoff), and joins the per-shard errors.
+func scatter[T any](perShard [][]string, results []T, errs []error, probe func(si int, seeds []string) (T, error)) error {
+	active, last := 0, -1
+	for si, list := range perShard {
+		if len(list) > 0 {
+			active++
+			last = si
+		}
+	}
+	switch {
+	case active == 0:
+		return nil
+	case active == 1:
+		results[last], errs[last] = probe(last, perShard[last])
+		return errs[last]
+	default:
+		var wg sync.WaitGroup
+		for si, list := range perShard {
+			if len(list) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(si int, list []string) {
+				defer wg.Done()
+				results[si], errs[si] = probe(si, list)
+			}(si, list)
+		}
+		wg.Wait()
+	}
+	return errors.Join(errs...)
+}
+
+// ClosureTrace describes the round structure of one pushdown Closure: the
+// observability surface behind provctl/provd's -trace-rounds flag and
+// E16's rounds-executed metric. Rounds ≤ Crossings + 1 by construction —
+// every round past the first is driven by at least one cross-shard
+// continuation.
+type ClosureTrace struct {
+	Seed      string
+	Dir       store.Direction
+	Rounds    int   // local-fixpoint rounds executed
+	Probes    []int // (entity, shard) probes issued per round
+	Crossings int   // cross-shard continuations: probes issued after round 1
+	Nodes     int   // closure size
+}
+
+// Closure implements Store with per-shard closure pushdown: every round,
+// each probed shard runs its local closure to fixpoint inside its own lock
+// (store.LocalCloser) and only entities whose edges continue on another
+// shard — known from the entity→shard and generator-edge indexes — are
+// exchanged for the next round, batched per destination shard. The visit
+// order still matches the single-store backends exactly (per-node sorted
+// neighbors merged under the shared tie-break rules, seed excluded): the
+// gathered subgraph is replayed in memory to reconstruct the global BFS.
 func (r *Router) Closure(seed string, dir store.Direction) ([]string, error) {
+	order, _, err := r.TracedClosure(seed, dir)
+	return order, err
+}
+
+// ClosureViaExpand is the pre-pushdown traversal: one scatter/gather
+// Expand round per BFS hop. Kept as the reference path the conformance
+// tests pin the pushdown against and the baseline experiment E16 measures
+// the pushdown over.
+func (r *Router) ClosureViaExpand(seed string, dir store.Direction) ([]string, error) {
 	return store.CloseOverExpand(r.Expand, seed, dir)
 }
+
+// pdNode is one entity's traversal state during a pushdown closure.
+// allowed holds the shards the entity's edges may legitimately come from
+// under the global classification rules (artifact Up: only the current
+// generator edge's shard; everything else: every holding shard) — lists
+// returned by other shards are dropped, so a stale generator edge or a
+// diverging local kind on a shard that re-declared the ID never leaks
+// into the merged adjacency. probed tracks (as a bitmask — the pushdown
+// driver serves routers up to 64 shards and falls back to the per-hop
+// path beyond) which shards have locally expanded the entity; an entity
+// with allowed ⊆ probed has no remote edges left and is never exchanged
+// again.
+type pdNode struct {
+	allowed []int    // accepted source shards (global classification)
+	probed  uint64   // shards whose local fixpoint expanded the node
+	adj     []string // accepted, globally merged neighbor list
+	visited bool     // reached by the ordering replay
+}
+
+// TracedClosure is Closure returning its round trace.
+func (r *Router) TracedClosure(seed string, dir store.Direction) ([]string, ClosureTrace, error) {
+	tr := ClosureTrace{Seed: seed, Dir: dir}
+	if len(r.shards) > 64 {
+		// The pushdown's probed bitmask covers 64 shards; beyond that the
+		// per-hop path serves (every hop is a global exchange, so the
+		// trace reports one crossing per round past the first).
+		order, err := store.CloseOverExpand(func(ids []string, d store.Direction) (map[string][]string, error) {
+			tr.Rounds++
+			tr.Probes = append(tr.Probes, len(ids))
+			return r.Expand(ids, d)
+		}, seed, dir)
+		if tr.Rounds > 1 {
+			tr.Crossings = tr.Rounds - 1
+		}
+		tr.Nodes = len(order)
+		return order, tr, err
+	}
+	r.mu.RLock()
+	seedAllowed, known := r.allowedShardsLocked(seed, dir)
+	r.mu.RUnlock()
+	if !known {
+		return nil, tr, fmt.Errorf("%w: entity %q", store.ErrNotFound, seed)
+	}
+
+	// Node state lives in a flat arena addressed by index: the name map
+	// carries int32 values (no write barrier per insert, half the lookups
+	// of a two-map design), and the arena grows only between scatter
+	// phases, so pointers taken into it within one phase stay valid.
+	arena := make([]pdNode, 1, 256)
+	arena[0] = pdNode{allowed: seedAllowed}
+	nodes := make(map[string]int32, 256)
+	nodes[seed] = 0
+
+	sc := r.getScratch()
+	defer r.scratch.Put(sc)
+	pending := sc.perShard
+	npending := 0
+	enqueue := func(id string, st *pdNode) {
+		for _, si := range st.allowed {
+			if st.probed&(1<<uint(si)) == 0 {
+				pending[si] = append(pending[si], id)
+				npending++
+			}
+		}
+	}
+	enqueue(seed, &arena[0])
+
+	// The per-shard skip predicates and probe closures are built once:
+	// during a round the driver does not mutate nodes, so the shard
+	// goroutines' reads of the map race nothing.
+	skips := make([]func(string) bool, len(r.shards))
+	probes := make([]func([]string) ([]store.LocalNeighbors, error), len(r.shards))
+	for si := range r.shards {
+		si := si
+		mask := uint64(1) << uint(si)
+		skips[si] = func(id string) bool {
+			idx, ok := nodes[id]
+			return ok && arena[idx].probed&mask != 0
+		}
+		if lc, ok := r.shards[si].(store.LocalCloser); ok {
+			probes[si] = func(seeds []string) ([]store.LocalNeighbors, error) {
+				return lc.CloseLocal(seeds, dir, skips[si], sc.local[si][:0])
+			}
+		} else {
+			expand := r.shards[si].Expand
+			probes[si] = func(seeds []string) ([]store.LocalNeighbors, error) {
+				return store.LocalCloseOverExpand(expand, seeds, dir, skips[si], sc.local[si][:0])
+			}
+		}
+	}
+
+	probeFn := func(si int, seeds []string) ([]store.LocalNeighbors, error) {
+		return probes[si](seeds)
+	}
+
+	var discovered []string // this round's new entity names…
+	var discIdx []int32     // …and their arena indexes
+	var stash []int32       // per-round node indexes, aligned with the result walk
+	for npending > 0 {
+		tr.Rounds++
+		tr.Probes = append(tr.Probes, npending)
+		if tr.Rounds > 1 {
+			tr.Crossings += npending
+		}
+
+		// Scatter: one local fixpoint per shard with probes, skipping
+		// entities that shard already expanded in an earlier round.
+		if err := scatter(sc.perShard, sc.local, sc.errs, probeFn); err != nil {
+			return nil, tr, err
+		}
+
+		// Gather, phase 1: record coverage, collect newly seen entities,
+		// stashing each entry's node index so phase 2 skips the map
+		// lookup. Arena growth happens only here, between scatters.
+		discovered = discovered[:0]
+		discIdx = discIdx[:0]
+		stash = stash[:0]
+		for si, res := range sc.local {
+			mask := uint64(1) << uint(si)
+			for i := range res {
+				n := res[i].ID
+				idx, ok := nodes[n]
+				if !ok {
+					arena = append(arena, pdNode{})
+					idx = int32(len(arena) - 1)
+					nodes[n] = idx
+					discovered = append(discovered, n)
+					discIdx = append(discIdx, idx)
+				}
+				arena[idx].probed |= mask
+				stash = append(stash, idx)
+			}
+		}
+		// Classify this round's discoveries under one index lock. The
+		// returned sets are immutable (addShard copies on insert, single
+		// is precomputed), so holding them across rounds is safe.
+		if len(discovered) > 0 {
+			r.mu.RLock()
+			for i, n := range discovered {
+				arena[discIdx[i]].allowed, _ = r.allowedShardsLocked(n, dir)
+			}
+			r.mu.RUnlock()
+		}
+		// Gather, phase 2: accept neighbor lists from allowed shards only,
+		// merging under the shared dedup rules when an entity's edges span
+		// shards.
+		k := 0
+		for si, res := range sc.local {
+			for i := range res {
+				st := &arena[stash[k]]
+				k++
+				if !containsShard(st.allowed, si) {
+					continue
+				}
+				if st.adj == nil {
+					// First accepted list is adopted as-is (empty lists
+					// merge to the same set either way).
+					st.adj = res[i].Neighbors
+				} else {
+					st.adj = store.MergeNeighbors(st.adj, res[i].Neighbors)
+				}
+			}
+		}
+
+		// Next round: only entities with unprobed allowed shards cross —
+		// the cross-shard frontier, batched per destination shard. Result
+		// containers are truncated, not dropped: each shard's next
+		// CloseLocal appends into the same backing array.
+		for si := range pending {
+			pending[si] = pending[si][:0]
+			sc.local[si] = sc.local[si][:0]
+		}
+		npending = 0
+		for i, n := range discovered {
+			enqueue(n, &arena[discIdx[i]])
+		}
+	}
+	// Replay: the gathered subgraph already holds every traversed entity's
+	// globally merged neighbor list, so the exact single-store BFS order
+	// (the contract pinned by the conformance suite) is reconstructed with
+	// in-memory map lookups — no further store rounds. Frontiers carry
+	// node pointers (one lookup per edge, none per level) and the two
+	// level buffers alternate, keeping the loop allocation-flat.
+	order := make([]string, 0, len(arena)) // every traversed entity, bounded by the arena
+	var bufs [2][]int32
+	frontier := append(bufs[0], 0) // the seed's arena index
+	which := 1
+	for len(frontier) > 0 {
+		next := bufs[which][:0]
+		for _, idx := range frontier {
+			for _, n := range arena[idx].adj {
+				if j, ok := nodes[n]; ok && !arena[j].visited {
+					arena[j].visited = true
+					order = append(order, n)
+					next = append(next, j)
+				}
+			}
+		}
+		bufs[which] = next
+		frontier = next
+		which ^= 1
+	}
+	tr.Nodes = len(order)
+	return order, tr, nil
+}
+
+// allowedShardsLocked reports which shards may contribute an entity's
+// neighbor lists in a direction — the plan rule shared with Expand:
+// artifact Up edges only from the current generator edge's shard,
+// everything else from every holding shard. known=false for IDs absent
+// from the entity index. The caller holds at least a read lock; returned
+// slices are immutable once published (see addShard) and safe to hold
+// after the lock is released.
+func (r *Router) allowedShardsLocked(id string, dir store.Direction) (shards []int, known bool) {
+	// Fast path: an entity on a single shard (and single kind) gets that
+	// shard whatever the direction — its generator edge, if any, lives
+	// there too, and local kind classification agrees with the global one.
+	if es, ok := r.entityShard[id]; ok && es >= 0 {
+		return r.single[es], true
+	}
+	if shards, isArt := r.artShards[id]; isArt {
+		if dir == store.Up {
+			if gs, ok := r.genShard[id]; ok {
+				return r.single[gs], true
+			}
+			return nil, true
+		}
+		return shards, true
+	}
+	if shards, isExec := r.execShards[id]; isExec {
+		return shards, true
+	}
+	return nil, false
+}
+
+// WithTrace wraps the router so every pushdown Closure that executes
+// reports its round trace through report — the -trace-rounds debug
+// surface of provctl and provd. All other Store methods pass through.
+func (r *Router) WithTrace(report func(ClosureTrace)) store.Store {
+	if report == nil {
+		return r
+	}
+	return &tracedRouter{Router: r, report: report}
+}
+
+// tracedRouter overrides Closure to publish the trace; everything else
+// (including Checkpoint) promotes from the embedded router.
+type tracedRouter struct {
+	*Router
+	report func(ClosureTrace)
+}
+
+// Closure implements Store, reporting the executed trace on success.
+func (t *tracedRouter) Closure(seed string, dir store.Direction) ([]string, error) {
+	order, tr, err := t.Router.TracedClosure(seed, dir)
+	if err == nil {
+		t.report(tr)
+	}
+	return order, err
+}
+
+// Underlying exposes the wrapped router, so stack-walking callers (the
+// CLIs' unwrap helpers) can reach it.
+func (t *tracedRouter) Underlying() store.Store { return t.Router }
 
 // --- Store: aggregates -------------------------------------------------------
 

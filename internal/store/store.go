@@ -153,6 +153,157 @@ func ExpandViaNav(s Store, ids []string, dir Direction) (map[string][]string, er
 	return out, nil
 }
 
+// LocalNeighbors is one expanded entity's neighbor list in a CloseLocal
+// result. Results are slices, not maps: the sharded router's pushdown
+// driver consumes every entry of every round, and a slice walk avoids the
+// per-round map allocation, hashing and iteration costs that would
+// otherwise dominate deep traversals.
+type LocalNeighbors struct {
+	ID        string
+	Neighbors []string
+}
+
+// LocalCloser is an optional Store capability used by the sharded router's
+// closure pushdown: run a BFS fixpoint entirely inside the backend — under
+// one lock acquisition on the indexed backends — from a whole batch of
+// seeds, instead of being driven one frontier hop at a time from outside.
+//
+// The result holds every entity the call expanded (the known seeds plus
+// everything transitively reachable from them through this backend's own
+// edges) with its sorted-unique neighbor list in the given direction,
+// exactly as Expand would report it; each expanded entity appears exactly
+// once, in local discovery order. Entities for which skip reports true are
+// treated as already expanded by an earlier call: they terminate the local
+// walk and are absent from the result. Unknown seeds are ignored. A nil
+// skip expands everything.
+//
+// The result is appended to buf (append-style: the caller passes last
+// round's slice re-truncated to reuse its backing array, or nil for a
+// fresh one) — a deep traversal's driver calls this once per round, and
+// the container reuse is what keeps rounds allocation-flat.
+//
+// MemStore, FileStore and TripleStore implement it natively over their
+// resident indexes; backends without the capability (RelStore) are served
+// by LocalCloseOverExpand, which drives the same contract through batched
+// Expand calls.
+type LocalCloser interface {
+	CloseLocal(seeds []string, dir Direction, skip func(id string) bool, buf []LocalNeighbors) ([]LocalNeighbors, error)
+}
+
+// localCloseBFS is the shared local-fixpoint walk behind every native
+// CloseLocal: a BFS over a per-node neighbor function that stops at skip
+// boundaries and records each expanded node's neighbor list. neighbors
+// reports ok=false for unknown entities (they are not expanded; a run
+// log's events only reference entities declared in the same log, so a
+// backend's own edges never dangle).
+//
+// Dedup is hybrid: the typical pushdown round expands a handful of nodes,
+// where a linear scan of the result beats allocating a set, and a walk
+// that grows past the threshold (a single-shard store's whole closure)
+// spills into a map once.
+func localCloseBFS(seeds []string, dir Direction, skip func(string) bool, neighbors func(id string, dir Direction) ([]string, bool), buf []LocalNeighbors) []LocalNeighbors {
+	out := buf[:0]
+	const spill = 32
+	var seen map[string]struct{}
+	expanded := func(id string) bool {
+		if seen != nil {
+			_, ok := seen[id]
+			return ok
+		}
+		for i := range out {
+			if out[i].ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	// Level buffers alternate (the seed slice is caller-owned and never
+	// written), keeping the walk allocation-flat across levels.
+	var bufs [2][]string
+	frontier := seeds
+	which := 0
+	for len(frontier) > 0 {
+		next := bufs[which][:0]
+		for _, id := range frontier {
+			if expanded(id) {
+				continue
+			}
+			if skip != nil && skip(id) {
+				continue
+			}
+			ns, ok := neighbors(id, dir)
+			if !ok {
+				continue
+			}
+			if seen == nil && len(out) >= spill {
+				seen = make(map[string]struct{}, 4*spill)
+				for i := range out {
+					seen[out[i].ID] = struct{}{}
+				}
+			}
+			if seen != nil {
+				seen[id] = struct{}{}
+			}
+			out = append(out, LocalNeighbors{ID: id, Neighbors: ns})
+			for _, n := range ns {
+				if !expanded(n) {
+					next = append(next, n)
+				}
+			}
+		}
+		bufs[which] = next
+		frontier = next
+		which ^= 1
+	}
+	return out
+}
+
+// LocalCloseOverExpand implements the LocalCloser contract for backends
+// that only offer batched Expand (RelStore behind the sharded router): one
+// Expand per local hop, accumulating each expanded entity's neighbor list
+// until the local fixpoint. Costs O(local hops) backend calls where the
+// native implementations pay one lock acquisition total, but preserves the
+// same results.
+func LocalCloseOverExpand(expand func([]string, Direction) (map[string][]string, error), seeds []string, dir Direction, skip func(id string) bool, buf []LocalNeighbors) ([]LocalNeighbors, error) {
+	out := buf[:0]
+	seen := make(map[string]struct{}, len(seeds)*2)
+	pending := make([]string, 0, len(seeds))
+	for _, id := range seeds {
+		if skip == nil || !skip(id) {
+			pending = append(pending, id)
+		}
+	}
+	for len(pending) > 0 {
+		adj, err := expand(pending, dir)
+		if err != nil {
+			return nil, err
+		}
+		var next []string
+		for _, id := range pending {
+			if _, done := seen[id]; done {
+				continue
+			}
+			ns, known := adj[id]
+			if !known {
+				continue // unknown locally
+			}
+			seen[id] = struct{}{}
+			out = append(out, LocalNeighbors{ID: id, Neighbors: ns})
+			for _, n := range ns {
+				if _, done := seen[n]; done {
+					continue
+				}
+				if skip != nil && skip(n) {
+					continue
+				}
+				next = append(next, n)
+			}
+		}
+		pending = next
+	}
+	return out, nil
+}
+
 // CloseOverExpand is the shared Closure fallback for minimal Store
 // implementations whose only batch primitive is Expand: one Expand call
 // per hop, visiting neighbors in per-node sorted order, seed excluded,

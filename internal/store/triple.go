@@ -57,6 +57,7 @@ func NewTripleStore() *TripleStore {
 }
 
 var _ Store = (*TripleStore)(nil)
+var _ LocalCloser = (*TripleStore)(nil)
 
 // Name implements Store.
 func (s *TripleStore) Name() string { return "triple" }
@@ -366,6 +367,15 @@ func (s *TripleStore) Closure(seed string, dir Direction) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return bfsClosure(seed, dir, s.neighborsLocked)
+}
+
+// CloseLocal implements LocalCloser: the local fixpoint probes the
+// SPO/POS indexes under one read lock (the sharded router's
+// closure-pushdown primitive).
+func (s *TripleStore) CloseLocal(seeds []string, dir Direction, skip func(string) bool, buf []LocalNeighbors) ([]LocalNeighbors, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return localCloseBFS(seeds, dir, skip, s.neighborsLocked, buf), nil
 }
 
 // Stats implements Store.
