@@ -651,6 +651,66 @@ func BenchmarkE16ClosurePushdown(b *testing.B) {
 	})
 }
 
+// BenchmarkE17StreamingExec replays experiment E17's multi-join PQL
+// battery over the 64-run synthetic store through the eager reference
+// executor, the streaming executor, and the streaming executor over a
+// 4-shard router (parallel leaf scans), plus the Datalog provenance
+// fixpoint under both evaluators. Allocations are reported — the
+// pipelined iterators' avoided intermediate materialization is the
+// headline observable.
+func BenchmarkE17StreamingExec(b *testing.B) {
+	const nRuns, execsPerRun = 64, 6
+	mem := store.NewMemStore()
+	sharded := shardedstore.NewMem(4)
+	for i := 0; i < nRuns; i++ {
+		if err := mem.PutRunLog(experiments.E17SynthLog(i, execsPerRun)); err != nil {
+			b.Fatal(err)
+		}
+		if err := sharded.PutRunLog(experiments.E17SynthLog(i, execsPerRun)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := make([]*pql.Query, len(experiments.E17Queries))
+	for i, src := range experiments.E17Queries {
+		q, err := pql.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[i] = q
+	}
+	battery := func(s store.Store, exec func(store.Store, *pql.Query) (*pql.Result, error)) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := exec(s, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	b.Run("mode=eager", battery(mem, pql.ExecuteEager))
+	b.Run("mode=streaming", battery(mem, pql.Execute))
+	b.Run("mode=streaming-sharded", battery(sharded, pql.Execute))
+
+	fixpoint := func(reference bool) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := datalog.NewProvenanceProgram(mem)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.ReferenceEval = reference
+				p.Evaluate()
+			}
+		}
+	}
+	b.Run("datalog=reference", fixpoint(true))
+	b.Run("datalog=streaming", fixpoint(false))
+}
+
 // TestExperimentSuiteSmoke runs the fast experiments end-to-end so `go
 // test` exercises the harness itself (timing-heavy ones are covered by the
 // benchmarks above and cmd/provbench).

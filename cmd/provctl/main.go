@@ -272,6 +272,8 @@ func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	var sf storeFlags
 	sf.register(fs, false)
+	explain := fs.Bool("explain", false,
+		"print the executed plan to stderr: join order, per-operator rows emitted, scan parallelism, bytes allocated")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -283,6 +285,19 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer cleanup()
+	if *explain {
+		q, err := pql.Parse(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		res, ex, err := pql.ExecuteExplain(st, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, ex.String())
+		fmt.Print(res.String())
+		return nil
+	}
 	res, err := pql.Run(st, fs.Arg(0))
 	if err != nil {
 		return err

@@ -64,6 +64,7 @@ func main() {
 		durability  = flag.String("durability", "none", "ingest durability with -store: none, fsync, or group (group-commit WAL)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "with -store: snapshot the store (and cache) every N published runs")
 		traceRounds = flag.Bool("trace-rounds", false, "log each sharded closure's pushdown rounds and per-round frontier sizes")
+		explain     = flag.Bool("explain", false, "log each /query's executed plan: join order, per-operator rows, scan parallelism, allocations")
 		seed        = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
 		users       = flag.Int("users", 10, "synthetic community size")
 		runsEach    = flag.Int("runs", 3, "synthetic runs published per user")
@@ -125,8 +126,14 @@ func main() {
 		s := repo.Stat()
 		log.Printf("provd: synthesized %d workflows, %d runs, %d users", s.Workflows, s.Runs, s.Users)
 	}
+	var hopts collab.HandlerOptions
+	if *explain {
+		hopts.ExplainQueries = func(query, report string) {
+			log.Printf("provd: explain %q\n%s", query, report)
+		}
+	}
 	log.Printf("provd: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, collab.NewHandler(repo)); err != nil {
+	if err := http.ListenAndServe(*addr, collab.NewHandlerWith(repo, hopts)); err != nil {
 		log.Fatalf("provd: %v", err)
 	}
 }

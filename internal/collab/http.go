@@ -29,6 +29,19 @@ import (
 //	GET  /query?q=PQL            PQL query against the provenance store
 //	GET  /stats                  repository statistics
 func NewHandler(repo *Repository) http.Handler {
+	return NewHandlerWith(repo, HandlerOptions{})
+}
+
+// HandlerOptions tunes the HTTP face.
+type HandlerOptions struct {
+	// ExplainQueries, when set, receives each /query's executed-plan
+	// report (join order, per-operator row counts, parallel scan width,
+	// bytes allocated) — provd's -explain flag logs it.
+	ExplainQueries func(query, explain string)
+}
+
+// NewHandlerWith is NewHandler with options.
+func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/workflows", func(w http.ResponseWriter, req *http.Request) {
 		switch req.Method {
@@ -165,6 +178,21 @@ func NewHandler(repo *Repository) http.Handler {
 		q := req.URL.Query().Get("q")
 		if q == "" {
 			httpError(w, http.StatusBadRequest, errors.New("collab: q parameter required"))
+			return
+		}
+		if opts.ExplainQueries != nil {
+			parsed, err := pql.Parse(q)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			res, ex, err := pql.ExecuteExplain(repo.Store(), parsed)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			opts.ExplainQueries(q, ex.String())
+			writeJSON(w, http.StatusOK, res)
 			return
 		}
 		res, err := pql.Run(repo.Store(), q)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/provenance"
+	"repro/internal/query/scan"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
 	"repro/internal/store/shardedstore"
@@ -70,14 +72,48 @@ func OpenPersistentStore(opt Options) (store.Store, func() error, error) {
 
 // NewPersistentSystem assembles a System over the persistent storage stack
 // of OpenPersistentStore. The cleanup closes the store after the System is
-// done.
+// done. Opening an existing store seeds the process-wide entity ID counter
+// past every persisted ID, so runs recorded by this process cannot collide
+// with runs from earlier CLI invocations into the same directory.
 func NewPersistentSystem(opt Options) (*System, func() error, error) {
 	st, cleanup, err := OpenPersistentStore(opt)
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := seedIDCounter(st); err != nil {
+		_ = cleanup()
+		return nil, nil, err
+	}
 	opt.Store = st
 	return NewSystem(opt), cleanup, nil
+}
+
+// seedIDCounter scans the stored run logs (in parallel across shards) for
+// the largest numeric ID suffix over runs, executions and artifacts —
+// every kind the collector numbers from one shared counter — and raises
+// the counter past it.
+func seedIDCounter(st store.Store) error {
+	var max uint64
+	consider := func(id string) {
+		if n, ok := provenance.IDSuffix(id); ok && n > max {
+			max = n
+		}
+	}
+	err := scan.Logs(st, func(l *provenance.RunLog) error {
+		consider(l.Run.ID)
+		for _, e := range l.Executions {
+			consider(e.ID)
+		}
+		for _, a := range l.Artifacts {
+			consider(a.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	provenance.EnsureIDsAtLeast(max)
+	return nil
 }
 
 // Checkpoint snapshots the system's store (and closure cache, when one is

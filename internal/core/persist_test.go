@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// TestRunIDsSeededFromStore pins the cross-invocation run-ID fix: a fresh
+// process (simulated by a store already holding IDs far beyond this
+// process's counter) must not re-issue persisted IDs — the second
+// `provctl run` used to be rejected as a duplicate run.
+func TestRunIDsSeededFromStore(t *testing.T) {
+	dir := t.TempDir()
+
+	// Simulate an earlier CLI invocation whose counter was way ahead.
+	const prior = 5_000_000
+	fs, err := store.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &provenance.RunLog{
+		Run: provenance.Run{ID: fmt.Sprintf("run-%06d", prior), WorkflowID: "w", Status: provenance.StatusOK},
+		Artifacts: []*provenance.Artifact{
+			{ID: fmt.Sprintf("art-%06d", prior+2), RunID: fmt.Sprintf("run-%06d", prior)},
+		},
+	}
+	if err := fs.PutRunLog(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, cleanup, err := NewPersistentSystem(Options{StoreDir: dir, Agent: "seed-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	workloads.RegisterAll(sys.Registry)
+
+	res, _, err := sys.Run(context.Background(), workloads.MedicalImaging(), nil)
+	if err != nil {
+		t.Fatalf("run after reopen: %v", err)
+	}
+	n, ok := provenance.IDSuffix(res.RunID)
+	if !ok || n <= prior+2 {
+		t.Fatalf("run ID %q not seeded past stored max %d", res.RunID, prior+2)
+	}
+	runs, err := sys.Store.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %v", runs)
+	}
+}

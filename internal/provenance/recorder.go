@@ -2,6 +2,8 @@ package provenance
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -66,6 +68,37 @@ var _ Recorder = (*Collector)(nil)
 
 func (c *Collector) nextID(prefix string) string {
 	return fmt.Sprintf("%s-%06d", prefix, idCounter.Add(1))
+}
+
+// EnsureIDsAtLeast raises the process-wide entity ID counter so the next
+// generated ID uses a number strictly greater than n. Systems opening an
+// existing store call this with the store's maximum ID suffix, so a fresh
+// process does not re-issue run/exec/art IDs that are already persisted
+// (re-putting a run ID is an error, which used to reject the second
+// `provctl run` into the same store).
+func EnsureIDsAtLeast(n uint64) {
+	for {
+		cur := idCounter.Load()
+		if cur >= n || idCounter.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// IDSuffix extracts the numeric suffix of a generated entity ID
+// ("run-000007" → 7). It reports false for IDs that were not produced by
+// nextID (external or user-chosen names), which never collide with
+// generated ones anyway.
+func IDSuffix(id string) (uint64, bool) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 || i+1 >= len(id) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[i+1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 func (c *Collector) tick(rs *runState) uint64 {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/relalg"
 )
 
 // Term is a variable or constant inside an atom.
@@ -48,11 +50,22 @@ type Program struct {
 	rules []Rule
 	facts map[string]map[string]bool // pred -> encoded tuple -> true
 	arity map[string]int
+	// rel mirrors facts as append-only tuple slices per predicate: the
+	// planner's leaf relations (exec.go). Kept in lockstep with facts.
+	rel map[string][]relalg.Tuple
+	// ReferenceEval switches Evaluate to the original nested-loop
+	// joinBody evaluator, kept as the conformance reference for the
+	// streaming executor (see exec.go). Both reach the same fixpoint.
+	ReferenceEval bool
 }
 
 // NewProgram returns an empty program.
 func NewProgram() *Program {
-	return &Program{facts: map[string]map[string]bool{}, arity: map[string]int{}}
+	return &Program{
+		facts: map[string]map[string]bool{},
+		arity: map[string]int{},
+		rel:   map[string][]relalg.Tuple{},
+	}
 }
 
 const fieldSep = "\x00"
@@ -70,7 +83,11 @@ func (p *Program) AddFact(pred string, vals ...string) error {
 		m = map[string]bool{}
 		p.facts[pred] = m
 	}
-	m[encodeTuple(vals)] = true
+	key := encodeTuple(vals)
+	if !m[key] {
+		m[key] = true
+		p.appendTuple(pred, vals)
+	}
 	return nil
 }
 
@@ -119,8 +136,19 @@ type binding map[string]string
 
 // Evaluate runs semi-naive bottom-up evaluation to fixpoint, materializing
 // all derivable facts for rule-head predicates. It returns the total number
-// of derived facts.
+// of derived facts. By default each rule body is compiled into a streaming
+// relational-algebra plan with greedy hash-join ordering (exec.go); set
+// ReferenceEval for the original nested-loop evaluator.
 func (p *Program) Evaluate() int {
+	if !p.ReferenceEval {
+		return p.evaluateStreaming()
+	}
+	return p.evaluateReference()
+}
+
+// evaluateReference is the original per-binding nested-loop semi-naive
+// evaluator, retained as the conformance reference.
+func (p *Program) evaluateReference() int {
 	derived := 0
 	// delta holds facts new in the previous iteration, per predicate.
 	delta := map[string]map[string]bool{}
@@ -154,6 +182,7 @@ func (p *Program) Evaluate() int {
 					}
 					if !p.facts[r.Head.Pred][key] {
 						p.facts[r.Head.Pred][key] = true
+						p.appendTuple(r.Head.Pred, vals)
 						if next[r.Head.Pred] == nil {
 							next[r.Head.Pred] = map[string]bool{}
 						}

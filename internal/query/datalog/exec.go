@@ -1,0 +1,153 @@
+package datalog
+
+import (
+	"repro/internal/relalg"
+)
+
+// This file is the streaming rule-body executor: semi-naive rounds compile
+// each (rule, focus-atom) pair into a conjunctive plan over the relalg
+// iterator layer — one leaf per body atom, the focus atom bound to the
+// previous round's delta — and let the planner push constant/repeated-
+// variable selections into the leaf scans and order the hash joins
+// greedily (smallest relation first, bound-variable preference). The
+// nested-loop joinBody evaluator in datalog.go stays as the conformance
+// reference; both reach the same fixpoint and derived-fact count, since a
+// fact is counted once no matter which round derives it.
+
+// appendTuple mirrors a newly inserted fact into the planner's leaf
+// relation for its predicate. Slices are append-only, so plans compiled
+// earlier in a round keep their snapshot while later plans see the new
+// facts — the same monotonic visibility the reference evaluator has.
+func (p *Program) appendTuple(pred string, vals []string) {
+	vs := make([]relalg.Val, len(vals))
+	for i, v := range vals {
+		vs[i] = v
+	}
+	p.rel[pred] = append(p.rel[pred], relalg.Tuple{Values: vs})
+}
+
+// evaluateStreaming is Evaluate's default engine.
+func (p *Program) evaluateStreaming() int {
+	derived := 0
+	// delta holds the tuples new in the previous round, per predicate.
+	delta := map[string][]relalg.Tuple{}
+	for pred, tups := range p.rel {
+		delta[pred] = tups
+	}
+	for {
+		next := map[string][]relalg.Tuple{}
+		for _, r := range p.rules {
+			for focus := range r.Body {
+				if len(delta[r.Body[focus].Pred]) == 0 {
+					continue
+				}
+				derived += p.runRule(r, focus, delta, next)
+			}
+		}
+		if len(next) == 0 {
+			return derived
+		}
+		delta = next
+	}
+}
+
+// runRule evaluates one rule with the focus atom bound to the delta,
+// inserting novel head facts into the program and the next-round delta.
+// Returns the number of new facts.
+func (p *Program) runRule(r Rule, focus int, delta, next map[string][]relalg.Tuple) int {
+	leaves := make([]relalg.Leaf, len(r.Body))
+	for i, atom := range r.Body {
+		terms := make([]relalg.PlanTerm, len(atom.Args))
+		for j, t := range atom.Args {
+			if t.IsVar {
+				terms[j] = relalg.V(t.Value)
+			} else {
+				terms[j] = relalg.C(t.Value)
+			}
+		}
+		tuples := p.rel[atom.Pred]
+		if i == focus {
+			tuples = delta[atom.Pred]
+		}
+		leaves[i] = relalg.Leaf{Name: atom.Pred, Terms: terms, Tuples: tuples}
+	}
+
+	// Output: the distinct head variables, in head-argument order.
+	var outVars []string
+	varAt := map[string]int{}
+	for _, t := range r.Head.Args {
+		if t.IsVar {
+			if _, ok := varAt[t.Value]; !ok {
+				varAt[t.Value] = len(outVars)
+				outVars = append(outVars, t.Value)
+			}
+		}
+	}
+
+	plan, err := relalg.PlanConj(leaves, outVars, relalg.PlanOptions{})
+	if err != nil {
+		// Compilation can only fail on malformed rules AddRule would have
+		// rejected; fall back to the reference evaluator to be safe.
+		n := 0
+		p.joinBody(r, focus, deltaKeys(delta), func(b binding) {
+			vals := make([]string, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				if t.IsVar {
+					vals[i] = b[t.Value]
+				} else {
+					vals[i] = t.Value
+				}
+			}
+			n += p.insertDerived(r.Head.Pred, vals, next)
+		})
+		return n
+	}
+	n := 0
+	_ = plan.Run(func(vals []relalg.Val, _ []relalg.Witness) error {
+		out := make([]string, len(r.Head.Args))
+		for i, t := range r.Head.Args {
+			if t.IsVar {
+				out[i] = vals[varAt[t.Value]].(string)
+			} else {
+				out[i] = t.Value
+			}
+		}
+		n += p.insertDerived(r.Head.Pred, out, next)
+		return nil
+	})
+	return n
+}
+
+// insertDerived records a derived fact if novel, mirroring it into the
+// planner relation and the next-round delta. Returns 1 on novelty.
+func (p *Program) insertDerived(pred string, vals []string, next map[string][]relalg.Tuple) int {
+	key := encodeTuple(vals)
+	if p.facts[pred] == nil {
+		p.facts[pred] = map[string]bool{}
+	}
+	if p.facts[pred][key] {
+		return 0
+	}
+	p.facts[pred][key] = true
+	p.appendTuple(pred, vals)
+	tups := p.rel[pred]
+	next[pred] = append(next[pred], tups[len(tups)-1])
+	return 1
+}
+
+// deltaKeys re-encodes a tuple delta into the map form joinBody consumes.
+func deltaKeys(delta map[string][]relalg.Tuple) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(delta))
+	for pred, tups := range delta {
+		m := make(map[string]bool, len(tups))
+		for _, t := range tups {
+			vals := make([]string, len(t.Values))
+			for i, v := range t.Values {
+				vals[i] = v.(string)
+			}
+			m[encodeTuple(vals)] = true
+		}
+		out[pred] = m
+	}
+	return out
+}

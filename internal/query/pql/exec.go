@@ -72,8 +72,22 @@ func Run(s store.Store, src string) (*Result, error) {
 	return Execute(s, q)
 }
 
-// Execute evaluates a parsed query.
+// Execute evaluates a parsed query on the streaming executor (stream.go):
+// relalg iterators with selection pushdown and sharded parallel leaf
+// scans. ExecuteEager keeps the original materializing evaluator as the
+// conformance reference.
 func Execute(s store.Store, q *Query) (*Result, error) {
+	return executeWith(s, q, nil)
+}
+
+// ExecuteEager evaluates a parsed query on the original eager path:
+// whole-table scans into row maps, then join/filter/project over
+// materialized intermediates. It is retained as the conformance reference
+// the streaming executor is tested and benchmarked against. Divergences
+// from Execute: ORDER BY here requires the sort column to be selected, and
+// unknown-column errors in WHERE surface per-row (so a short-circuited or
+// row-free evaluation may not report them) instead of at compile time.
+func ExecuteEager(s store.Store, q *Query) (*Result, error) {
 	switch {
 	case q.LineageOf != "":
 		// Pushed-down closure: the backend answers the whole traversal in

@@ -235,8 +235,19 @@ func TestExecErrors(t *testing.T) {
 	if _, err := Run(s, "SELECT id FROM runs WHERE ghost = '1'"); err == nil {
 		t.Fatal("unknown predicate column accepted")
 	}
-	if _, err := Run(s, "SELECT id FROM runs ORDER BY agent"); err == nil {
-		t.Fatal("ORDER BY unselected column accepted")
+	// ORDER BY an addressable-but-unselected column works on the streaming
+	// path (the sort key is carried through the pipeline); the eager
+	// reference still rejects it.
+	if _, err := Run(s, "SELECT id FROM runs ORDER BY agent"); err != nil {
+		t.Fatalf("ORDER BY unselected column: %v", err)
+	}
+	if q, err := Parse("SELECT id FROM runs ORDER BY agent"); err != nil {
+		t.Fatal(err)
+	} else if _, err := ExecuteEager(s, q); err == nil {
+		t.Fatal("eager reference accepted ORDER BY unselected column")
+	}
+	if _, err := Run(s, "SELECT id FROM runs ORDER BY ghost"); err == nil {
+		t.Fatal("ORDER BY unknown column accepted")
 	}
 	if _, err := Run(s, "LINEAGE OF 'ghost-artifact'"); err == nil {
 		t.Fatal("lineage of unknown entity accepted")

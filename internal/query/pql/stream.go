@@ -1,0 +1,510 @@
+package pql
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/provenance"
+	"repro/internal/query/scan"
+	"repro/internal/relalg"
+	"repro/internal/store"
+)
+
+// This file is the streaming SELECT executor: it compiles a parsed
+// SelectStmt onto the relalg iterator layer instead of materializing
+// []map[string]string row sets. Virtual-table rows are flat []Val tuples
+// (one small slice per row instead of a map with qualified and bare keys),
+// WHERE conjuncts that touch only one side of a join are pushed below it,
+// the sort key is carried through the pipeline so ORDER BY works on any
+// addressable column (not just selected ones — the old re-scan wart), and
+// leaf scans go through internal/query/scan, which fans out across shards
+// in parallel on a sharded store. The eager path in exec.go stays as the
+// conformance reference (ExecuteEager); Execute routes here.
+
+// Explain reports how a streaming query ran: the join roles chosen, every
+// operator's emitted-row count, the parallel scan width, and bytes
+// allocated during execution.
+type Explain struct {
+	JoinOrder  []string // probe table first, then build tables
+	Ops        []*relalg.OpStat
+	Shards     int    // shards scanned in parallel; 0 = unsharded store
+	AllocBytes uint64 // heap bytes allocated while executing
+}
+
+// String renders the explain report.
+func (e *Explain) String() string {
+	var b strings.Builder
+	if len(e.JoinOrder) > 1 {
+		fmt.Fprintf(&b, "join order: %s (probe) ⋈ %s (build)\n",
+			e.JoinOrder[0], strings.Join(e.JoinOrder[1:], " ⋈ "))
+	} else if len(e.JoinOrder) == 1 {
+		fmt.Fprintf(&b, "scan: %s\n", e.JoinOrder[0])
+	}
+	if e.Shards > 1 {
+		fmt.Fprintf(&b, "parallel leaf scan: %d shards\n", e.Shards)
+	}
+	for _, op := range e.Ops {
+		fmt.Fprintf(&b, "  %-40s rows=%d\n", op.Label, op.Rows)
+	}
+	if e.AllocBytes > 0 {
+		fmt.Fprintf(&b, "allocated: %d bytes\n", e.AllocBytes)
+	}
+	return b.String()
+}
+
+// ExecuteExplain evaluates a parsed query on the streaming path and
+// returns the executed plan's counters alongside the result.
+func ExecuteExplain(s store.Store, q *Query) (*Result, *Explain, error) {
+	ex := &Explain{}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := executeWith(s, q, ex)
+	runtime.ReadMemStats(&after)
+	ex.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ex, nil
+}
+
+func executeWith(s store.Store, q *Query, ex *Explain) (*Result, error) {
+	switch {
+	case q.LineageOf != "":
+		ids, err := s.Closure(q.LineageOf, store.Up)
+		if err != nil {
+			return nil, err
+		}
+		if ex != nil {
+			ex.JoinOrder = []string{"closure↑"}
+		}
+		return closureResult(s, ids)
+	case q.DependsOf != "":
+		ids, err := s.Closure(q.DependsOf, store.Down)
+		if err != nil {
+			return nil, err
+		}
+		if ex != nil {
+			ex.JoinOrder = []string{"closure↓"}
+		}
+		return closureResult(s, ids)
+	case q.Select != nil:
+		return execSelectStream(s, q.Select, ex)
+	}
+	return nil, fmt.Errorf("pql: empty query")
+}
+
+// execSelectStream is the streaming counterpart of execSelect.
+func execSelectStream(s store.Store, sel *SelectStmt, ex *Explain) (*Result, error) {
+	lschema, ok := tableSchemas[sel.Table]
+	if !ok {
+		return nil, fmt.Errorf("pql: unknown table %q (have %s)", sel.Table, strings.Join(Tables(), ", "))
+	}
+	tables := []string{sel.Table}
+	var rschema []string
+	if sel.Join != nil {
+		rschema, ok = tableSchemas[sel.Join.Table]
+		if !ok {
+			return nil, fmt.Errorf("pql: unknown JOIN table %q", sel.Join.Table)
+		}
+		tables = append(tables, sel.Join.Table)
+	}
+
+	// Column addressing: physical pipeline columns are qualified when a
+	// join is present; addrIdx maps every addressable reference (bare when
+	// unambiguous, plus qualified forms) to its physical position, and
+	// addressable lists them in the same order the eager path exposes for
+	// SELECT *.
+	var physSchema, addressable []string
+	addrIdx := map[string]int{}
+	leftAddr := map[string]int{}  // refs resolving into the FROM table, local index
+	rightAddr := map[string]int{} // refs resolving into the JOIN table, local index
+	if sel.Join == nil {
+		physSchema = lschema
+		addressable = lschema
+		for i, c := range lschema {
+			addrIdx[c] = i
+			leftAddr[c] = i
+		}
+	} else {
+		ambiguous := map[string]bool{}
+		for _, lc := range lschema {
+			for _, rc := range rschema {
+				if lc == rc {
+					ambiguous[lc] = true
+				}
+			}
+		}
+		for i, c := range lschema {
+			q := sel.Table + "." + c
+			physSchema = append(physSchema, q)
+			addrIdx[q] = i
+			leftAddr[q] = i
+			if !ambiguous[c] {
+				addrIdx[c] = i
+				leftAddr[c] = i
+				addressable = append(addressable, c)
+			}
+			addressable = append(addressable, q)
+		}
+		for i, c := range rschema {
+			q := sel.Join.Table + "." + c
+			physSchema = append(physSchema, q)
+			addrIdx[q] = len(lschema) + i
+			rightAddr[q] = i
+			if !ambiguous[c] {
+				addrIdx[c] = len(lschema) + i
+				rightAddr[c] = i
+				addressable = append(addressable, c)
+			}
+			addressable = append(addressable, q)
+		}
+	}
+
+	// WHERE pushdown: split the top-level AND conjunction; conjuncts whose
+	// columns all resolve into one side run below the join, the rest after
+	// it. Column resolution happens here at compile time, so an unknown
+	// column is an error even when the eager evaluator's short-circuit
+	// might have skipped it.
+	var leftPred, rightPred, postPred relalg.Pred
+	if sel.Where != nil {
+		for _, conj := range splitAnd(sel.Where) {
+			switch {
+			case sel.Join != nil && resolvesWithin(conj, leftAddr):
+				p, err := compilePred(conj, leftAddr)
+				if err != nil {
+					return nil, err
+				}
+				leftPred = andPred(leftPred, p)
+			case sel.Join != nil && resolvesWithin(conj, rightAddr):
+				p, err := compilePred(conj, rightAddr)
+				if err != nil {
+					return nil, err
+				}
+				rightPred = andPred(rightPred, p)
+			default:
+				p, err := compilePred(conj, addrIdx)
+				if err != nil {
+					return nil, err
+				}
+				postPred = andPred(postPred, p)
+			}
+		}
+		if sel.Join == nil {
+			// No join to push below: everything runs as one selection.
+			leftPred, postPred = andPred(leftPred, postPred), nil
+		}
+	}
+
+	// ON resolution mirrors the eager equijoin exactly.
+	var li, ri int
+	if sel.Join != nil {
+		lc, rc, err := resolveOn(sel, lschema, rschema)
+		if err != nil {
+			return nil, err
+		}
+		li = indexOf(lschema, lc)
+		ri = indexOf(rschema, rc)
+	}
+
+	// Leaf scans: one pass over the run logs fills every needed table
+	// (the eager path re-scans the logs per table).
+	leaves, shards, err := scanLeaves(s, tables)
+	if err != nil {
+		return nil, err
+	}
+	if ex != nil {
+		ex.Shards = shards
+		ex.JoinOrder = tables
+	}
+
+	wrap := func(it relalg.Iterator, label string) relalg.Iterator {
+		if ex == nil {
+			return it
+		}
+		st := &relalg.OpStat{Label: label}
+		ex.Ops = append(ex.Ops, st)
+		return relalg.Instrument(it, st)
+	}
+
+	leftSchema := physSchema
+	if sel.Join != nil {
+		leftSchema = physSchema[:len(lschema)]
+	}
+	var it relalg.Iterator = relalg.NewSliceScan(sel.Table, leftSchema, leaves[sel.Table])
+	it = wrap(it, "scan("+sel.Table+")")
+	if leftPred != nil {
+		it = wrap(relalg.StreamSelect(it, leftPred), "select("+sel.Table+")")
+	}
+	if sel.Join != nil {
+		var rit relalg.Iterator = relalg.NewSliceScan(sel.Join.Table, physSchema[len(lschema):], leaves[sel.Join.Table])
+		rit = wrap(rit, "scan("+sel.Join.Table+")")
+		if rightPred != nil {
+			rit = wrap(relalg.StreamSelect(rit, rightPred), "select("+sel.Join.Table+")")
+		}
+		jit, err := relalg.StreamJoin(it, rit, leftSchema[li], physSchema[len(lschema)+ri], sel.Join.Table)
+		if err != nil {
+			return nil, err
+		}
+		it = wrap(jit, "join(⋈"+sel.Join.Table+")")
+	}
+	if postPred != nil {
+		it = wrap(relalg.StreamSelect(it, postPred), "select(post-join)")
+	}
+
+	if sel.Count {
+		n := 0
+		if err := relalg.Drain(it, func(*relalg.Tuple) error { n++; return nil }); err != nil {
+			return nil, err
+		}
+		return &Result{Columns: []string{"count"}, Rows: [][]string{{strconv.Itoa(n)}}}, nil
+	}
+
+	// ORDER BY runs before projection, carrying the sort key through the
+	// pipeline: any addressable column works, selected or not.
+	if sel.OrderBy != "" {
+		oi, ok := addrIdx[sel.OrderBy]
+		if !ok {
+			return nil, fmt.Errorf("pql: ORDER BY column %q not in table %s", sel.OrderBy, sel.Table)
+		}
+		desc := sel.Desc
+		sit, err := relalg.StreamSortBy(it, physSchema[oi], func(a, b relalg.Val) bool {
+			less := compareLiteral(a.(string), b.(string)) < 0
+			if desc {
+				return !less
+			}
+			return less
+		})
+		if err != nil {
+			return nil, err
+		}
+		it = wrap(sit, "sort("+sel.OrderBy+")")
+	}
+	if sel.Limit > 0 {
+		it = wrap(relalg.StreamLimit(it, sel.Limit), fmt.Sprintf("limit(%d)", sel.Limit))
+	}
+
+	cols := sel.Columns
+	if cols == nil {
+		cols = addressable
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, ok := addrIdx[c]
+		if !ok {
+			return nil, fmt.Errorf("pql: no column %q (have %s)", c, strings.Join(addressable, ", "))
+		}
+		idx[i] = j
+	}
+	it = wrap(relalg.StreamBind(it, idx, cols), "project("+strings.Join(cols, ",")+")")
+
+	res := &Result{Columns: append([]string(nil), cols...)}
+	err = relalg.Drain(it, func(t *relalg.Tuple) error {
+		row := make([]string, len(t.Values))
+		for i, v := range t.Values {
+			row[i] = v.(string)
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// resolveOn applies the eager equijoin's ON-reference rules and returns
+// the join columns normalized so the first belongs to the FROM table.
+func resolveOn(sel *SelectStmt, lschema, rschema []string) (lc, rc string, err error) {
+	lcount := map[string]int{}
+	for _, c := range lschema {
+		lcount[c]++
+	}
+	resolve := func(ref string) (table, col string, err error) {
+		if i := strings.IndexByte(ref, '.'); i > 0 {
+			table, col = strings.ToLower(ref[:i]), ref[i+1:]
+			if table != sel.Table && table != sel.Join.Table {
+				return "", "", fmt.Errorf("pql: ON references unknown table %q", table)
+			}
+			return table, col, nil
+		}
+		inL := lcount[ref] > 0
+		inR := indexOf(rschema, ref) >= 0
+		switch {
+		case inL && inR:
+			return "", "", fmt.Errorf("pql: ON column %q is ambiguous; qualify it", ref)
+		case inL:
+			return sel.Table, ref, nil
+		case inR:
+			return sel.Join.Table, ref, nil
+		}
+		return "", "", fmt.Errorf("pql: ON column %q not found", ref)
+	}
+	lt, lcol, err := resolve(sel.Join.Left)
+	if err != nil {
+		return "", "", err
+	}
+	rt, rcol, err := resolve(sel.Join.Right)
+	if err != nil {
+		return "", "", err
+	}
+	if lt == rt {
+		return "", "", fmt.Errorf("pql: ON must reference both tables")
+	}
+	if lt != sel.Table {
+		lcol, rcol = rcol, lcol
+	}
+	if indexOf(lschema, lcol) < 0 {
+		return "", "", fmt.Errorf("pql: ON column %q not in table %s", lcol, sel.Table)
+	}
+	if indexOf(rschema, rcol) < 0 {
+		return "", "", fmt.Errorf("pql: ON column %q not in table %s", rcol, sel.Join.Table)
+	}
+	return lcol, rcol, nil
+}
+
+func indexOf(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitAnd flattens the top-level AND spine of an expression.
+func splitAnd(e Expr) []Expr {
+	if b, ok := e.(*binExpr); ok && b.op == "and" {
+		return append(splitAnd(b.l), splitAnd(b.r)...)
+	}
+	return []Expr{e}
+}
+
+// resolvesWithin reports whether every column the expression references is
+// addressable in the given side-local map (i.e. the conjunct can be pushed
+// below the join to that side).
+func resolvesWithin(e Expr, side map[string]int) bool {
+	switch x := e.(type) {
+	case *cmpExpr:
+		_, ok := side[x.col]
+		return ok
+	case *binExpr:
+		return resolvesWithin(x.l, side) && resolvesWithin(x.r, side)
+	}
+	return false
+}
+
+// compilePred compiles an expression into a closure over a tuple's values,
+// resolving columns through idx once instead of per row.
+func compilePred(e Expr, idx map[string]int) (relalg.Pred, error) {
+	switch x := e.(type) {
+	case *cmpExpr:
+		i, ok := idx[x.col]
+		if !ok {
+			return nil, fmt.Errorf("pql: unknown column %q in predicate", x.col)
+		}
+		op, want := x.op, x.val
+		switch op {
+		case "=", "!=", "<", ">", "<=", ">=", "like":
+		default:
+			return nil, fmt.Errorf("pql: unknown operator %q", op)
+		}
+		return func(vals []relalg.Val) bool {
+			have := vals[i].(string)
+			switch op {
+			case "=":
+				return compareLiteral(have, want) == 0
+			case "!=":
+				return compareLiteral(have, want) != 0
+			case "<":
+				return compareLiteral(have, want) < 0
+			case ">":
+				return compareLiteral(have, want) > 0
+			case "<=":
+				return compareLiteral(have, want) <= 0
+			case ">=":
+				return compareLiteral(have, want) >= 0
+			}
+			return matchLike(have, want)
+		}, nil
+	case *binExpr:
+		l, err := compilePred(x.l, idx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePred(x.r, idx)
+		if err != nil {
+			return nil, err
+		}
+		if x.op == "and" {
+			return func(vals []relalg.Val) bool { return l(vals) && r(vals) }, nil
+		}
+		return func(vals []relalg.Val) bool { return l(vals) || r(vals) }, nil
+	}
+	return nil, fmt.Errorf("pql: unknown expression %T", e)
+}
+
+func andPred(a, b relalg.Pred) relalg.Pred {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(vals []relalg.Val) bool { return a(vals) && b(vals) }
+}
+
+// scanLeaves fills the requested virtual tables in ONE pass over the run
+// logs (parallel across shards on a sharded store), producing flat value
+// tuples instead of the eager path's per-row maps.
+func scanLeaves(s store.Store, tables []string) (map[string][]relalg.Tuple, int, error) {
+	out := make(map[string][]relalg.Tuple, len(tables))
+	want := map[string]bool{}
+	for _, t := range tables {
+		want[t] = true
+		out[t] = nil
+	}
+	add := func(table string, vals ...string) {
+		vs := make([]relalg.Val, len(vals))
+		for i, v := range vals {
+			vs[i] = v
+		}
+		out[table] = append(out[table], relalg.Tuple{Values: vs})
+	}
+	shards, err := scan.ShardedLogs(s, func(l *provenance.RunLog) error {
+		if want["runs"] {
+			add("runs", l.Run.ID, l.Run.WorkflowID, l.Run.WorkflowHash, l.Run.Agent, string(l.Run.Status))
+		}
+		if want["executions"] {
+			for _, e := range l.Executions {
+				add("executions", e.ID, e.RunID, e.ModuleID, e.ModuleType, string(e.Status), strconv.FormatInt(e.WallNanos, 10))
+			}
+		}
+		if want["artifacts"] {
+			for _, a := range l.Artifacts {
+				add("artifacts", a.ID, a.RunID, a.Type, a.ContentHash, strconv.FormatInt(a.Size, 10))
+			}
+		}
+		if want["uses"] || want["gens"] {
+			for _, ev := range l.Events {
+				if ev.Kind == provenance.EventArtifactUsed && want["uses"] {
+					add("uses", ev.ExecutionID, ev.ArtifactID, ev.Port)
+				}
+				if ev.Kind == provenance.EventArtifactGen && want["gens"] {
+					add("gens", ev.ExecutionID, ev.ArtifactID, ev.Port)
+				}
+			}
+		}
+		if want["annotations"] {
+			for _, an := range l.Annotations {
+				add("annotations", an.Subject, an.Key, an.Value, an.Author)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, shards, nil
+}

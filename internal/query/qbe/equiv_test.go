@@ -1,0 +1,73 @@
+package qbe
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/store"
+	"repro/internal/store/shardedstore"
+	"repro/internal/workloads"
+)
+
+// TestFilterByClosureShardedEquivalence pins the streaming semijoin
+// lineage filter to identical results over a MemStore and a 4-shard
+// router holding the same runs, in both closure directions.
+func TestFilterByClosureShardedEquivalence(t *testing.T) {
+	col := provenance.NewCollector()
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 1, Agent: "qbe"})
+	mem := store.NewMemStore()
+	sharded := shardedstore.NewMem(4)
+	var imageArt string
+	for _, wf := range candidates()[:2] {
+		res, err := e.Run(context.Background(), wf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, err := col.Log(res.RunID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.PutRunLog(log); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.PutRunLog(log); err != nil {
+			t.Fatal(err)
+		}
+		if id, ok := res.Artifacts["render.image"]; ok && imageArt == "" {
+			imageArt = id
+		}
+	}
+	if imageArt == "" {
+		t.Fatal("no image artifact recorded")
+	}
+	f, err := Fragment("q", []string{"Contour", "Render"}, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := FindEmbeddings(f, candidates(), Options{})
+	if len(ms) == 0 {
+		t.Fatal("no structural matches")
+	}
+	for _, dir := range []store.Direction{store.Up, store.Down} {
+		want, err := FilterByClosure(mem, ms, imageArt, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FilterByClosure(sharded, ms, imageArt, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("dir %v: %d matches vs %d", dir, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].WorkflowID != got[i].WorkflowID {
+				t.Fatalf("dir %v: match %d: %s vs %s", dir, i, got[i].WorkflowID, want[i].WorkflowID)
+			}
+		}
+	}
+}

@@ -3,6 +3,9 @@ package qbe
 import (
 	"sort"
 
+	"repro/internal/provenance"
+	"repro/internal/query/scan"
+	"repro/internal/relalg"
 	"repro/internal/store"
 )
 
@@ -13,47 +16,53 @@ import (
 // workflows contributed to this result"; with store.Down, "which consumed
 // it" — the §2.2 knowledge-reuse queries joined with retrospective
 // provenance. The closure is pushed down to the backend as one batch
-// traversal, so the filter costs O(hops) store calls plus one run-log scan,
-// not O(edges).
+// traversal; the run-log pass streams (workflow, entity) pairs through a
+// relalg semijoin against the closure set, with the leaf scan fanned out
+// across shards in parallel on a sharded store.
 func FilterByClosure(s store.Store, matches []Match, entityID string, dir store.Direction) ([]Match, error) {
 	closure, err := s.Closure(entityID, dir)
 	if err != nil {
 		return nil, err
 	}
-	inClosure := make(map[string]bool, len(closure)+1)
-	inClosure[entityID] = true
+	keys := make(map[relalg.Val]bool, len(closure)+1)
+	keys[entityID] = true
 	for _, id := range closure {
-		inClosure[id] = true
+		keys[id] = true
 	}
-	runs, err := s.Runs()
+
+	var pairs []relalg.Tuple
+	if _, err := scan.ShardedLogs(s, func(l *provenance.RunLog) error {
+		wf := l.Run.WorkflowID
+		for _, e := range l.Executions {
+			pairs = append(pairs, relalg.Tuple{Values: []relalg.Val{wf, e.ID}})
+		}
+		for _, a := range l.Artifacts {
+			pairs = append(pairs, relalg.Tuple{Values: []relalg.Val{wf, a.ID}})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// touch ⋉ closure, projected to the distinct workflows touched.
+	it, err := relalg.StreamSemijoin(
+		relalg.NewSliceScan("touch", []string{"workflow", "entity"}, pairs),
+		"entity", keys)
 	if err != nil {
 		return nil, err
 	}
-	touched := map[string]bool{} // workflow ID -> some run intersects the closure
-	for _, runID := range runs {
-		l, err := s.RunLog(runID)
-		if err != nil {
-			return nil, err
-		}
-		hit := false
-		for _, e := range l.Executions {
-			if inClosure[e.ID] {
-				hit = true
-				break
-			}
-		}
-		if !hit {
-			for _, a := range l.Artifacts {
-				if inClosure[a.ID] {
-					hit = true
-					break
-				}
-			}
-		}
-		if hit {
-			touched[l.Run.WorkflowID] = true
-		}
+	it, err = relalg.StreamProject(it, "workflow")
+	if err != nil {
+		return nil, err
 	}
+	touched := map[string]bool{}
+	if err := relalg.Drain(it, func(t *relalg.Tuple) error {
+		touched[t.Values[0].(string)] = true
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	var out []Match
 	for _, m := range matches {
 		if touched[m.WorkflowID] {

@@ -1,0 +1,94 @@
+package scan
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/store"
+	"repro/internal/store/closurecache"
+	"repro/internal/store/shardedstore"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// TestShardedOrderMatchesSequential checks the parallel sharded scan
+// emits run logs in exactly the router's global order — the order a
+// sequential MemStore scan of the same ingest sees — and that the shard
+// fan-out is reported, including through an unwrapping cache layer.
+func TestShardedOrderMatchesSequential(t *testing.T) {
+	col := provenance.NewCollector()
+	reg := engine.NewRegistry()
+	workloads.RegisterAll(reg)
+	e := engine.New(engine.Options{Registry: reg, Recorder: col, Workers: 2, Agent: "scan"})
+	mem := store.NewMemStore()
+	sharded := shardedstore.NewMem(4)
+	for _, wf := range []*workflow.Workflow{
+		workloads.MedicalImaging(),
+		workloads.SmoothedImaging(),
+		workloads.Genomics("g1"),
+		workloads.Genomics("g2"),
+		workloads.Forecasting("f1"),
+		workloads.DownloadAndRender(),
+	} {
+		res, err := e.Run(context.Background(), wf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, err := col.Log(res.RunID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.PutRunLog(log); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.PutRunLog(log); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	order := func(s store.Store) (ids []string, shards int) {
+		t.Helper()
+		n, err := ShardedLogs(s, func(l *provenance.RunLog) error {
+			ids = append(ids, l.Run.ID)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids, n
+	}
+
+	memIDs, memShards := order(mem)
+	if memShards != 0 {
+		t.Fatalf("mem shards = %d", memShards)
+	}
+	if len(memIDs) != 6 {
+		t.Fatalf("mem runs = %v", memIDs)
+	}
+	shIDs, shShards := order(sharded)
+	if shShards != 4 {
+		t.Fatalf("sharded shards = %d", shShards)
+	}
+	if len(shIDs) != len(memIDs) {
+		t.Fatalf("sharded runs = %v vs %v", shIDs, memIDs)
+	}
+	for i := range memIDs {
+		if shIDs[i] != memIDs[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, shIDs, memIDs)
+		}
+	}
+
+	// The cache wrapper unwraps to the router: same order, same fan-out.
+	cached := closurecache.New(sharded, closurecache.Options{})
+	cIDs, cShards := order(cached)
+	if cShards != 4 {
+		t.Fatalf("cached shards = %d", cShards)
+	}
+	for i := range memIDs {
+		if cIDs[i] != memIDs[i] {
+			t.Fatalf("cached order differs at %d: %v vs %v", i, cIDs, memIDs)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package relalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the shared conjunctive-query planner the query front-ends
+// compile into. A Datalog rule body and a PQL FROM/JOIN clause have the
+// same shape — a conjunction of leaf relations whose columns are bound to
+// variables or constants — so one planner serves both: it pushes constant
+// and repeated-variable selections into each leaf scan, orders the joins
+// greedily without statistics (most-selective leaf first, then prefer
+// leaves sharing already-bound variables, smallest first), and chains
+// streaming natural hash joins over the iterator layer in iter.go.
+
+// PlanTerm is one argument position of a leaf atom: either a variable
+// (Var non-empty) or a constant value.
+type PlanTerm struct {
+	Var   string
+	Const Val
+}
+
+// V makes a variable term; C makes a constant term.
+func V(name string) PlanTerm { return PlanTerm{Var: name} }
+func C(v Val) PlanTerm       { return PlanTerm{Const: v} }
+
+// Leaf is one atom of a conjunctive query: a named base relation given as
+// raw tuples (positional; Terms[i] binds column i). Tuples may carry
+// why-provenance, which flows through the plan's joins.
+type Leaf struct {
+	Name   string
+	Terms  []PlanTerm
+	Tuples []Tuple
+}
+
+// vars returns the leaf's distinct variable names in first-occurrence
+// order.
+func (l *Leaf) vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range l.Terms {
+		if t.Var != "" && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+func (l *Leaf) hasConst() bool {
+	for _, t := range l.Terms {
+		if t.Var == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is a compiled conjunctive query: a streaming iterator tree plus the
+// explain surface (chosen join order, per-operator row counters).
+type Plan struct {
+	root   Iterator
+	Order  []string // leaf names in chosen join order
+	Stats  []*OpStat
+	Output []string
+}
+
+// PlanOptions tunes plan construction.
+type PlanOptions struct {
+	// Instrument wraps every operator with a row counter, populating
+	// Plan.Stats (costs one wrapper per operator per tuple).
+	Instrument bool
+}
+
+// PlanConj compiles a conjunctive query over leaves, projecting the output
+// variables (bag semantics — callers dedup if they need sets). Every
+// output variable must occur in some leaf.
+func PlanConj(leaves []Leaf, output []string, opts PlanOptions) (*Plan, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("relalg: plan: no leaves")
+	}
+	p := &Plan{Output: append([]string(nil), output...)}
+
+	wrap := func(it Iterator, label string) Iterator {
+		if !opts.Instrument {
+			return it
+		}
+		st := &OpStat{Label: label}
+		p.Stats = append(p.Stats, st)
+		return Instrument(it, st)
+	}
+
+	// Compile each leaf: scan → pushed-down selections → bind to variable
+	// columns. The selection for constants and repeated variables runs
+	// against the raw scan, below every join.
+	compiled := make([]Iterator, len(leaves))
+	leafVars := make([][]string, len(leaves))
+	for i := range leaves {
+		l := &leaves[i]
+		it, err := compileLeaf(l)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = wrap(it, fmt.Sprintf("scan(%s)", l.Name))
+		leafVars[i] = l.vars()
+	}
+
+	order := greedyOrder(leaves, leafVars)
+	for _, i := range order {
+		p.Order = append(p.Order, leaves[i].Name)
+	}
+
+	root := compiled[order[0]]
+	bound := map[string]bool{}
+	for _, v := range leafVars[order[0]] {
+		bound[v] = true
+	}
+	for _, i := range order[1:] {
+		root = wrap(StreamNaturalJoin(root, compiled[i]),
+			fmt.Sprintf("join(⋈%s)", leaves[i].Name))
+		for _, v := range leafVars[i] {
+			bound[v] = true
+		}
+	}
+	for _, v := range output {
+		if !bound[v] {
+			return nil, fmt.Errorf("relalg: plan: output variable %q not bound by any leaf", v)
+		}
+	}
+	proj, err := StreamProjectBag(root, output...)
+	if err != nil {
+		return nil, err
+	}
+	p.root = wrap(proj, "project("+strings.Join(output, ",")+")")
+	return p, nil
+}
+
+// compileLeaf builds scan → selection → bind for one atom.
+func compileLeaf(l *Leaf) (Iterator, error) {
+	schema := make([]string, len(l.Terms))
+	for i := range l.Terms {
+		schema[i] = fmt.Sprintf("$%d", i)
+	}
+	var it Iterator = NewSliceScan(l.Name, schema, l.Tuples)
+
+	// Constant and repeated-variable selections, pushed below all joins.
+	type constSel struct {
+		i int
+		v Val
+	}
+	type eqSel struct{ i, j int }
+	var consts []constSel
+	var eqs []eqSel
+	firstAt := map[string]int{}
+	for i, t := range l.Terms {
+		if t.Var == "" {
+			consts = append(consts, constSel{i, t.Const})
+			continue
+		}
+		if j, seen := firstAt[t.Var]; seen {
+			eqs = append(eqs, eqSel{j, i})
+		} else {
+			firstAt[t.Var] = i
+		}
+	}
+	if len(consts) > 0 || len(eqs) > 0 {
+		it = StreamSelect(it, func(vals []Val) bool {
+			for _, c := range consts {
+				if compareVals(vals[c.i], c.v) != 0 {
+					return false
+				}
+			}
+			for _, e := range eqs {
+				if compareVals(vals[e.i], vals[e.j]) != 0 {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	vars := l.vars()
+	idx := make([]int, len(vars))
+	for j, v := range vars {
+		idx[j] = firstAt[v]
+	}
+	return StreamBind(it, idx, vars), nil
+}
+
+// greedyOrder picks the join order without statistics: start from the most
+// selective leaf (constant-bearing first, then fewest base tuples), then
+// repeatedly pick the leaf sharing the most already-bound variables —
+// breaking ties by constant-bearing then size — so hash joins stay keyed
+// rather than degrading to cross products. Leaves sharing no variables are
+// deferred until nothing connected remains.
+func greedyOrder(leaves []Leaf, leafVars [][]string) []int {
+	n := len(leaves)
+	remaining := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = true
+	}
+
+	// better reports whether leaf a beats leaf b under (shared bound vars
+	// desc, has-const desc, size asc, index asc).
+	better := func(a, b int, sharedA, sharedB int) bool {
+		if sharedA != sharedB {
+			return sharedA > sharedB
+		}
+		ca, cb := leaves[a].hasConst(), leaves[b].hasConst()
+		if ca != cb {
+			return ca
+		}
+		la, lb := len(leaves[a].Tuples), len(leaves[b].Tuples)
+		if la != lb {
+			return la < lb
+		}
+		return a < b
+	}
+
+	bound := map[string]bool{}
+	shared := func(i int) int {
+		s := 0
+		for _, v := range leafVars[i] {
+			if bound[v] {
+				s++
+			}
+		}
+		return s
+	}
+
+	var order []int
+	for len(remaining) > 0 {
+		cand := make([]int, 0, len(remaining))
+		for i := range remaining {
+			cand = append(cand, i)
+		}
+		sort.Ints(cand)
+		best := cand[0]
+		for _, i := range cand[1:] {
+			if better(i, best, shared(i), shared(best)) {
+				best = i
+			}
+		}
+		order = append(order, best)
+		delete(remaining, best)
+		for _, v := range leafVars[best] {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+// Schema returns the plan's output columns.
+func (p *Plan) Schema() []string { return p.Output }
+
+// Run drains the plan, invoking emit for each output row. The row slice is
+// only valid during the call.
+func (p *Plan) Run(emit func(vals []Val, prov []Witness) error) error {
+	return Drain(p.root, func(t *Tuple) error { return emit(t.Values, t.Prov) })
+}
+
+// MaterializePlan runs the plan into a relation (mostly for tests).
+func (p *Plan) MaterializePlan(name string) (*Relation, error) {
+	return Materialize(p.root, name)
+}
+
+// ExplainString renders the chosen join order and per-operator row counts
+// (populated only when the plan was built with Instrument).
+func (p *Plan) ExplainString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "join order: %s\n", strings.Join(p.Order, " ⋈ "))
+	for _, st := range p.Stats {
+		fmt.Fprintf(&b, "  %-40s rows=%d\n", st.Label, st.Rows)
+	}
+	return b.String()
+}
