@@ -8,11 +8,13 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"repro/internal/analogy"
 	"repro/internal/collab"
+	"repro/internal/collab/api"
 	"repro/internal/engine"
 	"repro/internal/evolution"
 	"repro/internal/experiments"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/relalg"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/replica"
 	"repro/internal/store/shardedstore"
 	"repro/internal/store/wal"
 	"repro/internal/views"
@@ -709,6 +712,86 @@ func BenchmarkE17StreamingExec(b *testing.B) {
 	}
 	b.Run("datalog=reference", fixpoint(true))
 	b.Run("datalog=streaming", fixpoint(false))
+}
+
+// BenchmarkE18Replication measures the log-shipping replication path on
+// a 4-shard group-commit primary served over the v1 HTTP API with one
+// bootstrapped follower: mode=ship-apply ingests a small batch on the
+// primary and drains it through the follower's catch-up (HTTP chunk
+// stream + watermark-ordered replay); mode=read-follower and
+// mode=read-primary compare the same lineage closure served from each
+// node's HTTP face.
+func BenchmarkE18Replication(b *testing.B) {
+	router, err := shardedstore.OpenWith(b.TempDir(), 4, store.FileOptions{Durability: store.DurabilityGroup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer router.Close()
+	seedLogs, lastLayer := experiments.E14Seed(4, 16, 3)
+	for _, l := range seedLogs {
+		if err := router.PutRunLog(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := router.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	src, err := replica.NewSource(router)
+	if err != nil {
+		b.Fatal(err)
+	}
+	primary := httptest.NewServer(collab.NewHandlerWith(collab.NewRepository(router), collab.HandlerOptions{
+		Source: src,
+		Status: func() api.ReplicationStatus { return src.Status(nil, nil) },
+	}))
+	defer primary.Close()
+
+	f, err := replica.Open(replica.Options{Dir: b.TempDir(), Primary: primary.URL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.CatchUp(); err != nil {
+		b.Fatal(err)
+	}
+	follower := httptest.NewServer(collab.NewHandlerWith(collab.NewRepository(f.Store()), collab.HandlerOptions{
+		ReadOnly: true,
+		Lag:      f.Lag,
+		Status:   f.Status,
+	}))
+	defer follower.Close()
+
+	batch := 0
+	b.Run("mode=ship-apply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch++
+			for k := 0; k < 4; k++ {
+				l := experiments.E14Run(fmt.Sprintf("r%d-%d", batch, k), batch, lastLayer[(batch+k)%len(lastLayer)])
+				if err := router.PutRunLog(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := f.CatchUp(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []struct {
+		mode string
+		url  string
+	}{
+		{"read-follower", follower.URL},
+		{"read-primary", primary.URL},
+	} {
+		c := api.NewClient(n.url, nil)
+		b.Run("mode="+n.mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Lineage(lastLayer[i%len(lastLayer)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // TestExperimentSuiteSmoke runs the fast experiments end-to-end so `go

@@ -1,4 +1,4 @@
-// Command provbench runs the reproduction experiment suite (E1–E17 of
+// Command provbench runs the reproduction experiment suite (E1–E18 of
 // DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
 // reference run.
 //
@@ -76,6 +76,12 @@ var gates = []struct {
 	// architectural regression such as falling back to the reference
 	// evaluator.
 	{"E17", "datalog_streaming_speedup_x", 0.3},
+	// Log-shipping replication: aggregate read capacity with two followers
+	// over the unreplicated baseline, node-at-a-time windows summed. The
+	// baseline ratio is ~2x on a one-core runner (~3x with real cores);
+	// the loose floor trips only if followers stop serving reads or
+	// catch-up stops converging (the experiment errors outright then).
+	{"E18", "replica_read_scaleout_x", 0.3},
 }
 
 func main() {
@@ -106,6 +112,7 @@ func main() {
 			"E15 WAL group commit + checkpoint: durable ingest and warm restarts",
 			"E16 closure pushdown: deep sharded lineage, local fixpoints + frontier exchange",
 			"E17 streaming query executor: lazy iterators + pushdown vs eager materialization",
+			"E18 log-shipping replication: follower read scale-out + ingest retention",
 		} {
 			fmt.Println(r)
 		}

@@ -3,10 +3,11 @@
 //	provctl validate wf.json              check a workflow specification
 //	provctl show wf.json [-format ascii|dot]
 //	provctl hash wf.json                  content hash (prospective identity)
-//	provctl run wf.json [-store DIR] [-cache] [-shards N] [-durability none|fsync|group] [-checkpoint-every N]
+//	provctl run wf.json [-store DIR] [-cache] [-shards N] [-durability none|fsync|group] [-checkpoint-every N] [-checkpoint-interval D] [-checkpoint-bytes B]
 //	provctl query -store DIR [-cache] [-shards N] 'PQL'     query stored provenance
 //	provctl lineage -store DIR [-cache] [-shards N] [-trace-rounds] ENTITY  upstream closure of an entity
 //	provctl checkpoint -store DIR [-shards N]               snapshot folded state next to the log
+//	provctl replication -server URL                         a provd's replication role and per-shard positions
 //	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
 //	provctl demo NAME                     print a built-in workflow as JSON
 //	                                      (medimg, medimg-smooth, genomics,
@@ -32,9 +33,16 @@
 // sharing one fsync — the durable mode for multi-writer ingest).
 //
 // -checkpoint-every N snapshots the store's folded state (and, with
-// -cache, the memoized closures) every N ingests; `provctl checkpoint`
+// -cache, the memoized closures) every N ingests; -checkpoint-interval D
+// also snapshots at most D after a write dirties the store, and
+// -checkpoint-bytes B every ~B bytes of log growth. `provctl checkpoint`
 // does the same explicitly. A checkpointed store reopens by replaying only
 // the log suffix past the snapshot and serves warm closures immediately.
+//
+// replication queries a running provd's /v1/replication/status: its role
+// (standalone, primary or follower), each shard log's committed/applied
+// positions and lag, and — on a primary — the probed status of every
+// configured replica.
 //
 // lineage's -trace-rounds prints, for sharded stores, how many pushdown
 // rounds the closure executed and each round's frontier probe count, so a
@@ -45,8 +53,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
+	"repro/internal/collab/api"
 	"repro/internal/core"
 	"repro/internal/dbprov"
 	"repro/internal/opm"
@@ -80,6 +91,8 @@ func main() {
 		err = cmdLineage(args)
 	case "checkpoint":
 		err = cmdCheckpoint(args)
+	case "replication":
+		err = cmdReplication(args)
 	case "export":
 		err = cmdExport(args)
 	case "demo":
@@ -95,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|export|demo> ...`)
+	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|replication|export|demo> ...`)
 }
 
 func loadWorkflow(path string) (*workflow.Workflow, error) {
@@ -162,12 +175,14 @@ func cmdHash(args []string) error {
 // storeFlags are the persistent-store options shared by run, query,
 // lineage and checkpoint, resolved into core.Options.
 type storeFlags struct {
-	storeDir   string
-	cache      bool
-	shards     int
-	durability string
-	ckptEvery  int
-	trace      func(shardedstore.ClosureTrace) // -trace-rounds sink (lineage)
+	storeDir     string
+	cache        bool
+	shards       int
+	durability   string
+	ckptEvery    int
+	ckptInterval time.Duration
+	ckptBytes    int64
+	trace        func(shardedstore.ClosureTrace) // -trace-rounds sink (lineage)
 }
 
 func (f *storeFlags) register(fs *flag.FlagSet, withWritePath bool) {
@@ -177,6 +192,8 @@ func (f *storeFlags) register(fs *flag.FlagSet, withWritePath bool) {
 	if withWritePath {
 		fs.StringVar(&f.durability, "durability", "none", "ingest durability: none, fsync, or group (group-commit WAL)")
 		fs.IntVar(&f.ckptEvery, "checkpoint-every", 0, "snapshot the store every N ingests (0: only explicit checkpoints)")
+		fs.DurationVar(&f.ckptInterval, "checkpoint-interval", 0, "snapshot at most this long after a write dirties the store")
+		fs.Int64Var(&f.ckptBytes, "checkpoint-bytes", 0, "snapshot every time roughly this many log bytes accumulate")
 	} else {
 		f.durability = "none"
 	}
@@ -193,6 +210,8 @@ func (f *storeFlags) options() (core.Options, error) {
 		EnableClosureCache: f.cache,
 		Durability:         d,
 		CheckpointEvery:    f.ckptEvery,
+		CheckpointInterval: f.ckptInterval,
+		CheckpointBytes:    f.ckptBytes,
 		TraceRounds:        f.trace,
 		Agent:              os.Getenv("USER"),
 	}
@@ -384,6 +403,55 @@ func cmdCheckpoint(args []string) error {
 	fmt.Printf("checkpoint written: %d runs, %d events, %d log bytes covered\n",
 		stats.Runs, stats.Events, stats.Bytes)
 	return nil
+}
+
+// cmdReplication prints a running provd's replication status: role,
+// per-shard log positions, and (on a primary) each probed replica.
+func cmdReplication(args []string) error {
+	fs := flag.NewFlagSet("replication", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8080", "provd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("replication: want -server URL only")
+	}
+	rs, err := api.NewClient(*server, nil).ReplicationStatus()
+	if err != nil {
+		return err
+	}
+	printReplicationStatus(os.Stdout, rs, "")
+	return nil
+}
+
+func printReplicationStatus(w io.Writer, rs *api.ReplicationStatus, indent string) {
+	topo := "unsharded"
+	if rs.Sharded {
+		topo = fmt.Sprintf("%d shards", len(rs.Shards))
+	}
+	fmt.Fprintf(w, "%srole: %s (%s)\n", indent, rs.Role, topo)
+	if rs.Primary != "" {
+		fmt.Fprintf(w, "%sprimary: %s\n", indent, rs.Primary)
+	}
+	for _, sp := range rs.Shards {
+		ck := "none"
+		if sp.Checkpoint >= 0 {
+			ck = fmt.Sprintf("%d", sp.Checkpoint)
+		}
+		fmt.Fprintf(w, "%sshard %d: committed %d, applied %d, lag %d, checkpoint %s\n",
+			indent, sp.Shard, sp.Committed, sp.Applied, sp.Lag, ck)
+	}
+	for _, p := range rs.Replicas {
+		switch {
+		case p.Error != "":
+			fmt.Fprintf(w, "%sreplica %s: unreachable: %s\n", indent, p.URL, p.Error)
+		case p.Status != nil:
+			fmt.Fprintf(w, "%sreplica %s:\n", indent, p.URL)
+			printReplicationStatus(w, p.Status, indent+"  ")
+		default:
+			fmt.Fprintf(w, "%sreplica %s: not probed\n", indent, p.URL)
+		}
+	}
 }
 
 func cmdExport(args []string) error {

@@ -1,9 +1,11 @@
 // Command provd serves the collaboratory's HTTP API: workflow sharing,
 // full-text search, run-log retrieval, lineage/dependents closure queries
 // and batch frontier expansion (/expand), PQL, and recommendations (see
-// internal/collab for routes). Closure endpoints run on the storage
-// layer's pushed-down batch traversal, so they cost O(hops) store
-// operations on every backend — including the durable file store.
+// internal/collab for routes — all under the versioned /v1/ prefix, with
+// the unversioned paths kept as deprecated aliases). Closure endpoints
+// run on the storage layer's pushed-down batch traversal, so they cost
+// O(hops) store operations on every backend — including the durable file
+// store.
 //
 // Usage:
 //
@@ -11,14 +13,36 @@
 //	provd -addr :8080 -seed 7 -users 20    # with a synthetic community
 //	provd -store /var/lib/provd            # file-backed store
 //	provd -durability group                # group-commit WAL durable ingest
-//	provd -checkpoint-every 256            # periodic snapshots for warm restarts
+//	provd -checkpoint-every 256            # snapshot every N published runs
+//	provd -checkpoint-interval 30s         # …and at most 30s after a write
+//	provd -checkpoint-bytes 4194304        # …and every ~4MiB of log growth
 //	provd -cache                           # incremental closure cache
 //	provd -shards 4                        # hash-partitioned sharded store
+//
+//	# log-shipping replication: one primary, N read replicas
+//	provd -addr :8080 -store /var/lib/provd -role primary \
+//	      -replicas http://replica1:8081,http://replica2:8082
+//	provd -addr :8081 -store /var/lib/provd-replica -role follower \
+//	      -primary http://primary:8080
+//
+// With -role primary the daemon serves its committed WAL (and checkpoint
+// snapshots) to followers over /v1/replication/*; -replicas lists
+// follower URLs to probe in /v1/replication/status. With -role follower
+// the daemon bootstraps its store from the primary's checkpoint + log,
+// tails the primary's committed log (poll interval -replica-poll), and
+// serves read-only queries — writes are rejected with a read_only_replica
+// error, and every response carries X-Replica-Applied / X-Replica-Lag
+// headers so clients can judge staleness. A follower's shard count comes
+// from the primary; -shards and -seed are rejected under -role follower.
+// Followers also serve /v1/replication/* from their own logs, so replicas
+// can chain.
 //
 // With -cache the store is wrapped in the incrementally maintained closure
 // cache (internal/store/closurecache): /lineage and /dependents hit
 // memoized closures, /expand hits memoized frontiers, and each published
-// run patches the affected entries at ingest instead of flushing them.
+// run patches the affected entries at ingest instead of flushing them. On
+// a follower the replication apply hook feeds the same delta path, so
+// cached closures stay warm as replicated runs fold.
 //
 // With -shards N the store is partitioned across N hash-routed shards
 // (internal/store/shardedstore): published runs route whole to a home
@@ -36,38 +60,49 @@
 // With -store DIR, -durability selects the ingest guarantee — none,
 // fsync (one fsync per published run) or group (write-ahead group commit:
 // concurrent publishes coalesce into batches sharing one fsync; the
-// durable mode meant for this daemon's multi-writer ingest) — and
-// -checkpoint-every N snapshots the folded store state plus the closure
-// cache's entries every N publishes, so a daemon restart replays only the
-// log suffix and serves warm closures immediately instead of recomputing
-// them cold.
+// durable mode meant for this daemon's multi-writer ingest) — and the
+// checkpoint flags bound reopen replay three ways: -checkpoint-every N
+// snapshots every N publishes, -checkpoint-interval D at most D after a
+// write dirties the store, and -checkpoint-bytes B every ~B bytes of log
+// growth, so replay cost stays bounded whether ingest is bursty or a
+// trickle.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"strings"
+	"time"
 
 	"repro/internal/collab"
+	"repro/internal/collab/api"
 	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/replica"
 	"repro/internal/store/shardedstore"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		storeDir    = flag.String("store", "", "directory for a durable file store (default: in-memory)")
-		cache       = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
-		shards      = flag.Int("shards", 1, "partition the store across N hash-routed shards")
-		durability  = flag.String("durability", "none", "ingest durability with -store: none, fsync, or group (group-commit WAL)")
-		ckptEvery   = flag.Int("checkpoint-every", 0, "with -store: snapshot the store (and cache) every N published runs")
-		traceRounds = flag.Bool("trace-rounds", false, "log each sharded closure's pushdown rounds and per-round frontier sizes")
-		explain     = flag.Bool("explain", false, "log each /query's executed plan: join order, per-operator rows, scan parallelism, allocations")
-		seed        = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
-		users       = flag.Int("users", 10, "synthetic community size")
-		runsEach    = flag.Int("runs", 3, "synthetic runs published per user")
+		addr         = flag.String("addr", ":8080", "listen address")
+		storeDir     = flag.String("store", "", "directory for a durable file store (default: in-memory)")
+		cache        = flag.Bool("cache", false, "maintain closures incrementally across ingests (closure cache)")
+		shards       = flag.Int("shards", 1, "partition the store across N hash-routed shards")
+		durability   = flag.String("durability", "none", "ingest durability with -store: none, fsync, or group (group-commit WAL)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "with -store: snapshot the store (and cache) every N published runs")
+		ckptInterval = flag.Duration("checkpoint-interval", 0, "with -store: snapshot at most this long after a write dirties the store")
+		ckptBytes    = flag.Int64("checkpoint-bytes", 0, "with -store: snapshot every time roughly this many log bytes accumulate")
+		role         = flag.String("role", api.RoleStandalone, "replication role: standalone, primary (serve WAL to followers), or follower (read replica)")
+		primary      = flag.String("primary", "", "with -role follower: the primary provd's base URL")
+		replicas     = flag.String("replicas", "", "with -role primary: comma-separated follower URLs to probe in /v1/replication/status")
+		replicaPoll  = flag.Duration("replica-poll", 0, "with -role follower: primary tail interval (default 200ms)")
+		traceRounds  = flag.Bool("trace-rounds", false, "log each sharded closure's pushdown rounds and per-round frontier sizes")
+		explain      = flag.Bool("explain", false, "log each /query's executed plan: join order, per-operator rows, scan parallelism, allocations")
+		seed         = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
+		users        = flag.Int("users", 10, "synthetic community size")
+		runsEach     = flag.Int("runs", 3, "synthetic runs published per user")
 	)
 	flag.Parse()
 
@@ -75,7 +110,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("provd: %v", err)
 	}
-	if err := (core.Options{StoreDir: *storeDir, Durability: dur, CheckpointEvery: *ckptEvery}).ValidatePersistence(); err != nil {
+	opts := core.Options{
+		StoreDir:           *storeDir,
+		Shards:             *shards,
+		Durability:         dur,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointInterval: *ckptInterval,
+		CheckpointBytes:    *ckptBytes,
+		EnableClosureCache: *cache,
+		Primary:            *primary,
+		ReplicaPoll:        *replicaPoll,
+	}
+	if err := opts.ValidatePersistence(); err != nil {
 		log.Fatalf("provd: %v", err)
 	}
 	var trace func(shardedstore.ClosureTrace)
@@ -85,37 +131,90 @@ func main() {
 				t.Seed, t.Dir, t.Rounds, t.Crossings, t.Nodes, t.Probes)
 		}
 	}
-	var st store.Store
-	switch {
-	case *storeDir != "":
-		persistent, closer, err := core.OpenPersistentStore(core.Options{
-			StoreDir:           *storeDir,
-			Shards:             *shards,
-			Durability:         dur,
-			CheckpointEvery:    *ckptEvery,
-			EnableClosureCache: *cache,
-			TraceRounds:        trace,
-		})
-		if err != nil {
-			log.Fatalf("provd: open store: %v", err)
+	opts.TraceRounds = trace
+
+	var hopts collab.HandlerOptions
+	if *explain {
+		hopts.ExplainQueries = func(query, report string) {
+			log.Printf("provd: explain %q\n%s", query, report)
 		}
-		defer closer()
-		st = persistent
-		if *cache {
-			if c, ok := st.(*closurecache.Cache); ok {
-				if m := c.Metrics(); m.Restored > 0 {
-					log.Printf("provd: restored %d warm closures from snapshot", m.Restored)
+	}
+
+	var st store.Store
+	switch *role {
+	case api.RoleFollower:
+		if *storeDir == "" {
+			log.Fatalf("provd: -role follower requires -store DIR (the replica's local log)")
+		}
+		if *primary == "" {
+			log.Fatalf("provd: -role follower requires -primary URL")
+		}
+		if *seed != 0 {
+			log.Fatalf("provd: -seed writes to the store; a follower is read-only (seed the primary instead)")
+		}
+		if *shards != 1 {
+			log.Fatalf("provd: a follower inherits its shard count from the primary; drop -shards")
+		}
+		fst, f, cleanup, err := core.OpenFollowerStore(opts)
+		if err != nil {
+			log.Fatalf("provd: open follower: %v", err)
+		}
+		defer cleanup()
+		st = fst
+		hopts.ReadOnly = true
+		hopts.Lag = f.Lag
+		hopts.Status = f.Status
+		// Followers re-ship their own logs, so replicas can chain off a
+		// replica instead of all tailing the primary.
+		if src, err := replica.NewSource(fst); err == nil {
+			hopts.Source = src
+		}
+		applied, behind := f.Lag()
+		log.Printf("provd: follower of %s at %d applied bytes (%d behind)", *primary, applied, behind)
+
+	case api.RolePrimary, api.RoleStandalone:
+		switch {
+		case *storeDir != "":
+			persistent, closer, err := core.OpenPersistentStore(opts)
+			if err != nil {
+				log.Fatalf("provd: open store: %v", err)
+			}
+			defer closer()
+			st = persistent
+			if *cache {
+				if c, ok := st.(*closurecache.Cache); ok {
+					if m := c.Metrics(); m.Restored > 0 {
+						log.Printf("provd: restored %d warm closures from snapshot", m.Restored)
+					}
 				}
 			}
+		case *shards > 1:
+			st = shardedstore.NewMem(*shards).WithTrace(trace)
+		default:
+			st = store.NewMemStore()
 		}
-	case *shards > 1:
-		st = shardedstore.NewMem(*shards).WithTrace(trace)
+		if *cache && *storeDir == "" {
+			st = closurecache.Wrap(st)
+		}
+		if *role == api.RolePrimary {
+			src, err := replica.NewSource(st)
+			if err != nil {
+				log.Fatalf("provd: -role primary: %v", err)
+			}
+			replicaURLs := splitURLs(*replicas)
+			hopts.Source = src
+			hopts.Status = func() api.ReplicationStatus {
+				return src.Status(replicaURLs, func(u string) (*api.ReplicationStatus, error) {
+					return api.NewClient(u, probeClient).ReplicationStatus()
+				})
+			}
+			log.Printf("provd: primary shipping %d shard log(s); probing %d replica(s)", src.Shards(), len(replicaURLs))
+		}
+
 	default:
-		st = store.NewMemStore()
+		log.Fatalf("provd: unknown -role %q (want standalone, primary or follower)", *role)
 	}
-	if *cache && *storeDir == "" {
-		st = closurecache.Wrap(st)
-	}
+
 	repo := collab.NewRepository(st)
 	if *seed != 0 {
 		if _, err := collab.SynthesizeCommunity(repo, collab.CommunityOptions{
@@ -126,14 +225,22 @@ func main() {
 		s := repo.Stat()
 		log.Printf("provd: synthesized %d workflows, %d runs, %d users", s.Workflows, s.Runs, s.Users)
 	}
-	var hopts collab.HandlerOptions
-	if *explain {
-		hopts.ExplainQueries = func(query, report string) {
-			log.Printf("provd: explain %q\n%s", query, report)
-		}
-	}
-	log.Printf("provd: listening on %s", *addr)
+	log.Printf("provd: listening on %s (role %s)", *addr, *role)
 	if err := http.ListenAndServe(*addr, collab.NewHandlerWith(repo, hopts)); err != nil {
 		log.Fatalf("provd: %v", err)
 	}
+}
+
+// probeClient bounds primary->replica status probes so one dead replica
+// can't stall /v1/replication/status.
+var probeClient = &http.Client{Timeout: 2 * time.Second}
+
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }

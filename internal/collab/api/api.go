@@ -1,0 +1,135 @@
+// Package api is the typed wire contract of provd's versioned HTTP
+// surface: the v1 route prefix, the shared error envelope every route
+// answers failures with, replication positions and headers, and the
+// request/response bodies — shared by the server (internal/collab), the
+// Go client (used by the replication shipper, provctl and tests), and
+// anything else that speaks to a provd.
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/workflow"
+)
+
+// V1Prefix roots every current provd route; the bare legacy routes are
+// deprecated aliases that delegate here.
+const V1Prefix = "/v1"
+
+// Error codes carried in the shared envelope, stable across versions —
+// clients branch on Code, not on message text.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeConflict         = "conflict"
+	CodeReadOnlyReplica  = "read_only_replica"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal"
+)
+
+// Replication and staleness headers.
+const (
+	// HeaderReplicaApplied reports a follower's applied WAL position
+	// (total committed bytes across shards) on every read response.
+	HeaderReplicaApplied = "X-Replica-Applied"
+	// HeaderReplicaLag reports how many committed primary bytes the
+	// follower has not applied yet, so clients can enforce their own
+	// staleness bounds.
+	HeaderReplicaLag = "X-Replica-Lag"
+	// HeaderLogCommitted accompanies a /v1/replication/stream chunk with
+	// the shard's committed log size at read time: the shipper's target.
+	HeaderLogCommitted = "X-Log-Committed"
+)
+
+// Replication roles reported by /v1/replication/status.
+const (
+	RoleStandalone = "standalone"
+	RolePrimary    = "primary"
+	RoleFollower   = "follower"
+)
+
+// Error is the envelope every v1 route answers failures with.
+type Error struct {
+	Message string `json:"error"`
+	Code    string `json:"code"`
+}
+
+// RemoteError is a decoded non-2xx response from a provd, surfaced by
+// the client with the envelope's stable code.
+type RemoteError struct {
+	HTTPStatus int
+	Code       string
+	Message    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("api: %s (code=%s, http=%d)", e.Message, e.Code, e.HTTPStatus)
+}
+
+// PublishWorkflowRequest is POST /v1/workflows.
+type PublishWorkflowRequest struct {
+	Workflow    *workflow.Workflow `json:"workflow"`
+	Owner       string             `json:"owner"`
+	Description string             `json:"description"`
+	Tags        []string           `json:"tags"`
+}
+
+// PublishWorkflowResponse acknowledges a publish.
+type PublishWorkflowResponse struct {
+	ID string `json:"id"`
+}
+
+// RateRequest is POST /v1/workflows/{id}/rating.
+type RateRequest struct {
+	User  string `json:"user"`
+	Stars int    `json:"stars"`
+}
+
+// StatusResponse acknowledges a mutation with no other payload.
+type StatusResponse struct {
+	Status string `json:"status"`
+}
+
+// SearchHit is one scored workflow from GET /v1/workflows?q=.
+type SearchHit struct {
+	WorkflowID string
+	Score      float64
+}
+
+// RepoStats mirrors GET /v1/stats.
+type RepoStats struct {
+	Workflows int
+	Runs      int
+	Users     int
+}
+
+// ShardPosition is one shard's replication state. On a primary, Applied
+// equals Committed (it is its own log); on a follower, Committed is the
+// last-seen primary position and Lag = Committed − Applied.
+type ShardPosition struct {
+	Shard      int   `json:"shard"`
+	Committed  int64 `json:"committed"`
+	Applied    int64 `json:"applied"`
+	Lag        int64 `json:"lag"`
+	Checkpoint int64 `json:"checkpoint"` // log offset of the last checkpoint, -1 when none
+}
+
+// ReplicationStatus is GET /v1/replication/status.
+type ReplicationStatus struct {
+	Role    string          `json:"role"`
+	Sharded bool            `json:"sharded"`
+	Shards  []ShardPosition `json:"shards"`
+	// Primary is the upstream URL (followers only).
+	Primary string `json:"primary,omitempty"`
+	// Replicas are the configured followers with a best-effort probe of
+	// each (primaries only).
+	Replicas []ReplicaProbe `json:"replicas,omitempty"`
+}
+
+// ReplicaProbe is one configured follower as seen from the primary.
+type ReplicaProbe struct {
+	URL    string             `json:"url"`
+	Status *ReplicationStatus `json:"status,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}

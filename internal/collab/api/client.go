@@ -1,0 +1,226 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/provenance"
+	"repro/internal/query/pql"
+	"repro/internal/workflow"
+)
+
+// Client speaks provd's v1 API: the replication shipper's transport, and
+// the typed alternative to hand-rolled query-param requests for provctl
+// and tests. Safe for concurrent use (it holds no mutable state beyond
+// the http.Client).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the provd at base (e.g.
+// "http://host:8080"). hc nil uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Base returns the server URL the client targets.
+func (c *Client) Base() string { return c.base }
+
+// decodeError turns a non-2xx response into a *RemoteError, preserving
+// the envelope's stable code when the body carries one.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env Error
+	if err := json.Unmarshal(body, &env); err != nil || env.Message == "" {
+		env.Message = strings.TrimSpace(string(body))
+		if env.Message == "" {
+			env.Message = resp.Status
+		}
+	}
+	return &RemoteError{HTTPStatus: resp.StatusCode, Code: env.Code, Message: env.Message}
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) postJSON(path string, in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Workflows lists published workflow IDs.
+func (c *Client) Workflows() ([]string, error) {
+	var ids []string
+	err := c.getJSON(V1Prefix+"/workflows", &ids)
+	return ids, err
+}
+
+// Search ranks published workflows against a free-text query.
+func (c *Client) Search(q string) ([]SearchHit, error) {
+	var hits []SearchHit
+	err := c.getJSON(V1Prefix+"/workflows?q="+url.QueryEscape(q), &hits)
+	return hits, err
+}
+
+// PublishWorkflow shares a workflow and returns its ID.
+func (c *Client) PublishWorkflow(wf *workflow.Workflow, owner, description string, tags ...string) (string, error) {
+	var resp PublishWorkflowResponse
+	err := c.postJSON(V1Prefix+"/workflows", PublishWorkflowRequest{
+		Workflow: wf, Owner: owner, Description: description, Tags: tags,
+	}, &resp)
+	return resp.ID, err
+}
+
+// Rate records a 1-5 star rating by a user.
+func (c *Client) Rate(workflowID, user string, stars int) error {
+	return c.postJSON(V1Prefix+"/workflows/"+url.PathEscape(workflowID)+"/rating",
+		RateRequest{User: user, Stars: stars}, nil)
+}
+
+// RunsOf lists run IDs published for a workflow.
+func (c *Client) RunsOf(workflowID string) ([]string, error) {
+	var ids []string
+	err := c.getJSON(V1Prefix+"/workflows/"+url.PathEscape(workflowID)+"/runs", &ids)
+	return ids, err
+}
+
+// RunLog fetches a run's full provenance log.
+func (c *Client) RunLog(runID string) (*provenance.RunLog, error) {
+	var l provenance.RunLog
+	if err := c.getJSON(V1Prefix+"/runs/"+url.PathEscape(runID), &l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Lineage returns the upstream closure of an entity.
+func (c *Client) Lineage(id string) ([]string, error) {
+	var ids []string
+	err := c.getJSON(V1Prefix+"/lineage?id="+url.QueryEscape(id), &ids)
+	return ids, err
+}
+
+// Dependents returns the downstream closure of an entity.
+func (c *Client) Dependents(id string) ([]string, error) {
+	var ids []string
+	err := c.getJSON(V1Prefix+"/dependents?id="+url.QueryEscape(id), &ids)
+	return ids, err
+}
+
+// Expand returns the one-hop frontier of a batch of entities; dir is
+// "up" or "down".
+func (c *Client) Expand(ids []string, dir string) (map[string][]string, error) {
+	var adj map[string][]string
+	err := c.getJSON(V1Prefix+"/expand?ids="+url.QueryEscape(strings.Join(ids, ","))+"&dir="+url.QueryEscape(dir), &adj)
+	return adj, err
+}
+
+// Query runs a PQL query against the server's provenance store.
+func (c *Client) Query(q string) (*pql.Result, error) {
+	var res pql.Result
+	if err := c.getJSON(V1Prefix+"/query?q="+url.QueryEscape(q), &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats summarizes repository contents.
+func (c *Client) Stats() (RepoStats, error) {
+	var st RepoStats
+	err := c.getJSON(V1Prefix+"/stats", &st)
+	return st, err
+}
+
+// ReplicationStatus reports the server's role and per-shard positions.
+func (c *Client) ReplicationStatus() (*ReplicationStatus, error) {
+	var rs ReplicationStatus
+	if err := c.getJSON(V1Prefix+"/replication/status", &rs); err != nil {
+		return nil, err
+	}
+	return &rs, nil
+}
+
+// StreamLog fetches a record-aligned chunk of a primary shard's
+// committed log starting at from (at most maxBytes long; 0 for the
+// server default), plus the shard's committed size at read time. An
+// empty chunk with committed == from means the follower is caught up.
+func (c *Client) StreamLog(shard int, from int64, maxBytes int) ([]byte, int64, error) {
+	u := fmt.Sprintf("%s%s/replication/stream?shard=%d&from=%d&max=%d", c.base, V1Prefix, shard, from, maxBytes)
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, 0, decodeError(resp)
+	}
+	committed, err := strconv.ParseInt(resp.Header.Get(HeaderLogCommitted), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("api: stream response missing %s header: %w", HeaderLogCommitted, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, committed, nil
+}
+
+// ShardCheckpoint fetches the raw checkpoint snapshot of a primary
+// shard, ok=false when the shard has none yet. New followers install it
+// before opening their store so only the post-checkpoint log suffix
+// replays.
+func (c *Client) ShardCheckpoint(shard int) ([]byte, bool, error) {
+	resp, err := c.hc.Get(fmt.Sprintf("%s%s/replication/checkpoint?shard=%d", c.base, V1Prefix, shard))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, false, decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}

@@ -8,28 +8,58 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/collab/api"
 	"repro/internal/query/pql"
 	"repro/internal/store"
-	"repro/internal/workflow"
 )
 
 // NewHandler exposes the repository and lineage service over HTTP (the
-// collaboratory's Web face). Endpoints (all JSON):
+// collaboratory's Web face). All current routes live under the versioned
+// /v1 prefix and answer failures with the shared envelope
+// {"error": ..., "code": ...} (codes in internal/collab/api); the bare
+// legacy paths remain as deprecated aliases that delegate to their v1
+// twin. Endpoints (all JSON unless noted):
 //
-//	GET  /workflows              list IDs (optionally ?q= full-text search)
-//	GET  /workflows/{id}         entry (counts a download)
-//	POST /workflows              publish {workflow, owner, description, tags}
-//	POST /workflows/{id}/rating  rate {user, stars}
-//	GET  /workflows/{id}/runs    run IDs for a workflow
-//	GET  /runs/{id}              full run log
-//	GET  /lineage?id=ENTITY      upstream closure of an entity
-//	GET  /dependents?id=ENTITY   downstream closure of an entity
-//	GET  /expand?ids=A,B&dir=up  one-hop frontier expansion (batch)
-//	GET  /recommend?user=U       recommendations
-//	GET  /query?q=PQL            PQL query against the provenance store
-//	GET  /stats                  repository statistics
+//	GET  /v1/workflows                  list IDs (optionally ?q= full-text search)
+//	POST /v1/workflows                  publish {workflow, owner, description, tags}
+//	GET  /v1/workflows/{id}             entry (counts a download)
+//	GET  /v1/workflows/{id}/runs        run IDs for a workflow
+//	POST /v1/workflows/{id}/rating      rate {user, stars}
+//	GET  /v1/runs/{id}                  full run log
+//	GET  /v1/lineage?id=ENTITY          upstream closure of an entity
+//	GET  /v1/dependents?id=ENTITY       downstream closure of an entity
+//	GET  /v1/expand?ids=A,B&dir=up      one-hop frontier expansion (batch)
+//	GET  /v1/recommend?user=U           recommendations
+//	GET  /v1/query?q=PQL                PQL query against the provenance store
+//	GET  /v1/stats                      repository statistics
+//	GET  /v1/replication/status         role + per-shard replication positions
+//	GET  /v1/replication/stream?shard=N&from=OFF&max=BYTES
+//	                                    record-aligned committed log chunk
+//	                                    (octet-stream, X-Log-Committed header)
+//	GET  /v1/replication/checkpoint?shard=N
+//	                                    raw shard checkpoint snapshot (octet-stream)
+//
+// Follower deployments (HandlerOptions.ReadOnly) reject non-GET traffic
+// with 403/read_only_replica and stamp every response with
+// X-Replica-Applied and X-Replica-Lag so clients can bound staleness.
 func NewHandler(repo *Repository) http.Handler {
 	return NewHandlerWith(repo, HandlerOptions{})
+}
+
+// ReplicationSource serves the primary side of log shipping: positional
+// reads of each shard's committed WAL prefix plus its checkpoint
+// snapshot. Implemented by replica.Source over a FileStore or a sharded
+// router.
+type ReplicationSource interface {
+	// ReadLog returns a record-aligned chunk of shard's committed log
+	// from the given offset (maxBytes 0: server default) and the
+	// committed size at read time.
+	ReadLog(shard int, from int64, maxBytes int) (data []byte, committed int64, err error)
+	// CheckpointBytes returns the shard's checkpoint snapshot verbatim,
+	// ok=false when none has been written yet.
+	CheckpointBytes(shard int) (data []byte, ok bool, err error)
+	// Positions reports every shard's committed and checkpoint offsets.
+	Positions() []api.ShardPosition
 }
 
 // HandlerOptions tunes the HTTP face.
@@ -38,12 +68,30 @@ type HandlerOptions struct {
 	// report (join order, per-operator row counts, parallel scan width,
 	// bytes allocated) — provd's -explain flag logs it.
 	ExplainQueries func(query, explain string)
+	// Source, when set, serves the /v1/replication/{stream,checkpoint}
+	// endpoints followers ship from (primary role).
+	Source ReplicationSource
+	// Status, when set, answers /v1/replication/status; nil reports a
+	// standalone node with no shards.
+	Status func() api.ReplicationStatus
+	// ReadOnly rejects every mutating request with 403 and code
+	// read_only_replica — the follower deployment, whose store has
+	// exactly one writer: the replication applier.
+	ReadOnly bool
+	// Lag, when set (followers), returns the node's total applied bytes
+	// and how far behind the primary it is; every response is stamped
+	// with the X-Replica-Applied / X-Replica-Lag headers.
+	Lag func() (applied, behind int64)
 }
 
 // NewHandlerWith is NewHandler with options.
 func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/workflows", func(w http.ResponseWriter, req *http.Request) {
+	v1 := func(pattern string, fn http.HandlerFunc) {
+		mux.HandleFunc(api.V1Prefix+pattern, fn)
+	}
+
+	v1("/workflows", func(w http.ResponseWriter, req *http.Request) {
 		switch req.Method {
 		case http.MethodGet:
 			if q := req.URL.Query().Get("q"); q != "" {
@@ -52,68 +100,76 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 			}
 			writeJSON(w, http.StatusOK, repo.List())
 		case http.MethodPost:
-			var body struct {
-				Workflow    *workflow.Workflow `json:"workflow"`
-				Owner       string             `json:"owner"`
-				Description string             `json:"description"`
-				Tags        []string           `json:"tags"`
-			}
+			var body api.PublishWorkflowRequest
 			if err := json.NewDecoder(req.Body).Decode(&body); err != nil || body.Workflow == nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("collab: bad publish body: %v", err))
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("collab: bad publish body: %v", err))
 				return
 			}
 			if err := repo.Publish(body.Workflow, body.Owner, body.Description, body.Tags...); err != nil {
-				httpError(w, http.StatusConflict, err)
+				writeError(w, http.StatusConflict, api.CodeConflict, err)
 				return
 			}
-			writeJSON(w, http.StatusCreated, map[string]string{"id": body.Workflow.ID})
+			writeJSON(w, http.StatusCreated, api.PublishWorkflowResponse{ID: body.Workflow.ID})
 		default:
-			httpError(w, http.StatusMethodNotAllowed, errors.New("collab: GET or POST"))
+			methodNotAllowed(w, "GET, POST")
 		}
 	})
 
-	mux.HandleFunc("/workflows/", func(w http.ResponseWriter, req *http.Request) {
-		rest := strings.TrimPrefix(req.URL.Path, "/workflows/")
+	v1("/workflows/", func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, api.V1Prefix+"/workflows/")
 		parts := strings.Split(rest, "/")
 		id := parts[0]
 		switch {
-		case len(parts) == 1 && req.Method == http.MethodGet:
+		case len(parts) == 1:
+			if req.Method != http.MethodGet {
+				methodNotAllowed(w, "GET")
+				return
+			}
 			e, err := repo.Get(id)
 			if err != nil {
-				httpError(w, http.StatusNotFound, err)
+				writeError(w, http.StatusNotFound, api.CodeNotFound, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, e)
-		case len(parts) == 2 && parts[1] == "runs" && req.Method == http.MethodGet:
+		case len(parts) == 2 && parts[1] == "runs":
+			if req.Method != http.MethodGet {
+				methodNotAllowed(w, "GET")
+				return
+			}
 			if _, err := repo.Peek(id); err != nil {
-				httpError(w, http.StatusNotFound, err)
+				writeError(w, http.StatusNotFound, api.CodeNotFound, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, repo.RunsOf(id))
-		case len(parts) == 2 && parts[1] == "rating" && req.Method == http.MethodPost:
-			var body struct {
-				User  string `json:"user"`
-				Stars int    `json:"stars"`
+		case len(parts) == 2 && parts[1] == "rating":
+			if req.Method != http.MethodPost {
+				methodNotAllowed(w, "POST")
+				return
 			}
+			var body api.RateRequest
 			if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 				return
 			}
 			if err := repo.Rate(id, body.User, body.Stars); err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			writeJSON(w, http.StatusOK, api.StatusResponse{Status: "ok"})
 		default:
-			httpError(w, http.StatusNotFound, fmt.Errorf("collab: no route %s %s", req.Method, req.URL.Path))
+			writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("collab: no route %s %s", req.Method, req.URL.Path))
 		}
 	})
 
-	mux.HandleFunc("/runs/", func(w http.ResponseWriter, req *http.Request) {
-		id := strings.TrimPrefix(req.URL.Path, "/runs/")
+	v1("/runs/", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		id := strings.TrimPrefix(req.URL.Path, api.V1Prefix+"/runs/")
 		l, err := repo.Store().RunLog(id)
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			writeError(w, http.StatusNotFound, api.CodeNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, l)
@@ -123,48 +179,60 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 	// round-trip per BFS hop regardless of backend.
 	closure := func(dir store.Direction) http.HandlerFunc {
 		return func(w http.ResponseWriter, req *http.Request) {
+			if req.Method != http.MethodGet {
+				methodNotAllowed(w, "GET")
+				return
+			}
 			id := req.URL.Query().Get("id")
 			if id == "" {
-				httpError(w, http.StatusBadRequest, errors.New("collab: id parameter required"))
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, errors.New("collab: id parameter required"))
 				return
 			}
 			ids, err := repo.Store().Closure(id, dir)
 			if err != nil {
-				httpError(w, http.StatusNotFound, err)
+				writeError(w, http.StatusNotFound, api.CodeNotFound, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, ids)
 		}
 	}
-	mux.HandleFunc("/lineage", closure(store.Up))
-	mux.HandleFunc("/dependents", closure(store.Down))
+	v1("/lineage", closure(store.Up))
+	v1("/dependents", closure(store.Down))
 
-	mux.HandleFunc("/expand", func(w http.ResponseWriter, req *http.Request) {
+	v1("/expand", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
 		idsParam := req.URL.Query().Get("ids")
 		if idsParam == "" {
-			httpError(w, http.StatusBadRequest, errors.New("collab: ids parameter required"))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, errors.New("collab: ids parameter required"))
 			return
 		}
 		dir := store.Up
 		if d := req.URL.Query().Get("dir"); d != "" {
 			var err error
 			if dir, err = store.ParseDirection(d); err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 				return
 			}
 		}
 		adj, err := repo.Store().Expand(strings.Split(idsParam, ","), dir)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, adj)
 	})
 
-	mux.HandleFunc("/recommend", func(w http.ResponseWriter, req *http.Request) {
+	v1("/recommend", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
 		user := req.URL.Query().Get("user")
 		if user == "" {
-			httpError(w, http.StatusBadRequest, errors.New("collab: user parameter required"))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, errors.New("collab: user parameter required"))
 			return
 		}
 		k, _ := strconv.Atoi(req.URL.Query().Get("k"))
@@ -174,21 +242,25 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 		writeJSON(w, http.StatusOK, repo.Recommend(user, k))
 	})
 
-	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
+	v1("/query", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
 		q := req.URL.Query().Get("q")
 		if q == "" {
-			httpError(w, http.StatusBadRequest, errors.New("collab: q parameter required"))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, errors.New("collab: q parameter required"))
 			return
 		}
 		if opts.ExplainQueries != nil {
 			parsed, err := pql.Parse(q)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 				return
 			}
 			res, ex, err := pql.ExecuteExplain(repo.Store(), parsed)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 				return
 			}
 			opts.ExplainQueries(q, ex.String())
@@ -197,16 +269,116 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 		}
 		res, err := pql.Run(repo.Store(), q)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
 
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+	v1("/stats", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
 		writeJSON(w, http.StatusOK, repo.Stat())
 	})
-	return mux
+
+	v1("/replication/status", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		if opts.Status != nil {
+			writeJSON(w, http.StatusOK, opts.Status())
+			return
+		}
+		writeJSON(w, http.StatusOK, api.ReplicationStatus{Role: api.RoleStandalone})
+	})
+
+	v1("/replication/stream", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		if opts.Source == nil {
+			writeError(w, http.StatusNotFound, api.CodeUnavailable,
+				errors.New("collab: this node does not serve a replicable log (start provd with -role primary)"))
+			return
+		}
+		q := req.URL.Query()
+		shard, _ := strconv.Atoi(q.Get("shard"))
+		from, err := strconv.ParseInt(q.Get("from"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("collab: bad from offset %q", q.Get("from")))
+			return
+		}
+		maxBytes, _ := strconv.Atoi(q.Get("max"))
+		data, committed, err := opts.Source.ReadLog(shard, from, maxBytes)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
+			return
+		}
+		w.Header().Set(api.HeaderLogCommitted, strconv.FormatInt(committed, 10))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
+
+	v1("/replication/checkpoint", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		if opts.Source == nil {
+			writeError(w, http.StatusNotFound, api.CodeUnavailable,
+				errors.New("collab: this node does not serve a replicable log (start provd with -role primary)"))
+			return
+		}
+		shard, _ := strconv.Atoi(req.URL.Query().Get("shard"))
+		data, ok, err := opts.Source.CheckpointBytes(shard)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("collab: shard %d has no checkpoint yet", shard))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
+
+	// Deprecated bare aliases: each legacy path delegates to its v1 twin
+	// by prefix rewrite, so there is exactly one implementation per
+	// route.
+	for _, p := range []string{
+		"/workflows", "/workflows/", "/runs/", "/lineage", "/dependents",
+		"/expand", "/recommend", "/query", "/stats",
+	} {
+		mux.HandleFunc(p, func(w http.ResponseWriter, req *http.Request) {
+			r2 := req.Clone(req.Context())
+			r2.URL.Path = api.V1Prefix + req.URL.Path
+			mux.ServeHTTP(w, r2)
+		})
+	}
+
+	if !opts.ReadOnly && opts.Lag == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if opts.Lag != nil {
+			applied, behind := opts.Lag()
+			w.Header().Set(api.HeaderReplicaApplied, strconv.FormatInt(applied, 10))
+			w.Header().Set(api.HeaderReplicaLag, strconv.FormatInt(behind, 10))
+		}
+		if opts.ReadOnly && req.Method != http.MethodGet && req.Method != http.MethodHead {
+			writeError(w, http.StatusForbidden, api.CodeReadOnlyReplica,
+				errors.New("collab: this node is a read replica; send writes to the primary"))
+			return
+		}
+		mux.ServeHTTP(w, req)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -217,6 +389,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError emits the shared v1 envelope; every failure path goes
+// through here so clients can rely on {"error", "code"} uniformly.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, api.Error{Message: err.Error(), Code: code})
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+		fmt.Errorf("collab: method not allowed (use %s)", allow))
 }

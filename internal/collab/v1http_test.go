@@ -1,0 +1,296 @@
+package collab
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/collab/api"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// seededServer publishes a workflow plus one run and serves it.
+func seededServer(t *testing.T, opts HandlerOptions) (*httptest.Server, *Repository) {
+	t.Helper()
+	r := newRepo()
+	wf := workloads.MedicalImaging()
+	if err := r.Publish(wf, "juliana", "figure 1", "imaging"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PublishRun("medimg", "juliana", runOf(t, wf)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandlerWith(r, opts))
+	t.Cleanup(srv.Close)
+	return srv, r
+}
+
+// decodeEnvelope asserts the response is the shared v1 error envelope
+// and returns it.
+func decodeEnvelope(t *testing.T, resp *http.Response, wantStatus int, wantCode string) api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var env api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Code != wantCode || env.Message == "" {
+		t.Fatalf("envelope = %+v, want code %q and a message", env, wantCode)
+	}
+	return env
+}
+
+func TestV1ErrorEnvelope(t *testing.T) {
+	srv, _ := seededServer(t, HandlerOptions{})
+
+	resp, err := http.Get(srv.URL + "/v1/workflows/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusNotFound, api.CodeNotFound)
+
+	resp, err = http.Get(srv.URL + "/v1/lineage") // missing id param
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusBadRequest, api.CodeBadRequest)
+
+	// Legacy aliases share the handler, so they share the envelope too.
+	resp, err = http.Get(srv.URL + "/workflows/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusNotFound, api.CodeNotFound)
+}
+
+func TestV1MethodChecks(t *testing.T) {
+	srv, _ := seededServer(t, HandlerOptions{})
+	for _, tc := range []struct {
+		method, path, allow string
+	}{
+		{http.MethodDelete, "/v1/workflows", "GET, POST"},
+		{http.MethodPost, "/v1/stats", "GET"},
+		{http.MethodPost, "/v1/lineage?id=x", "GET"},
+		{http.MethodGet, "/v1/workflows/medimg/rating", "POST"},
+		{http.MethodPost, "/v1/replication/status", "GET"},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		decodeEnvelope(t, resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed)
+	}
+}
+
+// TestV1LegacyAliases checks every bare legacy route answers exactly like
+// its v1 twin.
+func TestV1LegacyAliases(t *testing.T) {
+	srv, _ := seededServer(t, HandlerOptions{})
+	// GET /workflows/{id} is excluded: it counts downloads, so two
+	// consecutive fetches legitimately differ — checked separately below.
+	for _, path := range []string{
+		"/workflows",
+		"/workflows/medimg/runs",
+		"/stats",
+		"/query?q=" + strings.ReplaceAll("SELECT module FROM executions", " ", "+"),
+	} {
+		legacy, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacyBody, _ := io.ReadAll(legacy.Body)
+		legacy.Body.Close()
+		v1, err := http.Get(srv.URL + api.V1Prefix + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1Body, _ := io.ReadAll(v1.Body)
+		v1.Body.Close()
+		if legacy.StatusCode != v1.StatusCode || string(legacyBody) != string(v1Body) {
+			t.Errorf("%s: legacy (%d, %q) != v1 (%d, %q)",
+				path, legacy.StatusCode, legacyBody, v1.StatusCode, v1Body)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/workflows/medimg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Entry
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || e.Owner != "juliana" {
+		t.Fatalf("legacy workflow fetch: status %d, entry %+v", resp.StatusCode, e)
+	}
+}
+
+func TestV1ReadOnlyFollowerFace(t *testing.T) {
+	srv, _ := seededServer(t, HandlerOptions{
+		ReadOnly: true,
+		Lag:      func() (int64, int64) { return 12345, 67 },
+	})
+
+	// Reads pass and carry the staleness headers.
+	resp, err := http.Get(srv.URL + "/v1/workflows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read status = %d", resp.StatusCode)
+	}
+	if a := resp.Header.Get(api.HeaderReplicaApplied); a != "12345" {
+		t.Fatalf("%s = %q", api.HeaderReplicaApplied, a)
+	}
+	if l := resp.Header.Get(api.HeaderReplicaLag); l != "67" {
+		t.Fatalf("%s = %q", api.HeaderReplicaLag, l)
+	}
+
+	// Writes bounce with the stable read_only_replica code — on v1 and
+	// legacy paths alike.
+	for _, path := range []string{"/v1/workflows", "/workflows"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeEnvelope(t, resp, http.StatusForbidden, api.CodeReadOnlyReplica)
+	}
+}
+
+func TestV1ReplicationEndpointsWithoutSource(t *testing.T) {
+	srv, _ := seededServer(t, HandlerOptions{})
+
+	// No Status hook: the node reports itself standalone.
+	var rs api.ReplicationStatus
+	resp, err := http.Get(srv.URL + "/v1/replication/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rs.Role != api.RoleStandalone || len(rs.Shards) != 0 {
+		t.Fatalf("status = %+v", rs)
+	}
+
+	// No Source: stream and checkpoint are unavailable, not panics.
+	for _, path := range []string{
+		"/v1/replication/stream?shard=0&from=0&max=0",
+		"/v1/replication/checkpoint?shard=0",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeEnvelope(t, resp, http.StatusNotFound, api.CodeUnavailable)
+	}
+}
+
+// TestV1ClientRoundtrip drives every typed client method against a live
+// handler and checks remote errors surface as *api.RemoteError with the
+// envelope's code.
+func TestV1ClientRoundtrip(t *testing.T) {
+	srv, repo := seededServer(t, HandlerOptions{})
+	c := api.NewClient(srv.URL, nil)
+
+	ids, err := c.Workflows()
+	if err != nil || !reflect.DeepEqual(ids, []string{"medimg"}) {
+		t.Fatalf("Workflows = %v, %v", ids, err)
+	}
+	hits, err := c.Search("imaging")
+	if err != nil || len(hits) == 0 || hits[0].WorkflowID != "medimg" {
+		t.Fatalf("Search = %+v, %v", hits, err)
+	}
+
+	wf := workloads.Genomics("sample-1")
+	id, err := c.PublishWorkflow(wf, "carlos", "alignment pipeline", "genomics")
+	if err != nil || id != wf.ID {
+		t.Fatalf("PublishWorkflow = %q, %v", id, err)
+	}
+	if err := c.Rate(id, "juliana", 4); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := c.RunsOf("medimg")
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("RunsOf = %v, %v", runs, err)
+	}
+	l, err := c.RunLog(runs[0])
+	if err != nil || l.Run.ID != runs[0] {
+		t.Fatalf("RunLog = %+v, %v", l, err)
+	}
+
+	// Closures via the client agree with the store.
+	var someArtifact string
+	for _, a := range l.Artifacts {
+		someArtifact = a.ID
+		break
+	}
+	up, err := c.Lineage(someArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repo.Store().Closure(someArtifact, store.Up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(up)
+	sort.Strings(want)
+	if !reflect.DeepEqual(up, want) {
+		t.Fatalf("Lineage = %v, want %v", up, want)
+	}
+	if _, err := c.Dependents(someArtifact); err != nil {
+		t.Fatal(err)
+	}
+	adj, err := c.Expand([]string{someArtifact}, "up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := adj[someArtifact]; !ok {
+		t.Fatalf("Expand missing seed: %v", adj)
+	}
+
+	res, err := c.Query("SELECT module FROM executions")
+	if err != nil || len(res.Columns) == 0 {
+		t.Fatalf("Query = %+v, %v", res, err)
+	}
+	st, err := c.Stats()
+	if err != nil || st.Workflows != 2 || st.Runs != 1 {
+		t.Fatalf("Stats = %+v, %v", st, err)
+	}
+	rs, err := c.ReplicationStatus()
+	if err != nil || rs.Role != api.RoleStandalone {
+		t.Fatalf("ReplicationStatus = %+v, %v", rs, err)
+	}
+
+	// Remote failures carry the envelope code.
+	_, err = c.RunLog("nope")
+	var remote *api.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want *api.RemoteError", err)
+	}
+	if remote.HTTPStatus != http.StatusNotFound || remote.Code != api.CodeNotFound {
+		t.Fatalf("remote = %+v", remote)
+	}
+}

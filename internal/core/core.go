@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/opm"
@@ -66,6 +67,22 @@ type Options struct {
 	// and serves warm closures immediately (see System.Checkpoint for the
 	// explicit form, and `provctl checkpoint` for the offline one).
 	CheckpointEvery int
+	// CheckpointInterval, when positive, also snapshots at most this long
+	// after an ingest dirties the store — a wall-clock bound on replay
+	// work for trickle-ingest daemons whose run counter may take hours to
+	// reach CheckpointEvery.
+	CheckpointInterval time.Duration
+	// CheckpointBytes, when positive, also snapshots every time roughly
+	// this many log bytes accumulate — a bound keyed to replay cost
+	// rather than run count. On a sharded store the byte counter is
+	// per-shard (each shard owns its own log).
+	CheckpointBytes int64
+	// Primary, when set, opens the store as a log-shipping read replica of
+	// the provd at this base URL instead of an independent primary (see
+	// OpenFollowerStore and internal/store/replica).
+	Primary string
+	// ReplicaPoll is the follower's tail interval (0: replica default).
+	ReplicaPoll time.Duration
 	// TraceRounds, when set on a sharded persistent store, receives the
 	// round trace of every pushdown Closure the router executes (rounds,
 	// per-round frontier probe counts, cross-shard crossings) — the
@@ -93,8 +110,8 @@ func (o Options) ValidatePersistence() error {
 	if o.Durability != store.DurabilityNone {
 		return fmt.Errorf("core: durability %s requires a store directory (-store DIR): an in-memory store persists nothing", o.Durability)
 	}
-	if o.CheckpointEvery > 0 {
-		return fmt.Errorf("core: checkpoint-every requires a store directory (-store DIR): an in-memory store has nothing to snapshot")
+	if o.CheckpointEvery > 0 || o.CheckpointInterval > 0 || o.CheckpointBytes > 0 {
+		return fmt.Errorf("core: checkpoint policies require a store directory (-store DIR): an in-memory store has nothing to snapshot")
 	}
 	return nil
 }

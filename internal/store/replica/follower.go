@@ -1,0 +1,363 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/collab/api"
+	"repro/internal/provenance"
+	"repro/internal/store"
+	"repro/internal/store/shardedstore"
+)
+
+// Options configures a follower.
+type Options struct {
+	// Dir is the local store directory (bootstrapped from the primary
+	// when empty, resumed when it already holds a replica).
+	Dir string
+	// Primary is the primary provd's base URL.
+	Primary string
+	// Client overrides the HTTP client (nil: http.DefaultClient).
+	Client *http.Client
+	// Store configures the local store: the follower's own durability
+	// and checkpoint policy, independent of the primary's (a replica
+	// that can re-stream after a crash often runs DurabilityNone).
+	Store store.FileOptions
+	// Poll is the tail interval of the background shipper (Start);
+	// default 200ms.
+	Poll time.Duration
+	// MaxBatchBytes caps one shipped chunk (0: 1 MiB).
+	MaxBatchBytes int
+	// OnApply, when set, observes every replicated run log after it
+	// folds into the store — the closure-cache delta patch hook. Also
+	// settable later via SetOnApply (the cache wraps the store only
+	// after Open returns it).
+	OnApply func(*provenance.RunLog)
+}
+
+// Follower is a read replica: a local store kept an exact prefix of the
+// primary's log(s) by streaming committed WAL chunks over the v1 API.
+// Reads go straight to Store(); writes belong on the primary.
+type Follower struct {
+	opt    Options
+	client *api.Client
+
+	sharded bool
+	st      store.Store
+	router  *shardedstore.Router
+	shards  []*store.FileStore
+
+	mu               sync.Mutex
+	onApply          func(*provenance.RunLog)
+	primaryCommitted []int64 // last-seen primary committed size per shard
+	lastErr          error   // most recent shipper failure (transient; retried)
+
+	shardMu []sync.Mutex // serializes appliers per shard (CatchUp vs tailer)
+
+	started  bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Open connects to the primary, bootstraps any empty local shards from
+// its checkpoints and logs, opens the local store, and returns a
+// follower positioned at its local committed offset. It does not start
+// the background shipper — call Start, or drive catch-up explicitly
+// with CatchUp.
+func Open(opt Options) (*Follower, error) {
+	if opt.Dir == "" {
+		return nil, errors.New("replica: follower needs a store directory")
+	}
+	if opt.Primary == "" {
+		return nil, errors.New("replica: follower needs a primary URL")
+	}
+	if opt.Poll <= 0 {
+		opt.Poll = 200 * time.Millisecond
+	}
+	if opt.MaxBatchBytes <= 0 {
+		opt.MaxBatchBytes = 1 << 20
+	}
+	client := api.NewClient(opt.Primary, opt.Client)
+	rs, err := client.ReplicationStatus()
+	if err != nil {
+		return nil, fmt.Errorf("replica: primary %s status: %w", opt.Primary, err)
+	}
+	n := len(rs.Shards)
+	if n == 0 {
+		return nil, fmt.Errorf("replica: primary %s (role %s) reports no replicable shards", opt.Primary, rs.Role)
+	}
+
+	// Bootstrap fresh shard directories before opening the store:
+	// checkpoint snapshot first (its LogOffset is <= any committed size
+	// we stream afterwards), then the log bytes, so the subsequent open
+	// restores indexes from the snapshot and replays only the suffix.
+	for i := 0; i < n; i++ {
+		dir := opt.Dir
+		if rs.Sharded {
+			dir = filepath.Join(opt.Dir, fmt.Sprintf("shard-%03d", i))
+		}
+		if err := bootstrapShard(client, i, dir, opt.MaxBatchBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	f := &Follower{
+		opt:              opt,
+		client:           client,
+		sharded:          rs.Sharded,
+		onApply:          opt.OnApply,
+		primaryCommitted: make([]int64, n),
+		shardMu:          make([]sync.Mutex, n),
+		stop:             make(chan struct{}),
+	}
+	for i, sp := range rs.Shards {
+		f.primaryCommitted[i] = sp.Committed
+	}
+	if rs.Sharded {
+		r, err := shardedstore.OpenWith(opt.Dir, n, opt.Store)
+		if err != nil {
+			return nil, fmt.Errorf("replica: open follower store: %w", err)
+		}
+		f.router, f.st = r, r
+		for i := 0; i < n; i++ {
+			fs, err := r.FileShard(i)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			f.shards = append(f.shards, fs)
+		}
+	} else {
+		fs, err := store.OpenFileStoreWith(opt.Dir, opt.Store)
+		if err != nil {
+			return nil, fmt.Errorf("replica: open follower store: %w", err)
+		}
+		f.st, f.shards = fs, []*store.FileStore{fs}
+	}
+	return f, nil
+}
+
+// bootstrapShard seeds an empty local shard directory with the
+// primary's checkpoint snapshot and a bulk copy of its committed log.
+// Directories that already hold log bytes are left alone: the store
+// open heals any torn tail and the shipper resumes from the local
+// committed size.
+func bootstrapShard(c *api.Client, shard int, dir string, maxBatch int) error {
+	logPath := filepath.Join(dir, store.LogFileName)
+	if fi, err := os.Stat(logPath); err == nil && fi.Size() > 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("replica: bootstrap shard %d: %w", shard, err)
+	}
+	ck, ok, err := c.ShardCheckpoint(shard)
+	if err != nil {
+		return fmt.Errorf("replica: bootstrap shard %d checkpoint: %w", shard, err)
+	}
+	if ok {
+		if err := os.WriteFile(store.CheckpointPath(dir), ck, 0o644); err != nil {
+			return fmt.Errorf("replica: bootstrap shard %d checkpoint: %w", shard, err)
+		}
+	}
+	logFile, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("replica: bootstrap shard %d log: %w", shard, err)
+	}
+	defer logFile.Close()
+	var at int64
+	for {
+		chunk, committed, err := c.StreamLog(shard, at, maxBatch)
+		if err != nil {
+			return fmt.Errorf("replica: bootstrap shard %d stream: %w", shard, err)
+		}
+		if len(chunk) == 0 {
+			if at < committed {
+				return fmt.Errorf("replica: bootstrap shard %d: empty chunk at %d below committed %d", shard, at, committed)
+			}
+			return nil
+		}
+		if _, err := logFile.Write(chunk); err != nil {
+			return fmt.Errorf("replica: bootstrap shard %d log: %w", shard, err)
+		}
+		at += int64(len(chunk))
+	}
+}
+
+// Store returns the follower's local store; queries against it see
+// exactly the applied primary prefix.
+func (f *Follower) Store() store.Store { return f.st }
+
+// Sharded reports whether the replicated store is a sharded router.
+func (f *Follower) Sharded() bool { return f.sharded }
+
+// SetOnApply installs (or replaces) the per-record apply hook — wired
+// to closurecache.(*Cache).ApplyDelta when a cache layers the follower's
+// store, so memoized closures patch live as replicated runs fold.
+func (f *Follower) SetOnApply(fn func(*provenance.RunLog)) {
+	f.mu.Lock()
+	f.onApply = fn
+	f.mu.Unlock()
+}
+
+func (f *Follower) applyHook() func(*provenance.RunLog) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.onApply
+}
+
+// CatchUp streams and applies every shard to the primary's committed
+// position as of this call, synchronously. Tests and E18 use it for
+// deterministic convergence; production followers run Start instead.
+func (f *Follower) CatchUp() error {
+	for i := range f.shards {
+		if err := f.catchUpShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// catchUpShard applies one shard until it reaches the primary's
+// committed position observed at loop entry (later appends belong to
+// the next poll). The per-shard lock serializes concurrent appliers —
+// a CatchUp racing the background tailer must not both apply the same
+// offset.
+func (f *Follower) catchUpShard(i int) error {
+	f.shardMu[i].Lock()
+	defer f.shardMu[i].Unlock()
+	for {
+		from := f.shards[i].CommittedOffset()
+		data, committed, err := f.client.StreamLog(i, from, f.opt.MaxBatchBytes)
+		if err != nil {
+			f.noteErr(err)
+			return err
+		}
+		f.mu.Lock()
+		f.primaryCommitted[i] = committed
+		f.mu.Unlock()
+		if len(data) == 0 {
+			if from < committed {
+				err := fmt.Errorf("replica: shard %d: empty chunk at %d below committed %d", i, from, committed)
+				f.noteErr(err)
+				return err
+			}
+			f.noteErr(nil)
+			return nil
+		}
+		var logs []*provenance.RunLog
+		if f.router != nil {
+			logs, _, err = f.router.ApplyReplicated(i, data)
+		} else {
+			logs, _, err = f.shards[i].ApplyReplicated(data)
+		}
+		if err != nil {
+			f.noteErr(err)
+			return err
+		}
+		if hook := f.applyHook(); hook != nil {
+			for _, l := range logs {
+				hook(l)
+			}
+		}
+	}
+}
+
+func (f *Follower) noteErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// Start launches one background tailer per shard, each polling the
+// primary at the configured interval and applying whatever committed.
+// Transient failures are recorded (see Status) and retried on the next
+// poll. Idempotent.
+func (f *Follower) Start() {
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.mu.Unlock()
+	for i := range f.shards {
+		f.wg.Add(1)
+		go func(i int) {
+			defer f.wg.Done()
+			t := time.NewTicker(f.opt.Poll)
+			defer t.Stop()
+			for {
+				select {
+				case <-f.stop:
+					return
+				case <-t.C:
+				}
+				_ = f.catchUpShard(i)
+			}
+		}(i)
+	}
+}
+
+// Lag returns the follower's total applied bytes across shards and how
+// many last-seen primary committed bytes are still unapplied — the
+// X-Replica-Applied / X-Replica-Lag read headers.
+func (f *Follower) Lag() (applied, behind int64) {
+	f.mu.Lock()
+	committed := append([]int64(nil), f.primaryCommitted...)
+	f.mu.Unlock()
+	for i, fs := range f.shards {
+		a := fs.CommittedOffset()
+		applied += a
+		if d := committed[i] - a; d > 0 {
+			behind += d
+		}
+	}
+	return applied, behind
+}
+
+// Status reports the follower's role and per-shard positions for
+// /v1/replication/status.
+func (f *Follower) Status() api.ReplicationStatus {
+	f.mu.Lock()
+	committed := append([]int64(nil), f.primaryCommitted...)
+	lastErr := f.lastErr
+	f.mu.Unlock()
+	rs := api.ReplicationStatus{Role: api.RoleFollower, Sharded: f.sharded, Primary: f.opt.Primary}
+	for i, fs := range f.shards {
+		applied := fs.CommittedOffset()
+		c := committed[i]
+		if applied > c {
+			c = applied
+		}
+		ck := int64(-1)
+		if off, ok := fs.LastCheckpoint(); ok {
+			ck = off
+		}
+		rs.Shards = append(rs.Shards, api.ShardPosition{
+			Shard: i, Committed: c, Applied: applied, Lag: c - applied, Checkpoint: ck,
+		})
+	}
+	if lastErr != nil {
+		rs.Replicas = []api.ReplicaProbe{{URL: f.opt.Primary, Error: lastErr.Error()}}
+	}
+	return rs
+}
+
+// Stop halts the background shipper without closing the local store —
+// for callers whose cache layer owns the store's close chain. Idempotent.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// Close stops the shipper and closes the local store.
+func (f *Follower) Close() error {
+	f.Stop()
+	return f.st.Close()
+}

@@ -233,6 +233,8 @@ func OpenWith(dir string, n int, opt store.FileOptions) (*Router, error) {
 	// Checkpointing is coordinated by the router, not per shard.
 	shardOpt := opt
 	shardOpt.CheckpointEvery = 0
+	shardOpt.CheckpointInterval = 0
+	shardOpt.CheckpointBytes = 0
 	shards := make([]store.Store, n)
 	for i := range shards {
 		fs, err := store.OpenFileStoreWith(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)), shardOpt)
@@ -249,7 +251,12 @@ func OpenWith(dir string, n int, opt store.FileOptions) (*Router, error) {
 		return nil, err
 	}
 	r.dir = dir
-	r.autoCkpt = store.NewAutoCheckpoint(opt.CheckpointEvery)
+	// Byte-based triggering stays per-FileStore (the router does not see
+	// append sizes); router-wide checkpoints trigger on runs and time.
+	r.autoCkpt = store.NewAutoCheckpointPolicy(store.CheckpointPolicy{
+		EveryRuns: opt.CheckpointEvery,
+		Interval:  opt.CheckpointInterval,
+	})
 	if err := r.rebuild(dir); err != nil {
 		r.Close()
 		return nil, err
@@ -499,7 +506,7 @@ func (r *Router) PutRunLog(l *provenance.RunLog) error {
 		_, _ = r.manifest.WriteString(l.Run.ID + "\n")
 	}
 	r.mu.Unlock()
-	r.autoCkpt.Tick(r.Checkpoint)
+	r.autoCkpt.Tick(0, r.Checkpoint)
 	return nil
 }
 
