@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DIR ?= bench-results
 BASELINE_DIR ?= bench-results/baseline
 
-.PHONY: build test vet fmt-check test-race bench bench-smoke bench-json bench-gate bench-json-gate bench-baseline ci clean
+.PHONY: build test vet fmt-check staticcheck test-race bench bench-smoke bench-json bench-gate bench-json-gate bench-baseline ci clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ fmt-check:
 
 test-race:
 	$(GO) test -race ./...
+
+# Static analysis beyond go vet (checks scoped by staticcheck.conf). CI
+# installs a pinned version; locally the target is a no-op with a notice
+# when the binary is absent, since this repo builds offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 # Run the testing.B benchmark suite (one benchmark per experiment, plus the
 # E4b batch-vs-per-edge and E13 closure-cache comparisons).
@@ -44,12 +54,12 @@ bench-json:
 # speedup or E14's mixed-load ingest speedup) regresses beyond its
 # tolerance against the committed baseline in $(BASELINE_DIR).
 bench-gate:
-	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18 -check $(BASELINE_DIR)
+	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19 -check $(BASELINE_DIR)
 
 # Refresh the committed bench baseline deliberately (review the diff before
 # committing: this is the reference future CI runs gate against).
 bench-baseline:
-	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18 -json $(BASELINE_DIR)
+	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19 -json $(BASELINE_DIR)
 
 # CI's combined bench step: one full-suite run that both writes the
 # BENCH_*.json artifacts and applies the regression gate, so the gated
@@ -58,7 +68,7 @@ bench-json-gate:
 	$(GO) run ./cmd/provbench -json $(BENCH_DIR) -check $(BASELINE_DIR)
 
 # Everything the CI workflow gates on, runnable locally.
-ci: fmt-check build vet test-race bench-smoke bench-gate
+ci: fmt-check build vet staticcheck test-race bench-smoke bench-gate
 
 clean:
 	find $(BENCH_DIR) -maxdepth 1 -name 'BENCH_*.json' -delete

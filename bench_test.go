@@ -19,6 +19,7 @@ import (
 	"repro/internal/evolution"
 	"repro/internal/experiments"
 	"repro/internal/interop"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/provenance"
 	"repro/internal/query/datalog"
@@ -792,6 +793,46 @@ func BenchmarkE18Replication(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE19Obs measures the per-operation cost of the observability
+// primitives that experiment E19 gates in aggregate: a labeled counter
+// increment, a latency-histogram observation (clock read + bucket add),
+// the same observation with the global gate off (what disabled
+// instrumentation costs on the hot path), and a full snapshot + p99
+// extraction as a /v1/metrics scrape would do it.
+func BenchmarkE19Obs(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_ops_total", "", obs.L("op", "put"))
+	hist := reg.Histogram("bench_op_seconds", "")
+	for i := 0; i < 1000; i++ {
+		hist.ObserveValue(uint64(i) * 1000)
+	}
+
+	b.Run("counter-inc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.ObserveSince(obs.Now())
+		}
+	})
+	b.Run("observe-disabled", func(b *testing.B) {
+		prev := obs.SetEnabled(false)
+		defer obs.SetEnabled(prev)
+		for i := 0; i < b.N; i++ {
+			hist.ObserveSince(obs.Now())
+		}
+	})
+	b.Run("snapshot-p99", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if q := hist.Snapshot().Quantile(0.99); q == 0 {
+				b.Fatal("zero p99")
+			}
+		}
+	})
 }
 
 // TestExperimentSuiteSmoke runs the fast experiments end-to-end so `go

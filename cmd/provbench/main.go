@@ -1,4 +1,4 @@
-// Command provbench runs the reproduction experiment suite (E1–E18 of
+// Command provbench runs the reproduction experiment suite (E1–E19 of
 // DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
 // reference run.
 //
@@ -82,6 +82,13 @@ var gates = []struct {
 	// the loose floor trips only if followers stop serving reads or
 	// catch-up stops converging (the experiment errors outright then).
 	{"E18", "replica_read_scaleout_x", 0.3},
+	// Observability overhead: instrumented vs gated-off throughput on the
+	// mixed ingest+closure workload. The emitted ratio is clamped to 1.0
+	// (a noisy host often flips the coin the instrumented way), so the
+	// gate is tight: tripping it means real per-op cost crept into the
+	// metrics hot path — an extra allocation, a lock, an unconditional
+	// clock read.
+	{"E19", "obs_overhead_ratio", 0.95},
 }
 
 func main() {
@@ -113,6 +120,7 @@ func main() {
 			"E16 closure pushdown: deep sharded lineage, local fixpoints + frontier exchange",
 			"E17 streaming query executor: lazy iterators + pushdown vs eager materialization",
 			"E18 log-shipping replication: follower read scale-out + ingest retention",
+			"E19 observability overhead: instrumented vs gated-off, percentiles from live histograms",
 		} {
 			fmt.Println(r)
 		}

@@ -8,6 +8,9 @@
 //	provctl lineage -store DIR [-cache] [-shards N] [-trace-rounds] ENTITY  upstream closure of an entity
 //	provctl checkpoint -store DIR [-shards N]               snapshot folded state next to the log
 //	provctl replication -server URL                         a provd's replication role and per-shard positions
+//	provctl status -server URL                              a provd's identity: role, uptime, store config, build
+//	provctl metrics -server URL [-grep S]                   a provd's metrics (Prometheus text)
+//	provctl metrics -server URL -watch [-interval D]        …polled, printing per-interval deltas
 //	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
 //	provctl demo NAME                     print a built-in workflow as JSON
 //	                                      (medimg, medimg-smooth, genomics,
@@ -55,6 +58,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/collab/api"
@@ -93,6 +99,10 @@ func main() {
 		err = cmdCheckpoint(args)
 	case "replication":
 		err = cmdReplication(args)
+	case "status":
+		err = cmdStatus(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	case "export":
 		err = cmdExport(args)
 	case "demo":
@@ -108,7 +118,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|replication|export|demo> ...`)
+	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|replication|status|metrics|export|demo> ...`)
 }
 
 func loadWorkflow(path string) (*workflow.Workflow, error) {
@@ -527,4 +537,151 @@ func cmdDemo(args []string) error {
 	}
 	fmt.Println(string(data))
 	return nil
+}
+
+// cmdStatus prints a provd's identity block from /v1/status: role, uptime,
+// store configuration and the binary's embedded build info.
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8080", "provd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("status: want -server URL only")
+	}
+	ns, err := api.NewClient(*server, nil).NodeStatus()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("role: %s\n", ns.Role)
+	fmt.Printf("uptime: %s\n", (time.Duration(ns.UptimeSeconds * float64(time.Second))).Round(time.Second))
+	if ns.StoreDir != "" {
+		fmt.Printf("store: %s\n", ns.StoreDir)
+	} else {
+		fmt.Println("store: in-memory")
+	}
+	fmt.Printf("shards: %d\n", ns.Shards)
+	if ns.Durability != "" {
+		fmt.Printf("durability: %s\n", ns.Durability)
+	}
+	if ns.Checkpoint != "" {
+		fmt.Printf("checkpoint: %s\n", ns.Checkpoint)
+	}
+	fmt.Printf("closure cache: %v\n", ns.ClosureCache)
+	build := ns.GoVersion
+	if ns.Version != "" {
+		build += " " + ns.Version
+	}
+	if ns.Revision != "" {
+		build += " (" + ns.Revision + ")"
+	}
+	fmt.Printf("build: %s\n", build)
+	return nil
+}
+
+// cmdMetrics fetches /v1/metrics. One-shot mode prints the Prometheus
+// exposition verbatim (optionally filtered); -watch polls and prints only
+// the series whose values changed since the previous poll, as
+// "name{labels} value (delta)" — a poor man's rate() for a terminal.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8080", "provd base URL")
+	watch := fs.Bool("watch", false, "poll repeatedly, printing per-interval deltas of changed series")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval with -watch")
+	grep := fs.String("grep", "", "only print series whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("metrics: unexpected arguments %v", fs.Args())
+	}
+	client := api.NewClient(*server, nil)
+
+	if !*watch {
+		text, err := client.MetricsText()
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			if *grep != "" && !strings.Contains(metricName(line), *grep) {
+				continue
+			}
+			fmt.Println(line)
+		}
+		return nil
+	}
+
+	prev, err := scrapeSeries(client, *grep)
+	if err != nil {
+		return err
+	}
+	for {
+		time.Sleep(*interval)
+		cur, err := scrapeSeries(client, *grep)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(cur))
+		for name, v := range cur {
+			if pv, ok := prev[name]; !ok || pv != v {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		fmt.Printf("--- %s\n", time.Now().Format("15:04:05"))
+		for _, name := range names {
+			if pv, ok := prev[name]; ok {
+				fmt.Printf("%s %s (%+g)\n", name, strconv.FormatFloat(cur[name], 'g', -1, 64), cur[name]-pv)
+			} else {
+				fmt.Printf("%s %s (new)\n", name, strconv.FormatFloat(cur[name], 'g', -1, 64))
+			}
+		}
+		prev = cur
+	}
+}
+
+// metricName extracts the metric name an exposition line is about — the
+// third field of a "# HELP name …"/"# TYPE name …" comment, or the series
+// name up to its label set — so -grep filters families, comments included.
+func metricName(line string) string {
+	if strings.HasPrefix(line, "#") {
+		if f := strings.Fields(line); len(f) >= 3 {
+			return f[2]
+		}
+		return ""
+	}
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// scrapeSeries fetches and parses one exposition into series → value,
+// keeping only series whose metric name contains grep (when non-empty).
+func scrapeSeries(client *api.Client, grep string) (map[string]float64, error) {
+	text, err := client.MetricsText()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, val := line[:sp], line[sp+1:]
+		if grep != "" && !strings.Contains(name, grep) {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, nil
 }

@@ -18,6 +18,9 @@
 //	provd -checkpoint-bytes 4194304        # …and every ~4MiB of log growth
 //	provd -cache                           # incremental closure cache
 //	provd -shards 4                        # hash-partitioned sharded store
+//	provd -pprof                           # net/http/pprof at /debug/pprof/
+//	provd -slow-query 250ms                # slow-query log threshold
+//	provd -log-requests                    # structured per-request log
 //
 //	# log-shipping replication: one primary, N read replicas
 //	provd -addr :8080 -store /var/lib/provd -role primary \
@@ -66,13 +69,36 @@
 // write dirties the store, and -checkpoint-bytes B every ~B bytes of log
 // growth, so replay cost stays bounded whether ingest is bursty or a
 // trickle.
+//
+// Observability: GET /v1/metrics serves the process's runtime metrics
+// (WAL, store, cache, replication, executor and HTTP families) in
+// Prometheus text exposition format, and GET /v1/status reports the node's
+// role, uptime, store configuration and build version. Every response
+// carries an X-Request-ID (generated, or propagated from the request);
+// -log-requests logs each request through log/slog, and requests slower
+// than -slow-query (default 1s; 0 disables) are escalated to a Warn-level
+// slow-query log with their query string. -pprof additionally serves
+// net/http/pprof under /debug/pprof/. provctl status and provctl metrics
+// are the matching operator commands.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops,
+// in-flight requests drain (bounded at 10s), and the store — including any
+// in-flight auto-checkpoint — and the replication tailer are closed before
+// the process exits. A second signal kills immediately.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/collab"
@@ -85,6 +111,7 @@ import (
 )
 
 func main() {
+	start := time.Now()
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		storeDir     = flag.String("store", "", "directory for a durable file store (default: in-memory)")
@@ -100,6 +127,9 @@ func main() {
 		replicaPoll  = flag.Duration("replica-poll", 0, "with -role follower: primary tail interval (default 200ms)")
 		traceRounds  = flag.Bool("trace-rounds", false, "log each sharded closure's pushdown rounds and per-round frontier sizes")
 		explain      = flag.Bool("explain", false, "log each /query's executed plan: join order, per-operator rows, scan parallelism, allocations")
+		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+		slowQuery    = flag.Duration("slow-query", time.Second, "log requests at least this slow at Warn level, with their query (0 disables)")
+		logRequests  = flag.Bool("log-requests", false, "log every request (structured: request ID, route, status, duration)")
 		seed         = flag.Int64("seed", 0, "synthesize a community with this seed (0: empty)")
 		users        = flag.Int("users", 10, "synthetic community size")
 		runsEach     = flag.Int("runs", 3, "synthetic runs published per user")
@@ -133,7 +163,25 @@ func main() {
 	}
 	opts.TraceRounds = trace
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+
 	var hopts collab.HandlerOptions
+	hopts.SlowRequest = *slowQuery
+	if *logRequests {
+		hopts.RequestLog = logger
+	}
+	hopts.Node = collab.NodeInfo{
+		Role:   *role,
+		Shards: *shards,
+		Cache:  *cache,
+		Start:  start,
+	}
+	if *storeDir != "" {
+		hopts.Node.StoreDir = *storeDir
+		hopts.Node.Durability = dur.String()
+		hopts.Node.Checkpoint = checkpointPolicy(*ckptEvery, *ckptInterval, *ckptBytes)
+	}
 	if *explain {
 		hopts.ExplainQueries = func(query, report string) {
 			log.Printf("provd: explain %q\n%s", query, report)
@@ -169,6 +217,8 @@ func main() {
 		if src, err := replica.NewSource(fst); err == nil {
 			hopts.Source = src
 		}
+		// A follower's real shard count comes from the primary, not -shards.
+		hopts.Node.Shards = len(f.Status().Shards)
 		applied, behind := f.Lag()
 		log.Printf("provd: follower of %s at %d applied bytes (%d behind)", *primary, applied, behind)
 
@@ -225,10 +275,65 @@ func main() {
 		s := repo.Stat()
 		log.Printf("provd: synthesized %d workflows, %d runs, %d users", s.Workflows, s.Runs, s.Users)
 	}
-	log.Printf("provd: listening on %s (role %s)", *addr, *role)
-	if err := http.ListenAndServe(*addr, collab.NewHandlerWith(repo, hopts)); err != nil {
-		log.Fatalf("provd: %v", err)
+	var handler http.Handler = collab.NewHandlerWith(repo, hopts)
+	if *pprofFlag {
+		// Compose pprof onto an outer mux instead of using the
+		// DefaultServeMux side-effect registration, so profiling is served
+		// only when asked for.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("provd: pprof enabled at /debug/pprof/")
 	}
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the listener
+	// and waits for in-flight requests, and the deferred store/follower
+	// closers (which drain auto-checkpoints and the replication tailer) run
+	// when main returns — a kill can no longer race an in-flight checkpoint
+	// or replication apply.
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("provd: listening on %s (role %s)", *addr, *role)
+	select {
+	case err := <-errc:
+		log.Fatalf("provd: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		log.Printf("provd: shutdown signal received; draining connections")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("provd: shutdown: %v", err)
+		}
+		log.Printf("provd: closing store")
+	}
+}
+
+// checkpointPolicy renders the auto-checkpoint flags as the human-readable
+// policy /v1/status reports.
+func checkpointPolicy(every int, interval time.Duration, bytes int64) string {
+	var parts []string
+	if every > 0 {
+		parts = append(parts, fmt.Sprintf("every %d runs", every))
+	}
+	if interval > 0 {
+		parts = append(parts, fmt.Sprintf("at most %s after a write", interval))
+	}
+	if bytes > 0 {
+		parts = append(parts, fmt.Sprintf("every %.1f MiB of log growth", float64(bytes)/(1<<20)))
+	}
+	if len(parts) == 0 {
+		return "disabled"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // probeClient bounds primary->replica status probes so one dead replica

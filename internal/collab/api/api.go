@@ -40,6 +40,11 @@ const (
 	// HeaderLogCommitted accompanies a /v1/replication/stream chunk with
 	// the shard's committed log size at read time: the shipper's target.
 	HeaderLogCommitted = "X-Log-Committed"
+	// HeaderRequestID stamps every response with the request's trace ID.
+	// An incoming value is propagated verbatim (callers and proxies can
+	// thread their own IDs); otherwise the server generates one. The same
+	// ID appears in the structured request log and the slow-query log.
+	HeaderRequestID = "X-Request-ID"
 )
 
 // Replication roles reported by /v1/replication/status.
@@ -132,4 +137,26 @@ type ReplicaProbe struct {
 	URL    string             `json:"url"`
 	Status *ReplicationStatus `json:"status,omitempty"`
 	Error  string             `json:"error,omitempty"`
+}
+
+// NodeStatus is GET /v1/status: the fleet-inspection sibling of
+// /v1/replication/status — one node's identity and configuration rather
+// than its log positions.
+type NodeStatus struct {
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	StoreDir      string  `json:"store_dir,omitempty"`
+	Shards        int     `json:"shards"`
+	Durability    string  `json:"durability,omitempty"`
+	// Checkpoint describes the node's auto-checkpoint policy in the same
+	// terms the provd flags configure it ("every 512 runs or 4.0 MiB",
+	// "disabled").
+	Checkpoint   string `json:"checkpoint,omitempty"`
+	ClosureCache bool   `json:"closure_cache"`
+	GoVersion    string `json:"go_version"`
+	// Version and Revision come from runtime/debug.ReadBuildInfo: the main
+	// module version and the vcs.revision the binary was built at, when
+	// the build recorded them.
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
 }

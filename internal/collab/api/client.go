@@ -167,6 +167,33 @@ func (c *Client) Stats() (RepoStats, error) {
 	return st, err
 }
 
+// NodeStatus reports the server's identity and configuration.
+func (c *Client) NodeStatus() (*NodeStatus, error) {
+	var ns NodeStatus
+	if err := c.getJSON(V1Prefix+"/status", &ns); err != nil {
+		return nil, err
+	}
+	return &ns, nil
+}
+
+// MetricsText fetches the server's metrics in Prometheus text exposition
+// format, verbatim — provctl metrics renders and diffs it client-side.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.hc.Get(c.base + V1Prefix + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
 // ReplicationStatus reports the server's role and per-shard positions.
 func (c *Client) ReplicationStatus() (*ReplicationStatus, error) {
 	var rs ReplicationStatus

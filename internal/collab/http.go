@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/collab/api"
+	"repro/internal/obs"
 	"repro/internal/query/pql"
 	"repro/internal/store"
 )
@@ -32,6 +35,10 @@ import (
 //	GET  /v1/recommend?user=U           recommendations
 //	GET  /v1/query?q=PQL                PQL query against the provenance store
 //	GET  /v1/stats                      repository statistics
+//	GET  /v1/status                     node identity: role, uptime, store
+//	                                    config, build version
+//	GET  /v1/metrics                    runtime metrics, Prometheus text
+//	                                    exposition format (plain text)
 //	GET  /v1/replication/status         role + per-shard replication positions
 //	GET  /v1/replication/stream?shard=N&from=OFF&max=BYTES
 //	                                    record-aligned committed log chunk
@@ -42,6 +49,13 @@ import (
 // Follower deployments (HandlerOptions.ReadOnly) reject non-GET traffic
 // with 403/read_only_replica and stamp every response with
 // X-Replica-Applied and X-Replica-Lag so clients can bound staleness.
+//
+// Every v1 route runs inside the observability middleware (obs.go): the
+// response carries an X-Request-ID (propagated from the request when
+// present), prov_http_requests_total{route,code} and
+// prov_http_request_seconds{route} record the call, and — when configured
+// — each request is logged through log/slog with requests slower than the
+// threshold escalated to the Warn-level slow-query log.
 func NewHandler(repo *Repository) http.Handler {
 	return NewHandlerWith(repo, HandlerOptions{})
 }
@@ -82,14 +96,40 @@ type HandlerOptions struct {
 	// and how far behind the primary it is; every response is stamped
 	// with the X-Replica-Applied / X-Replica-Lag headers.
 	Lag func() (applied, behind int64)
+	// Metrics is the registry the per-route middleware records into and
+	// /v1/metrics serves; nil uses obs.Default() (the registry every
+	// subsystem instruments), which is what provd wants — tests pass a
+	// fresh registry to assert on isolated counters.
+	Metrics *obs.Registry
+	// RequestLog, when set, receives one structured line per request
+	// (request ID, method, route, status, bytes, duration).
+	RequestLog *slog.Logger
+	// SlowRequest, when positive, logs requests at least this slow at
+	// Warn level with their query string — the slow-query log.
+	SlowRequest time.Duration
+	// Node describes this node for /v1/status; the zero value reports a
+	// standalone single-shard node.
+	Node NodeInfo
 }
 
 // NewHandlerWith is NewHandler with options.
 func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
-	mux := http.NewServeMux()
-	v1 := func(pattern string, fn http.HandlerFunc) {
-		mux.HandleFunc(api.V1Prefix+pattern, fn)
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
 	}
+	hobs := &httpObs{reg: reg, log: opts.RequestLog, slow: opts.SlowRequest}
+	mux := http.NewServeMux()
+	// Every v1 route registers through the observability middleware; the
+	// legacy aliases re-dispatch into these handlers, so each request is
+	// counted exactly once, under its v1 route label.
+	v1 := func(pattern string, fn http.HandlerFunc) {
+		route := api.V1Prefix + pattern
+		mux.HandleFunc(route, hobs.instrument(route, fn))
+	}
+
+	v1("/metrics", metricsHandler(reg))
+	v1("/status", statusHandler(opts.Node))
 
 	v1("/workflows", func(w http.ResponseWriter, req *http.Request) {
 		switch req.Method {

@@ -1,0 +1,198 @@
+package collab
+
+// HTTP-surface observability: the per-route middleware every v1 handler is
+// registered through (request counts by route and status, latency
+// histograms, X-Request-ID stamping, structured request logging, the
+// slow-query log) plus the /v1/metrics and /v1/status handlers.
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collab/api"
+	"repro/internal/obs"
+)
+
+// NodeInfo describes the serving node for /v1/status; provd fills it from
+// its flags. The zero value reports a standalone node started when the
+// handler was built.
+type NodeInfo struct {
+	Role       string    // api.Role*; "" reports standalone
+	StoreDir   string    // store directory ("" for in-memory backends)
+	Shards     int       // shard count (1 for unsharded stores)
+	Durability string    // store.Durability string ("" when not applicable)
+	Checkpoint string    // human-readable auto-checkpoint policy
+	Cache      bool      // closure cache enabled
+	Start      time.Time // process start (uptime origin)
+}
+
+// Request IDs are "<process>-<seq>": a per-process hex prefix (start time
+// mixed with the PID) plus an atomic sequence number — unique within a
+// fleet for tracing purposes without any coordination or crypto cost.
+var (
+	reqIDPrefix = fmt.Sprintf("%08x", uint32(time.Now().UnixNano())^uint32(os.Getpid())<<16)
+	reqIDSeq    atomic.Uint64
+)
+
+func nextRequestID() string {
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDSeq.Add(1), 16)
+}
+
+// statusRecorder captures the status code a handler writes (200 when the
+// handler never calls WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// httpObs is the per-handler observability state threaded through every
+// v1 route registration.
+type httpObs struct {
+	reg  *obs.Registry
+	log  *slog.Logger  // nil: no request logging
+	slow time.Duration // 0: no slow-query log
+}
+
+// instrument wraps one route's handler with the observability middleware.
+// The route label is the registered pattern — a closed set, so metric
+// cardinality is bounded by the API surface, never by request paths. The
+// latency histogram is resolved once at registration; the (route, code)
+// counter per request (the code is only known afterwards).
+func (h *httpObs) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	lat := h.reg.Histogram("prov_http_request_seconds",
+		"Request latency by route.", obs.L("route", route))
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		id := req.Header.Get(api.HeaderRequestID)
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set(api.HeaderRequestID, id)
+		rec := &statusRecorder{ResponseWriter: w}
+		fn(rec, req)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		lat.Observe(dur)
+		h.reg.Counter("prov_http_requests_total", "Requests served by route and status code.",
+			obs.L("route", route), obs.L("code", strconv.Itoa(rec.status))).Inc()
+		if h.log != nil {
+			h.log.LogAttrs(req.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", req.Method),
+				slog.String("route", route),
+				slog.String("path", req.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("dur", dur),
+			)
+		}
+		if h.slow > 0 && dur >= h.slow {
+			h.reg.Counter("prov_http_slow_requests_total",
+				"Requests slower than the configured slow-query threshold.").Inc()
+			logger := h.log
+			if logger == nil {
+				logger = slog.Default()
+			}
+			logger.LogAttrs(req.Context(), slog.LevelWarn, "slow request",
+				slog.String("id", id),
+				slog.String("method", req.Method),
+				slog.String("route", route),
+				slog.String("path", req.URL.Path),
+				slog.String("query", req.URL.RawQuery),
+				slog.Int("status", rec.status),
+				slog.Duration("dur", dur),
+				slog.Duration("threshold", h.slow),
+			)
+		}
+	}
+}
+
+// metricsHandler serves the registry in Prometheus text exposition format.
+func metricsHandler(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = reg.WritePrometheus(w)
+	}
+}
+
+// statusHandler serves /v1/status from the node description.
+func statusHandler(node NodeInfo) http.HandlerFunc {
+	if node.Role == "" {
+		node.Role = api.RoleStandalone
+	}
+	if node.Shards == 0 {
+		node.Shards = 1
+	}
+	if node.Start.IsZero() {
+		node.Start = time.Now()
+	}
+	version, revision := buildVersion()
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, api.NodeStatus{
+			Role:          node.Role,
+			UptimeSeconds: time.Since(node.Start).Seconds(),
+			StoreDir:      node.StoreDir,
+			Shards:        node.Shards,
+			Durability:    node.Durability,
+			Checkpoint:    node.Checkpoint,
+			ClosureCache:  node.Cache,
+			GoVersion:     runtime.Version(),
+			Version:       version,
+			Revision:      revision,
+		})
+	}
+}
+
+// buildVersion extracts the main-module version and vcs revision the
+// binary was built at; empty strings when the build recorded neither
+// (e.g. plain `go build` in a dirty tree or a test binary).
+func buildVersion() (version, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return version, revision
+}

@@ -3,6 +3,8 @@ package relalg
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Iterator is the pull-based streaming form of a relation: a schema plus a
@@ -656,6 +658,8 @@ func Materialize(it Iterator, name string) (*Relation, error) {
 // callback sink (fn must not retain the tuple).
 func Drain(it Iterator, fn func(*Tuple) error) error {
 	defer it.Close()
+	var rows uint64
+	defer func() { mExecRows.Add(rows) }()
 	for {
 		t, err := it.Next()
 		if err != nil {
@@ -664,11 +668,17 @@ func Drain(it Iterator, fn func(*Tuple) error) error {
 		if t == nil {
 			return nil
 		}
+		rows++
 		if err := fn(t); err != nil {
 			return err
 		}
 	}
 }
+
+// mExecRows counts every tuple leaving a streaming execution through
+// Drain — the shared exit funnel of compiled plans, the PQL executor and
+// the Datalog evaluator alike.
+var mExecRows = obs.Default().Counter("prov_exec_rows_total", "Rows emitted by streaming query executions.")
 
 // --- instrumentation ---------------------------------------------------------
 

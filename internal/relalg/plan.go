@@ -4,7 +4,17 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
+
+// Executor observability: compiled plans, with rows counted centrally in
+// Drain (iter.go) — the funnel every streaming execution exits through,
+// whether compiled here or assembled directly by the PQL front-end.
+// Per-operator row counts (scan/join/project) are folded in after a drain
+// when the plan was built with Instrument — the label set is bounded by
+// operator kind, never by query content.
+var mExecPlans = obs.Default().Counter("prov_exec_plans_total", "Conjunctive query plans compiled.")
 
 // This file is the shared conjunctive-query planner the query front-ends
 // compile into. A Datalog rule body and a PQL FROM/JOIN clause have the
@@ -65,6 +75,8 @@ type Plan struct {
 	Order  []string // leaf names in chosen join order
 	Stats  []*OpStat
 	Output []string
+
+	statsFolded bool // per-operator rows already folded into the registry
 }
 
 // PlanOptions tunes plan construction.
@@ -134,6 +146,7 @@ func PlanConj(leaves []Leaf, output []string, opts PlanOptions) (*Plan, error) {
 		return nil, err
 	}
 	p.root = wrap(proj, "project("+strings.Join(output, ",")+")")
+	mExecPlans.Inc()
 	return p, nil
 }
 
@@ -258,7 +271,29 @@ func (p *Plan) Schema() []string { return p.Output }
 // Run drains the plan, invoking emit for each output row. The row slice is
 // only valid during the call.
 func (p *Plan) Run(emit func(vals []Val, prov []Witness) error) error {
-	return Drain(p.root, func(t *Tuple) error { return emit(t.Values, t.Prov) })
+	err := Drain(p.root, func(t *Tuple) error { return emit(t.Values, t.Prov) })
+	if err == nil && len(p.Stats) > 0 && !p.statsFolded {
+		// One counter per operator kind (the label's "scan(...)" prefix), so
+		// the metric cardinality never tracks query content.
+		p.statsFolded = true
+		for _, st := range p.Stats {
+			kind := st.Label
+			if i := strings.IndexByte(kind, '('); i >= 0 {
+				kind = kind[:i]
+			}
+			if st.Rows > 0 {
+				mExecOperatorRows(kind).Add(uint64(st.Rows))
+			}
+		}
+	}
+	return err
+}
+
+// mExecOperatorRows returns the per-operator-kind row counter; the lookup
+// is idempotent and runs once per drained instrumented plan, not per row.
+func mExecOperatorRows(kind string) *obs.Counter {
+	return obs.Default().Counter("prov_exec_operator_rows_total",
+		"Rows emitted per operator kind in instrumented plans.", obs.L("op", kind))
 }
 
 // MaterializePlan runs the plan into a relation (mostly for tests).

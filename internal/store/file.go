@@ -10,8 +10,19 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/store/wal"
+)
+
+// FileStore observability: per-operation latency across every instance in
+// the process (one per shard under the router) plus ingest outcomes.
+var (
+	mStoreIngests       = obs.Default().Counter("prov_store_ingest_total", "Run logs accepted by file stores.")
+	mStoreIngestErrors  = obs.Default().Counter("prov_store_ingest_errors_total", "Run-log ingests rejected (validation, duplicate, I/O).")
+	mStoreIngestSeconds = obs.Default().Histogram("prov_store_ingest_seconds", "FileStore PutRunLog latency: validate, append, index fold.")
+	mStoreClosureSecs   = obs.Default().Histogram("prov_store_closure_seconds", "FileStore transitive-closure latency on the resident adjacency index.")
+	mStoreExpandSecs    = obs.Default().Histogram("prov_store_expand_seconds", "FileStore one-hop Expand latency.")
 )
 
 // FileStore persists run logs to an append-only JSON-lines file, the
@@ -327,6 +338,17 @@ type foldEntry struct {
 // and a reopen replay all agree on last-write-wins tie-breaks and Runs()
 // order even when writers re-acquire the lock out of commit order.
 func (s *FileStore) PutRunLog(l *provenance.RunLog) error {
+	start := obs.Now()
+	if err := s.putRunLog(l); err != nil {
+		mStoreIngestErrors.Inc()
+		return err
+	}
+	mStoreIngests.Inc()
+	mStoreIngestSeconds.ObserveSince(start)
+	return nil
+}
+
+func (s *FileStore) putRunLog(l *provenance.RunLog) error {
 	if err := l.Validate(); err != nil {
 		return err
 	}
@@ -606,6 +628,7 @@ func (s *FileStore) neighborsLocked(id string, dir Direction) ([]string, bool) {
 // Expand implements Store: the whole frontier is served from the resident
 // index under one shared-lock acquisition, zero disk reads.
 func (s *FileStore) Expand(ids []string, dir Direction) (map[string][]string, error) {
+	start := obs.Now()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string][]string, len(ids))
@@ -614,6 +637,7 @@ func (s *FileStore) Expand(ids []string, dir Direction) (map[string][]string, er
 			out[id] = ns
 		}
 	}
+	mStoreExpandSecs.ObserveSince(start)
 	return out, nil
 }
 
@@ -621,9 +645,14 @@ func (s *FileStore) Expand(ids []string, dir Direction) (map[string][]string, er
 // index under a shared lock — zero disk reads after open, and concurrent
 // closure sweeps proceed in parallel instead of queueing on one mutex.
 func (s *FileStore) Closure(seed string, dir Direction) ([]string, error) {
+	start := obs.Now()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return bfsClosure(seed, dir, s.neighborsLocked)
+	out, err := bfsClosure(seed, dir, s.neighborsLocked)
+	if err == nil {
+		mStoreClosureSecs.ObserveSince(start)
+	}
+	return out, err
 }
 
 // CloseLocal implements LocalCloser: the local fixpoint runs on the

@@ -10,9 +10,20 @@ import (
 	"time"
 
 	"repro/internal/collab/api"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/store"
 	"repro/internal/store/shardedstore"
+)
+
+// Follower observability: shipped volume and apply latency accumulate
+// across catch-up and steady-state tailing alike (catch-up throughput is
+// shipped bytes over the catch-up window). The lag gauge is registered
+// per-Follower in Open and reports the most recent instance's lag.
+var (
+	mReplShippedBytes = obs.Default().Counter("prov_replica_shipped_bytes_total", "Log bytes shipped from the primary and applied.")
+	mReplShippedRecs  = obs.Default().Counter("prov_replica_shipped_records_total", "Run-log records applied from shipped chunks.")
+	mReplApplySecs    = obs.Default().Histogram("prov_replica_apply_seconds", "Per-chunk apply latency (decode, verify, fold).")
 )
 
 // Options configures a follower.
@@ -140,6 +151,15 @@ func Open(opt Options) (*Follower, error) {
 		}
 		f.st, f.shards = fs, []*store.FileStore{fs}
 	}
+	// GaugeFunc re-registration replaces the callback, so the series always
+	// tracks the most recently opened follower in this process. Lag reads
+	// only in-memory positions, so scraping after Close stays safe.
+	obs.Default().GaugeFunc("prov_replica_apply_lag_bytes",
+		"Bytes the follower trails the primary's committed position by.",
+		func() float64 {
+			_, behind := f.Lag()
+			return float64(behind)
+		})
 	return f, nil
 }
 
@@ -185,6 +205,10 @@ func bootstrapShard(c *api.Client, shard int, dir string, maxBatch int) error {
 		if _, err := logFile.Write(chunk); err != nil {
 			return fmt.Errorf("replica: bootstrap shard %d log: %w", shard, err)
 		}
+		// Bootstrap bytes are shipped traffic too; the records they carry
+		// are only counted once the store replays them on open, so the
+		// record counter stays with the apply path.
+		mReplShippedBytes.Add(uint64(len(chunk)))
 		at += int64(len(chunk))
 	}
 }
@@ -251,6 +275,7 @@ func (f *Follower) catchUpShard(i int) error {
 			return nil
 		}
 		var logs []*provenance.RunLog
+		applyStart := obs.Now()
 		if f.router != nil {
 			logs, _, err = f.router.ApplyReplicated(i, data)
 		} else {
@@ -260,6 +285,9 @@ func (f *Follower) catchUpShard(i int) error {
 			f.noteErr(err)
 			return err
 		}
+		mReplApplySecs.ObserveSince(applyStart)
+		mReplShippedBytes.Add(uint64(len(data)))
+		mReplShippedRecs.Add(uint64(len(logs)))
 		if hook := f.applyHook(); hook != nil {
 			for _, l := range logs {
 				hook(l)

@@ -49,9 +49,23 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/store"
 	"repro/internal/store/wal"
+)
+
+// Router observability: cross-shard latency and traversal-shape histograms.
+// The underlying per-shard FileStores feed the prov_store_* families; these
+// series measure the routed operation end to end, so the gap between
+// prov_store_closure_seconds and prov_router_closure_seconds is the
+// scatter/gather + frontier-exchange overhead.
+var (
+	mRouterIngestSecs  = obs.Default().Histogram("prov_router_ingest_seconds", "Routed PutRunLog latency: shard commit plus global index.")
+	mRouterClosureSecs = obs.Default().Histogram("prov_router_closure_seconds", "Sharded closure latency (pushdown or per-hop fallback).")
+	mRouterRounds      = obs.Default().ValueHistogram("prov_router_closure_rounds", "Pushdown rounds per sharded closure.")
+	mRouterCrossings   = obs.Default().ValueHistogram("prov_router_closure_crossings", "Cross-shard frontier crossings per sharded closure.")
+	mRouterFanout      = obs.Default().ValueHistogram("prov_router_scatter_shards", "Shards probed per scatter/gather Expand.")
 )
 
 // Router implements store.Store over N underlying shards (any mix of
@@ -483,6 +497,7 @@ func containsShard(set []int, shard int) bool {
 // Validation is the shard's: every backend validates before storing, and a
 // second router-side pass would serialize that CPU across all writers.
 func (r *Router) PutRunLog(l *provenance.RunLog) error {
+	start := obs.Now()
 	shard := r.shardOf(l.Run.ID)
 	r.mu.RLock()
 	_, dup := r.runShard[l.Run.ID]
@@ -507,6 +522,7 @@ func (r *Router) PutRunLog(l *provenance.RunLog) error {
 	}
 	r.mu.Unlock()
 	r.autoCkpt.Tick(0, r.Checkpoint)
+	mRouterIngestSecs.ObserveSince(start)
 	return nil
 }
 
@@ -683,6 +699,16 @@ func (r *Router) Expand(ids []string, dir store.Direction) (map[string][]string,
 	}
 	r.mu.RUnlock()
 
+	if obs.Enabled() {
+		fanout := 0
+		for _, seeds := range sc.perShard {
+			if len(seeds) > 0 {
+				fanout++
+			}
+		}
+		mRouterFanout.ObserveValue(uint64(fanout))
+	}
+
 	// Scatter: one concurrent Expand per shard with work.
 	if err := scatter(sc.perShard, sc.results, sc.errs, func(si int, seeds []string) (map[string][]string, error) {
 		return r.shards[si].Expand(seeds, dir)
@@ -804,6 +830,17 @@ type pdNode struct {
 
 // TracedClosure is Closure returning its round trace.
 func (r *Router) TracedClosure(seed string, dir store.Direction) ([]string, ClosureTrace, error) {
+	start := obs.Now()
+	order, tr, err := r.tracedClosure(seed, dir)
+	if err == nil {
+		mRouterClosureSecs.ObserveSince(start)
+		mRouterRounds.ObserveValue(uint64(tr.Rounds))
+		mRouterCrossings.ObserveValue(uint64(tr.Crossings))
+	}
+	return order, tr, err
+}
+
+func (r *Router) tracedClosure(seed string, dir store.Direction) ([]string, ClosureTrace, error) {
 	tr := ClosureTrace{Seed: seed, Dir: dir}
 	if len(r.shards) > 64 {
 		// The pushdown's probed bitmask covers 64 shards; beyond that the

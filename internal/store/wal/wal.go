@@ -42,6 +42,21 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide observability mirrors of the per-writer counters, plus the
+// latency/shape histograms only the global registry tracks. Registered
+// once; every Writer in the process feeds the same series (provd runs one
+// writer per shard — the aggregate is what an operator wants).
+var (
+	mAppends       = obs.Default().Counter("prov_wal_appends_total", "Records accepted by WAL writers.")
+	mBatches       = obs.Default().Counter("prov_wal_batches_total", "Committed group-commit batches (write syscalls).")
+	mFsyncs        = obs.Default().Counter("prov_wal_fsyncs_total", "Fsyncs issued by WAL writers.")
+	mBytes         = obs.Default().Counter("prov_wal_bytes_total", "Payload bytes committed to WAL logs.")
+	mBatchRecords  = obs.Default().ValueHistogram("prov_wal_batch_records", "Records coalesced per committed batch.")
+	mCommitSeconds = obs.Default().Histogram("prov_wal_commit_seconds", "Batch commit latency: positional write plus fsync.")
 )
 
 // SyncPolicy selects what Append guarantees when it returns.
@@ -108,6 +123,7 @@ type batch struct {
 	seq    uint64 // commit-order ticket
 	base   int64  // file offset of buf[0]
 	buf    []byte
+	n      int           // records joined
 	sealed bool          // no further joins
 	full   chan struct{} // closed at seal (wakes a leader in its flush delay)
 	done   chan struct{} // closed when committed or failed
@@ -201,6 +217,8 @@ func (w *Writer) Append(rec []byte) (int64, error) {
 	b.buf = append(b.buf, rec...)
 	w.nextOff += int64(len(rec))
 	w.appends++
+	b.n++
+	mAppends.Inc()
 	if len(b.buf) >= w.opt.MaxBatchBytes && !b.sealed {
 		w.sealLocked(b)
 	}
@@ -235,10 +253,11 @@ func (w *Writer) Append(rec []byte) (int64, error) {
 		w.mu.Lock()
 	}
 	w.sealLocked(b)
-	buf, base := b.buf, b.base
+	buf, base, nrec := b.buf, b.base, b.n
 	w.mu.Unlock()
 
 	// Commit outside the lock: one positional write, one optional fsync.
+	commitStart := obs.Now()
 	_, err := w.f.WriteAt(buf, base)
 	if err == nil && w.opt.Policy != SyncNone {
 		err = w.f.Sync()
@@ -265,8 +284,13 @@ func (w *Writer) Append(rec []byte) (int64, error) {
 	}
 	w.batches++
 	w.bytes += uint64(len(buf))
+	mBatches.Inc()
+	mBytes.Add(uint64(len(buf)))
+	mBatchRecords.ObserveValue(uint64(nrec))
+	mCommitSeconds.ObserveSince(commitStart)
 	if w.opt.Policy != SyncNone {
 		w.syncs++
+		mFsyncs.Inc()
 	}
 	w.commits = b.seq + 1
 	w.pending = w.pending[1:] // b is always the head: commits are in seq order
