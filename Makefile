@@ -54,12 +54,12 @@ bench-json:
 # speedup or E14's mixed-load ingest speedup) regresses beyond its
 # tolerance against the committed baseline in $(BASELINE_DIR).
 bench-gate:
-	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19 -check $(BASELINE_DIR)
+	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19,E20 -check $(BASELINE_DIR)
 
 # Refresh the committed bench baseline deliberately (review the diff before
 # committing: this is the reference future CI runs gate against).
 bench-baseline:
-	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19 -json $(BASELINE_DIR)
+	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19,E20 -json $(BASELINE_DIR)
 
 # CI's combined bench step: one full-suite run that both writes the
 # BENCH_*.json artifacts and applies the regression gate, so the gated

@@ -24,6 +24,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/query/datalog"
 	"repro/internal/query/pql"
+	"repro/internal/query/standing"
 	"repro/internal/relalg"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
@@ -830,6 +831,95 @@ func BenchmarkE19Obs(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if q := hist.Snapshot().Quantile(0.99); q == 0 {
 				b.Fatal("zero p99")
+			}
+		}
+	})
+}
+
+// BenchmarkE20Standing measures the per-ingest cost experiment E20 gates
+// as a ratio: accepting one run into a store watched by 64 standing
+// subscriptions (pattern-indexed incremental maintenance plus event
+// drain), against the same ingest into a bare store — the difference is
+// what the standing-query subsystem charges the write path.
+func BenchmarkE20Standing(b *testing.B) {
+	const chains = 8
+	chainRun := func(c, i int) *provenance.RunLog {
+		runID := fmt.Sprintf("b20-c%d-run-%06d", c, i)
+		exec := fmt.Sprintf("b20-c%d-exec-%06d", c, i)
+		in := fmt.Sprintf("b20-c%d-art-%06d", c, i)
+		out := fmt.Sprintf("b20-c%d-art-%06d", c, i+1)
+		l := &provenance.RunLog{}
+		l.Run = provenance.Run{ID: runID, WorkflowID: "b20", Status: provenance.StatusOK}
+		l.Executions = []*provenance.Execution{{ID: exec, RunID: runID, ModuleID: "step", ModuleType: "Synth", Status: provenance.StatusOK}}
+		l.Artifacts = []*provenance.Artifact{{ID: in, RunID: runID, Type: "blob"}, {ID: out, RunID: runID, Type: "blob"}}
+		l.Events = []provenance.Event{
+			{Seq: 1, RunID: runID, Kind: provenance.EventArtifactUsed, ExecutionID: exec, ArtifactID: in},
+			{Seq: 2, RunID: runID, Kind: provenance.EventArtifactGen, ExecutionID: exec, ArtifactID: out},
+		}
+		return l
+	}
+	seed := func(b *testing.B, st store.Store) {
+		b.Helper()
+		for i := 0; i < 12; i++ {
+			for c := 0; c < chains; c++ {
+				if err := st.PutRunLog(chainRun(c, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	b.Run("maintain-64subs", func(b *testing.B) {
+		st := store.NewMemStore()
+		defer st.Close()
+		mgr := standing.NewManager(st, standing.Options{})
+		tap := standing.NewTap(st, mgr)
+		seed(b, tap)
+		var ids []string
+		var cursors []uint64
+		for c := 0; c < chains; c++ {
+			for _, spec := range []standing.Spec{
+				{Kind: standing.KindClosure, Root: fmt.Sprintf("b20-c%d-art-%06d", c, 0), Dir: store.Down},
+				{Kind: standing.KindClosure, Root: fmt.Sprintf("b20-c%d-art-%06d", c, 3), Dir: store.Down},
+				{Kind: standing.KindClosure, Root: fmt.Sprintf("b20-c%d-art-%06d", c, 6), Dir: store.Up},
+				{Kind: standing.KindTriple, Pattern: store.Triple{S: fmt.Sprintf("b20-c%d-exec-%06d", c, 2), P: store.PredGenerated}},
+				{Kind: standing.KindTriple, Pattern: store.Triple{P: store.PredUsed, O: fmt.Sprintf("b20-c%d-art-%06d", c, 5)}},
+				{Kind: standing.KindTriple, Pattern: store.Triple{S: fmt.Sprintf("b20-c%d-exec-%06d", c, 8)}},
+				{Kind: standing.KindConjunctive, Query: "used(E, A), generated(E, B)", Output: []string{"A", "B"}},
+				{Kind: standing.KindConjunctive, Query: "generated(E, A), partOfRun(E, R)", Output: []string{"A", "R"}},
+			} {
+				snap, err := mgr.Subscribe(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, snap.ID)
+				cursors = append(cursors, snap.Seq)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tap.PutRunLog(chainRun(i%chains, 12+i/chains)); err != nil {
+				b.Fatal(err)
+			}
+			for s := range ids {
+				evs, ok := mgr.EventsSince(ids[s], cursors[s])
+				if !ok {
+					b.Fatal("subscription vanished")
+				}
+				for _, ev := range evs {
+					cursors[s] = ev.Seq
+				}
+			}
+		}
+	})
+	b.Run("bare-ingest", func(b *testing.B) {
+		st := store.NewMemStore()
+		defer st.Close()
+		seed(b, st)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.PutRunLog(chainRun(i%chains, 12+i/chains)); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -1,4 +1,4 @@
-// Command provbench runs the reproduction experiment suite (E1–E19 of
+// Command provbench runs the reproduction experiment suite (E1–E20 of
 // DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
 // reference run.
 //
@@ -89,6 +89,12 @@ var gates = []struct {
 	// metrics hot path — an extra allocation, a lock, an unconditional
 	// clock read.
 	{"E19", "obs_overhead_ratio", 0.95},
+	// Standing queries: incremental maintenance vs re-running all 64
+	// subscriptions after every ingest. The baseline ratio is two orders
+	// of magnitude, so the loose floor only trips on an architectural
+	// regression — maintenance degrading to per-sub re-evaluation or the
+	// pattern index stopping to narrow the affected set.
+	{"E20", "standing_delta_vs_requery_speedup_x", 0.3},
 }
 
 func main() {
@@ -121,6 +127,7 @@ func main() {
 			"E17 streaming query executor: lazy iterators + pushdown vs eager materialization",
 			"E18 log-shipping replication: follower read scale-out + ingest retention",
 			"E19 observability overhead: instrumented vs gated-off, percentiles from live histograms",
+			"E20 standing queries: incremental maintenance vs per-ingest re-query",
 		} {
 			fmt.Println(r)
 		}

@@ -11,6 +11,10 @@
 //	provctl status -server URL                              a provd's identity: role, uptime, store config, build
 //	provctl metrics -server URL [-grep S]                   a provd's metrics (Prometheus text)
 //	provctl metrics -server URL -watch [-interval D]        …polled, printing per-interval deltas
+//	provctl watch -server URL -lineage ENTITY               live standing query: snapshot, then +/- deltas
+//	provctl watch -server URL -dependents ENTITY            …downstream closure
+//	provctl watch -server URL -triple "S P O"               …triple pattern ("*" = wildcard)
+//	provctl watch -server URL 'used(E, A), generated(E, B)' …Datalog conjunction [-output A,B] [-poll]
 //	provctl export -store DIR -run ID [-format opm-xml|opm-json|dot]
 //	provctl demo NAME                     print a built-in workflow as JSON
 //	                                      (medimg, medimg-smooth, genomics,
@@ -50,17 +54,29 @@
 // lineage's -trace-rounds prints, for sharded stores, how many pushdown
 // rounds the closure executed and each round's frontier probe count, so a
 // regression in cross-shard round count is observable outside the bench.
+//
+// watch registers a standing query on a running provd and follows its
+// live delta stream: the initial snapshot prints indented, then each
+// ingest that affects the result prints "+ item" / "- item" lines as the
+// server folds it in. The stream is SSE with automatic reconnect-and-
+// resume (Last-Event-ID); -poll long-polls instead. If the consumer falls
+// behind the server's bounded replay buffer, an explicit gap line is
+// followed by a fresh snapshot — never a silently stale result. On exit
+// the subscription is deleted unless -keep is given.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/collab/api"
@@ -103,6 +119,8 @@ func main() {
 		err = cmdStatus(args)
 	case "metrics":
 		err = cmdMetrics(args)
+	case "watch":
+		err = cmdWatch(args)
 	case "export":
 		err = cmdExport(args)
 	case "demo":
@@ -118,7 +136,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|replication|status|metrics|export|demo> ...`)
+	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|replication|status|metrics|watch|export|demo> ...`)
 }
 
 func loadWorkflow(path string) (*workflow.Workflow, error) {
@@ -462,6 +480,125 @@ func printReplicationStatus(w io.Writer, rs *api.ReplicationStatus, indent strin
 			fmt.Fprintf(w, "%sreplica %s: not probed\n", indent, p.URL)
 		}
 	}
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8080", "provd base URL")
+	lineage := fs.String("lineage", "", "watch the upstream closure of this entity")
+	dependents := fs.String("dependents", "", "watch the downstream closure of this entity")
+	triple := fs.String("triple", "", `watch a triple pattern: "S P O" ("*" = wildcard)`)
+	output := fs.String("output", "", "conjunctive watch: comma-separated output variables (default: all)")
+	poll := fs.Bool("poll", false, "long-poll for events instead of streaming SSE")
+	keep := fs.Bool("keep", false, "leave the subscription registered on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var req api.SubscribeRequest
+	switch {
+	case *lineage != "":
+		req = api.SubscribeRequest{Kind: api.SubscriptionKindClosure, Root: *lineage, Direction: "up"}
+	case *dependents != "":
+		req = api.SubscribeRequest{Kind: api.SubscriptionKindClosure, Root: *dependents, Direction: "down"}
+	case *triple != "":
+		f := strings.Fields(*triple)
+		if len(f) != 3 {
+			return fmt.Errorf(`watch: -triple wants "S P O" (three fields, "*" = wildcard)`)
+		}
+		for i := range f {
+			if f[i] == "*" {
+				f[i] = ""
+			}
+		}
+		req = api.SubscribeRequest{Kind: api.SubscriptionKindTriple, Subject: f[0], Predicate: f[1], Object: f[2]}
+	case fs.NArg() == 1:
+		req = api.SubscribeRequest{Kind: api.SubscriptionKindConjunctive, Query: fs.Arg(0)}
+		if *output != "" {
+			req.Output = strings.Split(*output, ",")
+			for i := range req.Output {
+				req.Output[i] = strings.TrimSpace(req.Output[i])
+			}
+		}
+	default:
+		return fmt.Errorf("watch: want -lineage ENTITY, -dependents ENTITY, -triple \"S P O\", or one Datalog conjunction")
+	}
+
+	c := api.NewClient(*server, nil)
+	sub, err := c.Subscribe(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("subscribed %s: %d item(s)\n", sub.ID, len(sub.Items))
+	for _, it := range sub.Items {
+		fmt.Println("  " + it)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if !*keep {
+		defer c.Unsubscribe(sub.ID)
+	}
+
+	printEvent := func(ev api.SubscriptionEvent) error {
+		switch ev.Type {
+		case api.SubscriptionEventAdd:
+			for _, it := range ev.Items {
+				fmt.Println("+ " + it)
+			}
+		case api.SubscriptionEventRemove:
+			for _, it := range ev.Items {
+				fmt.Println("- " + it)
+			}
+		case api.SubscriptionEventGap:
+			fmt.Println("! gap: fell behind the replay buffer; re-snapshot follows")
+		case api.SubscriptionEventSnapshot:
+			fmt.Printf("= snapshot: %d item(s)\n", len(ev.Items))
+			for _, it := range ev.Items {
+				fmt.Println("  " + it)
+			}
+		}
+		return nil
+	}
+
+	from := sub.Seq
+	if *poll {
+		for ctx.Err() == nil {
+			evs, err := c.PollSubscriptionEvents(sub.ID, from, 10*time.Second)
+			if err != nil {
+				if ctx.Err() != nil {
+					break
+				}
+				return err
+			}
+			for _, ev := range evs {
+				_ = printEvent(ev)
+				from = ev.Seq
+			}
+		}
+		return nil
+	}
+	for ctx.Err() == nil {
+		last, err := c.WatchSubscription(ctx, sub.ID, from, printEvent)
+		from = last
+		if ctx.Err() != nil {
+			break
+		}
+		var rerr *api.RemoteError
+		if errors.As(err, &rerr) {
+			return err // e.g. the subscription was deleted server-side
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "provctl: watch: %v (reconnecting)\n", err)
+		}
+		// Transient drop or server restart: resume after the last sequence
+		// we saw; the server answers an eviction with gap + re-snapshot.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Second):
+		}
+	}
+	return nil
 }
 
 func cmdExport(args []string) error {

@@ -81,6 +81,15 @@
 // net/http/pprof under /debug/pprof/. provctl status and provctl metrics
 // are the matching operator commands.
 //
+// Standing queries: POST /v1/subscriptions registers a live query — a
+// triple pattern, the closure membership of an entity, or a Datalog
+// conjunction — answered with an initial snapshot; GET
+// /v1/subscriptions/{id}/events then streams its add/remove deltas as
+// Server-Sent Events (Last-Event-ID resumes; ?poll=1 long-polls) as
+// publishes fold into the result incrementally. Followers host
+// subscriptions too, fed by the replication apply hook. provctl watch is
+// the matching operator command.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops,
 // in-flight requests drain (bounded at 10s), and the store — including any
 // in-flight auto-checkpoint — and the replication tailer are closed before
@@ -104,6 +113,7 @@ import (
 	"repro/internal/collab"
 	"repro/internal/collab/api"
 	"repro/internal/core"
+	"repro/internal/query/standing"
 	"repro/internal/store"
 	"repro/internal/store/closurecache"
 	"repro/internal/store/replica"
@@ -209,6 +219,12 @@ func main() {
 		}
 		defer cleanup()
 		st = fst
+		// Followers host standing subscriptions too: the replication apply
+		// hook feeds each shipped run into the manager, composed after the
+		// closure-cache hook core may have installed.
+		mgr := standing.NewManager(fst, standing.Options{})
+		f.AddOnApply(mgr.ApplyDelta)
+		hopts.Standing = mgr
 		hopts.ReadOnly = true
 		hopts.Lag = f.Lag
 		hopts.Status = f.Status
@@ -260,6 +276,13 @@ func main() {
 			}
 			log.Printf("provd: primary shipping %d shard log(s); probing %d replica(s)", src.Shards(), len(replicaURLs))
 		}
+		// Standing subscriptions tap the top of the store stack (above any
+		// closure cache), so every accepted publish folds into the live
+		// subscriptions after it commits. The replication source above
+		// reads the stack beneath the tap.
+		mgr := standing.NewManager(st, standing.Options{})
+		st = standing.NewTap(st, mgr)
+		hopts.Standing = mgr
 
 	default:
 		log.Fatalf("provd: unknown -role %q (want standalone, primary or follower)", *role)

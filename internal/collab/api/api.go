@@ -139,6 +139,64 @@ type ReplicaProbe struct {
 	Error  string             `json:"error,omitempty"`
 }
 
+// Subscription kinds and event types for the standing-query API. These
+// mirror internal/query/standing but are restated here so the wire
+// contract stands alone.
+const (
+	SubscriptionKindTriple      = "triple"
+	SubscriptionKindClosure     = "closure"
+	SubscriptionKindConjunctive = "conjunctive"
+
+	SubscriptionEventSnapshot = "snapshot"
+	SubscriptionEventAdd      = "add"
+	SubscriptionEventRemove   = "remove"
+	SubscriptionEventGap      = "gap"
+)
+
+// SubscribeRequest is POST /v1/subscriptions: register a standing query.
+// Kind selects which fields matter — closure: Root + Direction; triple:
+// Subject/Predicate/Object (empty = wildcard); conjunctive: Query (a
+// Datalog conjunction like "used(E, A), generated(E, B)") + Output
+// variables (empty: all, first-occurrence order).
+type SubscribeRequest struct {
+	Kind      string   `json:"kind"`
+	Root      string   `json:"root,omitempty"`
+	Direction string   `json:"direction,omitempty"` // "up" (default) or "down"
+	Subject   string   `json:"subject,omitempty"`
+	Predicate string   `json:"predicate,omitempty"`
+	Object    string   `json:"object,omitempty"`
+	Query     string   `json:"query,omitempty"`
+	Output    []string `json:"output,omitempty"`
+}
+
+// SubscribeResponse acknowledges a registration with the subscription's
+// initial result snapshot; events with seq > Seq continue from it. The
+// same shape answers GET /v1/subscriptions/{id} with the current result.
+type SubscribeResponse struct {
+	ID    string   `json:"id"`
+	Seq   uint64   `json:"seq"`
+	Items []string `json:"items"`
+}
+
+// Subscription is one entry of GET /v1/subscriptions.
+type Subscription struct {
+	ID   string           `json:"id"`
+	Spec SubscribeRequest `json:"spec"`
+	Seq  uint64           `json:"seq"`
+	Size int              `json:"size"`
+}
+
+// SubscriptionEvent is one element of a subscription's event stream —
+// the JSON body of the long-poll fallback and the data/id/event fields of
+// the SSE framing. A "gap" event means the replay buffer evicted events
+// the consumer missed; the "snapshot" event that follows it (at the same
+// sequence) replaces the consumer's state wholesale.
+type SubscriptionEvent struct {
+	Seq   uint64   `json:"seq"`
+	Type  string   `json:"type"`
+	Items []string `json:"items,omitempty"`
+}
+
 // NodeStatus is GET /v1/status: the fleet-inspection sibling of
 // /v1/replication/status — one node's identity and configuration rather
 // than its log positions.

@@ -1,7 +1,9 @@
 package api
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +11,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/provenance"
 	"repro/internal/query/pql"
@@ -71,6 +74,25 @@ func (c *Client) postJSON(path string, in, out any) error {
 		return err
 	}
 	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) deleteJSON(path string, out any) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -192,6 +214,118 @@ func (c *Client) MetricsText() (string, error) {
 		return "", err
 	}
 	return string(data), nil
+}
+
+// Subscribe registers a standing query and returns its ID plus the
+// initial result snapshot.
+func (c *Client) Subscribe(req SubscribeRequest) (*SubscribeResponse, error) {
+	var resp SubscribeResponse
+	if err := c.postJSON(V1Prefix+"/subscriptions", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Subscriptions lists the server's registered standing queries.
+func (c *Client) Subscriptions() ([]Subscription, error) {
+	var subs []Subscription
+	err := c.getJSON(V1Prefix+"/subscriptions", &subs)
+	return subs, err
+}
+
+// Subscription fetches a subscription's full current result — the
+// re-snapshot a consumer takes after a gap event.
+func (c *Client) Subscription(id string) (*SubscribeResponse, error) {
+	var resp SubscribeResponse
+	if err := c.getJSON(V1Prefix+"/subscriptions/"+url.PathEscape(id), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Unsubscribe deletes a standing query.
+func (c *Client) Unsubscribe(id string) error {
+	return c.deleteJSON(V1Prefix+"/subscriptions/"+url.PathEscape(id), nil)
+}
+
+// PollSubscriptionEvents long-polls for events after sequence from,
+// waiting server-side up to wait (0: server default) before answering an
+// empty slice. The long-poll fallback for clients that cannot hold an SSE
+// stream.
+func (c *Client) PollSubscriptionEvents(id string, from uint64, wait time.Duration) ([]SubscriptionEvent, error) {
+	u := fmt.Sprintf("%s/subscriptions/%s/events?poll=1&from=%d", V1Prefix, url.PathEscape(id), from)
+	if wait > 0 {
+		u += fmt.Sprintf("&wait_ms=%d", wait.Milliseconds())
+	}
+	var evs []SubscriptionEvent
+	err := c.getJSON(u, &evs)
+	return evs, err
+}
+
+// WatchSubscription consumes a subscription's SSE stream, invoking fn for
+// every event until ctx is done, the server closes the stream (e.g. the
+// subscription was deleted), or fn returns an error. from > 0 resumes
+// after that sequence via the Last-Event-ID header; from == 0 asks the
+// server to open with a fresh snapshot event. Returns the last sequence
+// consumed, so a caller can reconnect without losing events.
+func (c *Client) WatchSubscription(ctx context.Context, id string, from uint64, fn func(SubscriptionEvent) error) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+V1Prefix+"/subscriptions/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return from, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if from > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(from, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return from, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return from, decodeError(resp)
+	}
+	last := from
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var ev SubscriptionEvent
+	flush := func() error {
+		if ev.Type == "" {
+			ev = SubscriptionEvent{}
+			return nil
+		}
+		e := ev
+		ev = SubscriptionEvent{}
+		if err := fn(e); err != nil {
+			return err
+		}
+		last = e.Seq
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return last, err
+			}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id:"):
+			ev.Seq, _ = strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			_ = json.Unmarshal([]byte(strings.TrimSpace(line[5:])), &ev.Items)
+		}
+	}
+	if err := flush(); err != nil {
+		return last, err
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return last, err
+	}
+	return last, nil
 }
 
 // ReplicationStatus reports the server's role and per-shard positions.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/collab/api"
 	"repro/internal/obs"
 	"repro/internal/query/pql"
+	"repro/internal/query/standing"
 	"repro/internal/store"
 )
 
@@ -45,10 +46,18 @@ import (
 //	                                    (octet-stream, X-Log-Committed header)
 //	GET  /v1/replication/checkpoint?shard=N
 //	                                    raw shard checkpoint snapshot (octet-stream)
+//	POST /v1/subscriptions              register a standing query
+//	GET  /v1/subscriptions              list standing queries
+//	GET  /v1/subscriptions/{id}         current full result (re-snapshot)
+//	DEL  /v1/subscriptions/{id}         unregister
+//	GET  /v1/subscriptions/{id}/events  live delta stream (SSE; ?poll=1
+//	                                    long-polls) — see subscriptions.go
 //
 // Follower deployments (HandlerOptions.ReadOnly) reject non-GET traffic
-// with 403/read_only_replica and stamp every response with
-// X-Replica-Applied and X-Replica-Lag so clients can bound staleness.
+// with 403/read_only_replica — except the /v1/subscriptions routes, which
+// mutate node-local serving state rather than the store — and stamp every
+// response with X-Replica-Applied and X-Replica-Lag so clients can bound
+// staleness.
 //
 // Every v1 route runs inside the observability middleware (obs.go): the
 // response carries an X-Request-ID (propagated from the request when
@@ -110,6 +119,12 @@ type HandlerOptions struct {
 	// Node describes this node for /v1/status; the zero value reports a
 	// standalone single-shard node.
 	Node NodeInfo
+	// Standing, when set, serves the standing-query subscription API
+	// under /v1/subscriptions (registration, listing, SSE event streams);
+	// nil answers those routes 503/unavailable. Followers serve it too —
+	// subscriptions are node-local serving state, not store writes, so the
+	// ReadOnly guard exempts the subscription routes.
+	Standing *standing.Manager
 }
 
 // NewHandlerWith is NewHandler with options.
@@ -389,6 +404,9 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 		_, _ = w.Write(data)
 	})
 
+	v1("/subscriptions", subscriptionsHandler(opts.Standing))
+	v1("/subscriptions/", subscriptionHandler(opts.Standing))
+
 	// Deprecated bare aliases: each legacy path delegates to its v1 twin
 	// by prefix rewrite, so there is exactly one implementation per
 	// route.
@@ -412,7 +430,11 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 			w.Header().Set(api.HeaderReplicaApplied, strconv.FormatInt(applied, 10))
 			w.Header().Set(api.HeaderReplicaLag, strconv.FormatInt(behind, 10))
 		}
-		if opts.ReadOnly && req.Method != http.MethodGet && req.Method != http.MethodHead {
+		// Subscriptions are node-local serving state, not store writes: a
+		// follower hosts them (fed by replication apply), so registering
+		// and deleting them must pass the read-only guard.
+		subscriptionRoute := strings.HasPrefix(req.URL.Path, api.V1Prefix+"/subscriptions")
+		if opts.ReadOnly && req.Method != http.MethodGet && req.Method != http.MethodHead && !subscriptionRoute {
 			writeError(w, http.StatusForbidden, api.CodeReadOnlyReplica,
 				errors.New("collab: this node is a read replica; send writes to the primary"))
 			return

@@ -69,6 +69,13 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController so
+// streaming handlers (SSE, replication) can still flush through the
+// middleware.
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
 // httpObs is the per-handler observability state threaded through every
 // v1 route registration.
 type httpObs struct {

@@ -53,6 +53,12 @@ type Program struct {
 	// rel mirrors facts as append-only tuple slices per predicate: the
 	// planner's leaf relations (exec.go). Kept in lockstep with facts.
 	rel map[string][]relalg.Tuple
+	// plans caches each (rule, focus)'s prepared conjunctive plan across
+	// semi-naive rounds and Evaluate calls (exec.go). Plans are
+	// statistics-free — selection pushdown and join order depend only on
+	// the rule's shape — so nothing ever invalidates an entry; rules are
+	// append-only, keeping indexes stable.
+	plans map[planKey]*rulePlan
 	// ReferenceEval switches Evaluate to the original nested-loop
 	// joinBody evaluator, kept as the conformance reference for the
 	// streaming executor (see exec.go). Both reach the same fixpoint.

@@ -13,6 +13,12 @@ import (
 // nested-loop joinBody evaluator in datalog.go stays as the conformance
 // reference; both reach the same fixpoint and derived-fact count, since a
 // fact is counted once no matter which round derives it.
+//
+// Each (rule, focus) pair's compiled shape — selections, bind positions,
+// join order — is prepared once (relalg.PrepareConj) and cached on the
+// Program, then rebound to the round's current relations per execution.
+// Nothing invalidates the cache: plans carry no statistics, and rules are
+// append-only.
 
 // appendTuple mirrors a newly inserted fact into the planner's leaf
 // relation for its predicate. Slices are append-only, so plans compiled
@@ -36,12 +42,12 @@ func (p *Program) evaluateStreaming() int {
 	}
 	for {
 		next := map[string][]relalg.Tuple{}
-		for _, r := range p.rules {
+		for ri, r := range p.rules {
 			for focus := range r.Body {
 				if len(delta[r.Body[focus].Pred]) == 0 {
 					continue
 				}
-				derived += p.runRule(r, focus, delta, next)
+				derived += p.runRule(ri, r, focus, delta, next)
 			}
 		}
 		if len(next) == 0 {
@@ -51,10 +57,31 @@ func (p *Program) evaluateStreaming() int {
 	}
 }
 
-// runRule evaluates one rule with the focus atom bound to the delta,
-// inserting novel head facts into the program and the next-round delta.
-// Returns the number of new facts.
-func (p *Program) runRule(r Rule, focus int, delta, next map[string][]relalg.Tuple) int {
+// planKey addresses one cached rule plan: rule index × focus-atom index.
+type planKey struct {
+	rule  int
+	focus int
+}
+
+// rulePlan is one cached compilation: the rebindable plan plus the head
+// projection derived from the rule. bad marks a shape PrepareConj
+// rejected, so every round takes the joinBody fallback without retrying
+// compilation.
+type rulePlan struct {
+	pc      *relalg.PreparedConj
+	outVars []string
+	varAt   map[string]int
+	bad     bool
+}
+
+// preparedPlan returns the cached plan for (rule, focus), compiling on
+// first use.
+func (p *Program) preparedPlan(ri int, r Rule, focus int) *rulePlan {
+	k := planKey{ri, focus}
+	if rp, ok := p.plans[k]; ok {
+		return rp
+	}
+	rp := &rulePlan{varAt: map[string]int{}}
 	leaves := make([]relalg.Leaf, len(r.Body))
 	for i, atom := range r.Body {
 		terms := make([]relalg.PlanTerm, len(atom.Args))
@@ -65,29 +92,56 @@ func (p *Program) runRule(r Rule, focus int, delta, next map[string][]relalg.Tup
 				terms[j] = relalg.C(t.Value)
 			}
 		}
-		tuples := p.rel[atom.Pred]
-		if i == focus {
-			tuples = delta[atom.Pred]
-		}
-		leaves[i] = relalg.Leaf{Name: atom.Pred, Terms: terms, Tuples: tuples}
+		// The focus leaf is compiled with the same shape as the rest; only
+		// Bind distinguishes it, attaching the round's delta tuples. Tuple
+		// counts at prepare time act solely as join-order tie-breaks.
+		leaves[i] = relalg.Leaf{Name: atom.Pred, Terms: terms, Tuples: p.rel[atom.Pred]}
 	}
-
 	// Output: the distinct head variables, in head-argument order.
-	var outVars []string
-	varAt := map[string]int{}
 	for _, t := range r.Head.Args {
 		if t.IsVar {
-			if _, ok := varAt[t.Value]; !ok {
-				varAt[t.Value] = len(outVars)
-				outVars = append(outVars, t.Value)
+			if _, ok := rp.varAt[t.Value]; !ok {
+				rp.varAt[t.Value] = len(rp.outVars)
+				rp.outVars = append(rp.outVars, t.Value)
 			}
 		}
 	}
-
-	plan, err := relalg.PlanConj(leaves, outVars, relalg.PlanOptions{})
+	pc, err := relalg.PrepareConj(leaves, rp.outVars)
 	if err != nil {
 		// Compilation can only fail on malformed rules AddRule would have
 		// rejected; fall back to the reference evaluator to be safe.
+		rp.bad = true
+	}
+	rp.pc = pc
+	if p.plans == nil {
+		p.plans = map[planKey]*rulePlan{}
+	}
+	p.plans[k] = rp
+	return rp
+}
+
+// runRule evaluates one rule with the focus atom bound to the delta,
+// inserting novel head facts into the program and the next-round delta.
+// Returns the number of new facts.
+func (p *Program) runRule(ri int, r Rule, focus int, delta, next map[string][]relalg.Tuple) int {
+	rp := p.preparedPlan(ri, r, focus)
+	var plan *relalg.Plan
+	if !rp.bad {
+		tuples := make([][]relalg.Tuple, len(r.Body))
+		for i, atom := range r.Body {
+			if i == focus {
+				tuples[i] = delta[atom.Pred]
+			} else {
+				tuples[i] = p.rel[atom.Pred]
+			}
+		}
+		var err error
+		plan, err = rp.pc.Bind(tuples, relalg.PlanOptions{})
+		if err != nil {
+			plan = nil
+		}
+	}
+	if plan == nil {
 		n := 0
 		p.joinBody(r, focus, deltaKeys(delta), func(b binding) {
 			vals := make([]string, len(r.Head.Args))
@@ -107,7 +161,7 @@ func (p *Program) runRule(r Rule, focus int, delta, next map[string][]relalg.Tup
 		out := make([]string, len(r.Head.Args))
 		for i, t := range r.Head.Args {
 			if t.IsVar {
-				out[i] = vals[varAt[t.Value]].(string)
+				out[i] = vals[rp.varAt[t.Value]].(string)
 			} else {
 				out[i] = t.Value
 			}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"repro/internal/provenance"
 	"repro/internal/store"
 )
 
@@ -29,45 +30,69 @@ func LoadStore(p *Program, s store.Store) error {
 		if err != nil {
 			return err
 		}
-		if err := p.AddFact("agent", runID, l.Run.Agent); err != nil {
+		if err := LogFacts(l, p.AddFact); err != nil {
 			return err
 		}
-		for _, e := range l.Executions {
-			if err := p.AddFact("module", e.ID, e.ModuleID); err != nil {
-				return err
-			}
-			if err := p.AddFact("moduleType", e.ID, e.ModuleType); err != nil {
-				return err
-			}
-			if err := p.AddFact("status", e.ID, string(e.Status)); err != nil {
-				return err
-			}
-			if err := p.AddFact("partOfRun", e.ID, runID); err != nil {
-				return err
-			}
+	}
+	return nil
+}
+
+// LogFacts flattens one run log into the extensional schema above,
+// invoking emit once per fact. It is the single source of truth for that
+// flattening: LoadStore folds whole stores through it, and the
+// standing-query subsystem folds per-ingest deltas through it, so a
+// subscription's incremental facts are exactly the ones a fresh LoadStore
+// would produce.
+func LogFacts(l *provenance.RunLog, emit func(pred string, vals ...string) error) error {
+	runID := l.Run.ID
+	if err := emit("agent", runID, l.Run.Agent); err != nil {
+		return err
+	}
+	for _, e := range l.Executions {
+		if err := emit("module", e.ID, e.ModuleID); err != nil {
+			return err
 		}
-		for _, a := range l.Artifacts {
-			if err := p.AddFact("artifact", a.ID, a.Type); err != nil {
-				return err
-			}
-			if err := p.AddFact("partOfRun", a.ID, runID); err != nil {
-				return err
-			}
+		if err := emit("moduleType", e.ID, e.ModuleType); err != nil {
+			return err
 		}
-		for _, ev := range l.Events {
-			switch ev.Kind {
-			case "artifactUsed":
-				if err := p.AddFact("used", ev.ExecutionID, ev.ArtifactID); err != nil {
-					return err
-				}
-			case "artifactGenerated":
-				if err := p.AddFact("generated", ev.ExecutionID, ev.ArtifactID); err != nil {
-					return err
-				}
+		if err := emit("status", e.ID, string(e.Status)); err != nil {
+			return err
+		}
+		if err := emit("partOfRun", e.ID, runID); err != nil {
+			return err
+		}
+	}
+	for _, a := range l.Artifacts {
+		if err := emit("artifact", a.ID, a.Type); err != nil {
+			return err
+		}
+		if err := emit("partOfRun", a.ID, runID); err != nil {
+			return err
+		}
+	}
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case provenance.EventArtifactUsed:
+			if err := emit("used", ev.ExecutionID, ev.ArtifactID); err != nil {
+				return err
+			}
+		case provenance.EventArtifactGen:
+			if err := emit("generated", ev.ExecutionID, ev.ArtifactID); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
+}
+
+// ExtensionalArity maps the extensional predicates LoadStore/LogFacts emit
+// to their arities — the schema conjunctive standing queries validate
+// against.
+func ExtensionalArity() map[string]int {
+	return map[string]int{
+		"used": 2, "generated": 2, "module": 2, "moduleType": 2,
+		"status": 2, "artifact": 2, "partOfRun": 2, "agent": 2,
+	}
 }
 
 // ProvenanceRules is the standard intensional schema: direct dependency and

@@ -1,0 +1,263 @@
+package standing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/provenance"
+	"repro/internal/query/datalog"
+	"repro/internal/query/scan"
+	"repro/internal/relalg"
+)
+
+// Conjunctive subscriptions: the body is parsed with the Datalog parser,
+// validated against the extensional schema LoadStore establishes, and
+// compiled ONCE through the streaming planner (relalg.PrepareConj — the
+// plan-caching machinery the Datalog engine itself uses). Per ingest the
+// plan is rebound semi-naive style: for each body atom whose predicate
+// gained facts, that leaf carries the delta and the others the full
+// current relations; the union over focus positions is exactly the set of
+// rows a full re-evaluation would add, because every new row must use at
+// least one new fact in some position. Facts only accumulate (they are
+// per-log, not per-edge), so conjunctive results are monotone — add
+// events only.
+
+// conjSub is the compiled form of one conjunctive subscription.
+type conjSub struct {
+	body []datalog.Atom
+	pc   *relalg.PreparedConj
+}
+
+// preds returns the distinct body predicates, sorted.
+func (cs *conjSub) preds() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range cs.body {
+		if !seen[a.Pred] {
+			seen[a.Pred] = true
+			out = append(out, a.Pred)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compileConj parses and compiles a conjunctive spec. The query is the
+// rule-body syntax the Datalog engine uses: comma-separated atoms,
+// uppercase (or ?-prefixed) variables, 'quoted' constants, e.g.
+//
+//	used(E, A), generated(E, B)
+//
+// over the extensional schema of datalog.LoadStore. Output names the
+// projected variables; empty means all, in first-occurrence order.
+func compileConj(spec Spec) (*conjSub, error) {
+	q := strings.TrimSpace(spec.Query)
+	if q == "" {
+		return nil, fmt.Errorf("standing: conjunctive subscription needs a query")
+	}
+	r, err := datalog.ParseRule("q() :- " + q)
+	if err != nil {
+		return nil, fmt.Errorf("standing: parse query: %w", err)
+	}
+	if len(r.Body) == 0 {
+		return nil, fmt.Errorf("standing: conjunctive query %q has no atoms", q)
+	}
+	schema := datalog.ExtensionalArity()
+	var allVars []string
+	varSeen := map[string]bool{}
+	leaves := make([]relalg.Leaf, len(r.Body))
+	for i, atom := range r.Body {
+		arity, ok := schema[atom.Pred]
+		if !ok {
+			return nil, fmt.Errorf("standing: unknown predicate %q (extensional schema: %s)",
+				atom.Pred, strings.Join(sortedPreds(schema), ", "))
+		}
+		if len(atom.Args) != arity {
+			return nil, fmt.Errorf("standing: predicate %s has arity %d, got %d args", atom.Pred, arity, len(atom.Args))
+		}
+		terms := make([]relalg.PlanTerm, len(atom.Args))
+		for j, t := range atom.Args {
+			if t.IsVar {
+				terms[j] = relalg.V(t.Value)
+				if !varSeen[t.Value] {
+					varSeen[t.Value] = true
+					allVars = append(allVars, t.Value)
+				}
+			} else {
+				terms[j] = relalg.C(t.Value)
+			}
+		}
+		leaves[i] = relalg.Leaf{Name: atom.Pred, Terms: terms}
+	}
+	output := spec.Output
+	if len(output) == 0 {
+		output = allVars
+	}
+	if len(output) == 0 {
+		return nil, fmt.Errorf("standing: conjunctive query %q binds no variables", q)
+	}
+	for _, v := range output {
+		if !varSeen[v] {
+			return nil, fmt.Errorf("standing: output variable %q not bound in query", v)
+		}
+	}
+	pc, err := relalg.PrepareConj(leaves, output)
+	if err != nil {
+		return nil, fmt.Errorf("standing: compile query: %w", err)
+	}
+	return &conjSub{body: r.Body, pc: pc}, nil
+}
+
+func sortedPreds(schema map[string]int) []string {
+	out := make([]string, 0, len(schema))
+	for p := range schema {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ensureBaseLocked loads the shared extensional relations from the store
+// on the first conjunctive Subscribe. Thereafter ApplyDelta keeps them
+// appended; re-delivery of a log already scanned here deduplicates to
+// nothing.
+func (m *Manager) ensureBaseLocked() error {
+	if m.baseLoaded {
+		return nil
+	}
+	err := scan.Logs(m.st, func(l *provenance.RunLog) error {
+		m.appendLogFactsLocked(l, nil)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	m.baseLoaded = true
+	return nil
+}
+
+// appendLogFactsLocked folds one log's extensional facts into the shared
+// relations, recording the novel tuples per predicate into delta (when
+// non-nil).
+func (m *Manager) appendLogFactsLocked(l *provenance.RunLog, delta map[string][]relalg.Tuple) {
+	_ = datalog.LogFacts(l, func(pred string, vals ...string) error {
+		key := strings.Join(vals, "\x00")
+		set, ok := m.baseSet[pred]
+		if !ok {
+			set = map[string]struct{}{}
+			m.baseSet[pred] = set
+		}
+		if _, have := set[key]; have {
+			return nil
+		}
+		set[key] = struct{}{}
+		vs := make([]relalg.Val, len(vals))
+		for i, v := range vals {
+			vs[i] = v
+		}
+		t := relalg.Tuple{Values: vs}
+		m.base[pred] = append(m.base[pred], t)
+		if delta != nil {
+			delta[pred] = append(delta[pred], t)
+		}
+		return nil
+	})
+}
+
+// conjSnapshotLocked evaluates a conjunctive subscription in full over
+// the shared relations.
+func (m *Manager) conjSnapshotLocked(s *sub) error {
+	tuples := make([][]relalg.Tuple, len(s.conj.body))
+	for i, atom := range s.conj.body {
+		tuples[i] = m.base[atom.Pred]
+	}
+	return m.runConjLocked(s, tuples, func(item string) {
+		s.set[item] = struct{}{}
+	})
+}
+
+// applyConjLocked maintains conjunctive subscriptions for one ingest:
+// novel facts per predicate become the delta, and each affected
+// subscription rebinds its prepared plan once per delta-bearing body
+// position.
+func (m *Manager) applyConjLocked(l *provenance.RunLog) {
+	if !m.baseLoaded {
+		return
+	}
+	delta := map[string][]relalg.Tuple{}
+	m.appendLogFactsLocked(l, delta)
+	if len(delta) == 0 || len(m.conjIdx) == 0 {
+		return
+	}
+	affected := map[*sub]struct{}{}
+	for pred := range delta {
+		for s := range m.conjIdx[pred] {
+			affected[s] = struct{}{}
+		}
+	}
+	// Identical queries share one delta evaluation: many clients watching
+	// the same standing query is the common case, and the plan run is the
+	// expensive part — each subscription then only filters the shared rows
+	// against its own result set.
+	groups := map[string][]*sub{}
+	for s := range affected {
+		key := s.spec.Query + "\x00" + strings.Join(s.spec.Output, "\x00")
+		groups[key] = append(groups[key], s)
+	}
+	for _, subs := range groups {
+		rep := subs[0]
+		var rows []string
+		rowSeen := map[string]struct{}{}
+		for focus, atom := range rep.conj.body {
+			dt := delta[atom.Pred]
+			if len(dt) == 0 {
+				continue
+			}
+			tuples := make([][]relalg.Tuple, len(rep.conj.body))
+			for j, other := range rep.conj.body {
+				if j == focus {
+					tuples[j] = dt
+				} else {
+					tuples[j] = m.base[other.Pred]
+				}
+			}
+			_ = m.runConjLocked(rep, tuples, func(item string) {
+				if _, have := rowSeen[item]; !have {
+					rowSeen[item] = struct{}{}
+					rows = append(rows, item)
+				}
+			})
+		}
+		for _, s := range subs {
+			var adds []string
+			for _, item := range rows {
+				if _, have := s.set[item]; !have {
+					s.set[item] = struct{}{}
+					adds = append(adds, item)
+				}
+			}
+			if len(adds) > 0 {
+				sort.Strings(adds)
+				m.publishLocked(s, EventAdd, adds)
+			}
+		}
+	}
+}
+
+// runConjLocked binds the subscription's prepared plan to the given
+// per-leaf tuples and streams output rows as items.
+func (m *Manager) runConjLocked(s *sub, tuples [][]relalg.Tuple, emit func(item string)) error {
+	plan, err := s.conj.pc.Bind(tuples, relalg.PlanOptions{})
+	if err != nil {
+		return err
+	}
+	return plan.Run(func(vals []relalg.Val, _ []relalg.Witness) error {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i], _ = v.(string)
+		}
+		emit(rowItem(parts))
+		return nil
+	})
+}

@@ -1,0 +1,461 @@
+// Package standing maintains live query subscriptions over the store
+// stack: a client registers a query — a triple pattern, the closure
+// membership of an entity (its lineage or dependents), or a conjunctive
+// Datalog query over the extensional provenance schema — and receives an
+// initial result snapshot plus a stream of add/remove deltas as ingest
+// proceeds. This generalizes the one-shape incremental maintenance of
+// internal/store/closurecache into the "millions of users watching
+// lineage" serving layer the ROADMAP names, in the FO+MOD
+// queries-under-updates direction (Berkholz et al.): each accepted run
+// log is folded into every affected subscription at delta cost, never by
+// re-running the query.
+//
+// # Maintenance per kind
+//
+//   - Triple-pattern subscriptions match the ingest's flattened triples
+//     (store.TriplesOf, the same flattening the triple backend and the
+//     closure cache use) against a predicate-bucketed index, so an ingest
+//     touches only the subscriptions whose predicate it mentions.
+//   - Closure subscriptions reuse the closure cache's delta-BFS
+//     attachment-point patching: a reverse node index maps entities to the
+//     subscriptions containing them, each new edge whose source lies
+//     inside a result set extends it with a bounded BFS over the
+//     post-ingest graph, and the one non-monotone case (a generation
+//     event touching a resident entity, possibly a generator replacement)
+//     recomputes that subscription fresh and emits the add/remove diff.
+//   - Conjunctive subscriptions are compiled once through the streaming
+//     planner (relalg.PrepareConj) and re-evaluated semi-naive style per
+//     ingest: for each body atom whose predicate gained facts, the plan
+//     is rebound with that leaf restricted to the delta and the others to
+//     the full current relations — novel output rows become add events.
+//     The extensional facts are exactly LoadStore's schema, shared via
+//     datalog.LogFacts, so a subscription's incremental result always
+//     equals a fresh re-query.
+//
+// # Delivery
+//
+// Every subscription carries a monotone sequence number and a bounded
+// replay ring: EventsSince(id, after) returns the events a consumer
+// missed, and a consumer that fell behind the ring (a stalled SSE client)
+// receives an explicit gap event followed by a fresh snapshot at the
+// current sequence — ingest never blocks on consumers, and a slow
+// consumer costs one ring of memory, never correctness. provd serves this
+// over GET /v1/subscriptions/{id}/events as SSE with Last-Event-ID
+// resume (internal/collab).
+package standing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/relalg"
+	"repro/internal/store"
+)
+
+// Subscription observability, surfaced via /v1/metrics.
+var (
+	mStandingActive  = obs.Default().Gauge("prov_standing_subscriptions_active", "Registered standing-query subscriptions.")
+	mStandingDeltas  = obs.Default().Counter("prov_standing_deltas_total", "Add/remove delta events published to standing subscriptions.")
+	mStandingPatch   = obs.Default().Histogram("prov_standing_patch_seconds", "Per-ingest standing-subscription maintenance latency.")
+	mStandingDropped = obs.Default().Counter("prov_standing_dropped_total", "Replay-ring evictions delivered as gap events (slow consumers).")
+)
+
+// Kind selects a subscription's query shape.
+type Kind string
+
+const (
+	// KindTriple watches a triple pattern (empty fields are wildcards).
+	KindTriple Kind = "triple"
+	// KindClosure watches the transitive closure of a root entity in one
+	// direction — its lineage (Up) or dependents (Down).
+	KindClosure Kind = "closure"
+	// KindConjunctive watches a conjunctive Datalog query over the
+	// extensional schema (datalog.LoadStore), e.g.
+	// "used(E, A), generated(E, B)".
+	KindConjunctive Kind = "conjunctive"
+)
+
+// Spec describes one subscription. Exactly the fields of its Kind matter.
+type Spec struct {
+	Kind Kind
+
+	// Closure subscriptions.
+	Root string
+	Dir  store.Direction
+
+	// Triple subscriptions.
+	Pattern store.Triple
+
+	// Conjunctive subscriptions: comma-separated body atoms and the output
+	// variables (empty: every variable, first-occurrence order).
+	Query  string
+	Output []string
+}
+
+// Event is one element of a subscription's stream. Items are entity IDs
+// (closure), "S P O" triples (triple), or space-joined output rows
+// (conjunctive) — uniformly strings, so one delivery path serves all
+// kinds.
+type Event struct {
+	Seq   uint64   `json:"seq"`
+	Type  string   `json:"type"`
+	Items []string `json:"items,omitempty"`
+}
+
+// Event types.
+const (
+	EventSnapshot = "snapshot" // full current result (initial, or after a gap)
+	EventAdd      = "add"      // items entered the result
+	EventRemove   = "remove"   // items left the result
+	EventGap      = "gap"      // replay ring evicted events; a snapshot follows
+)
+
+// Snapshot is a subscription's full result at a sequence point; events
+// with Seq > Seq continue from it.
+type Snapshot struct {
+	ID    string   `json:"id"`
+	Seq   uint64   `json:"seq"`
+	Items []string `json:"items"`
+}
+
+// Info describes a registered subscription.
+type Info struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	Seq  uint64 `json:"seq"`
+	Size int    `json:"size"` // current result cardinality
+}
+
+// Options tunes a Manager. The zero value picks sensible defaults.
+type Options struct {
+	// ReplayRing bounds each subscription's event replay buffer (default
+	// 256 events). A consumer that falls behind it receives a gap event
+	// and a fresh snapshot instead of the lost deltas.
+	ReplayRing int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReplayRing <= 0 {
+		o.ReplayRing = 256
+	}
+	return o
+}
+
+// sub is one registered subscription: its accumulated result set, the
+// reverse-indexed spec, and the bounded replay ring.
+type sub struct {
+	id   string
+	spec Spec
+	set  map[string]struct{}
+
+	buf    []Event       // replay ring, seqs last-len+1 .. last
+	last   uint64        // sequence of the newest published event
+	notify chan struct{} // closed on publish (and unsubscribe), then replaced
+
+	conj *conjSub // conjunctive compilation, nil otherwise
+}
+
+func (s *sub) items() []string {
+	out := make([]string, 0, len(s.set))
+	for it := range s.set {
+		out = append(out, it)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Manager owns the subscriptions and folds ingest deltas into them. Place
+// it at the top of the store stack with NewTap (or feed a follower's
+// replication-apply hook to ApplyDelta) so every accepted run log reaches
+// it exactly once.
+type Manager struct {
+	st  store.Store
+	opt Options
+
+	mu     sync.Mutex
+	subs   map[string]*sub
+	nextID uint64
+
+	// nodeIdx maps entities to the closure subscriptions whose result set
+	// (or root) contains them — the attachment-point index, mirroring the
+	// closure cache's reverse node index.
+	nodeIdx map[string]map[*sub]struct{}
+	// tripleIdx buckets triple subscriptions by pattern predicate (""
+	// holds predicate wildcards), so an ingest's triples probe only the
+	// subscriptions naming their predicate.
+	tripleIdx map[string]map[*sub]struct{}
+	// conjIdx maps extensional predicates to the conjunctive
+	// subscriptions with a body atom on them.
+	conjIdx map[string]map[*sub]struct{}
+
+	// Shared extensional relations for conjunctive subscriptions, loaded
+	// lazily at the first conjunctive Subscribe and appended (deduplicated)
+	// per ingest. Append-only: LoadStore's schema is derived from run logs,
+	// which only accumulate.
+	base       map[string][]relalg.Tuple
+	baseSet    map[string]map[string]struct{}
+	baseLoaded bool
+}
+
+// NewManager builds a Manager reading from st — the same store stack the
+// Tap commits through, so delta BFS and snapshots see every ingest.
+func NewManager(st store.Store, opt Options) *Manager {
+	return &Manager{
+		st:        st,
+		opt:       opt.withDefaults(),
+		subs:      map[string]*sub{},
+		nodeIdx:   map[string]map[*sub]struct{}{},
+		tripleIdx: map[string]map[*sub]struct{}{},
+		conjIdx:   map[string]map[*sub]struct{}{},
+		base:      map[string][]relalg.Tuple{},
+		baseSet:   map[string]map[string]struct{}{},
+	}
+}
+
+// Store returns the store the manager reads from.
+func (m *Manager) Store() store.Store { return m.st }
+
+// Subscribe validates the spec, computes the initial result and registers
+// the subscription, all atomically with respect to ApplyDelta — an ingest
+// is reflected either in the snapshot or in a later event, never both,
+// never neither.
+func (m *Manager) Subscribe(spec Spec) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	s := &sub{spec: spec, set: map[string]struct{}{}, notify: make(chan struct{})}
+	switch spec.Kind {
+	case KindClosure:
+		if spec.Root == "" {
+			return Snapshot{}, errors.New("standing: closure subscription needs a root entity")
+		}
+		order, err := m.st.Closure(spec.Root, spec.Dir)
+		if err != nil && !errors.Is(err, store.ErrNotFound) {
+			return Snapshot{}, err
+		}
+		// An unknown root is an empty result, not an error: the
+		// subscription attaches when the entity first appears.
+		for _, id := range order {
+			s.set[id] = struct{}{}
+		}
+	case KindTriple:
+		if err := m.tripleSnapshotLocked(s); err != nil {
+			return Snapshot{}, err
+		}
+	case KindConjunctive:
+		cs, err := compileConj(spec)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		s.conj = cs
+		if err := m.ensureBaseLocked(); err != nil {
+			return Snapshot{}, err
+		}
+		if err := m.conjSnapshotLocked(s); err != nil {
+			return Snapshot{}, err
+		}
+	default:
+		return Snapshot{}, fmt.Errorf("standing: unknown subscription kind %q", spec.Kind)
+	}
+
+	m.nextID++
+	s.id = fmt.Sprintf("sub-%06d", m.nextID)
+	m.subs[s.id] = s
+	m.indexLocked(s)
+	mStandingActive.Set(int64(len(m.subs)))
+	return Snapshot{ID: s.id, Seq: 0, Items: s.items()}, nil
+}
+
+// Unsubscribe removes a subscription; its waiters wake and observe the
+// removal. Reports whether the id existed.
+func (m *Manager) Unsubscribe(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[id]
+	if !ok {
+		return false
+	}
+	delete(m.subs, id)
+	m.unindexLocked(s)
+	close(s.notify)
+	mStandingActive.Set(int64(len(m.subs)))
+	return true
+}
+
+// List returns every registered subscription, id-ordered.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.subs))
+	for _, s := range m.subs {
+		out = append(out, Info{ID: s.id, Spec: s.spec, Seq: s.last, Size: len(s.set)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Snapshot returns a subscription's full current result and the sequence
+// it is valid at — the re-snapshot a consumer takes after a gap event.
+func (m *Manager) Snapshot(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return Snapshot{ID: s.id, Seq: s.last, Items: s.items()}, true
+}
+
+// EventsSince returns the events published after sequence `after`, or —
+// when the replay ring has evicted any of them — an explicit gap event
+// followed by a fresh snapshot at the current sequence. ok=false means no
+// such subscription (deleted or never existed).
+func (m *Manager) EventsSince(id string, after uint64) ([]Event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[id]
+	if !ok {
+		return nil, false
+	}
+	if after >= s.last {
+		return nil, true
+	}
+	start := s.last - uint64(len(s.buf)) + 1
+	if after+1 < start {
+		// The consumer fell behind the ring: the lost deltas are gone, so
+		// force a re-snapshot inline. Both synthesized events carry the
+		// current sequence; resuming from it continues losslessly.
+		mStandingDropped.Inc()
+		return []Event{
+			{Seq: s.last, Type: EventGap},
+			{Seq: s.last, Type: EventSnapshot, Items: s.items()},
+		}, true
+	}
+	out := make([]Event, 0, s.last-after)
+	for _, ev := range s.buf {
+		if ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out, true
+}
+
+// Changed returns a channel closed at the next publish (or unsubscribe)
+// for the subscription. A nil channel with ok=true means events after
+// `after` are already pending — poll EventsSince instead of waiting. The
+// check and the channel handoff are atomic, so a publish between an empty
+// EventsSince and Changed is never missed.
+func (m *Manager) Changed(id string, after uint64) (<-chan struct{}, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[id]
+	if !ok {
+		return nil, false
+	}
+	if s.last > after {
+		return nil, true
+	}
+	return s.notify, true
+}
+
+// publishLocked appends one event to the subscription's replay ring,
+// evicting the oldest event at capacity, and wakes waiters.
+func (m *Manager) publishLocked(s *sub, typ string, items []string) {
+	s.last++
+	ev := Event{Seq: s.last, Type: typ, Items: items}
+	if len(s.buf) >= m.opt.ReplayRing {
+		copy(s.buf, s.buf[1:])
+		s.buf[len(s.buf)-1] = ev
+	} else {
+		s.buf = append(s.buf, ev)
+	}
+	if typ == EventAdd || typ == EventRemove {
+		mStandingDeltas.Inc()
+	}
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// --- spec indexes -------------------------------------------------------------
+
+func (m *Manager) indexLocked(s *sub) {
+	switch s.spec.Kind {
+	case KindClosure:
+		m.indexNodeLocked(s.spec.Root, s)
+		for id := range s.set {
+			m.indexNodeLocked(id, s)
+		}
+	case KindTriple:
+		bucket := m.tripleIdx[s.spec.Pattern.P]
+		if bucket == nil {
+			bucket = map[*sub]struct{}{}
+			m.tripleIdx[s.spec.Pattern.P] = bucket
+		}
+		bucket[s] = struct{}{}
+	case KindConjunctive:
+		for _, pred := range s.conj.preds() {
+			bucket := m.conjIdx[pred]
+			if bucket == nil {
+				bucket = map[*sub]struct{}{}
+				m.conjIdx[pred] = bucket
+			}
+			bucket[s] = struct{}{}
+		}
+	}
+}
+
+func (m *Manager) unindexLocked(s *sub) {
+	switch s.spec.Kind {
+	case KindClosure:
+		m.unindexNodeLocked(s.spec.Root, s)
+		for id := range s.set {
+			m.unindexNodeLocked(id, s)
+		}
+	case KindTriple:
+		if bucket, ok := m.tripleIdx[s.spec.Pattern.P]; ok {
+			delete(bucket, s)
+			if len(bucket) == 0 {
+				delete(m.tripleIdx, s.spec.Pattern.P)
+			}
+		}
+	case KindConjunctive:
+		for _, pred := range s.conj.preds() {
+			if bucket, ok := m.conjIdx[pred]; ok {
+				delete(bucket, s)
+				if len(bucket) == 0 {
+					delete(m.conjIdx, pred)
+				}
+			}
+		}
+	}
+}
+
+func (m *Manager) indexNodeLocked(id string, s *sub) {
+	bucket, ok := m.nodeIdx[id]
+	if !ok {
+		bucket = map[*sub]struct{}{}
+		m.nodeIdx[id] = bucket
+	}
+	bucket[s] = struct{}{}
+}
+
+func (m *Manager) unindexNodeLocked(id string, s *sub) {
+	if bucket, ok := m.nodeIdx[id]; ok {
+		delete(bucket, s)
+		if len(bucket) == 0 {
+			delete(m.nodeIdx, id)
+		}
+	}
+}
+
+// TripleItem renders a triple as a subscription item.
+func TripleItem(t store.Triple) string {
+	return t.S + " " + t.P + " " + t.O
+}
+
+// rowItem renders a conjunctive output row as a subscription item.
+func rowItem(vals []string) string { return strings.Join(vals, " ") }

@@ -90,10 +90,88 @@ type PlanOptions struct {
 // variables (bag semantics — callers dedup if they need sets). Every
 // output variable must occur in some leaf.
 func PlanConj(leaves []Leaf, output []string, opts PlanOptions) (*Plan, error) {
+	pc, err := PrepareConj(leaves, output)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([][]Tuple, len(leaves))
+	for i := range leaves {
+		tuples[i] = leaves[i].Tuples
+	}
+	return pc.Bind(tuples, opts)
+}
+
+// PreparedConj is a conjunctive plan with the statistics-free compilation
+// work — per-leaf selection pushdown and the greedy join order — done once
+// and the base tuples left unbound. Callers that execute the same query
+// shape repeatedly over changing relations (the Datalog engine's
+// (rule, focus) pairs across semi-naive rounds, standing-query delta
+// re-evaluation per ingest) prepare once and Bind fresh tuple slices per
+// execution, skipping recompilation entirely. A PreparedConj is immutable
+// after PrepareConj and safe for concurrent Bind calls.
+type PreparedConj struct {
+	output []string
+	order  []int
+	leaves []preparedLeaf
+}
+
+// constSel / eqSel are one pushed-down selection each: column i equals a
+// constant, or column i equals column j (a repeated variable).
+type constSel struct {
+	i int
+	v Val
+}
+type eqSel struct{ i, j int }
+
+// preparedLeaf is the compiled shape of one atom: everything compileLeaf
+// derives from the terms, minus the tuples.
+type preparedLeaf struct {
+	name   string
+	schema []string
+	consts []constSel
+	eqs    []eqSel
+	idx    []int    // term position of each bound variable's first occurrence
+	vars   []string // distinct variable names, first-occurrence order
+}
+
+// PrepareConj compiles leaves and output into a rebindable plan. The join
+// order is chosen by the usual greedy heuristic using whatever tuple
+// counts the leaves carry at prepare time (callers may pass empty Tuples;
+// tie-breaks then fall back to leaf index) and is fixed for the lifetime
+// of the PreparedConj — the heuristic's primary keys (shared bound
+// variables, constant-bearing leaves) are statistics-free, which is what
+// makes the cache sound.
+func PrepareConj(leaves []Leaf, output []string) (*PreparedConj, error) {
 	if len(leaves) == 0 {
 		return nil, fmt.Errorf("relalg: plan: no leaves")
 	}
-	p := &Plan{Output: append([]string(nil), output...)}
+	pc := &PreparedConj{output: append([]string(nil), output...)}
+
+	bound := map[string]bool{}
+	leafVars := make([][]string, len(leaves))
+	for i := range leaves {
+		pc.leaves = append(pc.leaves, prepareLeaf(&leaves[i]))
+		leafVars[i] = pc.leaves[i].vars
+		for _, v := range leafVars[i] {
+			bound[v] = true
+		}
+	}
+	for _, v := range output {
+		if !bound[v] {
+			return nil, fmt.Errorf("relalg: plan: output variable %q not bound by any leaf", v)
+		}
+	}
+	pc.order = greedyOrder(leaves, leafVars)
+	return pc, nil
+}
+
+// Bind attaches base tuples (one slice per leaf, in the original leaf
+// order) to the prepared shape and returns a runnable Plan.
+func (pc *PreparedConj) Bind(tuples [][]Tuple, opts PlanOptions) (*Plan, error) {
+	if len(tuples) != len(pc.leaves) {
+		return nil, fmt.Errorf("relalg: bind: %d tuple slices for %d leaves", len(tuples), len(pc.leaves))
+	}
+	p := &Plan{Output: append([]string(nil), pc.output...)}
 
 	wrap := func(it Iterator, label string) Iterator {
 		if !opts.Instrument {
@@ -104,81 +182,63 @@ func PlanConj(leaves []Leaf, output []string, opts PlanOptions) (*Plan, error) {
 		return Instrument(it, st)
 	}
 
-	// Compile each leaf: scan → pushed-down selections → bind to variable
-	// columns. The selection for constants and repeated variables runs
-	// against the raw scan, below every join.
-	compiled := make([]Iterator, len(leaves))
-	leafVars := make([][]string, len(leaves))
-	for i := range leaves {
-		l := &leaves[i]
-		it, err := compileLeaf(l)
-		if err != nil {
-			return nil, err
-		}
-		compiled[i] = wrap(it, fmt.Sprintf("scan(%s)", l.Name))
-		leafVars[i] = l.vars()
+	compiled := make([]Iterator, len(pc.leaves))
+	for i := range pc.leaves {
+		l := &pc.leaves[i]
+		compiled[i] = wrap(l.bind(tuples[i]), fmt.Sprintf("scan(%s)", l.name))
 	}
 
-	order := greedyOrder(leaves, leafVars)
-	for _, i := range order {
-		p.Order = append(p.Order, leaves[i].Name)
-	}
-
-	root := compiled[order[0]]
-	bound := map[string]bool{}
-	for _, v := range leafVars[order[0]] {
-		bound[v] = true
-	}
-	for _, i := range order[1:] {
+	root := compiled[pc.order[0]]
+	p.Order = append(p.Order, pc.leaves[pc.order[0]].name)
+	for _, i := range pc.order[1:] {
 		root = wrap(StreamNaturalJoin(root, compiled[i]),
-			fmt.Sprintf("join(⋈%s)", leaves[i].Name))
-		for _, v := range leafVars[i] {
-			bound[v] = true
-		}
+			fmt.Sprintf("join(⋈%s)", pc.leaves[i].name))
+		p.Order = append(p.Order, pc.leaves[i].name)
 	}
-	for _, v := range output {
-		if !bound[v] {
-			return nil, fmt.Errorf("relalg: plan: output variable %q not bound by any leaf", v)
-		}
-	}
-	proj, err := StreamProjectBag(root, output...)
+	proj, err := StreamProjectBag(root, pc.output...)
 	if err != nil {
 		return nil, err
 	}
-	p.root = wrap(proj, "project("+strings.Join(output, ",")+")")
+	p.root = wrap(proj, "project("+strings.Join(pc.output, ",")+")")
 	mExecPlans.Inc()
 	return p, nil
 }
 
-// compileLeaf builds scan → selection → bind for one atom.
-func compileLeaf(l *Leaf) (Iterator, error) {
-	schema := make([]string, len(l.Terms))
+// prepareLeaf derives scan schema, pushed-down selections and variable
+// bind positions for one atom. The selection for constants and repeated
+// variables runs against the raw scan, below every join.
+func prepareLeaf(l *Leaf) preparedLeaf {
+	pl := preparedLeaf{name: l.Name}
+	pl.schema = make([]string, len(l.Terms))
 	for i := range l.Terms {
-		schema[i] = fmt.Sprintf("$%d", i)
+		pl.schema[i] = fmt.Sprintf("$%d", i)
 	}
-	var it Iterator = NewSliceScan(l.Name, schema, l.Tuples)
-
-	// Constant and repeated-variable selections, pushed below all joins.
-	type constSel struct {
-		i int
-		v Val
-	}
-	type eqSel struct{ i, j int }
-	var consts []constSel
-	var eqs []eqSel
 	firstAt := map[string]int{}
 	for i, t := range l.Terms {
 		if t.Var == "" {
-			consts = append(consts, constSel{i, t.Const})
+			pl.consts = append(pl.consts, constSel{i, t.Const})
 			continue
 		}
 		if j, seen := firstAt[t.Var]; seen {
-			eqs = append(eqs, eqSel{j, i})
+			pl.eqs = append(pl.eqs, eqSel{j, i})
 		} else {
 			firstAt[t.Var] = i
 		}
 	}
-	if len(consts) > 0 || len(eqs) > 0 {
+	pl.vars = l.vars()
+	pl.idx = make([]int, len(pl.vars))
+	for j, v := range pl.vars {
+		pl.idx[j] = firstAt[v]
+	}
+	return pl
+}
+
+// bind builds scan → selection → bind for one prepared atom over fresh
+// tuples.
+func (pl *preparedLeaf) bind(tuples []Tuple) Iterator {
+	var it Iterator = NewSliceScan(pl.name, pl.schema, tuples)
+	if len(pl.consts) > 0 || len(pl.eqs) > 0 {
+		consts, eqs := pl.consts, pl.eqs
 		it = StreamSelect(it, func(vals []Val) bool {
 			for _, c := range consts {
 				if compareVals(vals[c.i], c.v) != 0 {
@@ -193,13 +253,7 @@ func compileLeaf(l *Leaf) (Iterator, error) {
 			return true
 		})
 	}
-
-	vars := l.vars()
-	idx := make([]int, len(vars))
-	for j, v := range vars {
-		idx[j] = firstAt[v]
-	}
-	return StreamBind(it, idx, vars), nil
+	return StreamBind(it, pl.idx, pl.vars)
 }
 
 // greedyOrder picks the join order without statistics: start from the most

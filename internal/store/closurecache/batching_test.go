@@ -1,0 +1,110 @@
+package closurecache
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestConcurrentAdditiveIngestBatching pins the additive write path under
+// contention: many goroutines extend a warm cache at once, every delta is
+// applied exactly once (Ingests counts them all), no writer's delta is
+// lost to another writer's drain, and the patched closures match a cold
+// recomputation over the backing store.
+func TestConcurrentAdditiveIngestBatching(t *testing.T) {
+	chain, head, tail := chainLog(16)
+	c := Wrap(store.NewMemStore())
+	if err := c.PutRunLog(chain); err != nil {
+		t.Fatal(err)
+	}
+	// Warm both directions so the concurrent deltas patch resident entries.
+	if _, err := c.Closure(head, store.Down); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Closure(tail, store.Up); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Each log hangs a fresh artifact off the shared tail —
+				// purely additive, all contending on the same cache lock.
+				id := fmt.Sprintf("ext-%d-%d", g, i)
+				if err := c.PutRunLog(extRun(id, tail, id+"-art", "")); err != nil {
+					t.Errorf("ingest %s: %v", id, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := c.Metrics()
+	if want := uint64(1 + writers*perWriter); m.Ingests != want {
+		t.Fatalf("Ingests = %d, want %d (every delta applied exactly once)", m.Ingests, want)
+	}
+	// Batched is incidental (it depends on scheduling), but it must never
+	// exceed the deltas that could have queued behind another writer.
+	if m.Batched > uint64(writers*perWriter) {
+		t.Fatalf("Batched = %d exceeds concurrent ingest count", m.Batched)
+	}
+
+	// The patched warm closures match a cold reference BFS on the store.
+	for _, dir := range []store.Direction{store.Down, store.Up} {
+		seed := head
+		if dir == store.Up {
+			// Upstream of one of the new leaves reaches the whole chain.
+			seed = "ext-0-0-art"
+		}
+		got, err := c.Closure(seed, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := store.NaiveClosure(c.Underlying(), seed, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("closure(%s, %v) diverged after concurrent ingest:\n got %d nodes\nwant %d nodes", seed, dir, len(got), len(want))
+		}
+	}
+}
+
+// BenchmarkCacheConcurrentIngest measures the contended additive ingest
+// path the pending-queue batching targets: parallel writers extending a
+// warm cache.
+func BenchmarkCacheConcurrentIngest(b *testing.B) {
+	chain, head, tail := chainLog(32)
+	c := Wrap(store.NewMemStore())
+	if err := c.PutRunLog(chain); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Closure(head, store.Down); err != nil {
+		b.Fatal(err)
+	}
+	var n sync.Mutex
+	next := 0
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n.Lock()
+			i := next
+			next++
+			n.Unlock()
+			id := fmt.Sprintf("bench-ext-%d", i)
+			if err := c.PutRunLog(extRun(id, tail, id+"-art", "")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

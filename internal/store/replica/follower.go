@@ -229,6 +229,22 @@ func (f *Follower) SetOnApply(fn func(*provenance.RunLog)) {
 	f.mu.Unlock()
 }
 
+// AddOnApply composes fn onto the existing apply hook (if any), so
+// several consumers — the closure cache, standing-query subscriptions —
+// can observe replicated runs without clobbering each other.
+func (f *Follower) AddOnApply(fn func(*provenance.RunLog)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if prev := f.onApply; prev != nil {
+		f.onApply = func(l *provenance.RunLog) {
+			prev(l)
+			fn(l)
+		}
+		return
+	}
+	f.onApply = fn
+}
+
 func (f *Follower) applyHook() func(*provenance.RunLog) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
