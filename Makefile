@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DIR ?= bench-results
 BASELINE_DIR ?= bench-results/baseline
 
-.PHONY: build test vet fmt-check staticcheck test-race bench bench-smoke bench-json bench-gate bench-json-gate bench-baseline ci clean
+.PHONY: build test vet fmt-check staticcheck test-race bench bench-smoke bench-json bench-gate bench-json-gate bench-baseline chaos ci clean
 
 build:
 	$(GO) build ./...
@@ -54,12 +54,19 @@ bench-json:
 # speedup or E14's mixed-load ingest speedup) regresses beyond its
 # tolerance against the committed baseline in $(BASELINE_DIR).
 bench-gate:
-	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19,E20 -check $(BASELINE_DIR)
+	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19,E20,E21 -check $(BASELINE_DIR)
 
 # Refresh the committed bench baseline deliberately (review the diff before
 # committing: this is the reference future CI runs gate against).
 bench-baseline:
-	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19,E20 -json $(BASELINE_DIR)
+	$(GO) run ./cmd/provbench -e E13,E14,E15,E16,E17,E18,E19,E20,E21 -json $(BASELINE_DIR)
+
+# Seeded chaos suite under the race detector: fault-injected replication,
+# flapping partitions, promotion while partitioned. Deterministic fault
+# schedules (fixed seeds), so a failure here is reproducible, not flaky.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestPromotion|TestNodeEpoch' ./internal/store/replica/
+	$(GO) test -race ./internal/faultinject/
 
 # CI's combined bench step: one full-suite run that both writes the
 # BENCH_*.json artifacts and applies the regression gate, so the gated
@@ -68,7 +75,7 @@ bench-json-gate:
 	$(GO) run ./cmd/provbench -json $(BENCH_DIR) -check $(BASELINE_DIR)
 
 # Everything the CI workflow gates on, runnable locally.
-ci: fmt-check build vet staticcheck test-race bench-smoke bench-gate
+ci: fmt-check build vet staticcheck test-race chaos bench-smoke bench-gate
 
 clean:
 	find $(BENCH_DIR) -maxdepth 1 -name 'BENCH_*.json' -delete

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/analogy"
 	"repro/internal/collab"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/evolution"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/interop"
 	"repro/internal/obs"
 	"repro/internal/params"
@@ -921,6 +923,81 @@ func BenchmarkE20Standing(b *testing.B) {
 			if err := st.PutRunLog(chainRun(i%chains, 12+i/chains)); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkE21Failover measures the two per-operation costs behind
+// experiment E21's failover guarantees: mode=ship-apply-faulty is the
+// E18 ship-apply loop run through the fault-injecting transport (errors,
+// latency, truncated bodies), i.e. what replication retention costs on a
+// bad link; mode=epoch-observe is the fencing-epoch exchange every v1
+// request pays (atomic compare + possible adoption).
+func BenchmarkE21Failover(b *testing.B) {
+	st, err := store.OpenFileStoreWith(b.TempDir(), store.FileOptions{Durability: store.DurabilityGroup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	seedLogs, lastLayer := experiments.E14Seed(3, 12, 3)
+	for _, l := range seedLogs {
+		if err := st.PutRunLog(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	src, err := replica.NewSource(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := replica.NewNode(b.TempDir(), api.RolePrimary, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	primary := httptest.NewServer(collab.NewHandlerWith(collab.NewRepository(st), collab.HandlerOptions{
+		Source:   src,
+		Failover: node,
+		Status:   func() api.ReplicationStatus { return src.Status(nil, nil) },
+	}))
+	defer primary.Close()
+
+	ft := faultinject.New(nil, faultinject.Options{
+		Seed: 21, ErrorRate: 0.05, LatencyRate: 0.2, Latency: 200 * time.Microsecond, TruncateRate: 0.05,
+	})
+	var f *replica.Follower
+	for attempt := 0; ; attempt++ {
+		f, err = replica.Open(replica.Options{
+			Dir: b.TempDir(), Primary: primary.URL, Client: ft.Client(),
+			RequestTimeout: 2 * time.Second, MaxBatchBytes: 4096,
+		})
+		if err == nil {
+			break
+		}
+		if attempt > 100 {
+			b.Fatal(err)
+		}
+	}
+	defer f.Close()
+
+	batch := 0
+	b.Run("mode=ship-apply-faulty", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch++
+			l := experiments.E14Run(fmt.Sprintf("f%d", batch), batch, lastLayer[batch%len(lastLayer)])
+			if err := st.PutRunLog(l); err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if err := f.CatchUp(); err == nil {
+					if _, behind := f.Lag(); behind == 0 {
+						break
+					}
+				}
+			}
+		}
+	})
+	b.Run("mode=epoch-observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			node.Observe(node.Epoch())
 		}
 	})
 }

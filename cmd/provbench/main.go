@@ -1,4 +1,4 @@
-// Command provbench runs the reproduction experiment suite (E1–E20 of
+// Command provbench runs the reproduction experiment suite (E1–E21 of
 // DESIGN.md) and prints each experiment's table. EXPERIMENTS.md records a
 // reference run.
 //
@@ -95,6 +95,12 @@ var gates = []struct {
 	// regression — maintenance degrading to per-sub re-evaluation or the
 	// pattern index stopping to narrow the affected set.
 	{"E20", "standing_delta_vs_requery_speedup_x", 0.3},
+	// Failover: these are correctness-style ratios (1.0 by construction),
+	// so the floors are tight. A convergence drop means log shipping tore
+	// or skipped bytes under injected faults; a fence drop means a cutover
+	// left two writable primaries (split brain).
+	{"E21", "chaos_convergence_ratio", 0.99},
+	{"E21", "failover_fence_ratio", 0.99},
 }
 
 func main() {
@@ -128,6 +134,7 @@ func main() {
 			"E18 log-shipping replication: follower read scale-out + ingest retention",
 			"E19 observability overhead: instrumented vs gated-off, percentiles from live histograms",
 			"E20 standing queries: incremental maintenance vs per-ingest re-query",
+			"E21 failover: chaos partition recovery, promotion cutover, fencing",
 		} {
 			fmt.Println(r)
 		}

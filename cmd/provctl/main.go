@@ -8,7 +8,9 @@
 //	provctl lineage -store DIR [-cache] [-shards N] [-trace-rounds] ENTITY  upstream closure of an entity
 //	provctl checkpoint -store DIR [-shards N]               snapshot folded state next to the log
 //	provctl replication -server URL                         a provd's replication role and per-shard positions
-//	provctl status -server URL                              a provd's identity: role, uptime, store config, build
+//	provctl promote -server URL [-timeout D]                promote a follower to primary (drain, bump epoch, cut over)
+//	provctl fence -server URL -epoch N                      show a node an epoch so a stale primary fences itself
+//	provctl status -server URL                              a provd's identity: role, epoch, uptime, store config, build
 //	provctl metrics -server URL [-grep S]                   a provd's metrics (Prometheus text)
 //	provctl metrics -server URL -watch [-interval D]        …polled, printing per-interval deltas
 //	provctl watch -server URL -lineage ENTITY               live standing query: snapshot, then +/- deltas
@@ -71,6 +73,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -115,6 +119,10 @@ func main() {
 		err = cmdCheckpoint(args)
 	case "replication":
 		err = cmdReplication(args)
+	case "promote":
+		err = cmdPromote(args)
+	case "fence":
+		err = cmdFence(args)
 	case "status":
 		err = cmdStatus(args)
 	case "metrics":
@@ -136,7 +144,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|replication|status|metrics|watch|export|demo> ...`)
+	fmt.Fprintln(os.Stderr, `usage: provctl <validate|show|hash|run|query|lineage|checkpoint|replication|promote|fence|status|metrics|watch|export|demo> ...`)
 }
 
 func loadWorkflow(path string) (*workflow.Workflow, error) {
@@ -452,12 +460,84 @@ func cmdReplication(args []string) error {
 	return nil
 }
 
+// cmdPromote asks a follower to take over as primary: drain what it can
+// reach of the upstream log, bump the fencing epoch, drop read-only and
+// begin shipping its own log. See the README's failover runbook.
+func cmdPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8080", "the follower provd to promote")
+	timeout := fs.Duration("timeout", 30*time.Second, "bound on the drain + cutover")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("promote: want -server URL only")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	// The drain can legitimately outlast the client default timeout, so
+	// bound the whole call by -timeout instead.
+	pr, err := api.NewClient(*server, &http.Client{Timeout: *timeout}).Promote(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted: role %s, epoch %d, %d bytes applied\n", pr.Role, pr.Epoch, pr.AppliedBytes)
+	if pr.DrainErr != "" {
+		fmt.Printf("drain incomplete: %s\n  (writes the old primary acked past the replication boundary stayed there)\n", pr.DrainErr)
+	}
+	switch {
+	case pr.OldPrimaryFenced:
+		fmt.Println("old primary: fenced read-only")
+	case pr.FenceErr != "":
+		fmt.Printf("old primary: not confirmed fenced (%s)\n  it fences itself on the first epoch-stamped request it serves; run\n  `provctl fence -server OLD_PRIMARY -epoch %d` once it is reachable\n", pr.FenceErr, pr.Epoch)
+	}
+	return nil
+}
+
+// cmdFence shows a node a fencing epoch (typically the one `promote`
+// printed): a lower-epoch unfenced primary demotes itself read-only on
+// observing it — the cleanup step for a primary that was unreachable
+// during promotion.
+func cmdFence(args []string) error {
+	fs := flag.NewFlagSet("fence", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8080", "the provd to show the epoch to (the old primary)")
+	epoch := fs.Uint64("epoch", 0, "the fencing epoch to present (from `provctl promote` or the new primary's status)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 || *epoch == 0 {
+		return fmt.Errorf("fence: want -server URL and -epoch N (N ≥ 1)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rs, err := api.NewClient(*server, nil).Fence(ctx, *epoch)
+	if err != nil {
+		return err
+	}
+	switch {
+	case rs.Fenced:
+		fmt.Printf("fenced: node is read-only at epoch %d\n", rs.Epoch)
+	case rs.Role == api.RoleFollower:
+		fmt.Printf("node is a follower at epoch %d (nothing to fence)\n", rs.Epoch)
+	default:
+		fmt.Printf("node reports role %s, epoch %d, not fenced\n", rs.Role, rs.Epoch)
+	}
+	return nil
+}
+
 func printReplicationStatus(w io.Writer, rs *api.ReplicationStatus, indent string) {
 	topo := "unsharded"
 	if rs.Sharded {
 		topo = fmt.Sprintf("%d shards", len(rs.Shards))
 	}
-	fmt.Fprintf(w, "%srole: %s (%s)\n", indent, rs.Role, topo)
+	role := rs.Role
+	if rs.Epoch > 0 {
+		role = fmt.Sprintf("%s, epoch %d", role, rs.Epoch)
+	}
+	if rs.Fenced {
+		role += ", FENCED"
+	}
+	fmt.Fprintf(w, "%srole: %s (%s)\n", indent, role, topo)
 	if rs.Primary != "" {
 		fmt.Fprintf(w, "%sprimary: %s\n", indent, rs.Primary)
 	}
@@ -578,8 +658,13 @@ func cmdWatch(args []string) error {
 		}
 		return nil
 	}
+	attempt := 0
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for ctx.Err() == nil {
 		last, err := c.WatchSubscription(ctx, sub.ID, from, printEvent)
+		if last > from {
+			attempt = 0 // the connection made progress; start backoff over
+		}
 		from = last
 		if ctx.Err() != nil {
 			break
@@ -588,17 +673,42 @@ func cmdWatch(args []string) error {
 		if errors.As(err, &rerr) {
 			return err // e.g. the subscription was deleted server-side
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "provctl: watch: %v (reconnecting)\n", err)
-		}
 		// Transient drop or server restart: resume after the last sequence
-		// we saw; the server answers an eviction with gap + re-snapshot.
+		// we saw (the server answers an eviction with gap + re-snapshot),
+		// under capped jittered backoff so a dead server is probed gently
+		// and a restarted fleet is not reconnected to in lockstep.
+		attempt++
+		delay := watchBackoff(attempt, rng.Float64())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "provctl: watch: %v (reconnecting in %s)\n", err, delay.Round(10*time.Millisecond))
+		}
 		select {
 		case <-ctx.Done():
-		case <-time.After(time.Second):
+		case <-time.After(delay):
 		}
 	}
 	return nil
+}
+
+// Watch reconnect backoff bounds: doubling from the base per
+// consecutive failed attempt, capped, with ±25% jitter.
+const (
+	watchBackoffBase = 500 * time.Millisecond
+	watchBackoffMax  = 15 * time.Second
+)
+
+// watchBackoff returns the reconnect delay before the attempt-th
+// consecutive retry (1-based). jitter is a uniform draw in [0,1);
+// the result is the exponential delay scaled into [75%, 125%).
+func watchBackoff(attempt int, jitter float64) time.Duration {
+	d := watchBackoffBase
+	for i := 1; i < attempt && d < watchBackoffMax; i++ {
+		d *= 2
+	}
+	if d > watchBackoffMax {
+		d = watchBackoffMax
+	}
+	return time.Duration(float64(d) * (0.75 + jitter/2))
 }
 
 func cmdExport(args []string) error {
@@ -691,7 +801,17 @@ func cmdStatus(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("role: %s\n", ns.Role)
+	role := ns.Role
+	if ns.Fenced {
+		role += " (FENCED: a higher-epoch primary exists)"
+	}
+	fmt.Printf("role: %s\n", role)
+	if ns.Epoch > 0 {
+		fmt.Printf("epoch: %d\n", ns.Epoch)
+	}
+	if ns.ReplicaState != "" {
+		fmt.Printf("replication: %s, %d bytes behind the primary\n", ns.ReplicaState, ns.ReplicaLagBytes)
+	}
 	fmt.Printf("uptime: %s\n", (time.Duration(ns.UptimeSeconds * float64(time.Second))).Round(time.Second))
 	if ns.StoreDir != "" {
 		fmt.Printf("store: %s\n", ns.StoreDir)

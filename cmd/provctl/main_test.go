@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWatchBackoffGrowsAndCaps(t *testing.T) {
+	// jitter 0.5 is the neutral draw: scale factor exactly 1.
+	want := []time.Duration{
+		500 * time.Millisecond,
+		1 * time.Second,
+		2 * time.Second,
+		4 * time.Second,
+		8 * time.Second,
+		15 * time.Second, // capped, not 16s
+		15 * time.Second,
+	}
+	for i, w := range want {
+		if got := watchBackoff(i+1, 0.5); got != w {
+			t.Errorf("watchBackoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestWatchBackoffJitterBounds(t *testing.T) {
+	for _, attempt := range []int{1, 3, 10} {
+		lo := watchBackoff(attempt, 0)
+		hi := watchBackoff(attempt, 0.999999)
+		mid := watchBackoff(attempt, 0.5)
+		if lo != time.Duration(float64(mid)*0.75) {
+			t.Errorf("attempt %d: low jitter %v, want 75%% of %v", attempt, lo, mid)
+		}
+		if hi >= time.Duration(float64(mid)*1.25)+time.Millisecond {
+			t.Errorf("attempt %d: high jitter %v exceeds 125%% of %v", attempt, hi, mid)
+		}
+		if lo >= hi {
+			t.Errorf("attempt %d: jitter range degenerate: [%v, %v]", attempt, lo, hi)
+		}
+	}
+}

@@ -40,6 +40,20 @@
 // Followers also serve /v1/replication/* from their own logs, so replicas
 // can chain.
 //
+// Failover: replicated roles carry a monotone fencing epoch
+// (persisted in DIR/replication-epoch.json and stamped on every
+// response as X-Replication-Epoch). POST /v1/replication/promote — or
+// `provctl promote` — turns a follower into the primary: it drains
+// what it can reach of the upstream log, bumps the epoch, drops
+// read-only and ships its own log; the old primary fences itself
+// read-only the moment it observes the higher epoch (requests from a
+// lower epoch are rejected with stale_epoch). Follower→primary calls
+// retry under jittered exponential backoff with per-request timeouts;
+// GET /v1/health distinguishes connected/degraded/disconnected and
+// answers 503 for followers that should leave a load balancer's
+// rotation, and -max-lag bounds read staleness: beyond it data reads
+// answer 503 replica_too_stale instead of arbitrarily stale results.
+//
 // With -cache the store is wrapped in the incrementally maintained closure
 // cache (internal/store/closurecache): /lineage and /dependents hit
 // memoized closures, /expand hits memoized frontiers, and each published
@@ -134,7 +148,8 @@ func main() {
 		role         = flag.String("role", api.RoleStandalone, "replication role: standalone, primary (serve WAL to followers), or follower (read replica)")
 		primary      = flag.String("primary", "", "with -role follower: the primary provd's base URL")
 		replicas     = flag.String("replicas", "", "with -role primary: comma-separated follower URLs to probe in /v1/replication/status")
-		replicaPoll  = flag.Duration("replica-poll", 0, "with -role follower: primary tail interval (default 200ms)")
+		replicaPoll  = flag.Duration("replica-poll", 0, "with -role follower: primary tail interval (default 200ms; failures back off exponentially with jitter)")
+		maxLag       = flag.Int64("max-lag", 0, "with -role follower: answer data reads 503 replica_too_stale while replication lag exceeds this many bytes (0: unbounded staleness)")
 		traceRounds  = flag.Bool("trace-rounds", false, "log each sharded closure's pushdown rounds and per-round frontier sizes")
 		explain      = flag.Bool("explain", false, "log each /query's executed plan: join order, per-operator rows, scan parallelism, allocations")
 		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
@@ -218,25 +233,44 @@ func main() {
 			log.Fatalf("provd: open follower: %v", err)
 		}
 		defer cleanup()
-		st = fst
+		node, err := replica.NewNode(*storeDir, api.RoleFollower, f)
+		if err != nil {
+			log.Fatalf("provd: open follower: %v", err)
+		}
 		// Followers host standing subscriptions too: the replication apply
 		// hook feeds each shipped run into the manager, composed after the
-		// closure-cache hook core may have installed.
+		// closure-cache hook core may have installed. The tap covers the
+		// other write path — local publishes after a promotion — which is
+		// disjoint from replication apply, so no run is counted twice.
 		mgr := standing.NewManager(fst, standing.Options{})
 		f.AddOnApply(mgr.ApplyDelta)
+		st = standing.NewTap(fst, mgr)
 		hopts.Standing = mgr
 		hopts.ReadOnly = true
 		hopts.Lag = f.Lag
-		hopts.Status = f.Status
+		hopts.Failover = node
+		hopts.MaxLagBytes = *maxLag
 		// Followers re-ship their own logs, so replicas can chain off a
-		// replica instead of all tailing the primary.
-		if src, err := replica.NewSource(fst); err == nil {
-			hopts.Source = src
+		// replica instead of all tailing the primary — and a promoted
+		// follower ships its log as the new primary through the same source.
+		var fsrc *replica.Source
+		if s, err := replica.NewSource(fst); err == nil {
+			fsrc, hopts.Source = s, s
+		}
+		hopts.Status = func() api.ReplicationStatus {
+			var rs api.ReplicationStatus
+			if node.Role() == api.RoleFollower || fsrc == nil {
+				rs = f.Status()
+			} else {
+				rs = fsrc.Status(nil, nil)
+			}
+			rs.Epoch, rs.Fenced = node.Epoch(), node.Fenced()
+			return rs
 		}
 		// A follower's real shard count comes from the primary, not -shards.
 		hopts.Node.Shards = len(f.Status().Shards)
 		applied, behind := f.Lag()
-		log.Printf("provd: follower of %s at %d applied bytes (%d behind)", *primary, applied, behind)
+		log.Printf("provd: follower of %s at %d applied bytes (%d behind), epoch %d", *primary, applied, behind, node.Epoch())
 
 	case api.RolePrimary, api.RoleStandalone:
 		switch {
@@ -267,14 +301,21 @@ func main() {
 			if err != nil {
 				log.Fatalf("provd: -role primary: %v", err)
 			}
+			node, err := replica.NewNode(*storeDir, api.RolePrimary, nil)
+			if err != nil {
+				log.Fatalf("provd: -role primary: %v", err)
+			}
 			replicaURLs := splitURLs(*replicas)
 			hopts.Source = src
+			hopts.Failover = node
 			hopts.Status = func() api.ReplicationStatus {
-				return src.Status(replicaURLs, func(u string) (*api.ReplicationStatus, error) {
+				rs := src.Status(replicaURLs, func(u string) (*api.ReplicationStatus, error) {
 					return api.NewClient(u, probeClient).ReplicationStatus()
 				})
+				rs.Epoch, rs.Fenced = node.Epoch(), node.Fenced()
+				return rs
 			}
-			log.Printf("provd: primary shipping %d shard log(s); probing %d replica(s)", src.Shards(), len(replicaURLs))
+			log.Printf("provd: primary shipping %d shard log(s) at epoch %d; probing %d replica(s)", src.Shards(), node.Epoch(), len(replicaURLs))
 		}
 		// Standing subscriptions tap the top of the store stack (above any
 		// closure cache), so every accepted publish folds into the live

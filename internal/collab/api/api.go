@@ -26,6 +26,20 @@ const (
 	CodeReadOnlyReplica  = "read_only_replica"
 	CodeUnavailable      = "unavailable"
 	CodeInternal         = "internal"
+	// CodeStaleEpoch rejects a request carrying a replication epoch lower
+	// than the node's own: the sender is acting on a fenced configuration
+	// (an old primary, or a follower still bound to one) and must not be
+	// served as if it were current.
+	CodeStaleEpoch = "stale_epoch"
+	// CodeFenced rejects writes on a primary that observed a higher
+	// epoch: a newer primary exists, so accepting the write would
+	// split-brain the fleet. The node keeps serving reads.
+	CodeFenced = "fenced"
+	// CodeReplicaTooStale rejects reads on a follower whose replication
+	// lag exceeds its configured -max-lag bound: the operator asked for
+	// bounded staleness, so beyond the bound a 503 beats a silently
+	// arbitrarily stale answer.
+	CodeReplicaTooStale = "replica_too_stale"
 )
 
 // Replication and staleness headers.
@@ -45,6 +59,16 @@ const (
 	// thread their own IDs); otherwise the server generates one. The same
 	// ID appears in the structured request log and the slow-query log.
 	HeaderRequestID = "X-Request-ID"
+	// HeaderReplicationEpoch carries the fencing epoch. Servers with a
+	// replication role stamp it on every response; replication-aware
+	// clients (the follower's shipper, provctl promote/fence) send their
+	// last-known epoch on requests. A request whose epoch is lower than
+	// the node's own is rejected with CodeStaleEpoch; a node that sees a
+	// HIGHER epoch than its own — in a request or a probe response —
+	// adopts it, and if it was an unfenced primary, fences itself
+	// read-only. This is what keeps a partitioned old primary from ever
+	// accepting writes once a follower has been promoted past it.
+	HeaderReplicationEpoch = "X-Replication-Epoch"
 )
 
 // Replication roles reported by /v1/replication/status.
@@ -125,11 +149,76 @@ type ReplicationStatus struct {
 	Role    string          `json:"role"`
 	Sharded bool            `json:"sharded"`
 	Shards  []ShardPosition `json:"shards"`
+	// Epoch is the node's fencing epoch: monotone across promotions, so
+	// any two nodes claiming the primary role are ordered — the lower
+	// epoch is the stale one.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Fenced reports a primary that observed a higher epoch and demoted
+	// itself read-only.
+	Fenced bool `json:"fenced,omitempty"`
 	// Primary is the upstream URL (followers only).
 	Primary string `json:"primary,omitempty"`
 	// Replicas are the configured followers with a best-effort probe of
 	// each (primaries only).
 	Replicas []ReplicaProbe `json:"replicas,omitempty"`
+}
+
+// PromoteResponse is POST /v1/replication/promote: the follower drained
+// what it could reach, bumped the fencing epoch, and took over as
+// primary.
+type PromoteResponse struct {
+	Role  string `json:"role"`  // the node's new role (primary)
+	Epoch uint64 `json:"epoch"` // the new fencing epoch
+	// AppliedBytes is the node's total applied log position at promotion
+	// — the replication boundary: acked primary writes beyond it were
+	// not shipped in time and live only on the fenced primary.
+	AppliedBytes int64 `json:"applied_bytes"`
+	// DrainErr records a best-effort catch-up drain that could not reach
+	// the old primary (the failover case); empty when the drain completed.
+	DrainErr string `json:"drain_err,omitempty"`
+	// OldPrimaryFenced reports whether the old primary acknowledged the
+	// fence; false when it was unreachable (it will fence itself on the
+	// first epoch-stamped request it serves after the partition heals —
+	// `provctl fence` forces the issue).
+	OldPrimaryFenced bool `json:"old_primary_fenced"`
+	// FenceErr is the best-effort fence failure, empty on success.
+	FenceErr string `json:"fence_err,omitempty"`
+}
+
+// Replica health states reported by GET /v1/health on followers:
+// connected (last primary contact succeeded), degraded (failing and
+// retrying under backoff), disconnected (no successful contact for
+// longer than the disconnect threshold).
+const (
+	HealthConnected    = "connected"
+	HealthDegraded     = "degraded"
+	HealthDisconnected = "disconnected"
+)
+
+// ReplicaHealth is the follower-side replication health block of
+// GET /v1/health.
+type ReplicaHealth struct {
+	State               string  `json:"state"` // Health* constants
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	LastError           string  `json:"last_error,omitempty"`
+	SecondsSinceContact float64 `json:"seconds_since_contact"`
+	AppliedBytes        int64   `json:"applied_bytes"`
+	LagBytes            int64   `json:"lag_bytes"`
+	// MaxLagBytes echoes the node's -max-lag staleness bound (0: none).
+	MaxLagBytes int64 `json:"max_lag_bytes,omitempty"`
+}
+
+// HealthResponse is GET /v1/health. The endpoint answers 200 while the
+// node should stay in a load balancer's rotation and 503 when it should
+// not (a follower past its staleness bound or disconnected from its
+// primary); the body says why either way.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok", or the reason for a 503
+	Role   string `json:"role"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Fenced bool   `json:"fenced,omitempty"`
+	// Replication is the follower's upstream health (followers only).
+	Replication *ReplicaHealth `json:"replication,omitempty"`
 }
 
 // ReplicaProbe is one configured follower as seen from the primary.
@@ -203,9 +292,18 @@ type SubscriptionEvent struct {
 type NodeStatus struct {
 	Role          string  `json:"role"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	StoreDir      string  `json:"store_dir,omitempty"`
-	Shards        int     `json:"shards"`
-	Durability    string  `json:"durability,omitempty"`
+	// Epoch and Fenced mirror the replication fencing state (omitted on
+	// standalone nodes, which have no failover coordinator).
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Fenced bool   `json:"fenced,omitempty"`
+	// ReplicaState and ReplicaLagBytes summarize a follower's upstream
+	// link (Health* constants; bytes behind the primary's committed
+	// position).
+	ReplicaState    string `json:"replica_state,omitempty"`
+	ReplicaLagBytes int64  `json:"replica_lag_bytes,omitempty"`
+	StoreDir        string `json:"store_dir,omitempty"`
+	Shards          int    `json:"shards"`
+	Durability      string `json:"durability,omitempty"`
 	// Checkpoint describes the node's auto-checkpoint policy in the same
 	// terms the provd flags configure it ("every 512 runs or 4.0 MiB",
 	// "disabled").

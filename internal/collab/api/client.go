@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/provenance"
@@ -18,26 +19,90 @@ import (
 	"repro/internal/workflow"
 )
 
+// DefaultTimeout bounds every non-streaming request made by a Client
+// constructed with a nil *http.Client. http.Client.Timeout covers the
+// whole exchange including the body read, so it cannot apply to SSE and
+// long-poll calls — those go through a separate unbounded client and
+// are cancelled via their context instead.
+const DefaultTimeout = 10 * time.Second
+
 // Client speaks provd's v1 API: the replication shipper's transport, and
 // the typed alternative to hand-rolled query-param requests for provctl
-// and tests. Safe for concurrent use (it holds no mutable state beyond
-// the http.Client).
+// and tests. Safe for concurrent use.
+//
+// The client participates in epoch fencing passively: it remembers the
+// highest X-Replication-Epoch it has seen on any response and stamps it
+// on every subsequent request, so a shipper bound to a fenced primary
+// identifies itself as stale and a promoted node's clients carry the
+// new epoch to whatever they touch next.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client // bounded; all request/response calls
+	sc    *http.Client // unbounded; SSE streams and long-polls
+	epoch atomic.Uint64
 }
 
 // NewClient returns a client for the provd at base (e.g.
-// "http://host:8080"). hc nil uses http.DefaultClient.
+// "http://host:8080"). hc nil uses a client with DefaultTimeout for
+// regular calls and an untimed client for streams; passing a client
+// uses it for both, preserving whatever policy the caller configured.
 func NewClient(base string, hc *http.Client) *Client {
+	c := &Client{base: strings.TrimRight(base, "/")}
 	if hc == nil {
-		hc = http.DefaultClient
+		c.hc = &http.Client{Timeout: DefaultTimeout}
+		c.sc = http.DefaultClient
+	} else {
+		c.hc = hc
+		c.sc = hc
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return c
 }
 
 // Base returns the server URL the client targets.
 func (c *Client) Base() string { return c.base }
+
+// Epoch returns the highest fencing epoch the client has observed (or
+// been given via SetEpoch); 0 before any epoch-aware exchange.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// SetEpoch raises the fencing epoch stamped on subsequent requests.
+// Lower values are ignored — the epoch is monotone by construction.
+func (c *Client) SetEpoch(e uint64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// do issues one request through hc with the epoch header stamped and
+// the response's epoch observed. ctx nil means context.Background().
+func (c *Client) do(ctx context.Context, hc *http.Client, method, path string, body io.Reader, header http.Header) (*http.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	if e := c.epoch.Load(); e > 0 {
+		req.Header.Set(HeaderReplicationEpoch, strconv.FormatUint(e, 10))
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if v := resp.Header.Get(HeaderReplicationEpoch); v != "" {
+		if e, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			c.SetEpoch(e)
+		}
+	}
+	return resp, nil
+}
 
 // decodeError turns a non-2xx response into a *RemoteError, preserving
 // the envelope's stable code when the body carries one.
@@ -53,8 +118,32 @@ func decodeError(resp *http.Response) error {
 	return &RemoteError{HTTPStatus: resp.StatusCode, Code: env.Code, Message: env.Message}
 }
 
+func (c *Client) getJSONContext(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, c.hc, http.MethodGet, path, nil, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
 func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
+	return c.getJSONContext(context.Background(), path, out)
+}
+
+func (c *Client) postJSONContext(ctx context.Context, path string, in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	resp, err := c.do(ctx, c.hc, http.MethodPost, path, bytes.NewReader(data), hdr)
 	if err != nil {
 		return err
 	}
@@ -69,30 +158,11 @@ func (c *Client) getJSON(path string, out any) error {
 }
 
 func (c *Client) postJSON(path string, in, out any) error {
-	data, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.postJSONContext(context.Background(), path, in, out)
 }
 
 func (c *Client) deleteJSON(path string, out any) error {
-	req, err := http.NewRequest(http.MethodDelete, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(context.Background(), c.hc, http.MethodDelete, path, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -198,10 +268,34 @@ func (c *Client) NodeStatus() (*NodeStatus, error) {
 	return &ns, nil
 }
 
+// Health reports the node's serving health. Both the healthy 200 and
+// the out-of-rotation 503 carry a HealthResponse body, so a decodable
+// 503 returns the body with ok=false rather than an error — the body
+// says why the node took itself out.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, bool, error) {
+	resp, err := c.do(ctx, c.hc, http.MethodGet, V1Prefix+"/health", nil, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	ok := resp.StatusCode/100 == 2
+	if !ok && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, false, decodeError(resp)
+	}
+	var h HealthResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&h); derr != nil {
+		if !ok {
+			return nil, false, &RemoteError{HTTPStatus: resp.StatusCode, Code: CodeUnavailable, Message: resp.Status}
+		}
+		return nil, false, derr
+	}
+	return &h, ok, nil
+}
+
 // MetricsText fetches the server's metrics in Prometheus text exposition
 // format, verbatim — provctl metrics renders and diffs it client-side.
 func (c *Client) MetricsText() (string, error) {
-	resp, err := c.hc.Get(c.base + V1Prefix + "/metrics")
+	resp, err := c.do(context.Background(), c.hc, http.MethodGet, V1Prefix+"/metrics", nil, nil)
 	if err != nil {
 		return "", err
 	}
@@ -251,14 +345,23 @@ func (c *Client) Unsubscribe(id string) error {
 // PollSubscriptionEvents long-polls for events after sequence from,
 // waiting server-side up to wait (0: server default) before answering an
 // empty slice. The long-poll fallback for clients that cannot hold an SSE
-// stream.
+// stream. Goes through the untimed client: the server may legitimately
+// hold the request far past DefaultTimeout.
 func (c *Client) PollSubscriptionEvents(id string, from uint64, wait time.Duration) ([]SubscriptionEvent, error) {
 	u := fmt.Sprintf("%s/subscriptions/%s/events?poll=1&from=%d", V1Prefix, url.PathEscape(id), from)
 	if wait > 0 {
 		u += fmt.Sprintf("&wait_ms=%d", wait.Milliseconds())
 	}
+	resp, err := c.do(context.Background(), c.sc, http.MethodGet, u, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
 	var evs []SubscriptionEvent
-	err := c.getJSON(u, &evs)
+	err = json.NewDecoder(resp.Body).Decode(&evs)
 	return evs, err
 }
 
@@ -269,16 +372,12 @@ func (c *Client) PollSubscriptionEvents(id string, from uint64, wait time.Durati
 // server to open with a fresh snapshot event. Returns the last sequence
 // consumed, so a caller can reconnect without losing events.
 func (c *Client) WatchSubscription(ctx context.Context, id string, from uint64, fn func(SubscriptionEvent) error) (uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+V1Prefix+"/subscriptions/"+url.PathEscape(id)+"/events", nil)
-	if err != nil {
-		return from, err
-	}
-	req.Header.Set("Accept", "text/event-stream")
+	hdr := http.Header{"Accept": []string{"text/event-stream"}}
 	if from > 0 {
-		req.Header.Set("Last-Event-ID", strconv.FormatUint(from, 10))
+		hdr.Set("Last-Event-ID", strconv.FormatUint(from, 10))
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, c.sc, http.MethodGet,
+		V1Prefix+"/subscriptions/"+url.PathEscape(id)+"/events", nil, hdr)
 	if err != nil {
 		return from, err
 	}
@@ -330,11 +429,37 @@ func (c *Client) WatchSubscription(ctx context.Context, id string, from uint64, 
 
 // ReplicationStatus reports the server's role and per-shard positions.
 func (c *Client) ReplicationStatus() (*ReplicationStatus, error) {
+	return c.ReplicationStatusContext(context.Background())
+}
+
+// ReplicationStatusContext is ReplicationStatus bounded by ctx.
+func (c *Client) ReplicationStatusContext(ctx context.Context) (*ReplicationStatus, error) {
 	var rs ReplicationStatus
-	if err := c.getJSON(V1Prefix+"/replication/status", &rs); err != nil {
+	if err := c.getJSONContext(ctx, V1Prefix+"/replication/status", &rs); err != nil {
 		return nil, err
 	}
 	return &rs, nil
+}
+
+// Promote asks a follower to take over as primary: drain what it can
+// reach of the upstream log, bump the fencing epoch, drop read-only,
+// and best-effort fence the old primary.
+func (c *Client) Promote(ctx context.Context) (*PromoteResponse, error) {
+	var pr PromoteResponse
+	if err := c.postJSONContext(ctx, V1Prefix+"/replication/promote", struct{}{}, &pr); err != nil {
+		return nil, err
+	}
+	c.SetEpoch(pr.Epoch)
+	return &pr, nil
+}
+
+// Fence tells the node about epoch (typically a promoted node's) by
+// stamping it on a status request: an unfenced primary at a lower epoch
+// fences itself read-only on observing it. The returned status reflects
+// the node's state after the exchange.
+func (c *Client) Fence(ctx context.Context, epoch uint64) (*ReplicationStatus, error) {
+	c.SetEpoch(epoch)
+	return c.ReplicationStatusContext(ctx)
 }
 
 // StreamLog fetches a record-aligned chunk of a primary shard's
@@ -342,8 +467,13 @@ func (c *Client) ReplicationStatus() (*ReplicationStatus, error) {
 // server default), plus the shard's committed size at read time. An
 // empty chunk with committed == from means the follower is caught up.
 func (c *Client) StreamLog(shard int, from int64, maxBytes int) ([]byte, int64, error) {
-	u := fmt.Sprintf("%s%s/replication/stream?shard=%d&from=%d&max=%d", c.base, V1Prefix, shard, from, maxBytes)
-	resp, err := c.hc.Get(u)
+	return c.StreamLogContext(context.Background(), shard, from, maxBytes)
+}
+
+// StreamLogContext is StreamLog bounded by ctx.
+func (c *Client) StreamLogContext(ctx context.Context, shard int, from int64, maxBytes int) ([]byte, int64, error) {
+	u := fmt.Sprintf("%s/replication/stream?shard=%d&from=%d&max=%d", V1Prefix, shard, from, maxBytes)
+	resp, err := c.do(ctx, c.hc, http.MethodGet, u, nil, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -367,7 +497,13 @@ func (c *Client) StreamLog(shard int, from int64, maxBytes int) ([]byte, int64, 
 // before opening their store so only the post-checkpoint log suffix
 // replays.
 func (c *Client) ShardCheckpoint(shard int) ([]byte, bool, error) {
-	resp, err := c.hc.Get(fmt.Sprintf("%s%s/replication/checkpoint?shard=%d", c.base, V1Prefix, shard))
+	return c.ShardCheckpointContext(context.Background(), shard)
+}
+
+// ShardCheckpointContext is ShardCheckpoint bounded by ctx.
+func (c *Client) ShardCheckpointContext(ctx context.Context, shard int) ([]byte, bool, error) {
+	u := fmt.Sprintf("%s/replication/checkpoint?shard=%d", V1Prefix, shard)
+	resp, err := c.do(ctx, c.hc, http.MethodGet, u, nil, nil)
 	if err != nil {
 		return nil, false, err
 	}

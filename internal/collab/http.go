@@ -1,6 +1,7 @@
 package collab
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,11 +37,16 @@ import (
 //	GET  /v1/recommend?user=U           recommendations
 //	GET  /v1/query?q=PQL                PQL query against the provenance store
 //	GET  /v1/stats                      repository statistics
-//	GET  /v1/status                     node identity: role, uptime, store
-//	                                    config, build version
+//	GET  /v1/status                     node identity: role, epoch, uptime,
+//	                                    store config, build version
+//	GET  /v1/health                     load-balancer health: 200 in
+//	                                    rotation, 503 out (stale/disconnected
+//	                                    follower), reason in the body
 //	GET  /v1/metrics                    runtime metrics, Prometheus text
 //	                                    exposition format (plain text)
 //	GET  /v1/replication/status         role + per-shard replication positions
+//	POST /v1/replication/promote        follower→primary cutover: drain,
+//	                                    bump epoch, drop read-only
 //	GET  /v1/replication/stream?shard=N&from=OFF&max=BYTES
 //	                                    record-aligned committed log chunk
 //	                                    (octet-stream, X-Log-Committed header)
@@ -53,11 +59,17 @@ import (
 //	GET  /v1/subscriptions/{id}/events  live delta stream (SSE; ?poll=1
 //	                                    long-polls) — see subscriptions.go
 //
-// Follower deployments (HandlerOptions.ReadOnly) reject non-GET traffic
-// with 403/read_only_replica — except the /v1/subscriptions routes, which
-// mutate node-local serving state rather than the store — and stamp every
-// response with X-Replica-Applied and X-Replica-Lag so clients can bound
-// staleness.
+// Follower deployments (HandlerOptions.ReadOnly, or a Failover
+// coordinator reporting the follower role) reject non-GET traffic with
+// 403/read_only_replica — except the /v1/subscriptions routes, which
+// mutate node-local serving state rather than the store, and the
+// promote route, a follower's escape hatch out of read-only — and stamp
+// every response with X-Replica-Applied and X-Replica-Lag so clients
+// can bound staleness. With a Failover coordinator, every response also
+// carries X-Replication-Epoch; requests from a lower epoch are rejected
+// 409/stale_epoch, a fenced primary rejects writes 403/fenced, and a
+// follower past its -max-lag bound answers data reads
+// 503/replica_too_stale.
 //
 // Every v1 route runs inside the observability middleware (obs.go): the
 // response carries an X-Request-ID (propagated from the request when
@@ -67,6 +79,33 @@ import (
 // threshold escalated to the Warn-level slow-query log.
 func NewHandler(repo *Repository) http.Handler {
 	return NewHandlerWith(repo, HandlerOptions{})
+}
+
+// FailoverState is the per-request failover surface the handler
+// consults: the node's live role (promotion changes it at runtime), its
+// fencing epoch, whether it fenced itself, and the epoch/promotion
+// operations. Implemented by replica.Node; nil means the node does not
+// participate in failover (standalone) and the static HandlerOptions
+// fields govern.
+type FailoverState interface {
+	// Role returns the node's current replication role (api.Role*).
+	Role() string
+	// Epoch returns the node's fencing epoch.
+	Epoch() uint64
+	// Fenced reports a primary that demoted itself after observing a
+	// higher epoch.
+	Fenced() bool
+	// Observe teaches the node an epoch seen on a request; returns true
+	// when the observation fenced the node.
+	Observe(remote uint64) bool
+	// Promote turns a follower into the primary (POST
+	// /v1/replication/promote).
+	Promote(ctx context.Context) (*api.PromoteResponse, error)
+	// Health assembles the /v1/health body; ok=false answers 503.
+	Health(maxLag int64) (h api.HealthResponse, ok bool)
+	// LagWithin reports whether a follower's lag is within max bytes
+	// (true for non-followers or max <= 0) — the -max-lag read gate.
+	LagWithin(max int64) bool
 }
 
 // ReplicationSource serves the primary side of log shipping: positional
@@ -99,8 +138,22 @@ type HandlerOptions struct {
 	Status func() api.ReplicationStatus
 	// ReadOnly rejects every mutating request with 403 and code
 	// read_only_replica — the follower deployment, whose store has
-	// exactly one writer: the replication applier.
+	// exactly one writer: the replication applier. When Failover is set
+	// it wins: the effective read-only state is "role is follower, or
+	// the node fenced itself", so promotion drops read-only at runtime.
 	ReadOnly bool
+	// Failover, when set, turns on epoch fencing and runtime role
+	// transitions: every response is stamped with X-Replication-Epoch,
+	// requests carrying a lower epoch are rejected 409/stale_epoch,
+	// higher epochs are adopted (fencing an unfenced primary), and
+	// /v1/health + POST /v1/replication/promote are served from it.
+	Failover FailoverState
+	// MaxLagBytes, when positive on a follower, bounds read staleness:
+	// data reads while the replication lag exceeds it answer
+	// 503/replica_too_stale instead of silently serving arbitrarily
+	// stale results. Health, status, metrics, replication and
+	// subscription routes are exempt.
+	MaxLagBytes int64
 	// Lag, when set (followers), returns the node's total applied bytes
 	// and how far behind the primary it is; every response is stamped
 	// with the X-Replica-Applied / X-Replica-Lag headers.
@@ -144,7 +197,8 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 	}
 
 	v1("/metrics", metricsHandler(reg))
-	v1("/status", statusHandler(opts.Node))
+	v1("/status", statusHandler(opts))
+	v1("/health", healthHandler(opts))
 
 	v1("/workflows", func(w http.ResponseWriter, req *http.Request) {
 		switch req.Method {
@@ -404,6 +458,29 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 		_, _ = w.Write(data)
 	})
 
+	v1("/replication/promote", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			methodNotAllowed(w, "POST")
+			return
+		}
+		if opts.Failover == nil {
+			writeError(w, http.StatusNotFound, api.CodeUnavailable,
+				errors.New("collab: this node has no failover coordinator (start provd with -role follower)"))
+			return
+		}
+		pr, err := opts.Failover.Promote(req.Context())
+		if err != nil {
+			status, code := http.StatusInternalServerError, api.CodeInternal
+			var re *api.RemoteError
+			if errors.As(err, &re) {
+				status, code = re.HTTPStatus, re.Code
+			}
+			writeError(w, status, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, pr)
+	})
+
 	v1("/subscriptions", subscriptionsHandler(opts.Standing))
 	v1("/subscriptions/", subscriptionHandler(opts.Standing))
 
@@ -421,26 +498,88 @@ func NewHandlerWith(repo *Repository, opts HandlerOptions) http.Handler {
 		})
 	}
 
-	if !opts.ReadOnly && opts.Lag == nil {
+	if !opts.ReadOnly && opts.Lag == nil && opts.Failover == nil {
 		return mux
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if opts.Lag != nil {
+		fo := opts.Failover
+		role, fenced := "", false
+		if fo != nil {
+			// Epoch exchange first: a request from a lower epoch is acting
+			// on a fenced configuration and must not be served; a higher
+			// epoch teaches this node it has been superseded (an unfenced
+			// primary fences itself inside Observe). The response always
+			// carries our (possibly just-raised) epoch so the peer learns it.
+			if v := req.Header.Get(api.HeaderReplicationEpoch); v != "" {
+				if remote, err := strconv.ParseUint(v, 10, 64); err == nil {
+					if remote < fo.Epoch() {
+						w.Header().Set(api.HeaderReplicationEpoch, strconv.FormatUint(fo.Epoch(), 10))
+						writeError(w, http.StatusConflict, api.CodeStaleEpoch,
+							fmt.Errorf("collab: request epoch %d is behind this node's epoch %d", remote, fo.Epoch()))
+						return
+					}
+					fo.Observe(remote)
+				}
+			}
+			w.Header().Set(api.HeaderReplicationEpoch, strconv.FormatUint(fo.Epoch(), 10))
+			role, fenced = fo.Role(), fo.Fenced()
+		}
+		follower := role == api.RoleFollower || (fo == nil && opts.Lag != nil)
+		if follower && opts.Lag != nil {
 			applied, behind := opts.Lag()
 			w.Header().Set(api.HeaderReplicaApplied, strconv.FormatInt(applied, 10))
 			w.Header().Set(api.HeaderReplicaLag, strconv.FormatInt(behind, 10))
+			// The -max-lag staleness bound: beyond it a data read gets a
+			// 503 rather than an arbitrarily stale answer. Health, status,
+			// metrics, replication and subscription routes stay reachable —
+			// they are how operators and consumers see the staleness. Only
+			// reads are gated: a write never serves stale data, and gets
+			// the more actionable read-only rejection below.
+			if opts.MaxLagBytes > 0 && behind > opts.MaxLagBytes &&
+				(req.Method == http.MethodGet || req.Method == http.MethodHead) &&
+				!staleExempt(req.URL.Path) {
+				writeError(w, http.StatusServiceUnavailable, api.CodeReplicaTooStale,
+					fmt.Errorf("collab: replica lag %d bytes exceeds the node's -max-lag bound %d", behind, opts.MaxLagBytes))
+				return
+			}
 		}
 		// Subscriptions are node-local serving state, not store writes: a
 		// follower hosts them (fed by replication apply), so registering
-		// and deleting them must pass the read-only guard.
-		subscriptionRoute := strings.HasPrefix(req.URL.Path, api.V1Prefix+"/subscriptions")
-		if opts.ReadOnly && req.Method != http.MethodGet && req.Method != http.MethodHead && !subscriptionRoute {
-			writeError(w, http.StatusForbidden, api.CodeReadOnlyReplica,
-				errors.New("collab: this node is a read replica; send writes to the primary"))
-			return
+		// and deleting them must pass the read-only guard. Promotion is
+		// the follower's escape hatch out of read-only, so it passes too.
+		exemptRoute := strings.HasPrefix(req.URL.Path, api.V1Prefix+"/subscriptions") ||
+			req.URL.Path == api.V1Prefix+"/replication/promote"
+		if req.Method != http.MethodGet && req.Method != http.MethodHead && !exemptRoute {
+			readOnly := opts.ReadOnly
+			if fo != nil {
+				readOnly = follower
+			}
+			if readOnly {
+				writeError(w, http.StatusForbidden, api.CodeReadOnlyReplica,
+					errors.New("collab: this node is a read replica; send writes to the primary"))
+				return
+			}
+			if fenced {
+				writeError(w, http.StatusForbidden, api.CodeFenced,
+					errors.New("collab: this primary is fenced (a higher-epoch primary exists); send writes there"))
+				return
+			}
 		}
 		mux.ServeHTTP(w, req)
 	})
+}
+
+// staleExempt lists the routes a staleness-bounded follower still
+// serves past its -max-lag bound: operational surfaces and the
+// replication/subscription machinery itself.
+func staleExempt(path string) bool {
+	for _, p := range []string{"/health", "/status", "/metrics"} {
+		if path == api.V1Prefix+p {
+			return true
+		}
+	}
+	return strings.HasPrefix(path, api.V1Prefix+"/replication/") ||
+		strings.HasPrefix(path, api.V1Prefix+"/subscriptions")
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -153,8 +153,12 @@ func metricsHandler(reg *obs.Registry) http.HandlerFunc {
 	}
 }
 
-// statusHandler serves /v1/status from the node description.
-func statusHandler(node NodeInfo) http.HandlerFunc {
+// statusHandler serves /v1/status from the node description plus the
+// live failover state: role and epoch come from the coordinator when
+// one is wired (promotion changes them at runtime), replica state and
+// lag from the follower's health.
+func statusHandler(opts HandlerOptions) http.HandlerFunc {
+	node := opts.Node
 	if node.Role == "" {
 		node.Role = api.RoleStandalone
 	}
@@ -170,7 +174,7 @@ func statusHandler(node NodeInfo) http.HandlerFunc {
 			methodNotAllowed(w, "GET")
 			return
 		}
-		writeJSON(w, http.StatusOK, api.NodeStatus{
+		ns := api.NodeStatus{
 			Role:          node.Role,
 			UptimeSeconds: time.Since(node.Start).Seconds(),
 			StoreDir:      node.StoreDir,
@@ -181,7 +185,46 @@ func statusHandler(node NodeInfo) http.HandlerFunc {
 			GoVersion:     runtime.Version(),
 			Version:       version,
 			Revision:      revision,
-		})
+		}
+		if fo := opts.Failover; fo != nil {
+			h, _ := fo.Health(opts.MaxLagBytes)
+			ns.Role, ns.Epoch, ns.Fenced = h.Role, h.Epoch, h.Fenced
+			if h.Replication != nil {
+				ns.ReplicaState = h.Replication.State
+				ns.ReplicaLagBytes = h.Replication.LagBytes
+			}
+		} else if opts.Lag != nil {
+			_, ns.ReplicaLagBytes = opts.Lag()
+		}
+		writeJSON(w, http.StatusOK, ns)
+	}
+}
+
+// healthHandler serves /v1/health: 200 while the node belongs in a load
+// balancer's rotation, 503 when it does not (a disconnected or
+// staleness-bounded follower), with the reason in the body either way.
+// Nodes without a failover coordinator are simply alive: serving the
+// request is the health check.
+func healthHandler(opts HandlerOptions) http.HandlerFunc {
+	role := opts.Node.Role
+	if role == "" {
+		role = api.RoleStandalone
+	}
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		if opts.Failover == nil {
+			writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok", Role: role})
+			return
+		}
+		h, ok := opts.Failover.Health(opts.MaxLagBytes)
+		code := http.StatusOK
+		if !ok {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
 	}
 }
 

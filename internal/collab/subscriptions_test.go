@@ -272,3 +272,133 @@ func TestV1SubscriptionSSEResume(t *testing.T) {
 }
 
 var errStopWatch = errors.New("stop watch")
+
+// TestV1SubscriptionSSEResumeAcrossRestart kills the consumer's live SSE
+// connection the way a provd restart does (every established connection
+// drops), publishes while the consumer is away, and resumes with the
+// cursor WatchSubscription returned: the missed deltas arrive exactly
+// once, and a long enough outage (replay ring overrun) yields the
+// explicit gap + re-snapshot instead of silent loss. This is the
+// contract `provctl watch`'s reconnect loop is built on.
+func TestV1SubscriptionSSEResumeAcrossRestart(t *testing.T) {
+	srv, repo, _ := standingServer(t, standing.Options{ReplayRing: 4}, HandlerOptions{})
+	c := api.NewClient(srv.URL, nil)
+
+	sub, err := c.Subscribe(api.SubscribeRequest{Kind: api.SubscriptionKindTriple, Predicate: store.PredGenerated})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach a live stream and feed it one delta.
+	got := make(chan struct {
+		last uint64
+		err  error
+	}, 1)
+	consumed := make(chan api.SubscriptionEvent, 16)
+	go func() {
+		last, werr := c.WatchSubscription(context.Background(), sub.ID, 0, func(ev api.SubscriptionEvent) error {
+			consumed <- ev
+			return nil
+		})
+		got <- struct {
+			last uint64
+			err  error
+		}{last, werr}
+	}()
+	waitEvent := func(want string) api.SubscriptionEvent {
+		t.Helper()
+		select {
+		case ev := <-consumed:
+			if ev.Type != want {
+				t.Fatalf("stream event = %+v, want type %q", ev, want)
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no %s event arrived", want)
+			return api.SubscriptionEvent{}
+		}
+	}
+	waitEvent(api.SubscriptionEventSnapshot)
+	if err := repo.PublishRun("medimg", "juliana", watchRun(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(api.SubscriptionEventAdd)
+
+	// "Restart": the server tears down every established connection. The
+	// watcher must come back with an error and the last sequence it
+	// actually delivered — the resume cursor.
+	srv.CloseClientConnections()
+	var g struct {
+		last uint64
+		err  error
+	}
+	select {
+	case g = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch did not return after the connection dropped")
+	}
+	if g.err == nil {
+		t.Fatal("watch returned nil error after a dropped connection")
+	}
+	var remote *api.RemoteError
+	if errors.As(g.err, &remote) {
+		t.Fatalf("dropped connection surfaced as a remote error: %v", g.err)
+	}
+	if g.last == 0 {
+		t.Fatal("watch lost its cursor across the drop")
+	}
+
+	// One run published while the consumer was away: resuming after the
+	// returned cursor delivers exactly that delta — no snapshot, no dup.
+	if err := repo.PublishRun("medimg", "juliana", watchRun(2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var resumed []api.SubscriptionEvent
+	_, err = c.WatchSubscription(ctx, sub.ID, g.last, func(ev api.SubscriptionEvent) error {
+		resumed = append(resumed, ev)
+		return errStopWatch
+	})
+	if !errors.Is(err, errStopWatch) {
+		t.Fatalf("resume watch: %v", err)
+	}
+	if len(resumed) != 1 || resumed[0].Type != api.SubscriptionEventAdd ||
+		!reflect.DeepEqual(resumed[0].Items, []string{"wexec-002 " + store.PredGenerated + " wart-002"}) {
+		t.Fatalf("resumed events = %+v", resumed)
+	}
+	cursor := resumed[0].Seq
+
+	// A longer outage that overruns the 4-event replay ring: the resumed
+	// stream opens with the explicit gap, then a full re-snapshot, and
+	// resuming after the snapshot's sequence is lossless.
+	srv.CloseClientConnections()
+	for i := 3; i <= 9; i++ {
+		if err := repo.PublishRun("medimg", "juliana", watchRun(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var after []api.SubscriptionEvent
+	_, err = c.WatchSubscription(ctx2, sub.ID, cursor, func(ev api.SubscriptionEvent) error {
+		after = append(after, ev)
+		if len(after) == 2 {
+			return errStopWatch
+		}
+		return nil
+	})
+	if !errors.Is(err, errStopWatch) {
+		t.Fatalf("gap resume watch: %v", err)
+	}
+	if after[0].Type != api.SubscriptionEventGap || after[1].Type != api.SubscriptionEventSnapshot {
+		t.Fatalf("gap resume = %+v, want [gap snapshot]", after)
+	}
+	if len(after[1].Items) != 9 {
+		t.Fatalf("re-snapshot items = %v", after[1].Items)
+	}
+	evs, err := c.PollSubscriptionEvents(sub.ID, after[1].Seq, 10*time.Millisecond)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("post-gap poll = %+v, %v", evs, err)
+	}
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/collab"
+	"repro/internal/collab/api"
+	"repro/internal/faultinject"
+	"repro/internal/store"
+	"repro/internal/store/replica"
+)
+
+// E21 measures failover robustness — the property the fencing-epoch and
+// promotion machinery exists to guarantee, exercised the way a fleet
+// actually fails.
+//
+// Partition recovery: a primary/follower pair replicates under a
+// deterministic fault schedule (injected transport errors, latency,
+// truncated response bodies, and full partitions flapping while the
+// primary ingests). After each round heals, the follower must converge
+// to a byte-identical copy of the primary's log. The gated
+// chaos_convergence_ratio is the fraction of rounds that converged —
+// 1.0 by construction, and a tight gate: any drop means shipped bytes
+// were torn, skipped or reordered under faults.
+//
+// Promotion cutover: fresh replicating pairs are built and the follower
+// promoted — drain the upstream log, bump the fencing epoch, drop
+// read-only, fence the old primary — timing promote-to-first-accepted-
+// write on the new primary (reported as promote_cutover_ms). The gated
+// failover_fence_ratio is the fraction of cutovers after which the old
+// primary both reported itself fenced and rejected a write: exactly-one-
+// writable-primary, the no-split-brain property.
+func E21() Result {
+	const (
+		rounds         = 4
+		writesPerRound = 50
+		promoTrials    = 3
+	)
+
+	// --- partition recovery under chaos --------------------------------
+	pdir, err := tempDir()
+	if err != nil {
+		return errResult("E21", err)
+	}
+	ps, err := store.OpenFileStoreWith(pdir, store.FileOptions{Durability: store.DurabilityGroup})
+	if err != nil {
+		return errResult("E21", err)
+	}
+	defer ps.Close()
+	nodeA, err := replica.NewNode(pdir, api.RolePrimary, nil)
+	if err != nil {
+		return errResult("E21", err)
+	}
+	srcA, err := replica.NewSource(ps)
+	if err != nil {
+		return errResult("E21", err)
+	}
+	primary := httptest.NewServer(collab.NewHandlerWith(collab.NewRepository(ps), collab.HandlerOptions{
+		Source:   srcA,
+		Failover: nodeA,
+		Status: func() api.ReplicationStatus {
+			rs := srcA.Status(nil, nil)
+			rs.Epoch, rs.Fenced = nodeA.Epoch(), nodeA.Fenced()
+			return rs
+		},
+	}))
+	defer primary.Close()
+
+	seedLogs, lastLayer := E14Seed(3, 12, 3)
+	for _, l := range seedLogs {
+		if err := ps.PutRunLog(l); err != nil {
+			return errResult("E21", err)
+		}
+	}
+
+	ft := faultinject.New(http.DefaultTransport, faultinject.Options{
+		Seed:         21,
+		ErrorRate:    0.15,
+		LatencyRate:  0.3,
+		Latency:      500 * time.Microsecond,
+		TruncateRate: 0.1,
+	})
+	fdir, err := tempDir()
+	if err != nil {
+		return errResult("E21", err)
+	}
+	var f *replica.Follower
+	for attempt := 0; ; attempt++ {
+		f, err = replica.Open(replica.Options{
+			Dir: fdir, Primary: primary.URL, Client: ft.Client(),
+			Poll: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+			RequestTimeout: 2 * time.Second, MaxBatchBytes: 2048,
+			BackoffSeed: 21,
+		})
+		if err == nil {
+			break
+		}
+		if attempt > 100 {
+			return errResult("E21", fmt.Errorf("follower never opened under injection: %w", err))
+		}
+	}
+	defer f.Close()
+	f.Start()
+
+	converged, runSeq := 0, 0
+	var healSecs []float64
+	for round := 0; round < rounds; round++ {
+		// Ingest while the link flaps through partitions and injected
+		// faults.
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					ft.Heal()
+					return
+				case <-time.After(time.Duration(2+r.Intn(8)) * time.Millisecond):
+				}
+				ft.Partition()
+				select {
+				case <-stop:
+					ft.Heal()
+					return
+				case <-time.After(time.Duration(2+r.Intn(8)) * time.Millisecond):
+				}
+				ft.Heal()
+			}
+		}(int64(round))
+		var werr error
+		for i := 0; i < writesPerRound; i++ {
+			runSeq++
+			if err := ps.PutRunLog(E14Run("e21", runSeq, lastLayer[(runSeq*31)%len(lastLayer)])); err != nil {
+				werr = err
+				break
+			}
+			if i%16 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if werr != nil {
+			return errResult("E21", werr)
+		}
+
+		// Healed: drive catch-up to convergence (injection stays on, so
+		// retries are part of the measured recovery).
+		healStart := time.Now()
+		ok := false
+		for attempt := 0; attempt < 300; attempt++ {
+			if err := f.CatchUp(); err == nil {
+				if _, behind := f.Lag(); behind == 0 {
+					ok = true
+					break
+				}
+			}
+		}
+		healSecs = append(healSecs, time.Since(healStart).Seconds())
+		if !ok {
+			continue
+		}
+		pb, perr := os.ReadFile(filepath.Join(pdir, store.LogFileName))
+		fb, ferr := os.ReadFile(filepath.Join(fdir, store.LogFileName))
+		if perr == nil && ferr == nil && string(pb) == string(fb) {
+			converged++
+		}
+	}
+	stats := ft.Stats()
+	convergence := float64(converged) / float64(rounds)
+
+	// --- promotion cutover ----------------------------------------------
+	var cutoverMS []float64
+	fenced := 0
+	for trial := 0; trial < promoTrials; trial++ {
+		ms, fencedOK, err := promoteOnce(trial)
+		if err != nil {
+			return errResult("E21", err)
+		}
+		cutoverMS = append(cutoverMS, ms)
+		if fencedOK {
+			fenced++
+		}
+	}
+	fenceRatio := float64(fenced) / float64(promoTrials)
+	cutover := median(cutoverMS)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-46s %8d\n", "chaos rounds (partition flaps + faulty link)", rounds)
+	fmt.Fprintf(&b, "%-46s %8d\n", "primary writes under chaos", rounds*writesPerRound)
+	fmt.Fprintf(&b, "%-46s %8d / %d / %d\n", "injected errors / truncations / partition drops",
+		stats.Errors, stats.Truncations, stats.Partitioned)
+	fmt.Fprintf(&b, "%-46s %8.2f\n", "rounds converged byte-identically (ratio)", convergence)
+	fmt.Fprintf(&b, "%-46s %8.1f\n", "median heal-to-converged ms", 1000*median(healSecs))
+	fmt.Fprintf(&b, "%-46s %8.1f\n", "median promote-to-first-accepted-write ms", cutover)
+	fmt.Fprintf(&b, "%-46s %8.2f\n", "cutovers leaving old primary fenced (ratio)", fenceRatio)
+	fmt.Fprintf(&b, "chaos: seeded fault schedule (15%% errors, 10%% truncated bodies, flapping partitions) over %d rounds x %d writes; cutover: median of %d fresh pairs, drain + epoch bump + fence\n",
+		rounds, writesPerRound, promoTrials)
+	return Result{
+		ID:    "E21",
+		Title: "failover: partition-heal convergence, promotion cutover, fencing",
+		Table: b.String(),
+		Metrics: []Metric{
+			{Name: "chaos_convergence_ratio", Value: convergence, Unit: "ratio"},
+			{Name: "failover_fence_ratio", Value: fenceRatio, Unit: "ratio"},
+			{Name: "promote_cutover_ms", Value: cutover, Unit: "ms"},
+			{Name: "heal_converge_ms", Value: 1000 * median(healSecs), Unit: "ms"},
+		},
+	}
+}
+
+// promoteOnce builds one fresh replicating pair, promotes the follower,
+// and reports the promote-to-first-accepted-write latency in ms plus
+// whether the old primary ended the cutover fenced and write-rejecting.
+func promoteOnce(trial int) (ms float64, fencedOK bool, err error) {
+	pdir, err := tempDir()
+	if err != nil {
+		return 0, false, err
+	}
+	ps, err := store.OpenFileStoreWith(pdir, store.FileOptions{Durability: store.DurabilityGroup})
+	if err != nil {
+		return 0, false, err
+	}
+	defer ps.Close()
+	nodeA, err := replica.NewNode(pdir, api.RolePrimary, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	src, err := replica.NewSource(ps)
+	if err != nil {
+		return 0, false, err
+	}
+	srvA := httptest.NewServer(collab.NewHandlerWith(collab.NewRepository(ps), collab.HandlerOptions{
+		Source:   src,
+		Failover: nodeA,
+		Status: func() api.ReplicationStatus {
+			rs := src.Status(nil, nil)
+			rs.Epoch, rs.Fenced = nodeA.Epoch(), nodeA.Fenced()
+			return rs
+		},
+	}))
+	defer srvA.Close()
+
+	seedLogs, lastLayer := E14Seed(3, 8, 3)
+	for _, l := range seedLogs {
+		if err := ps.PutRunLog(l); err != nil {
+			return 0, false, err
+		}
+	}
+
+	fdir, err := tempDir()
+	if err != nil {
+		return 0, false, err
+	}
+	f, err := replica.Open(replica.Options{Dir: fdir, Primary: srvA.URL, Poll: 5 * time.Millisecond})
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	nodeB, err := replica.NewNode(fdir, api.RoleFollower, f)
+	if err != nil {
+		return 0, false, err
+	}
+	f.Start()
+	if err := f.CatchUp(); err != nil {
+		return 0, false, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	pr, err := nodeB.Promote(ctx)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := f.Store().PutRunLog(E14Run(fmt.Sprintf("e21p%d", trial), 1, lastLayer[0])); err != nil {
+		return 0, false, err
+	}
+	ms = 1000 * time.Since(start).Seconds()
+
+	// No split-brain: the old primary must have been fenced by the
+	// cutover and must reject a write.
+	if pr.OldPrimaryFenced && nodeA.Fenced() {
+		resp, err := http.Post(srvA.URL+"/v1/workflows", "application/json", strings.NewReader("{}"))
+		if err == nil {
+			fencedOK = resp.StatusCode == http.StatusForbidden
+			resp.Body.Close()
+		}
+	}
+	return ms, fencedOK, nil
+}

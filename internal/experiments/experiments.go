@@ -58,7 +58,7 @@ type Result struct {
 // All runs every experiment in order.
 func All() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16(), E17(), E18(), E19(), E20(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16(), E17(), E18(), E19(), E20(), E21(),
 	}
 }
 
@@ -68,7 +68,7 @@ func ByID(id string) (Result, error) {
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4, "E5": E5, "E6": E6,
 		"E7": E7, "E8": E8, "E9": E9, "E10": E10, "E11": E11, "E12": E12,
 		"E13": E13, "E14": E14, "E15": E15, "E16": E16, "E17": E17, "E18": E18,
-		"E19": E19, "E20": E20,
+		"E19": E19, "E20": E20, "E21": E21,
 	}
 	fn, ok := fns[strings.ToUpper(id)]
 	if !ok {

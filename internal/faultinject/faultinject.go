@@ -1,0 +1,182 @@
+// Package faultinject wraps an http.RoundTripper with deterministic,
+// seed-scheduled fault injection: transport errors, added latency,
+// truncated response bodies, and hard partitions. The chaos tests drive
+// replication through it to prove the failover layer's claims — the
+// same seed always yields the same fault schedule, so a failing run is
+// reproducible by its seed alone.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the transport error injected with probability
+// Options.ErrorRate; callers distinguish it from real failures with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected transport error")
+
+// ErrPartitioned fails every request between Partition and Heal.
+var ErrPartitioned = errors.New("faultinject: link partitioned")
+
+// Options configures a Transport's fault schedule. Rates are
+// probabilities in [0,1] drawn per request from the seeded source; a
+// zero Options injects nothing.
+type Options struct {
+	// Seed fixes the fault schedule; the same seed and request sequence
+	// produce the same faults.
+	Seed int64
+	// ErrorRate is the probability a request fails with ErrInjected
+	// before reaching the base transport.
+	ErrorRate float64
+	// LatencyRate is the probability a request sleeps Latency first
+	// (cancelled early if the request's context ends).
+	LatencyRate float64
+	// Latency is the injected delay (default 5ms when LatencyRate > 0).
+	Latency time.Duration
+	// TruncateRate is the probability a successful response body is cut
+	// short: readers see a prefix then io.ErrUnexpectedEOF, the shape a
+	// connection dropped mid-body produces.
+	TruncateRate float64
+}
+
+// Stats counts what a Transport actually injected.
+type Stats struct {
+	Requests    uint64
+	Errors      uint64
+	Latencies   uint64
+	Truncations uint64
+	Partitioned uint64 // requests refused while partitioned
+}
+
+// Transport is the fault-injecting http.RoundTripper. Safe for
+// concurrent use; the seeded schedule is serialized by an internal
+// lock, so concurrency changes interleaving but not the per-request
+// draw sequence semantics.
+type Transport struct {
+	base http.RoundTripper
+	opt  Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+
+	requests    atomic.Uint64
+	errorsN     atomic.Uint64
+	latencies   atomic.Uint64
+	truncations atomic.Uint64
+	partRefused atomic.Uint64
+}
+
+// New wraps base (nil: http.DefaultTransport) with the fault schedule
+// opt describes.
+func New(base http.RoundTripper, opt Options) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if opt.Latency <= 0 {
+		opt.Latency = 5 * time.Millisecond
+	}
+	return &Transport{base: base, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+}
+
+// Client returns an http.Client using the transport, for handing to
+// api.NewClient or replica.Options.Client.
+func (t *Transport) Client() *http.Client { return &http.Client{Transport: t} }
+
+// Partition makes every subsequent request fail with ErrPartitioned
+// until Heal — the hard network split, as opposed to the probabilistic
+// faults.
+func (t *Transport) Partition() { t.partitioned.Store(true) }
+
+// Heal ends a partition.
+func (t *Transport) Heal() { t.partitioned.Store(false) }
+
+// Partitioned reports whether the link is currently partitioned.
+func (t *Transport) Partitioned() bool { return t.partitioned.Load() }
+
+// Stats snapshots the injection counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:    t.requests.Load(),
+		Errors:      t.errorsN.Load(),
+		Latencies:   t.latencies.Load(),
+		Truncations: t.truncations.Load(),
+		Partitioned: t.partRefused.Load(),
+	}
+}
+
+// draw returns the three per-request fault decisions in one locked
+// pass, keeping the schedule a pure function of the seed and the
+// request ordinal.
+func (t *Transport) draw() (injErr, injLat, injTrunc bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	injErr = t.opt.ErrorRate > 0 && t.rng.Float64() < t.opt.ErrorRate
+	injLat = t.opt.LatencyRate > 0 && t.rng.Float64() < t.opt.LatencyRate
+	injTrunc = t.opt.TruncateRate > 0 && t.rng.Float64() < t.opt.TruncateRate
+	return
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	if t.partitioned.Load() {
+		t.partRefused.Add(1)
+		return nil, fmt.Errorf("%w: %s %s", ErrPartitioned, req.Method, req.URL.Path)
+	}
+	injErr, injLat, injTrunc := t.draw()
+	if injLat {
+		t.latencies.Add(1)
+		select {
+		case <-time.After(t.opt.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if injErr {
+		t.errorsN.Add(1)
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if injTrunc && resp.Body != nil && resp.StatusCode/100 == 2 {
+		t.truncations.Add(1)
+		resp.Body = truncateBody(resp.Body)
+	}
+	return resp, nil
+}
+
+// truncateBody reads the whole body, closes it, and replaces it with a
+// reader that serves half the bytes then fails with unexpected EOF —
+// what a peer that died mid-response looks like to the client.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(body)
+	body.Close()
+	return &truncatedReader{data: data[:len(data)/2]}
+}
+
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *truncatedReader) Close() error { return nil }

@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("payload-", 64))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	srv := testServer(t)
+	tr := New(nil, Options{Seed: 1})
+	hc := tr.Client()
+
+	if _, err := hc.Get(srv.URL); err != nil {
+		t.Fatalf("pre-partition request failed: %v", err)
+	}
+	tr.Partition()
+	if _, err := hc.Get(srv.URL); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned request: got %v, want ErrPartitioned", err)
+	}
+	tr.Heal()
+	if _, err := hc.Get(srv.URL); err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+	if st := tr.Stats(); st.Partitioned != 1 || st.Requests != 3 {
+		t.Fatalf("stats = %+v, want 1 partitioned of 3 requests", st)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	srv := testServer(t)
+	tr := New(nil, Options{Seed: 7, ErrorRate: 1})
+	if _, err := tr.Client().Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if st := tr.Stats(); st.Errors != 1 {
+		t.Fatalf("stats = %+v, want 1 injected error", st)
+	}
+}
+
+func TestTruncationYieldsUnexpectedEOF(t *testing.T) {
+	srv := testServer(t)
+	tr := New(nil, Options{Seed: 3, TruncateRate: 1})
+	resp, err := tr.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request failed: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("body read: got err %v, want io.ErrUnexpectedEOF", err)
+	}
+	full := len(strings.Repeat("payload-", 64))
+	if len(data) == 0 || len(data) >= full {
+		t.Fatalf("truncated body length %d, want a strict non-empty prefix of %d", len(data), full)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	srv := testServer(t)
+	run := func() []bool {
+		tr := New(nil, Options{Seed: 42, ErrorRate: 0.5})
+		hc := tr.Client()
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			_, err := hc.Get(srv.URL)
+			outcomes = append(outcomes, errors.Is(err, ErrInjected))
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	var flips int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d with the same seed", i)
+		}
+		if a[i] {
+			flips++
+		}
+	}
+	if flips == 0 || flips == len(a) {
+		t.Fatalf("error rate 0.5 injected %d/%d — schedule looks degenerate", flips, len(a))
+	}
+}

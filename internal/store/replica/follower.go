@@ -1,8 +1,10 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -18,12 +20,13 @@ import (
 
 // Follower observability: shipped volume and apply latency accumulate
 // across catch-up and steady-state tailing alike (catch-up throughput is
-// shipped bytes over the catch-up window). The lag gauge is registered
-// per-Follower in Open and reports the most recent instance's lag.
+// shipped bytes over the catch-up window). The lag and health gauges are
+// registered per-Follower in Open and report the most recent instance.
 var (
 	mReplShippedBytes = obs.Default().Counter("prov_replica_shipped_bytes_total", "Log bytes shipped from the primary and applied.")
 	mReplShippedRecs  = obs.Default().Counter("prov_replica_shipped_records_total", "Run-log records applied from shipped chunks.")
 	mReplApplySecs    = obs.Default().Histogram("prov_replica_apply_seconds", "Per-chunk apply latency (decode, verify, fold).")
+	mReplRetries      = obs.Default().Counter("prov_replica_retries_total", "Failed follower→primary exchanges retried under backoff.")
 )
 
 // Options configures a follower.
@@ -33,15 +36,32 @@ type Options struct {
 	Dir string
 	// Primary is the primary provd's base URL.
 	Primary string
-	// Client overrides the HTTP client (nil: http.DefaultClient).
+	// Client overrides the HTTP client (nil: the api package default —
+	// per-request timeouts come from contexts, so streaming stays
+	// unbounded there).
 	Client *http.Client
 	// Store configures the local store: the follower's own durability
 	// and checkpoint policy, independent of the primary's (a replica
 	// that can re-stream after a crash often runs DurabilityNone).
 	Store store.FileOptions
-	// Poll is the tail interval of the background shipper (Start);
-	// default 200ms.
+	// Poll is the steady-state tail interval of the background shipper
+	// (Start); default 200ms. After a failure the interval backs off
+	// exponentially with jitter up to MaxBackoff, returning to Poll on
+	// the first success.
 	Poll time.Duration
+	// MaxBackoff caps the jittered exponential backoff between failed
+	// polls (0: 5s).
+	MaxBackoff time.Duration
+	// RequestTimeout bounds each individual follower→primary call
+	// (0: 10s). A hung primary costs one timeout, not a stuck shipper.
+	RequestTimeout time.Duration
+	// DisconnectAfter is how long without a successful primary exchange
+	// before Health reports disconnected instead of degraded
+	// (0: 10×MaxBackoff).
+	DisconnectAfter time.Duration
+	// BackoffSeed seeds the backoff jitter; 0 draws from the global
+	// source. Tests pin it for reproducible schedules.
+	BackoffSeed int64
 	// MaxBatchBytes caps one shipped chunk (0: 1 MiB).
 	MaxBatchBytes int
 	// OnApply, when set, observes every replicated run log after it
@@ -63,10 +83,16 @@ type Follower struct {
 	router  *shardedstore.Router
 	shards  []*store.FileStore
 
+	baseCtx    context.Context // cancelled by Stop; parent of every request ctx
+	baseCancel context.CancelFunc
+
 	mu               sync.Mutex
 	onApply          func(*provenance.RunLog)
 	primaryCommitted []int64 // last-seen primary committed size per shard
 	lastErr          error   // most recent shipper failure (transient; retried)
+	consecFails      int     // failed exchanges since the last success
+	lastContact      time.Time
+	rng              *rand.Rand // jitter source, guarded by mu
 
 	shardMu []sync.Mutex // serializes appliers per shard (CatchUp vs tailer)
 
@@ -91,16 +117,34 @@ func Open(opt Options) (*Follower, error) {
 	if opt.Poll <= 0 {
 		opt.Poll = 200 * time.Millisecond
 	}
+	if opt.MaxBackoff <= 0 {
+		opt.MaxBackoff = 5 * time.Second
+	}
+	if opt.RequestTimeout <= 0 {
+		opt.RequestTimeout = 10 * time.Second
+	}
+	if opt.DisconnectAfter <= 0 {
+		opt.DisconnectAfter = 10 * opt.MaxBackoff
+	}
 	if opt.MaxBatchBytes <= 0 {
 		opt.MaxBatchBytes = 1 << 20
 	}
+	seed := opt.BackoffSeed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	client := api.NewClient(opt.Primary, opt.Client)
-	rs, err := client.ReplicationStatus()
+	ctx, cancel := context.WithTimeout(baseCtx, opt.RequestTimeout)
+	rs, err := client.ReplicationStatusContext(ctx)
+	cancel()
 	if err != nil {
+		baseCancel()
 		return nil, fmt.Errorf("replica: primary %s status: %w", opt.Primary, err)
 	}
 	n := len(rs.Shards)
 	if n == 0 {
+		baseCancel()
 		return nil, fmt.Errorf("replica: primary %s (role %s) reports no replicable shards", opt.Primary, rs.Role)
 	}
 
@@ -113,7 +157,8 @@ func Open(opt Options) (*Follower, error) {
 		if rs.Sharded {
 			dir = filepath.Join(opt.Dir, fmt.Sprintf("shard-%03d", i))
 		}
-		if err := bootstrapShard(client, i, dir, opt.MaxBatchBytes); err != nil {
+		if err := bootstrapShard(baseCtx, client, i, dir, opt.MaxBatchBytes, opt.RequestTimeout); err != nil {
+			baseCancel()
 			return nil, err
 		}
 	}
@@ -122,8 +167,12 @@ func Open(opt Options) (*Follower, error) {
 		opt:              opt,
 		client:           client,
 		sharded:          rs.Sharded,
+		baseCtx:          baseCtx,
+		baseCancel:       baseCancel,
 		onApply:          opt.OnApply,
 		primaryCommitted: make([]int64, n),
+		lastContact:      time.Now(),
+		rng:              rand.New(rand.NewSource(seed)),
 		shardMu:          make([]sync.Mutex, n),
 		stop:             make(chan struct{}),
 	}
@@ -133,6 +182,7 @@ func Open(opt Options) (*Follower, error) {
 	if rs.Sharded {
 		r, err := shardedstore.OpenWith(opt.Dir, n, opt.Store)
 		if err != nil {
+			baseCancel()
 			return nil, fmt.Errorf("replica: open follower store: %w", err)
 		}
 		f.router, f.st = r, r
@@ -140,6 +190,7 @@ func Open(opt Options) (*Follower, error) {
 			fs, err := r.FileShard(i)
 			if err != nil {
 				r.Close()
+				baseCancel()
 				return nil, err
 			}
 			f.shards = append(f.shards, fs)
@@ -147,18 +198,32 @@ func Open(opt Options) (*Follower, error) {
 	} else {
 		fs, err := store.OpenFileStoreWith(opt.Dir, opt.Store)
 		if err != nil {
+			baseCancel()
 			return nil, fmt.Errorf("replica: open follower store: %w", err)
 		}
 		f.st, f.shards = fs, []*store.FileStore{fs}
 	}
-	// GaugeFunc re-registration replaces the callback, so the series always
-	// tracks the most recently opened follower in this process. Lag reads
-	// only in-memory positions, so scraping after Close stays safe.
+	// GaugeFunc re-registration replaces the callback, so these series
+	// always track the most recently opened follower in this process. Lag
+	// and health read only in-memory positions, so scraping after Close
+	// stays safe.
 	obs.Default().GaugeFunc("prov_replica_apply_lag_bytes",
 		"Bytes the follower trails the primary's committed position by.",
 		func() float64 {
 			_, behind := f.Lag()
 			return float64(behind)
+		})
+	obs.Default().GaugeFunc("prov_replica_health",
+		"Follower upstream health: 0 connected, 1 degraded, 2 disconnected.",
+		func() float64 {
+			switch f.Health().State {
+			case api.HealthConnected:
+				return 0
+			case api.HealthDegraded:
+				return 1
+			default:
+				return 2
+			}
 		})
 	return f, nil
 }
@@ -168,7 +233,7 @@ func Open(opt Options) (*Follower, error) {
 // Directories that already hold log bytes are left alone: the store
 // open heals any torn tail and the shipper resumes from the local
 // committed size.
-func bootstrapShard(c *api.Client, shard int, dir string, maxBatch int) error {
+func bootstrapShard(baseCtx context.Context, c *api.Client, shard int, dir string, maxBatch int, reqTimeout time.Duration) error {
 	logPath := filepath.Join(dir, store.LogFileName)
 	if fi, err := os.Stat(logPath); err == nil && fi.Size() > 0 {
 		return nil
@@ -176,7 +241,9 @@ func bootstrapShard(c *api.Client, shard int, dir string, maxBatch int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("replica: bootstrap shard %d: %w", shard, err)
 	}
-	ck, ok, err := c.ShardCheckpoint(shard)
+	ctx, cancel := context.WithTimeout(baseCtx, reqTimeout)
+	ck, ok, err := c.ShardCheckpointContext(ctx, shard)
+	cancel()
 	if err != nil {
 		return fmt.Errorf("replica: bootstrap shard %d checkpoint: %w", shard, err)
 	}
@@ -192,7 +259,9 @@ func bootstrapShard(c *api.Client, shard int, dir string, maxBatch int) error {
 	defer logFile.Close()
 	var at int64
 	for {
-		chunk, committed, err := c.StreamLog(shard, at, maxBatch)
+		ctx, cancel := context.WithTimeout(baseCtx, reqTimeout)
+		chunk, committed, err := c.StreamLogContext(ctx, shard, at, maxBatch)
+		cancel()
 		if err != nil {
 			return fmt.Errorf("replica: bootstrap shard %d stream: %w", shard, err)
 		}
@@ -219,6 +288,10 @@ func (f *Follower) Store() store.Store { return f.st }
 
 // Sharded reports whether the replicated store is a sharded router.
 func (f *Follower) Sharded() bool { return f.sharded }
+
+// Client returns the follower's primary-facing API client — the epoch
+// it has observed there is the fleet's, which promotion builds on.
+func (f *Follower) Client() *api.Client { return f.client }
 
 // SetOnApply installs (or replaces) the per-record apply hook — wired
 // to closurecache.(*Cache).ApplyDelta when a cache layers the follower's
@@ -255,8 +328,14 @@ func (f *Follower) applyHook() func(*provenance.RunLog) {
 // position as of this call, synchronously. Tests and E18 use it for
 // deterministic convergence; production followers run Start instead.
 func (f *Follower) CatchUp() error {
+	return f.CatchUpContext(context.Background())
+}
+
+// CatchUpContext is CatchUp bounded by ctx — the promotion drain uses a
+// deadline so an unreachable primary cannot stall cutover.
+func (f *Follower) CatchUpContext(ctx context.Context) error {
 	for i := range f.shards {
-		if err := f.catchUpShard(i); err != nil {
+		if err := f.catchUpShard(ctx, i); err != nil {
 			return err
 		}
 	}
@@ -268,12 +347,14 @@ func (f *Follower) CatchUp() error {
 // the next poll). The per-shard lock serializes concurrent appliers —
 // a CatchUp racing the background tailer must not both apply the same
 // offset.
-func (f *Follower) catchUpShard(i int) error {
+func (f *Follower) catchUpShard(ctx context.Context, i int) error {
 	f.shardMu[i].Lock()
 	defer f.shardMu[i].Unlock()
 	for {
 		from := f.shards[i].CommittedOffset()
-		data, committed, err := f.client.StreamLog(i, from, f.opt.MaxBatchBytes)
+		reqCtx, cancel := context.WithTimeout(ctx, f.opt.RequestTimeout)
+		data, committed, err := f.client.StreamLogContext(reqCtx, i, from, f.opt.MaxBatchBytes)
+		cancel()
 		if err != nil {
 			f.noteErr(err)
 			return err
@@ -304,6 +385,7 @@ func (f *Follower) catchUpShard(i int) error {
 		mReplApplySecs.ObserveSince(applyStart)
 		mReplShippedBytes.Add(uint64(len(data)))
 		mReplShippedRecs.Add(uint64(len(logs)))
+		f.noteErr(nil)
 		if hook := f.applyHook(); hook != nil {
 			for _, l := range logs {
 				hook(l)
@@ -312,16 +394,52 @@ func (f *Follower) catchUpShard(i int) error {
 	}
 }
 
+// noteErr records the outcome of one primary exchange: failures feed
+// the retry counter and health state, successes reset both.
 func (f *Follower) noteErr(err error) {
 	f.mu.Lock()
 	f.lastErr = err
+	if err != nil {
+		f.consecFails++
+	} else {
+		f.consecFails = 0
+		f.lastContact = time.Now()
+	}
 	f.mu.Unlock()
+	if err != nil {
+		mReplRetries.Add(1)
+	}
+}
+
+// nextDelay computes the tail interval after an exchange: the steady
+// poll on success; on failure, exponential backoff from the previous
+// delay with ±25% jitter, capped at MaxBackoff. Jitter keeps a fleet of
+// followers from stampeding a primary that just came back.
+func (f *Follower) nextDelay(prev time.Duration, failed bool) time.Duration {
+	if !failed {
+		return f.opt.Poll
+	}
+	d := prev * 2
+	if d < f.opt.Poll {
+		d = f.opt.Poll
+	}
+	if d > f.opt.MaxBackoff {
+		d = f.opt.MaxBackoff
+	}
+	f.mu.Lock()
+	jitter := 1 + (f.rng.Float64()-0.5)/2
+	f.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // Start launches one background tailer per shard, each polling the
 // primary at the configured interval and applying whatever committed.
-// Transient failures are recorded (see Status) and retried on the next
-// poll. Idempotent.
+// Transient failures are recorded (see Status, Health) and retried
+// under jittered exponential backoff. Idempotent.
 func (f *Follower) Start() {
 	f.mu.Lock()
 	if f.started {
@@ -334,7 +452,8 @@ func (f *Follower) Start() {
 		f.wg.Add(1)
 		go func(i int) {
 			defer f.wg.Done()
-			t := time.NewTicker(f.opt.Poll)
+			delay := f.opt.Poll
+			t := time.NewTimer(delay)
 			defer t.Stop()
 			for {
 				select {
@@ -342,7 +461,9 @@ func (f *Follower) Start() {
 					return
 				case <-t.C:
 				}
-				_ = f.catchUpShard(i)
+				err := f.catchUpShard(f.baseCtx, i)
+				delay = f.nextDelay(delay, err != nil)
+				t.Reset(delay)
 			}
 		}(i)
 	}
@@ -363,6 +484,36 @@ func (f *Follower) Lag() (applied, behind int64) {
 		}
 	}
 	return applied, behind
+}
+
+// Health classifies the follower's upstream link: connected while the
+// last exchange succeeded, degraded while failing and retrying under
+// backoff, disconnected once no exchange has succeeded for
+// DisconnectAfter.
+func (f *Follower) Health() api.ReplicaHealth {
+	f.mu.Lock()
+	fails := f.consecFails
+	lastErr := f.lastErr
+	since := time.Since(f.lastContact)
+	f.mu.Unlock()
+	applied, behind := f.Lag()
+	h := api.ReplicaHealth{
+		State:               api.HealthConnected,
+		ConsecutiveFailures: fails,
+		SecondsSinceContact: since.Seconds(),
+		AppliedBytes:        applied,
+		LagBytes:            behind,
+	}
+	if lastErr != nil {
+		h.LastError = lastErr.Error()
+	}
+	if fails > 0 {
+		h.State = api.HealthDegraded
+		if since > f.opt.DisconnectAfter {
+			h.State = api.HealthDisconnected
+		}
+	}
+	return h
 }
 
 // Status reports the follower's role and per-shard positions for
@@ -394,9 +545,14 @@ func (f *Follower) Status() api.ReplicationStatus {
 }
 
 // Stop halts the background shipper without closing the local store —
-// for callers whose cache layer owns the store's close chain. Idempotent.
+// for callers whose cache layer owns the store's close chain (and for
+// promotion, which keeps serving from the store it just caught up).
+// In-flight requests are cancelled. Idempotent.
 func (f *Follower) Stop() {
-	f.stopOnce.Do(func() { close(f.stop) })
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		f.baseCancel()
+	})
 	f.wg.Wait()
 }
 
